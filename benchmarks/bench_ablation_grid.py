@@ -1,0 +1,54 @@
+"""Ablation: the divisibility constraint (7) and idle-rank policy.
+
+Quantifies what CA3DMM gives up for Cannon compatibility: across the
+strong-scaling sweep, compare the per-process communication volume of
+the constrained optimum (eq. 7 enforced) against the unconstrained one,
+and report process utilization.  The paper's design bet is that the gap
+is small — a couple of percent — which this bench checks.
+"""
+
+from __future__ import annotations
+
+from repro.bench import CPU_PROBLEMS, SCALING_PROCS
+from repro.bench.report import format_table
+from repro.grid.optimizer import ca3dmm_grid, cosma_grid
+
+
+def _sweep():
+    rows, worst = [], 0.0
+    for p in CPU_PROBLEMS:
+        for P in SCALING_PROCS:
+            g7 = ca3dmm_grid(*p.dims, P)
+            g0 = cosma_grid(*p.dims, P)
+            q7 = g7.surface(*p.dims) / g7.used
+            q0 = g0.surface(*p.dims) / g0.used
+            gap = q7 / q0 - 1.0
+            worst = max(worst, gap)
+            rows.append(
+                [
+                    p.label(), P,
+                    f"{g7.pm}x{g7.pn}x{g7.pk}", f"{100 * g7.utilization():.1f}%",
+                    f"{g0.pm}x{g0.pn}x{g0.pk}",
+                    f"{100 * gap:.2f}%",
+                ]
+            )
+    text = format_table(
+        ["problem", "P", "grid (eq.7)", "util", "grid (free)", "volume gap"],
+        rows,
+        title="Ablation — cost of the Cannon divisibility constraint (7)",
+    )
+    return text, worst
+
+
+def test_constraint7_cost(benchmark):
+    text, worst = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(text)
+    import pathlib
+
+    out = pathlib.Path(__file__).parent / "out"
+    out.mkdir(exist_ok=True)
+    (out / "ablation_grid.txt").write_text(text + "\n")
+    # The paper's bet: constraint (7) usually costs little; the worst
+    # isolated (problem, P) pair in this sweep stays within ~20%.
+    assert worst < 0.25

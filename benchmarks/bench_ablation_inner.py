@@ -1,0 +1,78 @@
+"""Ablation: Cannon vs SUMMA inner kernel (Section III-E).
+
+DESIGN.md calls out the inner-2D-algorithm choice as CA3DMM's key
+design decision.  This bench compares CA3DMM-C and CA3DMM-S on the
+paper's problems, both analytically (message rounds, modeled time) and
+with the executed engine at small scale, confirming the paper's
+latency argument for choosing Cannon — and its Section V observation
+that the SUMMA variant needs less memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.costs import ca3dmm_cost
+from repro.bench import CPU_PROBLEMS, SMALL_PROBLEMS
+from repro.bench.report import format_table
+from repro.core.summa_variant import ca3dmm_s_matmul
+from repro.core import ca3dmm_matmul
+from repro.grid.optimizer import cosma_grid
+from repro.layout import BlockCol1D, DistMatrix, dense_random
+from repro.machine.model import laptop, pace_phoenix_cpu
+from repro.mpi import run_spmd
+
+
+def _analytic():
+    mach = pace_phoenix_cpu("mpi")
+    rows, data = [], {}
+    for p in CPU_PROBLEMS:
+        grid = cosma_grid(*p.dims, 2048)
+        if not grid.cannon_compatible:
+            continue
+        c = ca3dmm_cost(*p.dims, 2048, mach, grid=grid)
+        s = ca3dmm_cost(
+            *p.dims, 2048, mach, grid=grid, inner="summa", summa_panel_frac=0.25
+        )
+        rows.append(
+            [p.label(), c.grid, c.l_msgs, s.l_msgs, f"{c.t_total:.3f}",
+             f"{s.t_total:.3f}", f"{c.mem_mb:.0f}", f"{s.mem_mb:.0f}"]
+        )
+        data[p.cls] = (c, s)
+    text = format_table(
+        ["problem", "grid", "L cannon", "L summa", "t cannon (s)",
+         "t summa (s)", "mem C (MB)", "mem S (MB)"],
+        rows,
+        title="Ablation — inner 2D kernel (shared grid, 2048 ranks)",
+    )
+    return text, data
+
+
+def test_inner_kernel_ablation_analytic(benchmark, emit):
+    text, data = benchmark.pedantic(_analytic, rounds=1, iterations=1)
+    print()
+    print(text)
+    for cls, (c, s) in data.items():
+        assert c.l_msgs <= s.l_msgs  # Section III-E inequality
+        assert s.mem_words <= c.mem_words * 1.01  # Section V memory note
+
+
+def test_inner_kernel_executed_equivalence(benchmark):
+    """Both variants must compute identical results on real data."""
+    m, n, k, P = 48, 40, 64, 12
+
+    def f(comm):
+        A, B = dense_random(m, k, 1), dense_random(k, n, 2)
+        a = DistMatrix.from_global(comm, BlockCol1D((m, k), comm.size), A)
+        b = DistMatrix.from_global(comm, BlockCol1D((k, n), comm.size), B)
+        c1 = ca3dmm_matmul(a, b)
+        c2 = ca3dmm_s_matmul(a, b)
+        return np.allclose(c1.to_global(), A @ B, atol=1e-9) and np.allclose(
+            c2.to_global(), A @ B, atol=1e-9
+        )
+
+    res = benchmark.pedantic(
+        lambda: run_spmd(P, f, machine=laptop(), deadlock_timeout=60.0),
+        rounds=1, iterations=1,
+    )
+    assert all(res.results)

@@ -1,0 +1,67 @@
+"""Ablation: the Section V memory/communication trade-off frontier.
+
+The paper's first future-work topic: "controlling the usage of extra
+memory in CA3DMM while minimizing communication costs", by reducing the
+number of k-task groups (toward 2D) and/or replacing Cannon with SUMMA.
+This bench sweeps a per-process memory cap and reports, for each point,
+the chosen grid, its eq.-(11) memory, and its per-process communication
+volume — the frontier both mechanisms trade along — plus the SUMMA
+variant's memory at the free optimum for comparison.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.costs import ITEM, ca3dmm_cost
+from repro.bench.report import format_table
+from repro.grid.optimizer import ca3dmm_grid, cosma_grid
+from repro.machine.model import pace_phoenix_cpu
+
+DIMS = (50000, 50000, 50000)
+P = 1536
+FRACTIONS = (1.0, 0.8, 0.6, 0.45, 0.35)
+
+
+def _sweep():
+    mach = pace_phoenix_cpu("mpi")
+    free = ca3dmm_grid(*DIMS, P)
+    base_mem = free.memory_words(*DIMS)
+    rows, series = [], []
+    for frac in FRACTIONS:
+        g = ca3dmm_grid(*DIMS, P, memory_limit_words=base_mem * frac)
+        mem_mb = g.memory_words(*DIMS) * ITEM / 2 ** 20
+        q = g.surface(*DIMS) / g.used
+        t = ca3dmm_cost(*DIMS, P, mach, grid=g).t_total
+        rows.append(
+            [f"{frac:.2f}", f"{g.pm}x{g.pn}x{g.pk}", f"{mem_mb:.0f}",
+             f"{q / 1e6:.2f}", f"{t:.3f}"]
+        )
+        series.append((frac, mem_mb, q, t))
+    # Section V's other lever: the SUMMA kernel needs no replication.
+    gs = cosma_grid(*DIMS, P)
+    s = ca3dmm_cost(*DIMS, P, mach, grid=gs, inner="summa")
+    rows.append(
+        ["summa", s.grid, f"{s.mem_mb:.0f}", "-", f"{s.t_total:.3f}"]
+    )
+    text = format_table(
+        ["mem cap (x free)", "grid", "mem (MB)", "Q/proc (Mwords)", "t model (s)"],
+        rows,
+        title=f"Ablation — memory cap frontier, square 50k^3, P={P}",
+    )
+    return text, series
+
+
+def test_memory_frontier(benchmark):
+    text, series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(text)
+    import pathlib
+
+    out = pathlib.Path(__file__).parent / "out"
+    out.mkdir(exist_ok=True)
+    (out / "ablation_memory.txt").write_text(text + "\n")
+
+    # Frontier monotonicity: less memory allowed -> no less communication.
+    mems = [mem for _, mem, _, _ in series]
+    qs = [q for _, _, q, _ in series]
+    assert all(a >= b * 0.999 for a, b in zip(mems[:-1], mems[1:]))
+    assert all(b >= a * 0.999 for a, b in zip(qs[:-1], qs[1:]))

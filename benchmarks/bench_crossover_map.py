@@ -1,0 +1,97 @@
+"""Extension bench: which algorithm wins where in shape space.
+
+The paper's introduction frames CA3DMM as the algorithm that adapts to
+*any* matrix shape where fixed-strategy algorithms (1D, SUMMA/2D,
+cubic 2.5D/3D) each own only a region.  This bench sweeps the aspect
+ratio from k-dominant through cube to m-dominant at fixed total work
+and P = 768 (deliberately not a power of two), prices every algorithm
+family with the analytic engine, and reports the per-shape winner.
+
+Assertions (the paper's crossover structure):
+
+* CA3DMM beats every *fixed-strategy* algorithm (1D, SUMMA, 2.5D) at
+  every shape — the adaptivity claim;
+* SUMMA and 2.5D each lose badly somewhere; 1D loses at the cube;
+* CA3DMM stays within 1.5x of the overall winner everywhere.
+
+A note on CARMA: in a pure α-β model its recursive pairwise exchanges
+look slightly cheaper than CA3DMM's collectives at the shape extremes
+(its largest C exchanges land on node-local partners, and it touches
+each operand word once where Cannon streams blocks s times).  The
+practical comparison in [18] — CARMA slower than COSMA despite equal
+theoretical cost, which the paper leans on — lives outside the α-β
+model, so the bench reports CARMA's numbers without asserting against
+them, and CARMA pays its real power-of-two penalty here (512 of 768
+ranks active).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline_costs import algo1d_cost, algo25d_cost, carma_cost, summa_cost
+from repro.analysis.costs import ca3dmm_cost, cosma_cost
+from repro.bench.report import format_table
+from repro.machine.model import pace_phoenix_cpu
+
+P = 768
+TOTAL = 4096 ** 3  # fixed mnk
+
+ALGOS = ("ca3dmm", "cosma", "1d", "summa", "2.5d", "carma")
+
+
+def _shapes():
+    out = []
+    for r in (64, 16, 4):
+        s = round((TOTAL / r) ** (1 / 3))
+        out.append(("k-dom", s, s, s * r))
+    s = round(TOTAL ** (1 / 3))
+    out.append(("cube", s, s, s))
+    for r in (4, 16, 64):
+        s = round((TOTAL / r) ** (1 / 3))
+        out.append(("m-dom", s * r, s, s))
+    return out
+
+
+def _sweep():
+    mach = pace_phoenix_cpu("mpi")
+    rows, data = [], []
+    for cls, m, n, k in _shapes():
+        times = {
+            "ca3dmm": ca3dmm_cost(m, n, k, P, mach).t_total,
+            "cosma": cosma_cost(m, n, k, P, mach).t_total,
+            "1d": algo1d_cost(m, n, k, P, mach).t_total,
+            "summa": summa_cost(m, n, k, P, mach).t_total,
+            "2.5d": algo25d_cost(m, n, k, P, mach).t_total,
+            "carma": carma_cost(m, n, k, P, mach).t_total,
+        }
+        winner = min(times, key=times.get)
+        rows.append([f"{m}x{n}x{k}", winner] + [f"{times[a]:.4f}" for a in ALGOS])
+        data.append((cls, times, winner))
+    text = format_table(
+        ["shape (m x n x k)", "winner"] + list(ALGOS),
+        rows,
+        title=f"Crossover map — modeled runtime (s) at P={P}, fixed mnk",
+    )
+    return text, data
+
+
+def test_crossover_map(benchmark):
+    text, data = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(text)
+    import pathlib
+
+    out = pathlib.Path(__file__).parent / "out"
+    out.mkdir(exist_ok=True)
+    (out / "crossover_map.txt").write_text(text + "\n")
+
+    for cls, times, winner in data:
+        # adaptivity: CA3DMM beats every fixed-strategy algorithm
+        for fixed in ("1d", "summa", "2.5d"):
+            assert times["ca3dmm"] <= times[fixed] * 1.001, (cls, fixed, times)
+        # and is never far from the overall winner
+        assert times["ca3dmm"] <= times[winner] * 1.5, (cls, times)
+    # each fixed strategy owns at most a region: it loses badly somewhere
+    for algo in ("summa", "2.5d"):
+        assert max(t[algo] / t["ca3dmm"] for _, t, _ in data) > 1.3, algo
+    cube = next(t for cls, t, _ in data if cls == "cube")
+    assert cube["1d"] > 3 * cube["ca3dmm"]

@@ -1,0 +1,92 @@
+"""Executed strong scaling: Fig. 3's shape on the threaded engine.
+
+The paper-scale Fig. 3 runs on the analytic engine; this bench runs the
+real thing — threads, numpy data, measured traffic, simulated clocks —
+across the four problem classes at P = 8 and P = 32 on the paper's CPU
+machine model, and asserts the strong-scaling shape survives execution:
+
+* simulated time drops substantially from P=8 to P=32 for every class
+  and every library,
+* CA3DMM tracks the COSMA-like schedule throughout,
+* the verification (C == A@B) holds at every point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import cosma_matmul, ctf_matmul
+from repro.bench import SMALL_PROBLEMS
+from repro.bench.report import format_table
+from repro.core import ca3dmm_matmul
+from repro.layout import BlockCol1D, DistMatrix, dense_random
+from repro.machine.model import MachineModel
+from repro.mpi import run_spmd
+
+#: The paper's network parameters with 4 ranks/node (so the node
+#: structure is exercised even at P=8) and γ slowed to ~0.55 GF/rank:
+#: at 1/500-scale matrices the real γ would leave the runs entirely
+#: latency-bound, so γ is scaled to preserve the paper-scale
+#: compute:communication balance (~10:1 at the strong-scaling start).
+MACHINE = MachineModel(ranks_per_node=4, gamma=1.8e-9)
+
+ALGOS = {"ca3dmm": ca3dmm_matmul, "cosma": cosma_matmul, "ctf": ctf_matmul}
+PROCS = (8, 32)
+
+
+def _run(fn, m, n, k, P):
+    def f(comm):
+        a = DistMatrix.from_global(comm, BlockCol1D((m, k), comm.size), dense_random(m, k, 1))
+        b = DistMatrix.from_global(comm, BlockCol1D((k, n), comm.size), dense_random(k, n, 2))
+        t0 = comm.now()
+        c = fn(a, b)
+        dt = comm.now() - t0
+        ok = np.allclose(c.to_global(), dense_random(m, k, 1) @ dense_random(k, n, 2), atol=1e-8)
+        return ok, dt
+
+    res = run_spmd(P, f, machine=MACHINE, deadlock_timeout=120.0)
+    assert all(ok for ok, _ in res.results)
+    return max(dt for _, dt in res.results)
+
+
+def _sweep():
+    rows, data = [], {}
+    for p in SMALL_PROBLEMS:
+        entry = {}
+        for name, fn in ALGOS.items():
+            entry[name] = {P: _run(fn, *p.dims, P) for P in PROCS}
+        data[p.cls] = entry
+        rows.append(
+            [p.label()]
+            + [f"{entry[a][P] * 1e6:.1f}" for a in ALGOS for P in PROCS]
+        )
+    headers = ["problem"] + [f"{a} P={P} (us)" for a in ALGOS for P in PROCS]
+    text = format_table(
+        headers, rows, title="Executed strong scaling (simulated time, threaded engine)"
+    )
+    return text, data
+
+
+def test_executed_strong_scaling(benchmark):
+    text, data = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(text)
+    import pathlib
+
+    out = pathlib.Path(__file__).parent / "out"
+    out.mkdir(exist_ok=True)
+    (out / "executed_scaling.txt").write_text(text + "\n")
+
+    for cls, entry in data.items():
+        for algo, times in entry.items():
+            # 4x the ranks buys a clear simulated speedup
+            assert times[32] < times[8] / 1.7, (cls, algo, times)
+        # the two communication-optimal schedules track each other
+        for P in PROCS:
+            a, c = entry["ca3dmm"][P], entry["cosma"][P]
+            assert a <= c * 1.15, (cls, P, a, c)
+    # At miniature scale latency terms matter more than at paper scale,
+    # so no cross-assertion against CTF here (its smaller-pk grids can
+    # win the latency game on large-K); the framework overheads that
+    # dominate its Fig. 3 position are time, not traffic, and are
+    # asserted in the analytic benches instead.

@@ -1,0 +1,38 @@
+"""Figure 3: strong scaling of COSMA / CA3DMM / CTF, native and custom layouts.
+
+Regenerates the four panels (square, large-K, large-M, flat) as % -of-peak
+series over P = 192..3072, using the analytic engine on the PACE-Phoenix
+CPU machine model.  Asserts the paper's qualitative findings hold.
+"""
+
+from __future__ import annotations
+
+from repro.bench import CPU_PROBLEMS, SCALING_PROCS, fig3_scaling
+
+
+def test_fig3_strong_scaling(benchmark, emit):
+    result = benchmark.pedantic(fig3_scaling, rounds=1, iterations=1)
+    emit(result)
+
+    for p in CPU_PROBLEMS:
+        s = result.data[p.cls]
+        # Both tuned libraries keep good efficiency across the sweep...
+        assert min(s["CA3DMM native"]) > 25.0
+        assert min(s["COSMA native"]) > 25.0
+        # ...while CTF trails badly everywhere (paper Fig. 3).
+        assert max(s["CTF native"]) < min(s["CA3DMM native"])
+
+    # CA3DMM matches or beats COSMA on square and flat problems and is
+    # equal on large-K / large-M (Section IV-A).
+    for cls in ("square", "flat"):
+        s = result.data[cls]
+        # within one percentage point everywhere, ahead on most points
+        assert all(c >= o - 1.0 for c, o in zip(s["CA3DMM native"], s["COSMA native"]))
+        wins = sum(c >= o for c, o in zip(s["CA3DMM native"], s["COSMA native"]))
+        assert wins >= len(SCALING_PROCS) - 1
+
+    # Unfavourable 1D layouts hurt, most severely for tall-and-skinny.
+    for cls in ("large-K", "large-M"):
+        s = result.data[cls]
+        last = len(SCALING_PROCS) - 1
+        assert s["CA3DMM custom"][last] < s["CA3DMM native"][last] * 0.9

@@ -1,0 +1,30 @@
+"""Figure 4: pure-MPI vs MPI+OpenMP hybrid strong scaling.
+
+Same four problem classes; the hybrid rows use one rank per 24-core node
+with node-aggregate compute.  The model carries the paper's explanation
+mechanisms (per-group collective sizes, intra- vs inter-node links,
+single-stream NIC efficiency); see EXPERIMENTS.md for which directions
+match the paper exactly and which are near-ties.
+"""
+
+from __future__ import annotations
+
+from repro.bench import CPU_PROBLEMS, fig4_hybrid
+
+
+def test_fig4_hybrid_vs_pure(benchmark, emit):
+    result = benchmark.pedantic(fig4_hybrid, rounds=1, iterations=1)
+    emit(result)
+
+    for p in CPU_PROBLEMS:
+        s = result.data[p.cls]
+        # Both modes remain within a modest band of each other: the mode
+        # choice changes communication, not the dominant compute.
+        for a, b in zip(s["CA3DMM pure MPI"], s["CA3DMM hybrid"]):
+            assert 0.5 < a / b < 2.0
+
+    # The paper's strongest hybrid wins are the tall-skinny classes at
+    # scale, where one collective in a small group dominates.
+    for cls in ("large-K", "large-M"):
+        s = result.data[cls]
+        assert s["CA3DMM hybrid"][-1] >= s["CA3DMM pure MPI"][-1] * 0.97

@@ -1,0 +1,32 @@
+"""Figure 5: normalized runtime breakdowns at 2048 cores.
+
+COSMA's total is normalized to 1 per problem class.  Asserts the
+paper's reading: similar local-compute and total-communication costs
+for both libraries, with "reduce C" dominating communication for
+large-K and "replicate A, B" for large-M.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import CPU_PROBLEMS, fig5_breakdown
+
+
+def test_fig5_runtime_breakdown(benchmark, emit):
+    result = benchmark.pedantic(fig5_breakdown, rounds=1, iterations=1)
+    emit(result)
+
+    for p in CPU_PROBLEMS:
+        co = result.data[p.cls]["cosma"]
+        ca = result.data[p.cls]["ca3dmm"]
+        assert co.total == pytest.approx(1.0)
+        # similar local computation costs (same grids, same flops)
+        assert ca.local_compute == pytest.approx(co.local_compute, rel=0.10)
+        # CA3DMM's total never exceeds COSMA's by much
+        assert ca.total <= co.total * 1.05
+
+    bk = result.data["large-K"]["ca3dmm"]
+    bm = result.data["large-M"]["ca3dmm"]
+    assert bk.reduce_c > bk.replicate_ab  # C reduction dominates large-K
+    assert bm.replicate_ab > bm.reduce_c  # B replication dominates large-M

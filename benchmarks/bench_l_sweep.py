@@ -1,0 +1,17 @@
+"""Section IV-A's l-parameter sweep.
+
+The paper: "using other l values gives the same 3D process grid as
+using the value l = 0.95 in almost all cases (detailed results
+omitted)".  Regenerates the sweep over l in [0.85, 0.99] for the four
+problem classes and five process counts.
+"""
+
+from __future__ import annotations
+
+from repro.bench import l_sweep
+
+
+def test_l_sweep_stability(benchmark, emit):
+    result = benchmark.pedantic(l_sweep, rounds=1, iterations=1)
+    emit(result)
+    assert result.data["same"] >= result.data["total"] * 0.9

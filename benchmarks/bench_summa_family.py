@@ -1,0 +1,89 @@
+"""Extension bench: the SUMMA family's stationary-operand crossovers.
+
+van de Geijn's rule — keep the largest operand stationary — measured on
+the executed engine: for each of three operand-dominance regimes, the
+matching stationary variant must move the least data.  (CA3DMM's
+unified view makes the same adaptation through its grid; this bench
+shows the 2D family needs an explicit variant switch to do it.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    summa_matmul,
+    summa_stationary_a_matmul,
+    summa_stationary_b_matmul,
+)
+from repro.bench.report import format_table
+from repro.layout import Block2D, DistMatrix, dense_random
+from repro.machine.model import laptop
+from repro.mpi import run_spmd
+
+P = 4
+REGIMES = {
+    "A-dominant (96x96x8)": (96, 8, 96),
+    "B-dominant (8x96x96)": (8, 96, 96),
+    "C-dominant (96x96x8k)": (96, 96, 8),
+}
+VARIANTS = {
+    "stationary-A": summa_stationary_a_matmul,
+    "stationary-B": summa_stationary_b_matmul,
+    "stationary-C": summa_matmul,
+}
+
+
+def _traffic(fn, m, n, k):
+    """Bytes inside the algorithm's compute phase only: the stationary-B
+    wrapper reaches stationary-A through transposing redistributions,
+    so layout-conversion traffic is excluded to compare the schedules
+    themselves (the paper excludes steps 4/8 the same way)."""
+
+    def f(comm):
+        A, B = dense_random(m, k, 1), dense_random(k, n, 2)
+        a = DistMatrix.from_global(comm, Block2D((m, k), comm.size, 2, 2), A)
+        b = DistMatrix.from_global(comm, Block2D((k, n), comm.size, 2, 2), B)
+        c = fn(a, b)
+        ph = comm.transport.trace(comm.world_rank).phases.get("summa")
+        sent = ph.bytes_sent if ph else 0
+        ok = np.allclose(c.to_global(), A @ B, atol=1e-9)
+        return ok, sent
+
+    res = run_spmd(P, f, machine=laptop(), deadlock_timeout=60.0)
+    assert all(ok for ok, _ in res.results)
+    return max(s for _, s in res.results)
+
+
+def _sweep():
+    rows, winners = [], {}
+    for label, (m, n, k) in REGIMES.items():
+        traffic = {name: _traffic(fn, m, n, k) for name, fn in VARIANTS.items()}
+        winner = min(traffic, key=traffic.get)
+        winners[label] = winner
+        rows.append(
+            [label, winner]
+            + [f"{traffic[v]:,}" for v in ("stationary-A", "stationary-B", "stationary-C")]
+        )
+    text = format_table(
+        ["regime", "winner", "A bytes", "B bytes", "C bytes"],
+        rows,
+        title=f"SUMMA family — measured max bytes/rank at P={P} (2x2 grid)",
+    )
+    return text, winners
+
+
+def test_summa_family_crossover(benchmark):
+    text, winners = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(text)
+    import pathlib
+
+    out = pathlib.Path(__file__).parent / "out"
+    out.mkdir(exist_ok=True)
+    (out / "summa_family.txt").write_text(text + "\n")
+
+    assert winners["A-dominant (96x96x8)"] == "stationary-A"
+    assert winners["B-dominant (8x96x96)"] == "stationary-B"
+    assert winners["C-dominant (96x96x8k)"] == "stationary-C"

@@ -1,0 +1,29 @@
+"""Table I: per-process memory (MB) of COSMA and CA3DMM.
+
+CA3DMM's model is the paper's eq. (11) (dual-buffered Cannon blocks plus
+pk partial-C strips); COSMA's is its fully-materialized replicated
+operands.  Asserts the paper's two headline observations: CA3DMM is
+always leaner on square problems, and its memory falls faster with P so
+it crosses below COSMA by P = 1536 on the rectangular classes.
+"""
+
+from __future__ import annotations
+
+from repro.bench import SCALING_PROCS, table1_memory
+
+
+def test_table1_memory(benchmark, emit):
+    result = benchmark.pedantic(table1_memory, rounds=1, iterations=1)
+    emit(result)
+
+    co_sq = result.data[("COSMA", "square")]
+    ca_sq = result.data[("CA3DMM", "square")]
+    assert all(c < x for c, x in zip(ca_sq, co_sq))
+
+    for cls in ("large-K", "large-M", "flat"):
+        co = result.data[("COSMA", cls)]
+        ca = result.data[("CA3DMM", cls)]
+        i1536 = SCALING_PROCS.index(1536)
+        assert all(ca[i] < co[i] for i in range(i1536, len(SCALING_PROCS)))
+        # faster decay: CA3DMM's 192->3072 reduction factor exceeds COSMA's
+        assert ca[0] / ca[-1] > co[0] / co[-1] * 0.9

@@ -1,0 +1,37 @@
+"""Table II: runtimes with the paper's forced process grids.
+
+Reproduces the two observations of Section IV-B: (1) on a *shared*
+optimal grid CA3DMM is at least as fast as COSMA (communication patterns
+matter beyond grid choice); (2) for large-K at 3072 cores the
+"suboptimal" 4x2x384 grid beats the theoretically optimal 3x3x341
+because pk = 341 is collective-unfriendly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench import table2_grids
+
+
+def test_table2_forced_grids(benchmark, emit):
+    result = benchmark.pedantic(table2_grids, rounds=1, iterations=1)
+    emit(result)
+
+    # (1) shared optimal grids at 2048 cores: CA3DMM <= COSMA.
+    for key in (
+        ("square", 2048, (8, 16, 16)),
+        ("large-K", 2048, (2, 2, 512)),
+        ("large-M", 2048, (512, 2, 2)),
+        ("flat", 2048, (32, 32, 2)),
+    ):
+        row = result.data[key]
+        assert row["ca3dmm"] <= row["cosma"] * 1.01, key
+
+    # (2) the paper's pk=341 anomaly.
+    opt = result.data[("large-K", 3072, (3, 3, 341))]["ca3dmm"]
+    sub = result.data[("large-K", 3072, (4, 2, 384))]["ca3dmm"]
+    assert sub < opt
+
+    # Grids violating constraint (7) are COSMA-only (NaN for CA3DMM).
+    assert math.isnan(result.data[("square", 3072, (12, 16, 16))]["ca3dmm"])

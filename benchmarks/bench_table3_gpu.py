@@ -1,0 +1,36 @@
+"""Table III: GPU runtimes of COSMA, CA3DMM, and CTF (16 and 32 V100s).
+
+Runs the analytic engine on the GPU machine model (V100 flop rate, PCIe
+staging, MVAPICH2 reduce-scatter threshold).  Asserts the paper's
+ordering: COSMA wins square and large-K (where the k-dimension
+reduction hits the MPI reduce-scatter threshold that COSMA's own
+collectives dodge), near-parity on large-M and flat, and CTF far behind
+everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import GPU_COUNTS, GPU_PROBLEMS, table3_gpu
+
+
+def test_table3_gpu(benchmark, emit):
+    result = benchmark.pedantic(table3_gpu, rounds=1, iterations=1)
+    emit(result)
+
+    for P in GPU_COUNTS:
+        for cls in ("square", "large-K"):
+            row = result.data[(P, cls)]
+            assert row["cosma"] <= row["ca3dmm"]
+        row = result.data[(P, "large-M")]
+        assert row["ca3dmm"] == pytest.approx(row["cosma"], rel=0.15)
+        for cls in ("square", "large-K", "large-M", "flat"):
+            row = result.data[(P, cls)]
+            assert row["ctf"] > 1.5 * max(row["cosma"], row["ca3dmm"])
+
+    # Doubling the GPUs buys meaningful speedup on every problem.
+    for p in GPU_PROBLEMS:
+        t16 = result.data[(16, p.cls)]["ca3dmm"]
+        t32 = result.data[(32, p.cls)]["ca3dmm"]
+        assert t32 < t16

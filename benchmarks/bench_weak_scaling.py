@@ -1,0 +1,65 @@
+"""Extension bench: weak scaling (the paper only shows strong scaling).
+
+Per-rank work is held at the 3072-core operating point of each Fig.-3
+problem class while P grows; a communication-optimal algorithm should
+hold its percent-of-peak nearly flat (the per-rank volume
+``3 (mnk/P)^(2/3)`` is constant under this scaling), with only the
+latency terms (log/linear in P) eroding it.  CTF's handicap stays a
+constant factor, as in the strong-scaling figure.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.costs import ca3dmm_cost, cosma_cost, ctf_cost
+from repro.bench import CPU_PROBLEMS
+from repro.bench.report import format_series
+from repro.machine.model import pace_phoenix_cpu
+
+PROCS = (192, 384, 768, 1536, 3072)
+BASE_P = 3072
+
+
+def _scaled_dims(p, P):
+    """Scale all three dimensions so mnk/P stays constant vs BASE_P."""
+    f = (P / BASE_P) ** (1.0 / 3.0)
+    return (
+        max(1, round(p.m * f)),
+        max(1, round(p.n * f)),
+        max(1, round(p.k * f)),
+    )
+
+
+def _sweep():
+    mach = pace_phoenix_cpu("mpi")
+    blocks, data = [], {}
+    for p in CPU_PROBLEMS:
+        series = {"CA3DMM": [], "COSMA": [], "CTF": []}
+        for P in PROCS:
+            dims = _scaled_dims(p, P)
+            series["CA3DMM"].append(ca3dmm_cost(*dims, P, mach).pct_peak())
+            series["COSMA"].append(cosma_cost(*dims, P, mach).pct_peak())
+            series["CTF"].append(ctf_cost(*dims, P, mach).pct_peak())
+        data[p.cls] = series
+        blocks.append(
+            format_series("procs", PROCS, series,
+                          title=f"Weak scaling — {p.cls} (% of peak, fixed work/rank)")
+        )
+    return "\n\n".join(blocks), data
+
+
+def test_weak_scaling(benchmark):
+    text, data = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(text)
+    import pathlib
+
+    out = pathlib.Path(__file__).parent / "out"
+    out.mkdir(exist_ok=True)
+    (out / "weak_scaling.txt").write_text(text + "\n")
+
+    for cls, series in data.items():
+        eff = series["CA3DMM"]
+        # Near-flat: the 16x process growth costs < 25% relative efficiency.
+        assert min(eff) > 0.75 * max(eff), (cls, eff)
+        # CTF's constant-factor handicap persists under weak scaling.
+        assert all(c < a for c, a in zip(series["CTF"], series["CA3DMM"]))

@@ -1,0 +1,31 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one of the paper's tables or figures and prints
+it (run with ``-s`` to see the rendered tables inline; they are also
+written to ``benchmarks/out/``).  ``benchmark.pedantic`` with a single
+round keeps the suite quick — the interesting output is the table data,
+not the harness's own wall time.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def emit():
+    """Print a BenchResult and persist it under benchmarks/out/."""
+
+    def _emit(result):
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{result.name}.txt"
+        path.write_text(result.text + "\n")
+        print()
+        print(result.text)
+        return result
+
+    return _emit

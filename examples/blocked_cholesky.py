@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Blocked Cholesky factorization — the paper's *flat* workload, live.
+
+The flat problem class (m = n >> k) "comes from the trailing matrix
+update in matrix factorization algorithms".  This example factors a
+distributed SPD matrix with the right-looking blocked algorithm: each
+panel step performs one flat-class CA3DMM multiplication
+``A_trailing -= L_panel L_panelᵀ`` through the library's full GEMM
+interface (alpha = -1, beta = 1), and prints the grid CA3DMM picks for
+the first (largest) trailing update.
+
+Run:  python examples/blocked_cholesky.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BlockCol1D, Ca3dmmPlan, DistMatrix, run_spmd
+from repro.apps import block_cholesky
+
+N, BLOCK, NPROCS = 120, 24, 8
+
+
+def build_spd(n: int, seed: int = 9) -> np.ndarray:
+    g = np.random.default_rng(seed).standard_normal((n, n))
+    return g @ g.T + n * np.eye(n)
+
+
+def rank_main(comm):
+    a_mat = build_spd(N)
+    a = DistMatrix.from_global(comm, BlockCol1D((N, N), comm.size), a_mat)
+    l_factor = block_cholesky(a, block=BLOCK)
+    l_mat = l_factor.to_global()
+    return (
+        float(np.abs(l_mat @ l_mat.T - a_mat).max() / np.abs(a_mat).max()),
+        float(np.abs(np.triu(l_mat, 1)).max()),
+    )
+
+
+def main() -> None:
+    rest = N - BLOCK
+    update_plan = Ca3dmmPlan(rest, rest, BLOCK, NPROCS)
+    print(f"Blocked Cholesky: N={N}, block={BLOCK}, P={NPROCS}")
+    print(f"first trailing update is a flat PGEMM ({rest} x {rest} x {BLOCK}), "
+          f"grid {update_plan.pm} x {update_plan.pn} x {update_plan.pk}")
+    res = run_spmd(NPROCS, rank_main, deadlock_timeout=300.0)
+    recon, upper = res.results[0]
+    print(f"||L Lᵀ - A|| / ||A||  : {recon:.3e}")
+    print(f"strict upper triangle : {upper:.3e}")
+    print(f"simulated time        : {res.time * 1e3:.2f} ms")
+    assert recon < 1e-12 and upper == 0.0
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Density-matrix purification — the paper's *square* PGEMM workload.
+
+Linear-scaling electronic structure codes replace diagonalization with
+repeated same-size matrix multiplications (Palser & Manolopoulos 1998;
+the paper cites this as the canonical square-class application and is
+itself being integrated into the SPARC DFT code).  This example builds
+a gapped random "Hamiltonian", purifies it into the density matrix of
+its 40 lowest states with trace-preserving canonical purification (two
+square CA3DMM multiplications per sweep), and compares against the
+eigensolver answer.
+
+Run:  python examples/density_purification.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BlockRow1D, DistMatrix, run_spmd
+from repro.apps import mcweeny_purification
+
+N, NE, NPROCS = 96, 40, 12
+
+
+def build_hamiltonian(n: int, ne: int, seed: int = 11):
+    """A symmetric matrix with a gap after its ne lowest eigenvalues."""
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    vals = np.concatenate(
+        [np.linspace(-3.0, -1.0, ne), np.linspace(0.5, 2.5, n - ne)]
+    )
+    return (q * vals) @ q.T, q
+
+
+def rank_main(comm):
+    h_mat, q = build_hamiltonian(N, NE)
+    h = DistMatrix.from_global(comm, BlockRow1D((N, N), comm.size), h_mat)
+
+    result = mcweeny_purification(h, NE, tol=1e-10)
+
+    reference = q[:, :NE] @ q[:, :NE].T
+    err = float(np.abs(result.density.to_global() - reference).max())
+    return result.iterations, result.trace, result.idempotency_error, err
+
+
+def main() -> None:
+    print(f"Canonical purification: N={N}, ne={NE}, P={NPROCS}")
+    res = run_spmd(NPROCS, rank_main)
+    iters, trace, idem, err = res.results[0]
+    print(f"iterations            : {iters}")
+    print(f"tr(D) (want {NE})      : {trace:.12f}")
+    print(f"idempotency ||D²-D||  : {idem:.3e}")
+    print(f"error vs eigensolver  : {err:.3e}")
+    print(f"simulated time        : {res.time * 1e3:.2f} ms "
+          f"({2 * iters} square PGEMMs)")
+    assert err < 1e-7
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""The SC22 artifact's example program on the virtual runtime.
+
+Mirrors ``CA3DMM/examples/example_AB.exe``::
+
+    python examples/example_AB.py -np 24 8000 8000 8000 0 0 1 10 0
+
+prints the partition-info block, per-phase average timings, and the
+correctness check, in the artifact's format.  (Sizes in the thousands
+run in seconds here; the artifact's 8000^3 takes a while in pure
+Python — try 800^3 for a fast demo.)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: multiply two distributed matrices with CA3DMM.
+
+Spawns a 16-rank virtual MPI world, builds A (600 x 800) and B
+(800 x 400) in 1D layouts (the "natural" application layout the paper
+discusses), multiplies with CA3DMM, converts C to a 2D block layout,
+and verifies the result against the serial product.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Block2D,
+    BlockCol1D,
+    BlockRow1D,
+    Ca3dmmPlan,
+    DistMatrix,
+    ca3dmm_matmul,
+    dense_random,
+    run_spmd,
+)
+
+M, N, K, NPROCS = 600, 400, 800, 16
+
+
+def rank_main(comm):
+    # Each rank slices its part of globally-defined random matrices.
+    a = DistMatrix.from_global(
+        comm, BlockRow1D((M, K), comm.size), dense_random(M, K, seed=1)
+    )
+    b = DistMatrix.from_global(
+        comm, BlockCol1D((K, N), comm.size), dense_random(K, N, seed=2)
+    )
+
+    # One call: redistribution to the library-native layout, the 3D
+    # algorithm, and conversion of C to the layout we ask for.
+    c = ca3dmm_matmul(a, b, c_dist=Block2D((M, N), comm.size, 4, 4))
+
+    # Verify against the serial product (test helper: gathers C).
+    ref = dense_random(M, K, seed=1) @ dense_random(K, N, seed=2)
+    err = float(np.abs(c.to_global() - ref).max())
+    return err
+
+
+def main() -> None:
+    plan = Ca3dmmPlan(M, N, K, NPROCS)
+    print("CA3DMM quickstart")
+    print(plan.describe())
+    result = run_spmd(NPROCS, rank_main)
+    print(f"max |C - A@B|            : {max(result.results):.3e}")
+    print(f"simulated time           : {result.time * 1e3:.3f} ms")
+    print(f"max bytes sent by a rank : {result.max_bytes_sent:,}")
+    assert max(result.results) < 1e-9, "verification failed!"
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Chebyshev-filtered subspace iteration — the SPARC-style driver.
+
+The Rayleigh-Ritz step of CheFSI (Zhou et al. 2006) was the original
+motivation for CA3DMM ("The need for a high-performance PGEMM for
+various matrix dimensions used in SPARC was the original motivation",
+Section V).  One sweep uses all the PGEMM shapes: H·V panel products,
+the large-K projections VᵀHV / VᵀV, and the large-M rotation V·W.
+
+This example finds the 8 lowest eigenpairs of a 1D Laplacian-plus-
+disorder Hamiltonian and compares with numpy's dense eigensolver.
+
+Run:  python examples/subspace_eigensolver.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BlockRow1D, DistMatrix, run_spmd
+from repro.apps import subspace_iteration
+
+N, B, NPROCS = 120, 8, 8
+
+
+def build_hamiltonian(n: int, seed: int = 4) -> np.ndarray:
+    """1D Laplacian with a random on-site potential (a toy DFT H)."""
+    rng = np.random.default_rng(seed)
+    h = (
+        2.0 * np.eye(n)
+        - np.eye(n, k=1)
+        - np.eye(n, k=-1)
+        + np.diag(0.5 * rng.standard_normal(n))
+    )
+    return (h + h.T) / 2.0
+
+
+def rank_main(comm):
+    h_mat = build_hamiltonian(N)
+    h = DistMatrix.from_global(comm, BlockRow1D((N, N), comm.size), h_mat)
+    result = subspace_iteration(h, B, degree=10, tol=1e-9, max_iter=40, seed=2)
+    reference = np.linalg.eigvalsh(h_mat)[:B]
+    err = float(np.abs(np.sort(result.eigenvalues) - reference).max())
+    return result.iterations, result.eigenvalues, err
+
+
+def main() -> None:
+    print(f"CheFSI eigensolver: N={N}, subspace={B}, P={NPROCS}")
+    res = run_spmd(NPROCS, rank_main, deadlock_timeout=300.0)
+    iters, vals, err = res.results[0]
+    print(f"iterations         : {iters}")
+    print(f"lowest eigenvalues : {np.array2string(np.sort(vals), precision=5)}")
+    print(f"error vs LAPACK    : {err:.3e}")
+    print(f"simulated time     : {res.time * 1e3:.2f} ms")
+    assert err < 1e-3
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — a Python reproduction of CA3DMM (Huang & Chow, SC 2022).
+
+Communication-Avoiding 3D Matrix Multiplication on a virtual MPI
+substrate: every rank is a thread, traffic is measured, and an α-β-γ
+machine model turns the measured schedules into simulated time.  See
+DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+
+Typical use::
+
+    import numpy as np
+    from repro import run_spmd, DistMatrix, BlockCol1D, ca3dmm_matmul
+
+    def rank_main(comm):
+        a = DistMatrix.random(comm, BlockCol1D((600, 800), comm.size), seed=0)
+        b = DistMatrix.random(comm, BlockCol1D((800, 400), comm.size), seed=1)
+        c = ca3dmm_matmul(a, b)          # C = A @ B, library-native layout
+        return c.to_global()             # gather for inspection
+
+    result = run_spmd(16, rank_main)
+    print(result.time, result.max_bytes_sent)
+"""
+
+from .core.ca3dmm import Ca3dmm, ca3dmm_matmul
+from .core.plan import Ca3dmmPlan
+from .core.summa_variant import ca3dmm_s_matmul
+from .grid.optimizer import GridSpec, ca3dmm_grid, cosma_grid, ctf_grid
+from .layout.distributions import (
+    Block2D,
+    BlockCol1D,
+    BlockCyclic2D,
+    BlockRow1D,
+    Distribution,
+    Explicit,
+)
+from .layout.matrix import DistMatrix, dense_random
+from .layout.redistribute import redistribute
+from .machine.model import MachineModel, laptop, pace_phoenix_cpu, pace_phoenix_gpu
+from .mpi.comm import Comm
+from .mpi.runtime import SpmdResult, run_spmd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Ca3dmm",
+    "ca3dmm_matmul",
+    "ca3dmm_s_matmul",
+    "Ca3dmmPlan",
+    "GridSpec",
+    "ca3dmm_grid",
+    "cosma_grid",
+    "ctf_grid",
+    "Distribution",
+    "BlockRow1D",
+    "BlockCol1D",
+    "Block2D",
+    "BlockCyclic2D",
+    "Explicit",
+    "DistMatrix",
+    "dense_random",
+    "redistribute",
+    "MachineModel",
+    "laptop",
+    "pace_phoenix_cpu",
+    "pace_phoenix_gpu",
+    "Comm",
+    "run_spmd",
+    "SpmdResult",
+    "__version__",
+]

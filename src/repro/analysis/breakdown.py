@@ -1,0 +1,108 @@
+"""Runtime breakdowns (Fig. 5 of the paper) from both engines.
+
+The paper's Fig. 5 buckets CA3DMM/COSMA runtime into "local computation",
+"replicate A, B" (which for CA3DMM includes the Cannon shift traffic),
+and "reduce C", normalized so COSMA's total is 1.  This module produces
+that bucketing from
+
+* an executed :class:`~repro.mpi.runtime.SpmdResult` — phase-tagged
+  traffic measured by the transport, and
+* an analytic :class:`~repro.analysis.costs.CostReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mpi.runtime import SpmdResult
+from .costs import CostReport
+
+#: Fig. 5 bucket names in display order.
+BUCKETS = ("local computation", "replicate A, B", "reduce C", "other")
+
+#: phase-tag -> bucket mapping for executed runs.  Communication time in
+#: the "cannon"/"summa" phases is shift/panel traffic -> "replicate A, B";
+#: its compute time is the local GEMM.
+_PHASE_BUCKET = {
+    "replicate": "replicate A, B",
+    "cannon": "replicate A, B",
+    "summa": "replicate A, B",
+    "reduce": "reduce C",
+    "compute": "local computation",
+    "redist": "other",
+    "other": "other",
+}
+
+
+@dataclass
+class Breakdown:
+    """Seconds per Fig. 5 bucket (one algorithm, one problem)."""
+
+    algo: str
+    local_compute: float = 0.0
+    replicate_ab: float = 0.0
+    reduce_c: float = 0.0
+    other: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.local_compute + self.replicate_ab + self.reduce_c + self.other
+
+    def normalized(self, denom: float) -> "Breakdown":
+        if denom <= 0:
+            return self
+        return Breakdown(
+            self.algo,
+            self.local_compute / denom,
+            self.replicate_ab / denom,
+            self.reduce_c / denom,
+            self.other / denom,
+        )
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "local computation": self.local_compute,
+            "replicate A, B": self.replicate_ab,
+            "reduce C": self.reduce_c,
+            "other": self.other,
+        }
+
+
+def breakdown_from_traces(result: SpmdResult, algo: str) -> Breakdown:
+    """Fig. 5 buckets from an executed run's phase-tagged traces.
+
+    Uses the critical rank (largest simulated clock); within each phase
+    the compute share goes to "local computation" and the communication
+    share to the phase's bucket.
+    """
+    crit = max(result.traces, key=lambda t: t.time)
+    out = Breakdown(algo)
+    for name, stats in crit.phases.items():
+        bucket = _PHASE_BUCKET.get(name, "other")
+        out.local_compute += stats.compute_time
+        comm = stats.time - stats.compute_time
+        if bucket == "replicate A, B":
+            out.replicate_ab += comm
+        elif bucket == "reduce C":
+            out.reduce_c += comm
+        elif bucket == "local computation":
+            out.local_compute += comm
+        else:
+            out.other += comm
+    return out
+
+
+def breakdown_from_report(report: CostReport) -> Breakdown:
+    """Fig. 5 buckets from an analytic cost report."""
+    out = Breakdown(report.algo)
+    for name, ph in report.phases.items():
+        if name == "compute":
+            out.local_compute += ph.time
+        elif name in ("replicate", "framework"):
+            out.replicate_ab += ph.time if name == "replicate" else 0.0
+            out.other += ph.time if name == "framework" else 0.0
+        elif name == "reduce":
+            out.reduce_c += ph.time
+        else:
+            out.other += ph.time
+    return out

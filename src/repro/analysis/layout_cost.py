@@ -1,0 +1,77 @@
+"""Exact layout-conversion volumes between concrete distributions.
+
+``redist_cost`` prices a *generic* conversion by total matrix size; this
+module computes the **exact** per-rank send volume between two concrete
+:class:`~repro.layout.distributions.Distribution` objects by rectangle
+intersection — the same arithmetic the executed redistribution performs,
+without moving data.  Uses:
+
+* pinning executed redistribution traffic in tests (volume must match
+  to the byte, minus pickle envelopes),
+* quantifying how much of a conversion is "already in place" (the
+  ``overlap`` argument of :func:`repro.analysis.costs.redist_cost`),
+* choosing between candidate output layouts for a driver application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..layout.distributions import Distribution
+
+
+@dataclass(frozen=True)
+class RedistVolume:
+    """Exact conversion traffic between two layouts (in words)."""
+
+    per_rank_sent: tuple[int, ...]  #: words each rank ships to other ranks
+    total_moved: int  #: words that change owner
+    total_area: int  #: matrix size
+    max_sent: int
+
+    @property
+    def moved_fraction(self) -> float:
+        """Share of the matrix that changes owner (0 = layouts agree)."""
+        return self.total_moved / self.total_area if self.total_area else 0.0
+
+    @property
+    def overlap(self) -> float:
+        """The in-place share, directly usable as redist_cost(overlap=...)."""
+        return 1.0 - self.moved_fraction
+
+
+def exact_redist_volume(
+    src: Distribution, dst: Distribution, transpose: bool = False
+) -> RedistVolume:
+    """Words each rank must send to convert ``src`` into ``dst``.
+
+    With ``transpose=True``, ``dst`` describes the transposed matrix
+    (same convention as :func:`repro.layout.redistribute.redistribute`).
+    """
+    if src.nranks != dst.nranks:
+        raise ValueError("distributions span different rank counts")
+    m, n = src.shape
+    dm, dn = dst.shape
+    if (transpose and (dm, dn) != (n, m)) or (not transpose and (dm, dn) != (m, n)):
+        raise ValueError(
+            f"shape mismatch: src {src.shape}, dst {dst.shape}, transpose={transpose}"
+        )
+    sent = [0] * src.nranks
+    moved = 0
+    for dst_rank in range(dst.nranks):
+        for want in dst.owned_rects(dst_rank):
+            want_src = want.transposed() if transpose else want
+            for src_rank in range(src.nranks):
+                if src_rank == dst_rank:
+                    continue
+                for owned in src.owned_rects(src_rank):
+                    piece = owned.intersect(want_src)
+                    if not piece.is_empty():
+                        sent[src_rank] += piece.area
+                        moved += piece.area
+    return RedistVolume(
+        per_rank_sent=tuple(sent),
+        total_moved=moved,
+        total_area=m * n,
+        max_sent=max(sent) if sent else 0,
+    )

@@ -1,0 +1,32 @@
+"""Driver applications built on CA3DMM.
+
+The paper motivates CA3DMM with concrete PGEMM consumers — density
+matrix purification [7, 9], CholeskyQR [8, 30], Rayleigh-Ritz
+projection in Chebyshev-filtered subspace iteration [8, 29] (the SPARC
+DFT code it ships in), and polar decomposition [28].  This subpackage
+implements those drivers on the distributed-matrix API so the library
+is exercised the way its intended users exercise it: repeated
+multiplications of every problem class (square, large-K, large-M, and
+the flat trailing updates of blocked factorizations) with layout reuse
+between calls.
+"""
+
+from .block_cholesky import block_cholesky
+from .cholesky_qr import cholesky_qr, cholesky_qr2, gram_matrix, shifted_cholesky_qr
+from .polar import polar_decompose
+from .purification import initial_density_guess, mcweeny_purification
+from .subspace import chebyshev_filter, rayleigh_ritz, subspace_iteration
+
+__all__ = [
+    "block_cholesky",
+    "gram_matrix",
+    "cholesky_qr",
+    "cholesky_qr2",
+    "shifted_cholesky_qr",
+    "mcweeny_purification",
+    "initial_density_guess",
+    "polar_decompose",
+    "rayleigh_ritz",
+    "chebyshev_filter",
+    "subspace_iteration",
+]

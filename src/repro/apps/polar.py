@@ -1,0 +1,75 @@
+"""Polar decomposition via Newton-Schulz iteration.
+
+Nakatsukasa & Higham's spectral divide-and-conquer work [28] is one of
+the paper's square-PGEMM motivations.  The inverse-free Newton-Schulz
+iteration
+
+.. math:: X_{t+1} = \\tfrac{1}{2} X_t (3 I - X_t^T X_t)
+
+converges quadratically to the orthogonal polar factor ``U`` of
+``A = U H`` once ``||X_0||_2 < \\sqrt{3}``, costing two PGEMMs per sweep
+(one large-K-shaped ``XᵀX`` and one large-M-shaped ``X (…)``) — for
+square A, two square PGEMMs, matching the paper's square class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.ca3dmm import Ca3dmm
+from ..layout import ops
+from ..layout.matrix import DistMatrix
+from ..layout.redistribute import redistribute
+
+
+@dataclass
+class PolarResult:
+    """Orthogonal factor plus iteration diagnostics."""
+
+    u: DistMatrix
+    iterations: int
+    orthogonality_error: float
+    history: list[float]
+
+
+def polar_decompose(
+    a: DistMatrix,
+    tol: float = 1e-10,
+    max_iter: int = 60,
+) -> PolarResult:
+    """Compute the orthogonal polar factor of a full-rank ``m x n`` A.
+
+    Returns U with ``UᵀU = I``; the Hermitian factor is recoverable as
+    ``H = Uᵀ A``.  Convergence is measured by ``||XᵀX - I||_F``.
+    """
+    m, n = a.shape
+    if m < n:
+        raise ValueError("polar_decompose expects m >= n")
+    comm = a.comm
+    gram_eng = Ca3dmm(comm, n, n, m)  # XᵀX: large-K shape
+    apply_eng = Ca3dmm(comm, m, n, n)  # X G: large-M shape
+
+    # Scale so ||X0||_2 < sqrt(3): Frobenius norm over-estimates the
+    # 2-norm, so dividing by it is always safe.
+    x = ops.scale(a, 1.0 / max(ops.frobenius_norm(a), 1e-300))
+    x_dist = x.dist
+
+    history: list[float] = []
+    err = float("inf")
+    it = 0
+    for it in range(1, max_iter + 1):
+        g = gram_eng.multiply(x, x, transa=True)  # XᵀX (native layout)
+        g_global = g.to_global()  # n x n, small, replicated
+        err = float(np.linalg.norm(g_global - np.eye(n, dtype=g_global.dtype)))
+        history.append(err)
+        if err < tol:
+            break
+        update = (3.0 * np.eye(n, dtype=g_global.dtype) - g_global) / 2.0
+        from ..layout.distributions import BlockCol1D
+
+        u_mat = DistMatrix.from_global(comm, BlockCol1D((n, n), comm.size), update)
+        x_new = apply_eng.multiply(x, u_mat)
+        x = redistribute(x_new, x_dist)
+    return PolarResult(u=x, iterations=it, orthogonality_error=err, history=history)

@@ -1,0 +1,37 @@
+"""Baseline PGEMM algorithms the paper situates CA3DMM against."""
+
+from .algo1d import matmul_1d, matmul_1d_k, matmul_1d_m, matmul_1d_n
+from .algo25d import algo25d_matmul, grid_25d
+from .algo3d import algo3d_matmul, cube_side
+from .cannon2d import cannon_matmul
+from .carma import carma_matmul, carma_native_dists
+from .cosma import SplitStep, cosma_matmul, cosma_strategy
+from .ctf_like import ctf_matmul
+from .summa import summa_auto_matmul, summa_matmul, summa_on_grid
+from .summa_stationary import (
+    summa_stationary_a_matmul,
+    summa_stationary_b_matmul,
+)
+
+__all__ = [
+    "matmul_1d",
+    "matmul_1d_m",
+    "matmul_1d_n",
+    "matmul_1d_k",
+    "summa_matmul",
+    "summa_auto_matmul",
+    "summa_stationary_a_matmul",
+    "summa_stationary_b_matmul",
+    "summa_on_grid",
+    "cannon_matmul",
+    "algo3d_matmul",
+    "cube_side",
+    "algo25d_matmul",
+    "grid_25d",
+    "carma_matmul",
+    "carma_native_dists",
+    "cosma_matmul",
+    "cosma_strategy",
+    "SplitStep",
+    "ctf_matmul",
+]

@@ -1,0 +1,124 @@
+"""1D matrix-multiplication algorithms (paper Section II).
+
+1D algorithms partition a single dimension:
+
+* ``m``-partition — every rank owns a row band of A and computes the
+  matching row band of C; B is **replicated** (assembled with one
+  allgather from its 1D-distributed storage).
+* ``n``-partition — symmetric: column bands of B and C; A replicated.
+* ``k``-partition — every rank owns a column band of A and a row band
+  of B, computes a full-size partial C, and a **reduce-scatter** sums
+  and distributes the result.
+
+These are the algorithms tall-and-skinny multiplications actually use,
+and the cases CA3DMM's unified view degenerates to when the optimal
+grid has two unit dimensions (e.g. ``1 x 1 x P`` for an inner product).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..layout.blocks import block_range
+from ..layout.distributions import BlockCol1D, BlockRow1D, Distribution
+from ..layout.matrix import DistMatrix
+from ..layout.redistribute import redistribute
+from ..mpi.comm import Comm
+
+
+def matmul_1d_m(a: DistMatrix, b: DistMatrix, c_dist: Distribution | None = None) -> DistMatrix:
+    """1D algorithm partitioning the m-dimension (B replicated)."""
+    comm: Comm = a.comm
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions differ: {k} vs {k2}")
+    a_nat = redistribute(a, BlockRow1D((m, k), comm.size), phase="redist")
+    b_nat = redistribute(b, BlockRow1D((k, n), comm.size), phase="redist")
+    with comm.phase("replicate"):
+        b_full = np.concatenate(
+            [p for p in comm.allgather(_tile_or_empty(b_nat, (0, n)))], axis=0
+        )
+    a_loc = _tile_or_empty(a_nat, (0, k))
+    with comm.phase("compute"):
+        comm.gemm_tick(a_loc.shape[0], n, k)
+        c_loc = a_loc @ b_full
+    c_nat = DistMatrix(
+        comm,
+        BlockRow1D((m, n), comm.size),
+        [c_loc] if c_loc.shape[0] else [],
+    )
+    return c_nat if c_dist is None else redistribute(c_nat, c_dist, phase="redist")
+
+
+def matmul_1d_n(a: DistMatrix, b: DistMatrix, c_dist: Distribution | None = None) -> DistMatrix:
+    """1D algorithm partitioning the n-dimension (A replicated)."""
+    comm: Comm = a.comm
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions differ: {k} vs {k2}")
+    a_nat = redistribute(a, BlockCol1D((m, k), comm.size), phase="redist")
+    b_nat = redistribute(b, BlockCol1D((k, n), comm.size), phase="redist")
+    with comm.phase("replicate"):
+        a_full = np.concatenate(
+            [p for p in comm.allgather(_tile_or_empty(a_nat, (m, 0)))], axis=1
+        )
+    b_loc = _tile_or_empty(b_nat, (k, 0))
+    with comm.phase("compute"):
+        comm.gemm_tick(m, b_loc.shape[1], k)
+        c_loc = a_full @ b_loc
+    c_nat = DistMatrix(
+        comm,
+        BlockCol1D((m, n), comm.size),
+        [c_loc] if c_loc.shape[1] else [],
+    )
+    return c_nat if c_dist is None else redistribute(c_nat, c_dist, phase="redist")
+
+
+def matmul_1d_k(a: DistMatrix, b: DistMatrix, c_dist: Distribution | None = None) -> DistMatrix:
+    """1D algorithm partitioning the k-dimension (C reduce-scattered)."""
+    comm: Comm = a.comm
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions differ: {k} vs {k2}")
+    a_nat = redistribute(a, BlockCol1D((m, k), comm.size), phase="redist")
+    b_nat = redistribute(b, BlockRow1D((k, n), comm.size), phase="redist")
+    a_loc = _tile_or_empty(a_nat, (m, 0))
+    b_loc = _tile_or_empty(b_nat, (0, n))
+    with comm.phase("compute"):
+        comm.gemm_tick(m, n, a_loc.shape[1])
+        c_part = a_loc @ b_loc if a_loc.shape[1] else np.zeros((m, n), a_loc.dtype)
+    with comm.phase("reduce"):
+        strips = []
+        for r in range(comm.size):
+            lo, hi = block_range(m, comm.size, r)
+            strips.append(c_part[lo:hi, :])
+        c_loc = comm.reduce_scatter(strips)
+    c_nat = DistMatrix(
+        comm,
+        BlockRow1D((m, n), comm.size),
+        [c_loc] if c_loc.shape[0] else [],
+    )
+    return c_nat if c_dist is None else redistribute(c_nat, c_dist, phase="redist")
+
+
+def matmul_1d(
+    a: DistMatrix, b: DistMatrix, c_dist: Distribution | None = None
+) -> DistMatrix:
+    """Pick the 1D variant by the largest dimension (the usual heuristic)."""
+    m, k = a.shape
+    _, n = b.shape
+    if m >= max(n, k):
+        return matmul_1d_m(a, b, c_dist)
+    if n >= k:
+        return matmul_1d_n(a, b, c_dist)
+    return matmul_1d_k(a, b, c_dist)
+
+
+def _tile_or_empty(mat: DistMatrix, empty_shape: tuple[int, int]) -> np.ndarray:
+    """This rank's single tile, or a correctly-typed empty placeholder."""
+    if mat.tiles:
+        return mat.tiles[0]
+    return np.zeros(empty_shape, dtype=mat.dtype)

@@ -1,0 +1,164 @@
+"""The 2.5D algorithm (Solomonik & Demmel, Euro-Par 2011).
+
+A ``sq x sq x c`` grid: ``c`` replica layers, each a square 2D grid.
+A and B live on layer 0 (natural 2D blocks) and are broadcast down the
+layer fibers; layer ``l`` then runs the slice ``block_range(sq, c, l)``
+of the ``sq`` Cannon steps (starting from an alignment offset equal to
+its slice start), and the per-layer partial C blocks are reduced back
+to layer 0.  With ``c = 1`` this *is* Cannon's algorithm; with
+``c = P^{1/3}`` it matches the original 3D algorithm's costs — the
+"bridge" role the paper describes in Section II.
+
+This module is also the engine for the CTF-like baseline
+(:mod:`repro.baselines.ctf_like`), which differs only in grid choice.
+Rank order is column-major: ``rank = u + sq*v + sq²*l``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..layout.blocks import Rect, block_range
+from ..layout.distributions import Distribution, Explicit
+from ..layout.matrix import DistMatrix
+from ..layout.redistribute import redistribute
+from ..mpi.comm import Comm
+from ..mpi.datatypes import INTERNAL_TAG_BASE
+from ..mpi.topology import Cart2D
+
+_TAG_ALIGN_A = INTERNAL_TAG_BASE + 201
+_TAG_ALIGN_B = INTERNAL_TAG_BASE + 202
+_TAG_SHIFT_A = INTERNAL_TAG_BASE + 203
+_TAG_SHIFT_B = INTERNAL_TAG_BASE + 204
+
+
+def grid_25d(nprocs: int, c: int | None = None) -> tuple[int, int]:
+    """Pick ``(sq, c)`` with ``sq*sq*c <= nprocs`` maximizing utilization.
+
+    When ``c`` is given it is honoured (sq maximal for that c); otherwise
+    the utilization-maximal pair with the largest c at most ``sq`` wins.
+    """
+    if c is not None:
+        sq = 1
+        while (sq + 1) ** 2 * c <= nprocs:
+            sq += 1
+        return sq, c
+    best: tuple[int, int, int] | None = None  # (used, c, sq)
+    for cc in range(1, nprocs + 1):
+        sq = int((nprocs // cc) ** 0.5)
+        if sq < 1 or cc > sq:
+            continue
+        used = sq * sq * cc
+        cand = (used, cc, sq)
+        if best is None or cand > best:
+            best = cand
+    if best is None:
+        return 1, 1
+    return best[2], best[1]
+
+
+def algo25d_native_dists(
+    m: int, n: int, k: int, sq: int, nranks: int
+) -> tuple[Explicit, Explicit, Explicit]:
+    """Layer-0 block layouts for A, B, and C."""
+    a_map: dict[int, list[Rect]] = {}
+    b_map: dict[int, list[Rect]] = {}
+    c_map: dict[int, list[Rect]] = {}
+    for v in range(sq):
+        for u in range(sq):
+            rank = u + sq * v
+            am = block_range(m, sq, u)
+            ak = block_range(k, sq, v)
+            bk = block_range(k, sq, u)
+            bn = block_range(n, sq, v)
+            a_map[rank] = [Rect(am[0], am[1], ak[0], ak[1])]
+            b_map[rank] = [Rect(bk[0], bk[1], bn[0], bn[1])]
+            c_map[rank] = [Rect(am[0], am[1], bn[0], bn[1])]
+    return (
+        Explicit.from_mapping((m, k), nranks, a_map),
+        Explicit.from_mapping((k, n), nranks, b_map),
+        Explicit.from_mapping((m, n), nranks, c_map),
+    )
+
+
+def algo25d_matmul(
+    a: DistMatrix,
+    b: DistMatrix,
+    c_dist: Distribution | None = None,
+    c_factor: int | None = None,
+    sq: int | None = None,
+) -> DistMatrix:
+    """Run the 2.5D algorithm with ``c_factor`` replica layers."""
+    comm: Comm = a.comm
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions differ: {k} vs {k2}")
+    if sq is None:
+        sq, c = grid_25d(comm.size, c_factor)
+    else:
+        c = c_factor if c_factor is not None else 1
+    if sq * sq * c > comm.size:
+        raise ValueError(f"grid {sq}x{sq}x{c} exceeds {comm.size} ranks")
+
+    a_dist, b_dist, c_nat_dist = algo25d_native_dists(m, n, k, sq, comm.size)
+    a_nat = redistribute(a, a_dist, phase="redist")
+    b_nat = redistribute(b, b_dist, phase="redist")
+
+    active = comm.rank < sq * sq * c
+    if active:
+        u = comm.rank % sq
+        v = (comm.rank // sq) % sq
+        l = comm.rank // (sq * sq)
+    layer = comm.split(l if active else None, (u + sq * v) if active else 0)
+    fiber = comm.split((u + sq * v) if active else None, l if active else 0)
+
+    tiles: list[np.ndarray] = []
+    if active:
+        am = block_range(m, sq, u)
+        ak = block_range(k, sq, v)
+        bk = block_range(k, sq, u)
+        bn = block_range(n, sq, v)
+        with comm.phase("replicate"):
+            a_blk = a_nat.tiles[0] if (l == 0 and a_nat.tiles) else None
+            b_blk = b_nat.tiles[0] if (l == 0 and b_nat.tiles) else None
+            a_blk = fiber.bcast(a_blk, root=0)
+            b_blk = fiber.bcast(b_blk, root=0)
+        if a_blk is None:
+            a_blk = np.zeros((am[1] - am[0], ak[1] - ak[0]), dtype=a.dtype)
+        if b_blk is None:
+            b_blk = np.zeros((bk[1] - bk[0], bn[1] - bn[0]), dtype=b.dtype)
+
+        cart = Cart2D(layer, sq, sq)
+        t0, t1 = block_range(sq, c, l)  # this layer's Cannon-step slice
+        out_dtype = np.promote_types(a.dtype, b.dtype)
+        c_part = np.zeros((am[1] - am[0], bn[1] - bn[0]), dtype=out_dtype)
+
+        with comm.phase("cannon"):
+            # Alignment: A left by (u + t0), B up by (v + t0).
+            if (u + t0) % sq:
+                a_blk = layer.sendrecv(
+                    a_blk, cart.left(u + t0), cart.right(u + t0), _TAG_ALIGN_A, _TAG_ALIGN_A
+                )
+            if (v + t0) % sq:
+                b_blk = layer.sendrecv(
+                    b_blk, cart.up(v + t0), cart.down(v + t0), _TAG_ALIGN_B, _TAG_ALIGN_B
+                )
+            for t in range(t0, t1):
+                comm.gemm_tick(c_part.shape[0], c_part.shape[1], a_blk.shape[1])
+                if a_blk.shape[1]:
+                    np.add(c_part, a_blk @ b_blk, out=c_part)
+                if t < t1 - 1:
+                    a_blk = layer.sendrecv(
+                        a_blk, cart.left(1), cart.right(1), _TAG_SHIFT_A, _TAG_SHIFT_A
+                    )
+                    b_blk = layer.sendrecv(
+                        b_blk, cart.up(1), cart.down(1), _TAG_SHIFT_B, _TAG_SHIFT_B
+                    )
+        with comm.phase("reduce"):
+            c_sum = fiber.reduce(c_part, root=0)
+        if l == 0 and c_sum is not None and c_sum.shape[0] and c_sum.shape[1]:
+            tiles = [c_sum]
+
+    c_nat = DistMatrix(comm, c_nat_dist, tiles)
+    return c_nat if c_dist is None else redistribute(c_nat, c_dist, phase="redist")

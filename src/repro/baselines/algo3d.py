@@ -1,0 +1,117 @@
+"""The original 3D algorithm (Agarwal et al., 1995).
+
+A cubic ``q x q x q`` grid (``q = floor(P^{1/3})``; surplus ranks idle).
+A and B live as natural 2D block layouts on one face each, C ends on a
+face:
+
+* A block ``(i, l)`` on process ``(i, 0, l)`` — broadcast along the
+  n-fibers so every ``(i, j, l)`` gets it,
+* B block ``(l, j)`` on process ``(0, j, l)`` — broadcast along the
+  m-fibers,
+* every process computes one local GEMM, and the partial C blocks are
+  summed along the k-fibers onto the ``l = 0`` face.
+
+Communication per process is O(N²/P^{2/3}) for square problems — the
+paper's reference point for the memory/communication trade-off — but,
+as Demmel et al. observed and the paper recounts, the fixed cubic grid
+performs poorly when one dimension dominates.  Rank order is
+column-major: ``rank = i + q*j + q²*l``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..layout.blocks import Rect, block_range
+from ..layout.distributions import Distribution, Explicit
+from ..layout.matrix import DistMatrix
+from ..layout.redistribute import redistribute
+from ..mpi.comm import Comm
+
+
+def cube_side(nprocs: int) -> int:
+    """Largest q with q³ <= nprocs."""
+    q = max(1, round(nprocs ** (1.0 / 3.0)))
+    while q ** 3 > nprocs:
+        q -= 1
+    while (q + 1) ** 3 <= nprocs:
+        q += 1
+    return q
+
+
+def algo3d_native_dists(
+    m: int, n: int, k: int, q: int, nranks: int
+) -> tuple[Explicit, Explicit, Explicit]:
+    """Face layouts of A (j=0), B (i=0), and C (l=0)."""
+    a_map: dict[int, list[Rect]] = {}
+    b_map: dict[int, list[Rect]] = {}
+    c_map: dict[int, list[Rect]] = {}
+    for l in range(q):
+        k0, k1 = block_range(k, q, l)
+        for i in range(q):
+            m0, m1 = block_range(m, q, i)
+            a_map[i + q * 0 + q * q * l] = [Rect(m0, m1, k0, k1)]
+        for j in range(q):
+            n0, n1 = block_range(n, q, j)
+            b_map[0 + q * j + q * q * l] = [Rect(k0, k1, n0, n1)]
+    for i in range(q):
+        m0, m1 = block_range(m, q, i)
+        for j in range(q):
+            n0, n1 = block_range(n, q, j)
+            c_map[i + q * j] = [Rect(m0, m1, n0, n1)]
+    return (
+        Explicit.from_mapping((m, k), nranks, a_map),
+        Explicit.from_mapping((k, n), nranks, b_map),
+        Explicit.from_mapping((m, n), nranks, c_map),
+    )
+
+
+def algo3d_matmul(
+    a: DistMatrix, b: DistMatrix, c_dist: Distribution | None = None
+) -> DistMatrix:
+    """Run the original 3D algorithm; returns C (face layout or ``c_dist``)."""
+    comm: Comm = a.comm
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions differ: {k} vs {k2}")
+    q = cube_side(comm.size)
+    a_dist, b_dist, c_nat_dist = algo3d_native_dists(m, n, k, q, comm.size)
+
+    a_nat = redistribute(a, a_dist, phase="redist")
+    b_nat = redistribute(b, b_dist, phase="redist")
+
+    active = comm.rank < q ** 3
+    if active:
+        i = comm.rank % q
+        j = (comm.rank // q) % q
+        l = comm.rank // (q * q)
+    # Fiber communicators (idle ranks pass None).
+    nfiber = comm.split((i + q * l) if active else None, j if active else 0)
+    mfiber = comm.split((j + q * l) if active else None, i if active else 0)
+    kfiber = comm.split((i + q * j) if active else None, l if active else 0)
+
+    tiles: list[np.ndarray] = []
+    if active:
+        m0, m1 = block_range(m, q, i)
+        n0, n1 = block_range(n, q, j)
+        k0, k1 = block_range(k, q, l)
+        with comm.phase("replicate"):
+            a_blk = a_nat.tiles[0] if (j == 0 and a_nat.tiles) else None
+            a_blk = nfiber.bcast(a_blk, root=0)
+            b_blk = b_nat.tiles[0] if (i == 0 and b_nat.tiles) else None
+            b_blk = mfiber.bcast(b_blk, root=0)
+        if a_blk is None:
+            a_blk = np.zeros((m1 - m0, k1 - k0), dtype=a.dtype)
+        if b_blk is None:
+            b_blk = np.zeros((k1 - k0, n1 - n0), dtype=b.dtype)
+        with comm.phase("compute"):
+            comm.gemm_tick(m1 - m0, n1 - n0, k1 - k0)
+            c_part = a_blk @ b_blk
+        with comm.phase("reduce"):
+            c_sum = kfiber.reduce(c_part, root=0)
+        if l == 0 and c_sum is not None and c_sum.shape[0] and c_sum.shape[1]:
+            tiles = [c_sum]
+
+    c_nat = DistMatrix(comm, c_nat_dist, tiles)
+    return c_nat if c_dist is None else redistribute(c_nat, c_dist, phase="redist")

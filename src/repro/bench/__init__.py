@@ -1,0 +1,48 @@
+"""Benchmark harness: workloads, per-figure/table generators, renderers."""
+
+from .harness import (
+    BenchResult,
+    fig2_partitions,
+    TABLE2_GRIDS,
+    fig3_scaling,
+    fig4_hybrid,
+    fig5_breakdown,
+    l_sweep,
+    table1_memory,
+    table2_grids,
+    table3_gpu,
+)
+from .report import format_series, format_table
+from .workloads import (
+    CPU_PROBLEMS,
+    GPU_COUNTS,
+    GPU_PROBLEMS,
+    SCALING_PROCS,
+    SMALL_PROBLEMS,
+    TABLE2_PROCS,
+    Problem,
+    scaled_problem,
+)
+
+__all__ = [
+    "BenchResult",
+    "fig2_partitions",
+    "fig3_scaling",
+    "fig4_hybrid",
+    "fig5_breakdown",
+    "table1_memory",
+    "table2_grids",
+    "table3_gpu",
+    "l_sweep",
+    "TABLE2_GRIDS",
+    "format_table",
+    "format_series",
+    "Problem",
+    "CPU_PROBLEMS",
+    "GPU_PROBLEMS",
+    "SMALL_PROBLEMS",
+    "SCALING_PROCS",
+    "TABLE2_PROCS",
+    "GPU_COUNTS",
+    "scaled_problem",
+]

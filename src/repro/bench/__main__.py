@@ -1,0 +1,68 @@
+"""Regenerate any paper table/figure from the command line.
+
+::
+
+    python -m repro.bench fig3           # Fig. 3 strong-scaling series
+    python -m repro.bench table2 fig5    # several at once
+    python -m repro.bench all            # everything
+    python -m repro.bench --list
+
+Prints the rendered tables (the same text the benchmark suite writes to
+``benchmarks/out/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import (
+    fig2_partitions,
+    fig3_scaling,
+    fig4_hybrid,
+    fig5_breakdown,
+    l_sweep,
+    table1_memory,
+    table2_grids,
+    table3_gpu,
+)
+
+GENERATORS = {
+    "fig2": fig2_partitions,
+    "fig3": fig3_scaling,
+    "fig4": fig4_hybrid,
+    "fig5": fig5_breakdown,
+    "table1": table1_memory,
+    "table2": table2_grids,
+    "table3": table3_gpu,
+    "l_sweep": l_sweep,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures",
+    )
+    ap.add_argument("names", nargs="*", help="fig2 fig3 fig4 fig5 table1 table2 table3 l_sweep, or 'all'")
+    ap.add_argument("--list", action="store_true", help="list available generators")
+    args = ap.parse_args(argv)
+
+    if args.list or not args.names:
+        print("available:", " ".join(sorted(GENERATORS)), "or 'all'")
+        return 0
+    names = sorted(GENERATORS) if args.names == ["all"] else args.names
+    rc = 0
+    for name in names:
+        gen = GENERATORS.get(name)
+        if gen is None:
+            print(f"unknown generator {name!r}; use --list", file=sys.stderr)
+            rc = 2
+            continue
+        print(gen().text)
+        print()
+    return rc
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess test
+    raise SystemExit(main())

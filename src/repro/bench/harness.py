@@ -1,0 +1,307 @@
+"""The benchmark harness: one entry point per paper table/figure.
+
+Each ``figN_*`` / ``tableN_*`` function returns the regenerated data in
+structured form *and* a rendered text block, so the pytest benches can
+both assert the paper's qualitative claims and print the artifact.  At
+paper scale the analytic engine prices the schedules; the executed
+engine backs it up at small scale through the verification helpers in
+:mod:`repro.analysis.verify` (exercised by the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.breakdown import Breakdown, breakdown_from_report
+from ..analysis.costs import CostReport, ca3dmm_cost, cosma_cost, ctf_cost
+from ..grid.optimizer import GridSpec, ca3dmm_grid, cosma_grid
+from ..machine.model import MachineModel, pace_phoenix_cpu, pace_phoenix_gpu
+from .report import format_series, format_table
+from .workloads import (
+    CPU_PROBLEMS,
+    GPU_COUNTS,
+    GPU_PROBLEMS,
+    SCALING_PROCS,
+    TABLE2_PROCS,
+    Problem,
+)
+
+
+@dataclass
+class BenchResult:
+    """Structured data + rendered text for one table/figure."""
+
+    name: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+
+
+# ------------------------------------------------------------------ Fig 2 -- #
+def fig2_partitions() -> BenchResult:
+    """Fig. 2: the worked partitioning examples, rendered exactly.
+
+    Example 1 (m=32, k=16, n=64, P=8) and Example 2 (m=n=32, k=64,
+    P=16) as owner-labelled block diagrams of the native layouts.
+    """
+    from ..core.plan import Ca3dmmPlan
+    from ..core.plan_render import render_partitions
+
+    ex1 = Ca3dmmPlan(32, 64, 16, 8)
+    ex2 = Ca3dmmPlan(32, 32, 64, 16)
+    text = "\n\n".join(
+        [
+            "Fig 2a — Example 1 (m=32, k=16, n=64, P=8)",
+            render_partitions(ex1),
+            "Fig 2b — Example 2 (m=n=32, k=64, P=16)",
+            render_partitions(ex2),
+        ]
+    )
+    return BenchResult("fig2", text, {"ex1": ex1, "ex2": ex2})
+
+
+# ------------------------------------------------------------------ Fig 3 -- #
+def fig3_scaling(
+    problems: tuple[Problem, ...] = CPU_PROBLEMS,
+    procs: tuple[int, ...] = SCALING_PROCS,
+    machine: MachineModel | None = None,
+) -> BenchResult:
+    """Fig. 3: strong scaling, % of peak, native and 1D-column layouts."""
+    mach = machine or pace_phoenix_cpu("mpi")
+    blocks, data = [], {}
+    for p in problems:
+        series: dict[str, list[float]] = {
+            "CA3DMM native": [],
+            "CA3DMM custom": [],
+            "COSMA native": [],
+            "COSMA custom": [],
+            "CTF native": [],
+        }
+        for P in procs:
+            series["CA3DMM native"].append(ca3dmm_cost(*p.dims, P, mach).pct_peak())
+            series["CA3DMM custom"].append(
+                ca3dmm_cost(*p.dims, P, mach, custom_layout=True).pct_peak()
+            )
+            series["COSMA native"].append(cosma_cost(*p.dims, P, mach).pct_peak())
+            series["COSMA custom"].append(
+                cosma_cost(*p.dims, P, mach, custom_layout=True).pct_peak()
+            )
+            series["CTF native"].append(ctf_cost(*p.dims, P, mach).pct_peak())
+        data[p.cls] = series
+        blocks.append(
+            format_series("procs", procs, series, title=f"Fig 3 — {p.label()} (% of peak)")
+        )
+    return BenchResult("fig3", "\n\n".join(blocks), data)
+
+
+# ------------------------------------------------------------------ Fig 4 -- #
+def fig4_hybrid(
+    problems: tuple[Problem, ...] = CPU_PROBLEMS,
+    procs: tuple[int, ...] = SCALING_PROCS,
+) -> BenchResult:
+    """Fig. 4: pure-MPI vs MPI+OpenMP strong scaling (% of peak)."""
+    mpi = pace_phoenix_cpu("mpi")
+    hyb = pace_phoenix_cpu("hybrid")
+    blocks, data = [], {}
+    for p in problems:
+        series: dict[str, list[float]] = {
+            "CA3DMM pure MPI": [],
+            "CA3DMM hybrid": [],
+            "COSMA pure MPI": [],
+            "COSMA hybrid": [],
+        }
+        for P in procs:
+            nodes = max(1, P // mpi.cores_per_node)
+            series["CA3DMM pure MPI"].append(ca3dmm_cost(*p.dims, P, mpi).pct_peak())
+            series["CA3DMM hybrid"].append(ca3dmm_cost(*p.dims, nodes, hyb).pct_peak())
+            series["COSMA pure MPI"].append(cosma_cost(*p.dims, P, mpi).pct_peak())
+            series["COSMA hybrid"].append(cosma_cost(*p.dims, nodes, hyb).pct_peak())
+        data[p.cls] = series
+        blocks.append(
+            format_series(
+                "cores", procs, series, title=f"Fig 4 — {p.label()} (% of peak)"
+            )
+        )
+    return BenchResult("fig4", "\n\n".join(blocks), data)
+
+
+# --------------------------------------------------------------- Table I -- #
+def table1_memory(
+    problems: tuple[Problem, ...] = CPU_PROBLEMS,
+    procs: tuple[int, ...] = SCALING_PROCS,
+    machine: MachineModel | None = None,
+) -> BenchResult:
+    """Table I: per-process memory (MB) for COSMA and CA3DMM."""
+    mach = machine or pace_phoenix_cpu("mpi")
+    rows, data = [], {}
+    for algo, fn in (("COSMA", cosma_cost), ("CA3DMM", ca3dmm_cost)):
+        for p in problems:
+            mems = [fn(*p.dims, P, mach).mem_mb for P in procs]
+            rows.append([algo, p.label()] + [f"{v:.0f}" for v in mems])
+            data[(algo, p.cls)] = mems
+    text = format_table(
+        ["library", "problem"] + [str(P) for P in procs],
+        rows,
+        title="Table I — memory per process (MB)",
+    )
+    return BenchResult("table1", text, data)
+
+
+# -------------------------------------------------------------- Table II -- #
+#: The paper's Table II grid specifications: problem class ->
+#: [(procs, (pm, pn, pk), is_default)] for each library.
+TABLE2_GRIDS: dict[str, list[tuple[int, tuple[int, int, int]]]] = {
+    "square": [(2048, (8, 16, 16)), (3072, (16, 16, 12)), (3072, (12, 16, 16))],
+    "large-K": [(2048, (2, 2, 512)), (3072, (3, 3, 341)), (3072, (4, 2, 384))],
+    "large-M": [(2048, (512, 2, 2)), (3072, (512, 2, 3)), (3072, (384, 4, 2))],
+    "flat": [(2048, (32, 32, 2)), (3072, (32, 32, 3)), (3072, (39, 39, 2))],
+}
+
+
+def table2_grids(
+    problems: tuple[Problem, ...] = CPU_PROBLEMS,
+    machine: MachineModel | None = None,
+) -> BenchResult:
+    """Table II: runtimes with the paper's forced process grids."""
+    mach = machine or pace_phoenix_cpu("mpi")
+    rows, data = [], {}
+    for p in problems:
+        for procs, dims in TABLE2_GRIDS[p.cls]:
+            pm, pn, pk = dims
+            grid = GridSpec(pm=pm, pn=pn, pk=pk, nprocs=procs)
+            co = cosma_cost(*p.dims, procs, mach, grid=grid)
+            if grid.cannon_compatible:
+                ca = ca3dmm_cost(*p.dims, procs, mach, grid=grid)
+                ca_t = ca.t_total
+            else:
+                ca_t = float("nan")
+            rows.append(
+                [procs, p.label(), f"{pm}x{pn}x{pk}", f"{co.t_total:.3f}", f"{ca_t:.3f}"]
+            )
+            data[(p.cls, procs, dims)] = {"cosma": co.t_total, "ca3dmm": ca_t}
+        # the library-default grids for comparison
+        for procs in TABLE2_PROCS:
+            gca = ca3dmm_grid(*p.dims, procs)
+            gco = cosma_grid(*p.dims, procs)
+            ca = ca3dmm_cost(*p.dims, procs, mach, grid=gca)
+            co = cosma_cost(*p.dims, procs, mach, grid=gco)
+            rows.append(
+                [
+                    procs,
+                    p.label() + " (default)",
+                    f"{gca.pm}x{gca.pn}x{gca.pk} / {gco.pm}x{gco.pn}x{gco.pk}",
+                    f"{co.t_total:.3f}",
+                    f"{ca.t_total:.3f}",
+                ]
+            )
+            data[(p.cls, procs, "default")] = {"cosma": co.t_total, "ca3dmm": ca.t_total}
+    text = format_table(
+        ["cores", "problem", "grid pm x pn x pk", "COSMA (s)", "CA3DMM (s)"],
+        rows,
+        title="Table II — runtime with forced process grids",
+    )
+    return BenchResult("table2", text, data)
+
+
+# ------------------------------------------------------------------ Fig 5 -- #
+def fig5_breakdown(
+    problems: tuple[Problem, ...] = CPU_PROBLEMS,
+    procs: int = 2048,
+    machine: MachineModel | None = None,
+) -> BenchResult:
+    """Fig. 5: relative runtime breakdowns at 2048 cores.
+
+    Normalized so COSMA's total equals 1 for each problem class, as in
+    the paper.
+    """
+    mach = machine or pace_phoenix_cpu("mpi")
+    rows, data = [], {}
+    for p in problems:
+        co = breakdown_from_report(cosma_cost(*p.dims, procs, mach))
+        ca = breakdown_from_report(ca3dmm_cost(*p.dims, procs, mach))
+        denom = co.total
+        co_n, ca_n = co.normalized(denom), ca.normalized(denom)
+        for name, b in (("COSMA", co_n), ("CA3DMM", ca_n)):
+            rows.append(
+                [
+                    p.cls,
+                    name,
+                    f"{b.local_compute:.3f}",
+                    f"{b.replicate_ab:.3f}",
+                    f"{b.reduce_c:.3f}",
+                    f"{b.total:.3f}",
+                ]
+            )
+        data[p.cls] = {"cosma": co_n, "ca3dmm": ca_n}
+    text = format_table(
+        ["problem", "library", "local comp", "replicate A,B", "reduce C", "total"],
+        rows,
+        title=f"Fig 5 — normalized runtime breakdown at {procs} cores (COSMA total = 1)",
+    )
+    return BenchResult("fig5", text, data)
+
+
+# ------------------------------------------------------------- Table III -- #
+def table3_gpu(
+    problems: tuple[Problem, ...] = GPU_PROBLEMS,
+    gpu_counts: tuple[int, ...] = GPU_COUNTS,
+) -> BenchResult:
+    """Table III: GPU runtimes for COSMA / CA3DMM / CTF."""
+    mach = pace_phoenix_gpu()
+    rows, data = [], {}
+    for P in gpu_counts:
+        for p in problems:
+            ca = ca3dmm_cost(*p.dims, P, mach)
+            co = cosma_cost(*p.dims, P, mach)
+            ct = ctf_cost(*p.dims, P, mach)
+            rows.append(
+                [
+                    P,
+                    p.label(),
+                    ca.grid,
+                    f"{co.t_total:.3f}",
+                    f"{ca.t_total:.3f}",
+                    f"{ct.t_total:.3f}",
+                ]
+            )
+            data[(P, p.cls)] = {
+                "cosma": co.t_total,
+                "ca3dmm": ca.t_total,
+                "ctf": ct.t_total,
+            }
+    text = format_table(
+        ["GPUs", "problem", "grid", "COSMA (s)", "CA3DMM (s)", "CTF (s)"],
+        rows,
+        title="Table III — GPU runtimes (s)",
+    )
+    return BenchResult("table3", text, data)
+
+
+# -------------------------------------------------------------- l sweep -- #
+def l_sweep(
+    problems: tuple[Problem, ...] = CPU_PROBLEMS,
+    procs: tuple[int, ...] = SCALING_PROCS,
+    l_values: tuple[float, ...] = (0.85, 0.90, 0.95, 0.99),
+) -> BenchResult:
+    """Section IV-A: the grid choice is insensitive to l in [0.85, 0.99]."""
+    rows, same, total = [], 0, 0
+    for p in problems:
+        for P in procs:
+            grids = [ca3dmm_grid(*p.dims, P, l=l) for l in l_values]
+            base = (grids[l_values.index(0.95)].pm, grids[l_values.index(0.95)].pn,
+                    grids[l_values.index(0.95)].pk)
+            agree = all((g.pm, g.pn, g.pk) == base for g in grids)
+            total += 1
+            same += agree
+            rows.append(
+                [p.cls, P, f"{base[0]}x{base[1]}x{base[2]}", "yes" if agree else "no"]
+            )
+    text = format_table(
+        ["problem", "procs", "grid at l=0.95", "identical for all l"],
+        rows,
+        title=f"l-sweep — {same}/{total} cases give the same grid for l in {l_values}",
+    )
+    return BenchResult("l_sweep", text, {"same": same, "total": total})

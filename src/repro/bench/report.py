@@ -1,0 +1,56 @@
+"""ASCII table and series rendering for the benchmark harness.
+
+Every bench regenerates its paper table/figure as plain text: figures
+become per-series value lists over the x-axis (process counts), tables
+become aligned grids.  The same renderers feed EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render figure data: one row per series over a shared x-axis."""
+    headers = [x_label] + [f"{x}" for x in xs]
+    rows = []
+    for name, ys in series.items():
+        rows.append([name + (f" [{unit}]" if unit else "")] + [_fmt(y) for y in ys])
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.001:
+            return f"{v:.3g}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)

@@ -1,0 +1,26 @@
+"""CA3DMM — the paper's primary contribution (executed engine)."""
+
+from .autotune import TunedChoice, TuneResult, tune
+from .ca3dmm import Ca3dmm, ca3dmm_matmul
+from .cannon import cannon_multiply
+from .pdgemm import pdgemm
+from .plan import Ca3dmmPlan, RankRole
+from .plan_render import render_partitions
+from .reduce_c import reduce_partial_c, split_block
+from .replicate import replicate_block
+
+__all__ = [
+    "tune",
+    "TuneResult",
+    "TunedChoice",
+    "Ca3dmm",
+    "ca3dmm_matmul",
+    "Ca3dmmPlan",
+    "pdgemm",
+    "render_partitions",
+    "RankRole",
+    "cannon_multiply",
+    "replicate_block",
+    "reduce_partial_c",
+    "split_block",
+]

@@ -1,0 +1,69 @@
+"""A ScaLAPACK-flavoured PDGEMM facade over CA3DMM.
+
+Real applications reach PGEMM through ScaLAPACK's calling convention —
+op codes, scalars, and block-cyclic matrices.  This facade accepts
+exactly that shape of call and runs CA3DMM underneath, converting
+to/from the caller's layouts through the redistribution machinery (the
+integration path the paper's Section V discusses for adopting
+library-native layouts in existing codes):
+
+    c = pdgemm("N", "T", alpha, a, b, beta, c)
+
+Unlike the raw engine, ``pdgemm`` infers (m, n, k) from the operands
+and always returns C in the same distribution as the ``c`` operand
+(or, when ``c`` is None and beta is 0, in a caller-chosen ``c_dist``).
+"""
+
+from __future__ import annotations
+
+from ..layout.distributions import Distribution
+from ..layout.matrix import DistMatrix
+from .ca3dmm import Ca3dmm, _norm_op
+
+
+def pdgemm(
+    transa: str,
+    transb: str,
+    alpha: float,
+    a: DistMatrix,
+    b: DistMatrix,
+    beta: float = 0.0,
+    c: DistMatrix | None = None,
+    c_dist: Distribution | None = None,
+    engine: Ca3dmm | None = None,
+) -> DistMatrix:
+    """``C = alpha * op(A) op(B) + beta * C`` in the caller's layouts.
+
+    ``transa``/``transb`` are 'N', 'T', or 'C'.  When ``c`` is given its
+    distribution defines the output layout; otherwise ``c_dist`` (or the
+    library-native layout if neither is given).  ``engine`` may carry a
+    pre-planned :class:`Ca3dmm` for repeated same-shape calls.
+    """
+    ta, _ = _norm_op(transa)
+    tb, _ = _norm_op(transb)
+    am, an = a.shape
+    bm, bn = b.shape
+    m, k = (an, am) if ta else (am, an)
+    k2, n = (bn, bm) if tb else (bm, bn)
+    if k != k2:
+        raise ValueError(
+            f"inner dimensions differ: op(A) is {m}x{k}, op(B) is {k2}x{n}"
+        )
+    if beta != 0.0 and c is None:
+        raise ValueError("beta != 0 requires the C operand")
+    out_dist = c.dist if c is not None else c_dist
+    eng = engine if engine is not None else Ca3dmm(a.comm, m, n, k)
+    if (eng.plan.m, eng.plan.n, eng.plan.k) != (m, n, k):
+        raise ValueError(
+            f"engine planned for {(eng.plan.m, eng.plan.n, eng.plan.k)}, "
+            f"call needs {(m, n, k)}"
+        )
+    return eng.multiply(
+        a, b,
+        c_dist=out_dist,
+        transa=transa,
+        transb=transb,
+        alpha=alpha,
+        beta=beta,
+        c_in=c if beta != 0.0 else None,
+    )

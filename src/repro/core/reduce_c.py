@@ -1,0 +1,42 @@
+"""Combining partial C results across k-task groups (Algorithm 1, step 7).
+
+After Cannon's algorithm, the ``pk`` ranks at the same ``(i, j)`` grid
+position each hold a partial result of the same C block (their k-group's
+rank-``(k/pk)`` update).  A reduce-scatter sums them and leaves each rank
+with one of ``pk`` strips of the final block — column strips when the
+block is at least as wide as tall, row strips otherwise (Example 2 of
+the paper: a square 16x16 block becomes four 16x4 column strips).
+
+Cost per rank (paper Section III-D): ``α(pk-1) + β·|blk|·(pk-1)/pk`` —
+the pairwise-exchange reduce-scatter formula.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..layout.blocks import block_range
+from ..mpi.comm import Comm
+
+
+def split_block(c_loc: np.ndarray, parts: int, by_cols: bool) -> list[np.ndarray]:
+    """Split a partial C block into the ``parts`` reduce-scatter strips."""
+    out = []
+    extent = c_loc.shape[1] if by_cols else c_loc.shape[0]
+    for r in range(parts):
+        lo, hi = block_range(extent, parts, r)
+        out.append(c_loc[:, lo:hi] if by_cols else c_loc[lo:hi, :])
+    return out
+
+
+def reduce_partial_c(kred_comm: Comm, c_loc: np.ndarray, by_cols: bool) -> np.ndarray:
+    """Reduce-scatter this rank's partial C block; return its final strip.
+
+    ``kred_comm`` orders its ``pk`` members by k-group index, so rank
+    ``ik`` receives strip ``ik`` — matching
+    :meth:`~repro.core.plan.Ca3dmmPlan.c_owned`.
+    """
+    if kred_comm.size == 1:
+        return c_loc
+    strips = split_block(c_loc, kred_comm.size, by_cols)
+    return kred_comm.reduce_scatter(strips)

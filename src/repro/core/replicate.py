@@ -1,0 +1,29 @@
+"""Operand replication across Cannon groups (Algorithm 1, step 5).
+
+When ``c = max(pm,pn)/min(pm,pn) > 1``, one operand's Cannon blocks are
+needed by all ``c`` Cannon groups of a k-task group.  The native initial
+layout stores ``1/c`` of each such block on each replica (column pieces
+of A, row pieces of B — see :class:`~repro.core.plan.Ca3dmmPlan`), and
+this step reassembles the full block everywhere with a single allgather
+over the ``c``-rank replica communicator.
+
+Cost per rank (paper Section III-D): ``α·⌈log2 c⌉ + β·|blk|·(c-1)/c``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi.comm import Comm
+
+
+def replicate_block(replica_comm: Comm, piece: np.ndarray, axis: int) -> np.ndarray:
+    """Allgather the ``c`` pieces of a Cannon block and reassemble.
+
+    ``axis=1`` concatenates column pieces (the A case), ``axis=0`` row
+    pieces (the B case).  With ``c == 1`` this is a no-op.
+    """
+    if replica_comm.size == 1:
+        return piece
+    pieces = replica_comm.allgather(piece)
+    return np.concatenate(pieces, axis=axis)

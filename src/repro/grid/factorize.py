@@ -1,0 +1,70 @@
+"""Small integer-factorization utilities for process-grid search."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=4096)
+def divisors(n: int) -> tuple[int, ...]:
+    """All positive divisors of ``n``, ascending."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    small: list[int] = []
+    large: list[int] = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return tuple(small + large[::-1])
+
+
+@lru_cache(maxsize=4096)
+def prime_factors(n: int) -> tuple[int, ...]:
+    """Prime factorization of ``n`` with multiplicity, ascending."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    out: list[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        out.append(n)
+    return tuple(out)
+
+
+def factor_triples(n: int):
+    """Yield all ordered triples ``(a, b, c)`` with ``a*b*c == n``."""
+    for a in divisors(n):
+        rest = n // a
+        for b in divisors(rest):
+            yield a, b, rest // b
+
+
+def is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def near_square_pair(n: int) -> tuple[int, int]:
+    """The divisor pair ``(a, b)``, ``a <= b``, ``a*b == n`` with minimal b-a."""
+    best = (1, n)
+    for d in divisors(n):
+        if d * d > n:
+            break
+        best = (d, n // d)
+    return best
+
+
+def perfect_square_part(n: int) -> int:
+    """Largest ``s`` such that ``s*s`` divides ``n``."""
+    s = 1
+    for d in range(1, int(n ** 0.5) + 1):
+        if n % (d * d) == 0:
+            s = d
+    return s

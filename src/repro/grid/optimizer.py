@@ -1,0 +1,257 @@
+"""Process-grid selection — Section III-A/B of the paper.
+
+The central object is :class:`GridSpec`, the ``pm x pn x pk`` grid plus
+derived quantities (Cannon group count ``c``, square side ``s``, idle
+ranks).  Three selectors are provided:
+
+* :func:`ca3dmm_grid` — the paper's search: enumerate all grids with
+  ``l·P <= pm·pk·pn <= P`` (eq. 5, ``l = 0.95``), require
+  ``max(pm,pn) mod min(pm,pn) == 0`` (eq. 7, Cannon compatibility),
+  minimize ``S_total = 2(pm·kn + pn·mk + pk·mn)`` (eq. 4), tie-break by
+  maximizing process utilization (eq. 6).
+* :func:`cosma_grid` — what Section III-C reports the COSMA source does:
+  the same surface-area minimization *without* the divisibility
+  constraint.
+* :func:`ctf_grid` — a CTF/2.5D-style grid: a square 2D grid with a
+  replication factor ``c``, with no rectangular-problem optimization
+  (the reason the paper's CTF numbers trail on rectangular problems).
+
+All selectors are deterministic; ties resolve lexicographically, so
+every rank computes the same grid independently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .factorize import divisors, factor_triples, perfect_square_part
+
+#: The paper's default utilization lower bound (eq. 5).
+DEFAULT_L = 0.95
+
+
+@dataclass(frozen=True, order=True)
+class GridSpec:
+    """A ``pm x pn x pk`` process grid over a world of ``nprocs`` ranks."""
+
+    pm: int
+    pn: int
+    pk: int
+    nprocs: int
+
+    def __post_init__(self) -> None:
+        if min(self.pm, self.pn, self.pk) < 1:
+            raise ValueError("grid dimensions must be positive")
+        if self.used > self.nprocs:
+            raise ValueError(
+                f"grid {self.pm}x{self.pn}x{self.pk} needs {self.used} > {self.nprocs} ranks"
+            )
+
+    # ------------------------------------------------------------ derived -- #
+    @property
+    def used(self) -> int:
+        """Active processes: ``pm * pn * pk``."""
+        return self.pm * self.pn * self.pk
+
+    @property
+    def idle(self) -> int:
+        """Ranks that only participate in redistribution."""
+        return self.nprocs - self.used
+
+    @property
+    def s(self) -> int:
+        """Cannon-group side: ``min(pm, pn)``."""
+        return min(self.pm, self.pn)
+
+    @property
+    def c(self) -> int:
+        """Cannon groups per k-task group: ``max(pm,pn) / min(pm,pn)`` (eq. 8)."""
+        q, r = divmod(max(self.pm, self.pn), min(self.pm, self.pn))
+        if r:
+            raise ValueError(f"grid {self} violates the divisibility constraint (7)")
+        return q
+
+    @property
+    def cannon_compatible(self) -> bool:
+        """Whether constraint (7) holds."""
+        return max(self.pm, self.pn) % min(self.pm, self.pn) == 0
+
+    @property
+    def replicates_a(self) -> bool:
+        """True when A is the replicated operand (``pn > pm``, Example 1)."""
+        return self.pn > self.pm
+
+    def surface(self, m: int, n: int, k: int) -> float:
+        """``S_total`` of eq. (4): total elements moved across all processes."""
+        return 2.0 * (self.pm * k * n + self.pn * m * k + self.pk * m * n)
+
+    def block_dims(self, m: int, n: int, k: int) -> tuple[float, float, float]:
+        """Nominal per-process work-cuboid dimensions (may be fractional)."""
+        return m / self.pm, n / self.pn, k / self.pk
+
+    def utilization(self) -> float:
+        return self.used / self.nprocs
+
+    def memory_words(self, m: int, n: int, k: int) -> float:
+        """Eq. (11): peak matrix words per active process under CA3DMM.
+
+        ``2(fa·mk + fb·kn)/used + pk·mn/used`` where the replication
+        factor ``c`` applies to A when ``pn > pm`` and to B otherwise
+        (dual-buffered Cannon operands plus the partial-C block).
+        Requires constraint (7); raises otherwise.
+        """
+        fa = self.c if self.pn > self.pm else 1
+        fb = 1 if self.pn > self.pm else self.c
+        return (
+            2.0 * (fa * m * k + fb * k * n) / self.used
+            + self.pk * m * n / self.used
+        )
+
+    def latency_ca3dmm(self) -> int:
+        """Eq. (10): ``L = log2(c) + s + pk - 1`` messages on the critical rank."""
+        c = self.c
+        lat = math.ceil(math.log2(c)) if c > 1 else 0  # allgather replication
+        lat += self.s if self.s > 1 else 0  # skew + (s-1) shifts
+        return lat + (self.pk - 1)  # reduce-scatter
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.pm}x{self.pn}x{self.pk} (P={self.nprocs}, idle={self.idle})"
+
+
+def _sorted_key(m: int, n: int, k: int, use_latency: bool = True):
+    """Ordering used to pick a grid.
+
+    Primary objective: *per-process* communication volume,
+    ``S_total / used``.  Eq. (4) of the paper states the total surface,
+    but the grids the paper reports (512x2x2 for large-M at P=2048,
+    2x2x512 for large-K, 39x39x2 for flat at 3072) are exactly the
+    per-process optima — minimizing the raw total under constraint (5)
+    would instead drift to minimum-utilization grids (e.g. 488x2x2),
+    which neither the reference implementation nor the stated
+    ``l``-insensitivity (Section IV-A) exhibits.  Dividing by the
+    process count folds the sub-target (6) into the objective, with
+    ``-used`` kept as the explicit tie-break.
+    """
+
+    def key(spec: GridSpec):
+        lat = spec.latency_ca3dmm() if (use_latency and spec.cannon_compatible) else 0
+        return (
+            spec.surface(m, n, k) / spec.used,  # per-process volume
+            -spec.used,  # eq. (6)
+            lat,  # then fewer messages
+            (spec.pm, spec.pn, spec.pk),  # then deterministic
+        )
+
+    return key
+
+
+def enumerate_grids(
+    nprocs: int,
+    l: float = DEFAULT_L,
+    require_divisible: bool = True,
+) -> list[GridSpec]:
+    """All grids satisfying eq. (5) (and optionally eq. (7)).
+
+    Mirrors the reference implementation's search: for each ``(pm, pn)``
+    pair the k-extent is maximal, ``pk = floor(P / (pm*pn))``, and the
+    utilization bound is ``pm*pn*pk >= floor(l*P)``.  (The maximal-pk
+    rule is why the paper reports grids like 2x2x512 at P=2048 rather
+    than the marginally lower-surface 2x2x487; Example 3 of the paper,
+    P=17 -> 2x2x4 with one idle rank, fixes the bound as the floor.)
+    """
+    lo = max(1, math.floor(l * nprocs + 1e-9))
+    out: list[GridSpec] = []
+    for pm in range(1, nprocs + 1):
+        for pn in range(1, nprocs // pm + 1):
+            if require_divisible and max(pm, pn) % min(pm, pn) != 0:
+                continue
+            pk = nprocs // (pm * pn)
+            if pm * pn * pk < lo:
+                continue
+            out.append(GridSpec(pm=pm, pn=pn, pk=pk, nprocs=nprocs))
+    return out
+
+
+def ca3dmm_grid(
+    m: int,
+    n: int,
+    k: int,
+    nprocs: int,
+    l: float = DEFAULT_L,
+    memory_limit_words: float | None = None,
+) -> GridSpec:
+    """The paper's grid choice (eqs. 4-8).
+
+    ``memory_limit_words`` implements the Section V extension: cap the
+    eq. (11) per-process memory, trading communication for footprint.
+    Candidates over the limit are dropped (the search then drifts toward
+    2D-like grids — fewer k-task groups, less replication — exactly the
+    paper's proposed mechanism); if *no* candidate fits, the
+    minimum-memory grid is returned so the call still succeeds.
+
+    If no grid satisfies eq. (5) with the given ``l`` (possible only for
+    pathological ``l`` close to 1), the bound is relaxed geometrically —
+    a grid using at least one process always exists (1x1xP).
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    bound = l
+    while True:
+        cands = enumerate_grids(nprocs, bound, require_divisible=True)
+        if cands:
+            if memory_limit_words is not None:
+                fitting = [
+                    c for c in cands if c.memory_words(m, n, k) <= memory_limit_words
+                ]
+                if not fitting:
+                    return min(
+                        cands,
+                        key=lambda c: (c.memory_words(m, n, k), _sorted_key(m, n, k)(c)),
+                    )
+                cands = fitting
+            return min(cands, key=_sorted_key(m, n, k))
+        bound *= 0.5  # pragma: no cover - 1x1xP always satisfies l <= 1
+
+def cosma_grid(
+    m: int,
+    n: int,
+    k: int,
+    nprocs: int,
+    l: float = DEFAULT_L,
+) -> GridSpec:
+    """COSMA-source-style grid: eq. (4) minimized without constraint (7)."""
+    bound = l
+    while True:
+        cands = enumerate_grids(nprocs, bound, require_divisible=False)
+        if cands:
+            return min(cands, key=_sorted_key(m, n, k, use_latency=False))
+        bound *= 0.5  # pragma: no cover
+
+
+def ctf_grid(m: int, n: int, k: int, nprocs: int) -> GridSpec:
+    """A 2.5D/CTF-style grid: square 2D grid, replication factor ``c``.
+
+    Picks the largest ``c <= P^(1/3)`` such that ``P / c`` has a large
+    perfect-square part, then arranges ``sqrt(P/c) x sqrt(P/c) x c``.
+    Deliberately ignores the matrix aspect ratio, reproducing CTF's
+    behaviour on rectangular problems reported in the paper (Section
+    IV-A, citing [18]).
+    """
+    best: tuple[tuple[int, int], GridSpec] | None = None
+    c_max = max(1, round(nprocs ** (1.0 / 3.0)))
+    for c in divisors(nprocs):
+        if c > c_max * 2:
+            continue
+        rest = nprocs // c
+        s = perfect_square_part(rest)
+        if c > s:  # 2.5D validity: at most one replica layer per grid row
+            continue
+        used = s * s * c
+        spec = GridSpec(pm=s, pn=s, pk=c, nprocs=nprocs)
+        score = (used, c)
+        if best is None or score > best[0]:
+            best = (score, spec)
+    if best is None:
+        return GridSpec(pm=1, pn=1, pk=1, nprocs=nprocs)
+    return best[1]

@@ -1,0 +1,31 @@
+"""Distributed matrix layouts, tiles, and redistribution."""
+
+from .blocks import Rect, block_owner, block_range, block_size, block_start, rects_cover_exactly
+from .distributions import (
+    Block2D,
+    BlockCol1D,
+    BlockCyclic2D,
+    BlockRow1D,
+    Distribution,
+    Explicit,
+)
+from .matrix import DistMatrix, dense_random
+from .redistribute import redistribute
+
+__all__ = [
+    "Rect",
+    "block_range",
+    "block_size",
+    "block_start",
+    "block_owner",
+    "rects_cover_exactly",
+    "Distribution",
+    "BlockRow1D",
+    "BlockCol1D",
+    "Block2D",
+    "BlockCyclic2D",
+    "Explicit",
+    "DistMatrix",
+    "dense_random",
+    "redistribute",
+]

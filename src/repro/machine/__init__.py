@@ -1,0 +1,26 @@
+"""Machine models and analytic collective costs (DESIGN.md §2-3)."""
+
+from .collcost import (
+    CollCost,
+    allgather_cost,
+    alltoall_cost,
+    barrier_cost,
+    bcast_cost,
+    p2p_cost,
+    reduce_scatter_cost,
+)
+from .model import MachineModel, laptop, pace_phoenix_cpu, pace_phoenix_gpu
+
+__all__ = [
+    "MachineModel",
+    "laptop",
+    "pace_phoenix_cpu",
+    "pace_phoenix_gpu",
+    "CollCost",
+    "allgather_cost",
+    "bcast_cost",
+    "reduce_scatter_cost",
+    "alltoall_cost",
+    "barrier_cost",
+    "p2p_cost",
+]

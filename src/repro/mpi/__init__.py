@@ -1,0 +1,57 @@
+"""Virtual MPI: a threaded, traffic-measuring MPI look-alike.
+
+This subpackage is the substrate substituting for a real MPI cluster
+(see DESIGN.md §2).  Public surface:
+
+* :func:`run_spmd` — the ``mpiexec`` equivalent,
+* :class:`Comm` — communicators with mpi4py-style p2p and collectives,
+* :class:`Cart2D` — cartesian grid helper,
+* wildcard/op constants (:data:`ANY_SOURCE`, :data:`ANY_TAG`,
+  :data:`SUM`, :data:`MAX`, :data:`MIN`, :data:`PROD`),
+* :class:`SpmdResult` / :class:`RankTrace` — measured traffic and
+  simulated time, the raw material of the reproduction's measurements.
+"""
+
+from .comm import Comm
+from .datatypes import ANY_SOURCE, ANY_TAG, MAX, MIN, PROD, SUM, Op, Status
+from .errors import (
+    AbortError,
+    BufferError_,
+    CommError,
+    DeadlockError,
+    RankError,
+    TagError,
+    VMpiError,
+)
+from .request import Request, wait_all
+from .runtime import SpmdResult, run_spmd
+from .topology import Cart2D, Cart3D
+from .transport import PhaseStats, RankTrace, Transport
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "SUM",
+    "MAX",
+    "MIN",
+    "PROD",
+    "Op",
+    "Status",
+    "Comm",
+    "Cart2D",
+    "Cart3D",
+    "Transport",
+    "PhaseStats",
+    "RankTrace",
+    "Request",
+    "wait_all",
+    "run_spmd",
+    "SpmdResult",
+    "VMpiError",
+    "RankError",
+    "TagError",
+    "BufferError_",
+    "CommError",
+    "DeadlockError",
+    "AbortError",
+]

@@ -1,0 +1,256 @@
+"""Collective operations, built on the point-to-point layer.
+
+Each collective is implemented with a textbook algorithm whose message
+count and volume match the α-β costs the CA3DMM paper assumes
+(Thakur, Rabenseifner & Gropp, IJHPCA 2005):
+
+=================  ============================  ===========================
+collective         algorithm                     per-rank cost
+=================  ============================  ===========================
+barrier            dissemination                 α·⌈log2 P⌉
+bcast              binomial (short) /            α·log2 P + β·n   (short)
+                   scatter+allgather (long)      α(log2 P + P-1) + 2βn(P-1)/P
+reduce             binomial tree                 α·log2 P + β·n
+allreduce          recursive doubling (2^t) /    α·log2 P + β·n
+                   reduce+bcast otherwise
+gather/scatter     linear                        α(P-1) + βn(P-1)/P at root
+allgather          Bruck                         α·⌈log2 P⌉ + βn(P-1)/P
+alltoall           pairwise exchange             α(P-1) + βn(P-1)/P
+reduce_scatter     pairwise exchange             α(P-1) + βn(P-1)/P
+=================  ============================  ===========================
+
+Because these run on the measured transport, executed traffic can be
+checked against the paper's closed-form costs (see ``tests/analysis``).
+
+All functions are collective: every rank of the communicator must call
+them in the same order.  Message tags are drawn from a reserved internal
+range; per-(source, tag) FIFO matching makes back-to-back collectives on
+the same communicator safe without per-call tag salting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from .datatypes import INTERNAL_TAG_BASE, Op, SUM
+
+_TAG_BARRIER = INTERNAL_TAG_BASE + 1
+_TAG_BCAST = INTERNAL_TAG_BASE + 2
+_TAG_REDUCE = INTERNAL_TAG_BASE + 3
+_TAG_ALLREDUCE = INTERNAL_TAG_BASE + 4
+_TAG_GATHER = INTERNAL_TAG_BASE + 5
+_TAG_SCATTER = INTERNAL_TAG_BASE + 6
+_TAG_ALLGATHER = INTERNAL_TAG_BASE + 7
+_TAG_ALLTOALL = INTERNAL_TAG_BASE + 8
+_TAG_RSCAT = INTERNAL_TAG_BASE + 9
+
+#: bcast switches from binomial to scatter+allgather above this many bytes.
+BCAST_LONG_THRESHOLD = 64 * 1024
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+# ---------------------------------------------------------------- barrier -- #
+def barrier(comm) -> None:
+    """Dissemination barrier: ⌈log2 P⌉ rounds of paired exchanges."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    step = 1
+    while step < size:
+        dest = (rank + step) % size
+        src = (rank - step) % size
+        comm.sendrecv(b"", dest, src, _TAG_BARRIER, _TAG_BARRIER)
+        step <<= 1
+
+
+# ------------------------------------------------------------------ bcast -- #
+def _bcast_binomial(comm, value: Any, root: int, tag: int) -> Any:
+    """Binomial-tree broadcast (the MPICH short-message algorithm)."""
+    size = comm.size
+    vrank = (comm.rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            src = (comm.rank - mask) % size
+            value = comm.recv(source=src, tag=tag)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            comm.send(value, (comm.rank + mask) % size, tag)
+        mask >>= 1
+    return value
+
+
+def bcast(comm, value: Any, root: int = 0) -> Any:
+    """Broadcast from ``root``; everyone returns the value.
+
+    Long numpy arrays use van de Geijn scatter+allgather — the algorithm
+    behind the paper's ``T_broadcast`` formula; everything else uses a
+    binomial tree.  A small binomial header tells non-roots which path
+    (and, for the long path, the shape/dtype) to expect.
+    """
+    if comm.size == 1:
+        return value
+    if comm.rank == root:
+        is_long = isinstance(value, np.ndarray) and value.nbytes >= BCAST_LONG_THRESHOLD
+        header = (is_long, (value.shape, value.dtype) if is_long else None)
+    else:
+        header = None
+    is_long, meta = _bcast_binomial(comm, header, root, _TAG_BCAST)
+    if not is_long:
+        return _bcast_binomial(comm, value, root, _TAG_BCAST)
+    shape, dtype = meta
+    if comm.rank == root:
+        chunks = np.array_split(np.ascontiguousarray(value).reshape(-1), comm.size)
+    else:
+        chunks = None
+    mine = scatter(comm, chunks, root)
+    parts = allgather(comm, mine)
+    return np.concatenate(parts).reshape(shape).astype(dtype, copy=False)
+
+
+# ----------------------------------------------------------------- reduce -- #
+def reduce(comm, value: Any, op: Op = SUM, root: int = 0) -> Any:
+    """Binomial-tree reduction to ``root``; root returns the result.
+
+    Operands are combined child-over-parent in a fixed order, so results
+    are deterministic for a given communicator size.
+    """
+    size = comm.size
+    if size == 1:
+        return value
+    vrank = (comm.rank - root) % size
+    acc = value
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = vrank & ~mask
+            comm.send(acc, (parent + root) % size, _TAG_REDUCE)
+            return None
+        child = vrank | mask
+        if child < size:
+            other = comm.recv(source=(child + root) % size, tag=_TAG_REDUCE)
+            acc = op(acc, other)
+        mask <<= 1
+    return acc
+
+
+# -------------------------------------------------------------- allreduce -- #
+def allreduce(comm, value: Any, op: Op = SUM) -> Any:
+    """Recursive doubling (power-of-two sizes) else reduce + bcast."""
+    size = comm.size
+    if size == 1:
+        return value
+    if _is_pow2(size):
+        acc = value
+        mask = 1
+        while mask < size:
+            partner = comm.rank ^ mask
+            other = comm.sendrecv(acc, partner, partner, _TAG_ALLREDUCE, _TAG_ALLREDUCE)
+            # Fixed operand order (lower rank's data first) keeps the
+            # result identical on every rank even for non-commutative ops.
+            acc = op(other, acc) if partner < comm.rank else op(acc, other)
+            mask <<= 1
+        return acc
+    res = reduce(comm, value, op, 0)
+    return bcast(comm, res, 0)
+
+
+# ---------------------------------------------------------- gather/scatter -- #
+def gather(comm, value: Any, root: int = 0) -> list[Any] | None:
+    """Linear gather; root returns the list ordered by rank."""
+    if comm.rank == root:
+        out: list[Any] = [None] * comm.size
+        out[root] = value
+        for r in range(comm.size):
+            if r != root:
+                out[r] = comm.recv(source=r, tag=_TAG_GATHER)
+        return out
+    comm.send(value, root, _TAG_GATHER)
+    return None
+
+
+def scatter(comm, values: Sequence[Any] | None, root: int = 0) -> Any:
+    """Linear scatter; each rank returns its element of root's sequence."""
+    if comm.rank == root:
+        assert values is not None and len(values) == comm.size, (
+            "scatter needs one value per rank at the root"
+        )
+        for r in range(comm.size):
+            if r != root:
+                comm.send(values[r], r, _TAG_SCATTER)
+        return values[root]
+    return comm.recv(source=root, tag=_TAG_SCATTER)
+
+
+# -------------------------------------------------------------- allgather -- #
+def allgather(comm, value: Any) -> list[Any]:
+    """Bruck allgather: ⌈log2 P⌉ rounds, works for any P and any sizes.
+
+    Returns the list of every rank's contribution, ordered by rank.
+    """
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return [value]
+    held: list[Any] = [value]  # blocks of ranks rank, rank+1, ... (mod P)
+    h = 1
+    while h < size:
+        cnt = min(h, size - h)
+        dest = (rank - h) % size
+        src = (rank + h) % size
+        incoming = comm.sendrecv(held[:cnt], dest, src, _TAG_ALLGATHER, _TAG_ALLGATHER)
+        held.extend(incoming)
+        h += cnt
+    # held[i] is the block of rank (rank + i) % size; rotate to absolute.
+    return [held[(r - rank) % size] for r in range(size)]
+
+
+# --------------------------------------------------------------- alltoall -- #
+def alltoall(comm, values: Sequence[Any]) -> list[Any]:
+    """Pairwise-exchange alltoall; ``values[r]`` goes to rank ``r``."""
+    size, rank = comm.size, comm.rank
+    assert len(values) == size, "alltoall needs one value per rank"
+    out: list[Any] = [None] * size
+    out[rank] = values[rank]
+    for i in range(1, size):
+        dest = (rank + i) % size
+        src = (rank - i) % size
+        out[src] = comm.sendrecv(values[dest], dest, src, _TAG_ALLTOALL, _TAG_ALLTOALL)
+    return out
+
+
+# ---------------------------------------------------------- reduce_scatter -- #
+def reduce_scatter(comm, blocks: Sequence[np.ndarray], op: Op = SUM) -> np.ndarray:
+    """Pairwise-exchange reduce-scatter.
+
+    ``blocks[r]`` is this rank's contribution destined for rank ``r``
+    (blocks may have different shapes across destinations but must agree
+    across sources).  Returns the elementwise reduction of every rank's
+    ``blocks[comm.rank]``, accumulated in a fixed source order.
+
+    Per-rank cost α(P-1) + βn(P-1)/P — exactly the formula the paper
+    uses for its reduce-scatter step.  The machine model's
+    ``rs_degrade``) parameters are applied by pricing the traffic at the
+    transport level; see :mod:`repro.machine.model`.
+    """
+    size, rank = comm.size, comm.rank
+    assert len(blocks) == size, "reduce_scatter needs one block per rank"
+    contributions: list[np.ndarray | None] = [None] * size
+    contributions[rank] = np.asarray(blocks[rank])
+    for i in range(1, size):
+        dest = (rank + i) % size
+        src = (rank - i) % size
+        contributions[src] = comm.sendrecv(
+            np.asarray(blocks[dest]), dest, src, _TAG_RSCAT, _TAG_RSCAT
+        )
+    acc = np.array(contributions[0], copy=True)
+    for r in range(1, size):
+        acc = op(acc, contributions[r])
+    return acc

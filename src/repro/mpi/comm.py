@@ -1,0 +1,325 @@
+"""Communicators for the virtual MPI runtime.
+
+A :class:`Comm` is a view of a subset of world ranks with its own context
+id (so traffic in different communicators can never match) and local rank
+numbering.  The API intentionally mirrors mpi4py's lowercase, object-mode
+methods — ``send``/``recv`` move numpy arrays or arbitrary picklable
+objects — because that is the idiom the algorithms in this package are
+written in.
+
+SPMD discipline: collective calls (including :meth:`split` and
+:meth:`dup`) must be invoked by every member rank in the same order.
+The runtime does not police call ordering; a violation typically shows
+up as a watchdog :class:`~repro.mpi.errors.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from . import collectives as _coll
+from .datatypes import ANY_SOURCE, ANY_TAG, Op, SUM, Status, payload_pack
+from .errors import CommError, RankError, TagError
+from .request import RecvRequest, Request, SendRequest
+from .transport import Transport
+
+
+class Comm:
+    """A communicator over a subset of the world's ranks."""
+
+    def __init__(self, transport: Transport, ctx: int, group: Sequence[int], world_rank: int):
+        self._transport = transport
+        self._ctx = ctx
+        self._group = tuple(group)
+        self._world_rank = world_rank
+        try:
+            self._rank = self._group.index(world_rank)
+        except ValueError:  # pragma: no cover - constructor misuse
+            raise CommError(f"world rank {world_rank} not in group {group}")
+        self._w2l = {w: l for l, w in enumerate(self._group)}
+        self._split_seq = 0
+
+    # ------------------------------------------------------------ basics -- #
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self._group)
+
+    @property
+    def world_rank(self) -> int:
+        """This process's rank in the world communicator."""
+        return self._world_rank
+
+    @property
+    def group(self) -> tuple[int, ...]:
+        """World ranks of the members, indexed by local rank."""
+        return self._group
+
+    @property
+    def transport(self) -> Transport:
+        return self._transport
+
+    @property
+    def machine(self):
+        return self._transport.machine
+
+    def _to_world(self, local: int) -> int:
+        if local == ANY_SOURCE:
+            return ANY_SOURCE
+        if not 0 <= local < self.size:
+            raise RankError(f"rank {local} out of range for size {self.size}")
+        return self._group[local]
+
+    def _to_local(self, world: int) -> int:
+        return self._w2l[world]
+
+    @staticmethod
+    def _check_tag(tag: int) -> None:
+        if tag != ANY_TAG and tag < 0:
+            raise TagError(f"invalid tag {tag}")
+
+    # --------------------------------------------------------------- p2p -- #
+    def send(self, value: Any, dest: int, tag: int = 0) -> None:
+        """Blocking eager send of an array or picklable object."""
+        self._check_tag(tag)
+        if tag == ANY_TAG:
+            raise TagError("cannot send with ANY_TAG")
+        stored, nbytes, is_array = payload_pack(value)
+        self._transport.post_send(
+            self._ctx,
+            self._world_rank,
+            self._to_world(dest),
+            tag,
+            stored,
+            nbytes,
+            is_array,
+            advance_sender=True,
+        )
+
+    def isend(self, value: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send; the buffer is copied, reusable immediately."""
+        self._check_tag(tag)
+        if tag == ANY_TAG:
+            raise TagError("cannot send with ANY_TAG")
+        stored, nbytes, is_array = payload_pack(value)
+        dest_world = self._to_world(dest)
+        arrival = self._transport.post_send(
+            self._ctx,
+            self._world_rank,
+            dest_world,
+            tag,
+            stored,
+            nbytes,
+            is_array,
+            advance_sender=False,
+        )
+        return SendRequest(
+            self._transport, self._world_rank, arrival, nbytes=nbytes, peer=dest_world
+        )
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Status | None = None,
+        buf: np.ndarray | None = None,
+    ) -> Any:
+        """Blocking receive; returns the payload.
+
+        If ``buf`` is given, array payloads are copied into it (shape is
+        ignored; sizes must match) and ``buf`` is returned.
+        """
+        self._check_tag(tag)
+        msg, st = self._transport.match_recv(
+            self._ctx, self._world_rank, self._to_world(source), tag
+        )
+        value = msg.unpack()
+        if status is not None:
+            status.source = self._to_local(st.source)
+            status.tag = st.tag
+            status.nbytes = st.nbytes
+        if buf is not None:
+            arr = np.asarray(value)
+            if buf.size != arr.size:
+                from .errors import BufferError_
+
+                raise BufferError_(
+                    f"recv buffer size {buf.size} != message size {arr.size}"
+                )
+            buf.reshape(-1)[:] = arr.reshape(-1)
+            return buf
+        return value
+
+    def irecv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, buf: np.ndarray | None = None
+    ) -> RecvRequest:
+        """Nonblocking receive; matching happens at ``wait`` time."""
+        self._check_tag(tag)
+        return RecvRequest(
+            self._transport,
+            self._ctx,
+            self._world_rank,
+            self._to_world(source),
+            tag,
+            buf,
+            self._to_local,
+        )
+
+    def sendrecv(
+        self,
+        sendvalue: Any,
+        dest: int,
+        recvsource: int,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> Any:
+        """Full-duplex exchange: send and receive concurrently.
+
+        Simulated time: the outgoing transfer and the incoming transfer
+        overlap; the call completes at the later of the two.
+        """
+        self._check_tag(sendtag)
+        self._check_tag(recvtag)
+        t0 = self._transport.now(self._world_rank)
+        stored, nbytes, is_array = payload_pack(sendvalue)
+        arrival_out = self._transport.post_send(
+            self._ctx,
+            self._world_rank,
+            self._to_world(dest),
+            sendtag,
+            stored,
+            nbytes,
+            is_array,
+            advance_sender=False,
+        )
+        msg, _st = self._transport.match_recv(
+            self._ctx, self._world_rank, self._to_world(recvsource), recvtag
+        )
+        # Outgoing side also occupies this rank until arrival_out.
+        self._transport.raise_clock(
+            self._world_rank, arrival_out,
+            event_kind="send", nbytes=nbytes, peer=self._to_world(dest),
+        )
+        del t0
+        return msg.unpack()
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
+        """Nonblocking probe; Status (with local source) or None."""
+        st = self._transport.probe(
+            self._ctx, self._world_rank, self._to_world(source), tag
+        )
+        if st is None:
+            return None
+        return Status(source=self._to_local(st.source), tag=st.tag, nbytes=st.nbytes)
+
+    # ------------------------------------------------------- collectives -- #
+    def barrier(self) -> None:
+        _coll.barrier(self)
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        return _coll.bcast(self, value, root)
+
+    def reduce(self, value: Any, op: Op = SUM, root: int = 0) -> Any:
+        return _coll.reduce(self, value, op, root)
+
+    def allreduce(self, value: Any, op: Op = SUM) -> Any:
+        return _coll.allreduce(self, value, op)
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        return _coll.gather(self, value, root)
+
+    def allgather(self, value: Any) -> list[Any]:
+        return _coll.allgather(self, value)
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        return _coll.scatter(self, values, root)
+
+    def alltoall(self, values: Sequence[Any]) -> list[Any]:
+        return _coll.alltoall(self, values)
+
+    def reduce_scatter(self, blocks: Sequence[np.ndarray], op: Op = SUM) -> np.ndarray:
+        return _coll.reduce_scatter(self, blocks, op)
+
+    # --------------------------------------------- communicator management -- #
+    def split(self, color: int | None, key: int = 0) -> "Comm | None":
+        """Partition the communicator by color; order members by key.
+
+        ``color=None`` (MPI's ``MPI_UNDEFINED``) yields ``None``.
+        Collective over the communicator.
+        """
+        self._split_seq += 1
+        triples = _coll.allgather(self, (color, key, self._rank))
+        if color is None:
+            return None
+        members = sorted(
+            (k, r) for (c, k, r) in triples if c == color
+        )
+        group = tuple(self._group[r] for (_k, r) in members)
+        ctx = self._transport.context_for_key(
+            (self._ctx, "split", self._split_seq, color)
+        )
+        return Comm(self._transport, ctx, group, self._world_rank)
+
+    def dup(self) -> "Comm":
+        """Duplicate: same group, fresh context."""
+        self._split_seq += 1
+        _coll.barrier(self)
+        ctx = self._transport.context_for_key((self._ctx, "dup", self._split_seq))
+        return Comm(self._transport, ctx, self._group, self._world_rank)
+
+    def create_sub(self, local_ranks: Sequence[int]) -> "Comm | None":
+        """Create a subcommunicator from an explicit local-rank list.
+
+        Collective over the parent.  Ranks not listed get ``None``.
+        Every rank must pass the same list.
+        """
+        ranks = tuple(local_ranks)
+        if len(set(ranks)) != len(ranks):
+            raise CommError("duplicate ranks in create_sub")
+        color = 0 if self._rank in ranks else None
+        key = ranks.index(self._rank) if self._rank in ranks else 0
+        return self.split(color, key)
+
+    # ------------------------------------------------- simulated compute -- #
+    def compute(self, flops: float) -> None:
+        """Advance this rank's simulated clock by a compute interval."""
+        self._transport.advance(
+            self._world_rank, self._transport.machine.compute_time(flops), "compute"
+        )
+
+    def gemm_tick(self, m: int, n: int, k: int, itemsize: int = 8) -> None:
+        """Charge simulated time for a local ``m x k @ k x n`` GEMM.
+
+        In GPU mode this includes PCIe staging of the operands/result.
+        """
+        stage = (m * k + k * n + m * n) * itemsize
+        dt = self._transport.machine.gemm_time(m, n, k, stage_bytes=stage)
+        self._transport.advance(self._world_rank, dt, "compute")
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute enclosed traffic/time to a named phase (for breakdowns)."""
+        self._transport.push_phase(self._world_rank, name)
+        try:
+            yield
+        finally:
+            self._transport.pop_phase(self._world_rank)
+
+    def note_live_bytes(self, nbytes: int) -> None:
+        """Report current live matrix bytes for peak-memory tracking."""
+        self._transport.note_live_bytes(self._world_rank, nbytes)
+
+    def now(self) -> float:
+        """This rank's simulated clock, in seconds."""
+        return self._transport.now(self._world_rank)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Comm(rank={self._rank}, size={self.size}, ctx={self._ctx})"

@@ -1,0 +1,54 @@
+"""Exception types for the virtual MPI runtime.
+
+The virtual runtime mirrors the error behaviour of a hosted MPI: misuse of
+the API (bad ranks, mismatched buffers) raises immediately on the calling
+rank, while a global stall (every live rank blocked with no message able to
+satisfy any of them) is detected by the runtime watchdog and surfaced as a
+:class:`DeadlockError` on the driver thread.
+"""
+
+from __future__ import annotations
+
+
+class VMpiError(Exception):
+    """Base class for all virtual-MPI errors."""
+
+
+class RankError(VMpiError):
+    """An operation referenced a rank outside the communicator."""
+
+
+class TagError(VMpiError):
+    """An operation used an invalid tag value."""
+
+
+class BufferError_(VMpiError):
+    """A receive buffer did not match the incoming message."""
+
+
+class CommError(VMpiError):
+    """A communicator was used incorrectly (e.g. after being freed)."""
+
+
+class DeadlockError(VMpiError):
+    """The runtime watchdog found every live rank blocked with no progress.
+
+    Carries the set of blocked ranks and what each was waiting for, which
+    is usually enough to spot a mismatched send/recv pair.
+    """
+
+    def __init__(self, blocked: dict[int, str]):
+        self.blocked = dict(blocked)
+        detail = ", ".join(f"rank {r}: {w}" for r, w in sorted(blocked.items()))
+        super().__init__(f"virtual MPI deadlock; blocked ranks: {detail}")
+
+
+class AbortError(VMpiError):
+    """Raised inside ranks when another rank has failed and the job aborts."""
+
+    def __init__(self, origin_rank: int, cause: BaseException | None = None):
+        self.origin_rank = origin_rank
+        self.cause = cause
+        super().__init__(
+            f"virtual MPI job aborted (first failure on rank {origin_rank})"
+        )

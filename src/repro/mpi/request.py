@@ -1,0 +1,126 @@
+"""Nonblocking request handles.
+
+The virtual runtime copies payloads eagerly, so an ``isend`` buffer is
+reusable the moment the call returns; what :meth:`Request.wait` models is
+the *simulated* completion time.  A send request completes at
+``issue_clock + α + β·n`` (overlappable with compute: if the rank's clock
+has already passed that point, waiting is free).  A receive request
+completes at the matched message's arrival time.
+
+Matching for ``irecv`` happens at :meth:`wait` time.  That is a
+simplification relative to MPI (where posted receives participate in
+matching immediately), but it is indistinguishable for the deterministic,
+loss-free algorithms in this package and keeps the transport simple.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from .datatypes import ANY_TAG, Status
+from .errors import BufferError_
+
+
+class Request:
+    """Base request; concrete behaviour provided by subclasses."""
+
+    def wait(self) -> Any:
+        raise NotImplementedError
+
+    def test(self) -> tuple[bool, Any]:
+        """Nonblocking completion check; ``(done, value_or_None)``."""
+        raise NotImplementedError
+
+
+class SendRequest(Request):
+    def __init__(
+        self,
+        transport,
+        world_rank: int,
+        t_complete: float,
+        nbytes: int = 0,
+        peer: int = -1,
+    ):
+        self._transport = transport
+        self._world_rank = world_rank
+        self._t_complete = t_complete
+        self._nbytes = nbytes
+        self._peer = peer
+        self._done = False
+
+    def wait(self) -> None:
+        if not self._done:
+            self._transport.raise_clock(
+                self._world_rank, self._t_complete,
+                event_kind="send", nbytes=self._nbytes, peer=self._peer,
+            )
+            self._done = True
+
+    def test(self) -> tuple[bool, Any]:
+        # Eager copies make the buffer immediately reusable; the only
+        # effect of completion is the clock raise, applied on first call.
+        self.wait()
+        return True, None
+
+
+class RecvRequest(Request):
+    def __init__(
+        self,
+        transport,
+        ctx: int,
+        dst_world: int,
+        src_world: int,
+        tag: int,
+        buf: np.ndarray | None,
+        to_local: Callable[[int], int],
+    ):
+        self._transport = transport
+        self._ctx = ctx
+        self._dst_world = dst_world
+        self._src_world = src_world
+        self._tag = tag
+        self._buf = buf
+        self._to_local = to_local
+        self._done = False
+        self._value: Any = None
+        self.status = Status()
+
+    def _finish(self, msg, status) -> Any:
+        value = msg.unpack()
+        self.status = Status(
+            source=self._to_local(status.source), tag=status.tag, nbytes=status.nbytes
+        )
+        if self._buf is not None:
+            arr = np.asarray(value)
+            if self._buf.size != arr.size:
+                raise BufferError_(
+                    f"irecv buffer size {self._buf.size} != message size {arr.size}"
+                )
+            self._buf.reshape(-1)[:] = arr.reshape(-1)
+            value = self._buf
+        self._done = True
+        self._value = value
+        return value
+
+    def wait(self) -> Any:
+        if self._done:
+            return self._value
+        msg, status = self._transport.match_recv(
+            self._ctx, self._dst_world, self._src_world, self._tag
+        )
+        return self._finish(msg, status)
+
+    def test(self) -> tuple[bool, Any]:
+        if self._done:
+            return True, self._value
+        st = self._transport.probe(self._ctx, self._dst_world, self._src_world, self._tag)
+        if st is None:
+            return False, None
+        return True, self.wait()
+
+
+def wait_all(requests: list[Request]) -> list[Any]:
+    """Wait on every request, returning their values in order."""
+    return [r.wait() for r in requests]

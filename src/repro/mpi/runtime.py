@@ -1,0 +1,149 @@
+"""SPMD launcher for the virtual MPI world.
+
+:func:`run_spmd` plays the role of ``mpiexec``: it spawns one Python
+thread per rank, hands each a world :class:`~repro.mpi.comm.Comm`, runs
+the user's rank function, and collects per-rank return values plus the
+transport's traffic traces.
+
+Failure handling mirrors a batch MPI job: the first rank to raise
+aborts the world (all blocked ranks are woken with
+:class:`~repro.mpi.errors.AbortError`) and the original exception is
+re-raised on the driver thread.  A watchdog samples the transport's
+progress counter and raises :class:`~repro.mpi.errors.DeadlockError`
+when every live rank has been blocked with no progress for the timeout.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..machine.model import MachineModel
+from .comm import Comm
+from .errors import AbortError, DeadlockError
+from .transport import RankTrace, Transport
+
+#: Context id of the world communicator.
+WORLD_CTX = 0
+
+
+@dataclass
+class SpmdResult:
+    """Everything the driver gets back from an SPMD run."""
+
+    results: list[Any]  #: per-rank return values of the rank function
+    traces: list[RankTrace]  #: per-rank traffic/clock traces
+    transport: Transport  #: the (now idle) transport, for inspection
+
+    @property
+    def time(self) -> float:
+        """Simulated makespan: the maximum rank clock."""
+        return max((t.time for t in self.traces), default=0.0)
+
+    @property
+    def max_bytes_sent(self) -> int:
+        """The paper's Q metric (in bytes): max over ranks of bytes sent."""
+        return max((t.bytes_sent for t in self.traces), default=0)
+
+    @property
+    def max_msgs_sent(self) -> int:
+        """The paper's L metric: max over ranks of messages sent."""
+        return max((t.msgs_sent for t in self.traces), default=0)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.bytes_sent for t in self.traces)
+
+
+def run_spmd(
+    nprocs: int,
+    fn: Callable[..., Any],
+    args: Sequence[Any] = (),
+    machine: MachineModel | None = None,
+    deadlock_timeout: float = 30.0,
+    record_events: bool = False,
+) -> SpmdResult:
+    """Run ``fn(comm, *args)`` on ``nprocs`` threaded ranks.
+
+    Parameters
+    ----------
+    nprocs:
+        World size.
+    fn:
+        The per-rank entry point; called as ``fn(comm, *args)`` on every
+        rank.  Its return value is collected into ``results[rank]``.
+    args:
+        Extra positional arguments, identical on every rank.
+    machine:
+        Cost model; defaults to :class:`~repro.machine.model.MachineModel`.
+    deadlock_timeout:
+        Wall-clock seconds of global no-progress after which the run is
+        aborted as deadlocked.
+    record_events:
+        Record per-rank simulated-time :class:`~repro.mpi.transport.Event`
+        intervals (send/recv/wait/compute) on ``result.transport.events``
+        for timeline rendering (:mod:`repro.analysis.timeline`).
+    """
+    transport = Transport(nprocs, machine, record_events=record_events)
+    results: list[Any] = [None] * nprocs
+    errors: list[tuple[int, BaseException, str]] = []
+    err_lock = threading.Lock()
+    done = threading.Event()
+    finished = [0]
+
+    def rank_main(rank: int) -> None:
+        comm = Comm(transport, WORLD_CTX, range(nprocs), rank)
+        try:
+            results[rank] = fn(comm, *args)
+        except AbortError:
+            pass  # secondary casualty of another rank's failure
+        except BaseException as exc:  # noqa: BLE001 - must not kill the thread silently
+            with err_lock:
+                errors.append((rank, exc, traceback.format_exc()))
+            transport.abort(AbortError(rank, exc))
+        finally:
+            with err_lock:
+                finished[0] += 1
+                if finished[0] == nprocs:
+                    done.set()
+
+    threads = [
+        threading.Thread(target=rank_main, args=(r,), name=f"vmpi-rank-{r}", daemon=True)
+        for r in range(nprocs)
+    ]
+    for t in threads:
+        t.start()
+
+    # Watchdog loop on the driver thread.
+    stall = 0.0
+    poll = 0.25
+    last_progress = -1
+    while not done.wait(timeout=poll):
+        progress = transport.progress
+        blocked = transport.blocked_ranks()
+        with err_lock:
+            n_done = finished[0]
+        if progress == last_progress and len(blocked) + n_done == nprocs and blocked:
+            stall += poll
+            if stall >= deadlock_timeout:
+                err = DeadlockError(blocked)
+                transport.abort(AbortError(-1, err))
+                done.wait(timeout=5.0)
+                raise err
+        else:
+            stall = 0.0
+        last_progress = progress
+
+    for t in threads:
+        t.join(timeout=5.0)
+
+    if errors:
+        errors.sort(key=lambda e: e[0])
+        rank, exc, tb = errors[0]
+        raise RuntimeError(
+            f"rank {rank} failed in SPMD run:\n{tb}"
+        ) from exc
+
+    return SpmdResult(results=results, traces=transport.traces(), transport=transport)

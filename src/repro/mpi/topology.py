@@ -1,0 +1,133 @@
+"""Cartesian process-grid helpers used by the 2D/3D algorithms.
+
+The paper organizes the ``pm x pn x pk`` grid column-major: ranks in the
+same k-task group (and the same Cannon group within it) are contiguous.
+:class:`Cart2D` gives 2D algorithms (Cannon, SUMMA) coordinates, row and
+column subcommunicators, and circular-shift neighbours on an existing
+communicator without reinventing index arithmetic at every call site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .comm import Comm
+from .errors import CommError
+
+
+@dataclass(frozen=True)
+class GridCoords2D:
+    """Coordinates of a rank in a column-major 2D grid."""
+
+    row: int
+    col: int
+
+
+class Cart2D:
+    """A column-major ``nrows x ncols`` view of a communicator.
+
+    Local rank ``r`` sits at ``(row, col) = (r % nrows, r // nrows)``,
+    matching the column-major convention used throughout the paper's
+    examples (Fig. 2).
+    """
+
+    def __init__(self, comm: Comm, nrows: int, ncols: int):
+        if comm.size != nrows * ncols:
+            raise CommError(
+                f"Cart2D {nrows}x{ncols} needs {nrows * ncols} ranks, comm has {comm.size}"
+            )
+        self.comm = comm
+        self.nrows = nrows
+        self.ncols = ncols
+        self.row = comm.rank % nrows
+        self.col = comm.rank // nrows
+
+    def rank_of(self, row: int, col: int) -> int:
+        """Local rank of the process at ``(row, col)`` (wrapping)."""
+        return (row % self.nrows) + (col % self.ncols) * self.nrows
+
+    @property
+    def coords(self) -> GridCoords2D:
+        return GridCoords2D(self.row, self.col)
+
+    # Circular-shift neighbours (used by Cannon's algorithm).
+    def left(self, by: int = 1) -> int:
+        return self.rank_of(self.row, self.col - by)
+
+    def right(self, by: int = 1) -> int:
+        return self.rank_of(self.row, self.col + by)
+
+    def up(self, by: int = 1) -> int:
+        return self.rank_of(self.row - by, self.col)
+
+    def down(self, by: int = 1) -> int:
+        return self.rank_of(self.row + by, self.col)
+
+    def row_comm(self) -> Comm:
+        """Subcommunicator of this rank's grid row (collective)."""
+        sub = self.comm.split(color=self.row, key=self.col)
+        assert sub is not None
+        return sub
+
+    def col_comm(self) -> Comm:
+        """Subcommunicator of this rank's grid column (collective)."""
+        sub = self.comm.split(color=self.col, key=self.row)
+        assert sub is not None
+        return sub
+
+
+class Cart3D:
+    """A column-major ``ni x nj x nl`` view of a communicator.
+
+    Local rank ``r`` sits at ``(i, j, l)`` with ``i`` fastest:
+    ``r = i + ni*j + ni*nj*l`` — the rank-order convention of the 3D and
+    2.5D algorithms and of CA3DMM's grid (the l/k index outermost).
+    Fiber subcommunicators vary one coordinate while fixing the others.
+    """
+
+    def __init__(self, comm: Comm, ni: int, nj: int, nl: int):
+        if comm.size != ni * nj * nl:
+            raise CommError(
+                f"Cart3D {ni}x{nj}x{nl} needs {ni * nj * nl} ranks, comm has {comm.size}"
+            )
+        self.comm = comm
+        self.ni, self.nj, self.nl = ni, nj, nl
+        self.i = comm.rank % ni
+        self.j = (comm.rank // ni) % nj
+        self.l = comm.rank // (ni * nj)
+
+    def rank_of(self, i: int, j: int, l: int) -> int:
+        """Local rank at ``(i, j, l)`` (coordinates wrap)."""
+        return (
+            (i % self.ni)
+            + (j % self.nj) * self.ni
+            + (l % self.nl) * self.ni * self.nj
+        )
+
+    @property
+    def coords(self) -> tuple[int, int, int]:
+        return self.i, self.j, self.l
+
+    def i_fiber(self) -> Comm:
+        """Ranks sharing (j, l), ordered by i (collective)."""
+        sub = self.comm.split(color=self.j + self.nj * self.l, key=self.i)
+        assert sub is not None
+        return sub
+
+    def j_fiber(self) -> Comm:
+        """Ranks sharing (i, l), ordered by j (collective)."""
+        sub = self.comm.split(color=self.i + self.ni * self.l, key=self.j)
+        assert sub is not None
+        return sub
+
+    def l_fiber(self) -> Comm:
+        """Ranks sharing (i, j), ordered by l (collective)."""
+        sub = self.comm.split(color=self.i + self.ni * self.j, key=self.l)
+        assert sub is not None
+        return sub
+
+    def layer(self) -> Comm:
+        """The (i, j) plane at this rank's l, ordered column-major."""
+        sub = self.comm.split(color=self.l, key=self.i + self.ni * self.j)
+        assert sub is not None
+        return sub

@@ -1,0 +1,421 @@
+"""The shared transport behind a virtual MPI world.
+
+Every rank in a world is a Python thread; the transport is the single
+shared object they communicate through.  It provides:
+
+* eager point-to-point delivery with MPI matching semantics
+  (``(source, tag)`` with wildcards, non-overtaking order per pair),
+* per-rank simulated clocks driven by a :class:`~repro.machine.model.MachineModel`
+  (a message arrives at ``sender_clock_at_send + α + β·nbytes``; a receive
+  completes at ``max(receiver_clock, arrival)``),
+* per-rank, per-phase traffic counters (bytes/messages sent and received,
+  simulated time) used to reproduce the paper's communication-volume and
+  runtime-breakdown results from *executed* traffic, and
+* the progress counter that the runtime watchdog uses for deadlock
+  detection.
+
+A single coarse lock protects all state; with the GIL and the heavy
+lifting done inside numpy, finer locking buys nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..machine.model import MachineModel
+from .datatypes import ANY_SOURCE, ANY_TAG, Message, Status
+from .errors import AbortError
+
+#: Phase label used when no explicit phase is active.
+DEFAULT_PHASE = "other"
+
+
+@dataclass
+class PhaseStats:
+    """Traffic and simulated time attributed to one phase on one rank."""
+
+    time: float = 0.0
+    comm_time: float = 0.0
+    compute_time: float = 0.0
+    bytes_sent: int = 0
+    bytes_recv: int = 0
+    msgs_sent: int = 0
+    msgs_recv: int = 0
+
+    def merged(self, other: "PhaseStats") -> "PhaseStats":
+        return PhaseStats(
+            time=self.time + other.time,
+            comm_time=self.comm_time + other.comm_time,
+            compute_time=self.compute_time + other.compute_time,
+            bytes_sent=self.bytes_sent + other.bytes_sent,
+            bytes_recv=self.bytes_recv + other.bytes_recv,
+            msgs_sent=self.msgs_sent + other.msgs_sent,
+            msgs_recv=self.msgs_recv + other.msgs_recv,
+        )
+
+
+@dataclass
+class RankState:
+    """Mutable per-rank bookkeeping owned by the transport."""
+
+    clock: float = 0.0
+    bytes_sent: int = 0
+    bytes_recv: int = 0
+    msgs_sent: int = 0
+    msgs_recv: int = 0
+    peak_live_bytes: int = 0
+    phase_stack: list[str] = field(default_factory=list)
+    phases: dict[str, PhaseStats] = field(default_factory=dict)
+    waiting_on: str | None = None  #: populated while blocked (watchdog info)
+
+    @property
+    def phase(self) -> str:
+        return self.phase_stack[-1] if self.phase_stack else DEFAULT_PHASE
+
+    def phase_stats(self, name: str | None = None) -> PhaseStats:
+        key = self.phase if name is None else name
+        st = self.phases.get(key)
+        if st is None:
+            st = self.phases[key] = PhaseStats()
+        return st
+
+
+@dataclass(frozen=True)
+class Event:
+    """One simulated-time interval on a rank (optional event recording).
+
+    ``kind`` is one of ``"send"``, ``"recv"``, ``"wait"`` (clock raised
+    to a message arrival or request completion), or ``"compute"``.
+    ``peer`` is the world rank on the other side of a transfer (-1 for
+    compute/wait).  Intervals use the simulated clock, in seconds.
+    """
+
+    rank: int
+    kind: str
+    phase: str
+    t0: float
+    t1: float
+    nbytes: int = 0
+    peer: int = -1
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class RankTrace:
+    """Immutable snapshot of a rank's counters, returned to the driver."""
+
+    rank: int
+    time: float
+    bytes_sent: int
+    bytes_recv: int
+    msgs_sent: int
+    msgs_recv: int
+    peak_live_bytes: int
+    phases: dict[str, PhaseStats]
+
+
+class Transport:
+    """Mailboxes + clocks + counters for one virtual MPI world."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        machine: MachineModel | None = None,
+        record_events: bool = False,
+    ):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.nprocs = nprocs
+        self.machine = machine or MachineModel()
+        self.record_events = record_events
+        self.events: list[Event] = []
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        # mailbox[(ctx, dst_world)] -> list of pending Message in seq order
+        self._mail: dict[tuple[int, int], list[Message]] = defaultdict(list)
+        self._seq = 0
+        self.ranks = [RankState() for _ in range(nprocs)]
+        #: bumped on every delivery/removal; the watchdog samples it.
+        self.progress = 0
+        self._context_keys: dict[Any, int] = {}
+        self._next_ctx = 1
+        self.aborted: AbortError | None = None
+
+    # ----------------------------------------------------- context ids -- #
+    def context_for_key(self, key: Any) -> int:
+        """Deterministically map a split/dup key to a fresh context id.
+
+        All member ranks of a new communicator call this with the same
+        key and receive the same id; the first caller allocates it.
+        """
+        with self._lock:
+            ctx = self._context_keys.get(key)
+            if ctx is None:
+                ctx = self._next_ctx
+                self._next_ctx += 1
+                self._context_keys[key] = ctx
+            return ctx
+
+    # --------------------------------------------------------- aborting -- #
+    def abort(self, err: AbortError) -> None:
+        """Record a fatal error and wake all blocked ranks."""
+        with self._cond:
+            if self.aborted is None:
+                self.aborted = err
+            self._cond.notify_all()
+
+    def _check_abort(self) -> None:
+        if self.aborted is not None:
+            raise self.aborted
+
+    # ------------------------------------------------------------ clocks -- #
+    def now(self, world_rank: int) -> float:
+        with self._lock:
+            return self.ranks[world_rank].clock
+
+    def advance(self, world_rank: int, dt: float, kind: str = "comm") -> None:
+        """Advance a rank's clock by ``dt`` and attribute it to its phase."""
+        if dt < 0:
+            raise ValueError("negative time advance")
+        with self._lock:
+            self._advance_locked(world_rank, dt, kind)
+
+    def _advance_locked(
+        self,
+        world_rank: int,
+        dt: float,
+        kind: str,
+        event_kind: str | None = None,
+        nbytes: int = 0,
+        peer: int = -1,
+    ) -> None:
+        st = self.ranks[world_rank]
+        t0 = st.clock
+        st.clock += dt
+        ps = st.phase_stats()
+        ps.time += dt
+        if kind == "comm":
+            ps.comm_time += dt
+        elif kind == "compute":
+            ps.compute_time += dt
+        if self.record_events and dt > 0:
+            self.events.append(
+                Event(
+                    rank=world_rank,
+                    kind=event_kind or ("compute" if kind == "compute" else "wait"),
+                    phase=st.phase,
+                    t0=t0,
+                    t1=st.clock,
+                    nbytes=nbytes,
+                    peer=peer,
+                )
+            )
+
+    def raise_clock(
+        self,
+        world_rank: int,
+        t: float,
+        event_kind: str = "wait",
+        nbytes: int = 0,
+        peer: int = -1,
+    ) -> None:
+        """Move a rank's clock up to ``t`` if it is behind (never back)."""
+        with self._lock:
+            self._raise_clock_locked(world_rank, t, event_kind, nbytes, peer)
+
+    def _raise_clock_locked(
+        self,
+        world_rank: int,
+        t: float,
+        event_kind: str = "wait",
+        nbytes: int = 0,
+        peer: int = -1,
+    ) -> None:
+        """Move a rank's clock up to ``t`` (waiting time counts as comm)."""
+        st = self.ranks[world_rank]
+        if t > st.clock:
+            dt = t - st.clock
+            t0 = st.clock
+            st.clock = t
+            ps = st.phase_stats()
+            ps.time += dt
+            ps.comm_time += dt
+            if self.record_events:
+                self.events.append(
+                    Event(
+                        rank=world_rank,
+                        kind=event_kind,
+                        phase=st.phase,
+                        t0=t0,
+                        t1=t,
+                        nbytes=nbytes,
+                        peer=peer,
+                    )
+                )
+
+    # ------------------------------------------------------------ phases -- #
+    def push_phase(self, world_rank: int, name: str) -> None:
+        with self._lock:
+            self.ranks[world_rank].phase_stack.append(name)
+
+    def pop_phase(self, world_rank: int) -> str:
+        with self._lock:
+            return self.ranks[world_rank].phase_stack.pop()
+
+    def note_live_bytes(self, world_rank: int, nbytes: int) -> None:
+        """Record a high-water mark of live matrix bytes on a rank."""
+        with self._lock:
+            st = self.ranks[world_rank]
+            if nbytes > st.peak_live_bytes:
+                st.peak_live_bytes = nbytes
+
+    # --------------------------------------------------------------- p2p -- #
+    def post_send(
+        self,
+        ctx: int,
+        src_world: int,
+        dst_world: int,
+        tag: int,
+        stored: Any,
+        nbytes: int,
+        is_array: bool,
+        advance_sender: bool,
+    ) -> float:
+        """Deposit a message; return its simulated arrival time.
+
+        ``advance_sender=True`` models a blocking send (the sender's
+        clock moves past the transfer); ``False`` models a nonblocking
+        send whose cost is accounted at ``wait`` time by the caller.
+        """
+        t_msg = self.machine.msg_time(nbytes, src_world, dst_world)
+        with self._cond:
+            self._check_abort()
+            st = self.ranks[src_world]
+            arrival = st.clock + t_msg
+            if advance_sender:
+                self._advance_locked(
+                    src_world, t_msg, "comm",
+                    event_kind="send", nbytes=nbytes, peer=dst_world,
+                )
+            ps = st.phase_stats()
+            ps.bytes_sent += nbytes
+            ps.msgs_sent += 1
+            st.bytes_sent += nbytes
+            st.msgs_sent += 1
+            self._seq += 1
+            msg = Message(
+                ctx=ctx,
+                src_world=src_world,
+                dst_world=dst_world,
+                tag=tag,
+                stored=stored,
+                nbytes=nbytes,
+                is_array=is_array,
+                arrival=arrival,
+                seq=self._seq,
+            )
+            self._mail[(ctx, dst_world)].append(msg)
+            self.progress += 1
+            self._cond.notify_all()
+        return arrival
+
+    @staticmethod
+    def _matches(msg: Message, src_world: int, tag: int) -> bool:
+        if src_world != ANY_SOURCE and msg.src_world != src_world:
+            return False
+        if tag != ANY_TAG and msg.tag != tag:
+            return False
+        return True
+
+    def _find_locked(self, ctx: int, dst_world: int, src_world: int, tag: int) -> Message | None:
+        box = self._mail.get((ctx, dst_world))
+        if not box:
+            return None
+        for i, msg in enumerate(box):
+            if self._matches(msg, src_world, tag):
+                box.pop(i)
+                return msg
+        return None
+
+    def match_recv(
+        self,
+        ctx: int,
+        dst_world: int,
+        src_world: int,
+        tag: int,
+        advance_receiver: bool = True,
+    ) -> tuple[Message, Status]:
+        """Block (the real thread) until a matching message is available.
+
+        On return the receiver's simulated clock has been raised to the
+        message arrival time (if ``advance_receiver``), and the
+        receive-side counters are charged.
+        """
+        with self._cond:
+            waitdesc = f"recv(src={src_world}, tag={tag}, ctx={ctx})"
+            st = self.ranks[dst_world]
+            st.waiting_on = waitdesc
+            try:
+                while True:
+                    self._check_abort()
+                    msg = self._find_locked(ctx, dst_world, src_world, tag)
+                    if msg is not None:
+                        break
+                    self._cond.wait(timeout=0.5)
+                self.progress += 1
+                if advance_receiver:
+                    self._raise_clock_locked(
+                        dst_world, msg.arrival,
+                        event_kind="recv", nbytes=msg.nbytes, peer=msg.src_world,
+                    )
+                ps = st.phase_stats()
+                ps.bytes_recv += msg.nbytes
+                ps.msgs_recv += 1
+                st.bytes_recv += msg.nbytes
+                st.msgs_recv += 1
+                status = Status(source=msg.src_world, tag=msg.tag, nbytes=msg.nbytes)
+                return msg, status
+            finally:
+                st.waiting_on = None
+
+    def probe(self, ctx: int, dst_world: int, src_world: int, tag: int) -> Status | None:
+        """Nonblocking probe: status of the first matching message, if any."""
+        with self._lock:
+            box = self._mail.get((ctx, dst_world))
+            if box:
+                for msg in box:
+                    if self._matches(msg, src_world, tag):
+                        return Status(source=msg.src_world, tag=msg.tag, nbytes=msg.nbytes)
+            return None
+
+    # ----------------------------------------------------------- tracing -- #
+    def trace(self, world_rank: int) -> RankTrace:
+        with self._lock:
+            st = self.ranks[world_rank]
+            return RankTrace(
+                rank=world_rank,
+                time=st.clock,
+                bytes_sent=st.bytes_sent,
+                bytes_recv=st.bytes_recv,
+                msgs_sent=st.msgs_sent,
+                msgs_recv=st.msgs_recv,
+                peak_live_bytes=st.peak_live_bytes,
+                phases={k: v.merged(PhaseStats()) for k, v in st.phases.items()},
+            )
+
+    def traces(self) -> list[RankTrace]:
+        return [self.trace(r) for r in range(self.nprocs)]
+
+    def blocked_ranks(self) -> dict[int, str]:
+        with self._lock:
+            return {
+                r: st.waiting_on
+                for r, st in enumerate(self.ranks)
+                if st.waiting_on is not None
+            }

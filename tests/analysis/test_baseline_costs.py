@@ -1,0 +1,133 @@
+"""Baseline cost models: textbook complexity relations of Section II."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.baseline_costs import (
+    algo1d_cost,
+    algo25d_cost,
+    carma_cost,
+    summa_cost,
+)
+from repro.analysis.costs import ca3dmm_cost
+from repro.machine.model import laptop, pace_phoenix_cpu
+
+
+@pytest.fixture(scope="module")
+def mach():
+    return pace_phoenix_cpu("mpi")
+
+
+class TestAlgo1D:
+    def test_auto_variant_selection(self, mach):
+        assert algo1d_cost(10000, 100, 100, 64, mach).algo == "1d-m"
+        assert algo1d_cost(100, 10000, 100, 64, mach).algo == "1d-n"
+        assert algo1d_cost(100, 100, 10000, 64, mach).algo == "1d-k"
+
+    def test_invalid_variant(self, mach):
+        with pytest.raises(ValueError):
+            algo1d_cost(10, 10, 10, 4, mach, variant="z")
+
+    def test_1d_wins_extreme_aspect_only(self, mach):
+        """1D beats the 3D family only when one dimension dominates."""
+        P = 256
+        skinny = (2_000_000, 200, 200)
+        cube = (20000, 20000, 20000)
+        assert (
+            algo1d_cost(*skinny, P, mach).q_words
+            <= ca3dmm_cost(*skinny, P, mach).q_words * 1.5
+        )
+        assert (
+            algo1d_cost(*cube, P, mach).q_words
+            > 3 * ca3dmm_cost(*cube, P, mach).q_words
+        )
+
+    def test_replication_volume(self):
+        """1d-m replicates B: per-rank volume ~ kn(P-1)/P words."""
+        m = laptop()
+        rep = algo1d_cost(10000, 100, 100, 16, m, variant="m")
+        assert rep.q_words == pytest.approx(100 * 100 * 15 / 16, rel=0.05)
+
+
+class TestSumma:
+    def test_volume_scales_as_inverse_sqrt_p(self, mach):
+        """Q_SUMMA = O(N²/√P): quadrupling P halves the volume."""
+        q1 = summa_cost(20000, 20000, 20000, 64, mach).q_words
+        q2 = summa_cost(20000, 20000, 20000, 256, mach).q_words
+        assert q1 / q2 == pytest.approx(2.0, rel=0.15)
+
+    def test_loses_to_3d_family_at_scale(self, mach):
+        """The paper's core premise: 2D algorithms leave volume on the
+        table once extra memory is available."""
+        dims = (30000, 30000, 30000)
+        P = 1024
+        assert (
+            summa_cost(*dims, P, mach).q_words
+            > 1.5 * ca3dmm_cost(*dims, P, mach).q_words
+        )
+
+    def test_panel_width_trades_latency(self, mach):
+        small = summa_cost(8192, 8192, 8192, 64, mach, panel=64)
+        big = summa_cost(8192, 8192, 8192, 64, mach, panel=2048)
+        assert small.l_msgs > big.l_msgs
+        assert small.q_words == pytest.approx(big.q_words, rel=0.05)
+
+    def test_explicit_grid(self, mach):
+        rep = summa_cost(1000, 4000, 1000, 32, mach, grid=(2, 16))
+        assert rep.grid == "2x16"
+
+
+class TestAlgo25D:
+    def test_c1_matches_summa_scaling(self, mach):
+        q = algo25d_cost(16384, 16384, 16384, 64, mach, sq=8, c=1).q_words
+        q4 = algo25d_cost(16384, 16384, 16384, 256, mach, sq=16, c=1).q_words
+        assert q / q4 == pytest.approx(2.0, rel=0.2)
+
+    def test_replication_trades_memory_for_shift_traffic(self, mach):
+        """The 2.5D bridge: more layers cut the shift phase (fewer,
+        larger steps -> fewer messages) at the price of memory.  (In
+        this layer-0-seeded implementation the up-front broadcast grows
+        with c, so *total* volume is not monotone — the win is in the
+        latency-bound shift loop, as in Solomonik & Demmel's analysis.)
+        """
+        dims = (16384, 16384, 16384)
+        q1 = algo25d_cost(*dims, 64, mach, sq=8, c=1)
+        q4 = algo25d_cost(*dims, 64, mach, sq=4, c=4)
+        assert q4.l_msgs < q1.l_msgs
+        assert q4.mem_words > q1.mem_words
+
+    def test_flops_conserved(self, mach):
+        rep = algo25d_cost(4096, 4096, 4096, 64, mach, sq=4, c=4)
+        assert rep.flops_per_rank == pytest.approx(2.0 * 4096 ** 3 / 64, rel=0.05)
+
+
+class TestCarma:
+    def test_power_of_two_handling(self, mach):
+        rep = carma_cost(8192, 8192, 8192, 100, mach)  # 64 active
+        assert rep.grid == "2^6"
+
+    def test_volume_asymptotically_3d(self, mach):
+        """On powers of two CARMA tracks the 3D family's volume."""
+        dims = (16384, 16384, 16384)
+        P = 512
+        q_carma = carma_cost(*dims, P, mach).q_words
+        q_ca = ca3dmm_cost(*dims, P, mach).q_words
+        assert q_carma < 4 * q_ca
+
+    def test_k_dominant_costs_only_c_traffic(self):
+        m = laptop()
+        rep = carma_cost(64, 64, 1 << 20, 16, m)
+        # All splits are k-splits: replicate phase untouched.
+        assert rep.phases.get("replicate", None) is None or rep.phases[
+            "replicate"
+        ].words == 0
+        assert rep.phases["reduce"].words > 0
+
+    def test_matches_executed_character(self, spmd):
+        """Analytic CARMA C-traffic equals the executed pairwise volume
+        for the pure-k recursion (cf. tests/baselines/test_carma.py)."""
+        mch = laptop()
+        rep = carma_cost(4, 4, 64, 4, mch)
+        # two k-splits: mn/2 + mn/4 words
+        assert rep.phases["reduce"].words == pytest.approx(4 * 4 / 2 + 4 * 4 / 4)

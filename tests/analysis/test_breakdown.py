@@ -1,0 +1,86 @@
+"""Fig. 5 breakdown extraction from both engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.breakdown import (
+    Breakdown,
+    breakdown_from_report,
+    breakdown_from_traces,
+)
+from repro.analysis.costs import ca3dmm_cost, cosma_cost
+from repro.core import Ca3dmm
+from repro.core.plan import Ca3dmmPlan
+from repro.layout.matrix import DistMatrix, dense_random
+from repro.machine.model import laptop, pace_phoenix_cpu
+
+
+class TestFromReport:
+    def test_buckets_sum_to_total(self):
+        rep = ca3dmm_cost(8000, 8000, 8000, 64, pace_phoenix_cpu("mpi"))
+        b = breakdown_from_report(rep)
+        assert b.total == pytest.approx(rep.t_total, rel=1e-9)
+        assert b.local_compute > 0
+
+    def test_normalization(self):
+        b = Breakdown("x", local_compute=2.0, replicate_ab=1.0, reduce_c=1.0)
+        n = b.normalized(4.0)
+        assert n.total == pytest.approx(1.0)
+        assert n.local_compute == pytest.approx(0.5)
+
+    def test_normalize_by_zero_is_identity(self):
+        b = Breakdown("x", local_compute=2.0)
+        assert b.normalized(0.0) is b
+
+    def test_as_row_keys(self):
+        row = Breakdown("x").as_row()
+        assert set(row) == {"local computation", "replicate A, B", "reduce C", "other"}
+
+    def test_class_specific_dominance(self):
+        """The paper's Fig. 5 reading: reduce C dominates comm for
+        large-K; replicate A,B dominates for large-M."""
+        mach = pace_phoenix_cpu("mpi")
+        bk = breakdown_from_report(ca3dmm_cost(6000, 6000, 1200000, 2048, mach))
+        bm = breakdown_from_report(ca3dmm_cost(1200000, 6000, 6000, 2048, mach))
+        assert bk.reduce_c > bk.replicate_ab
+        assert bm.replicate_ab > bm.reduce_c
+
+
+class TestFromTraces:
+    def test_executed_breakdown(self, spmd):
+        m, n, k, P = 32, 64, 48, 16
+        plan = Ca3dmmPlan(m, n, k, P)
+
+        def f(comm):
+            eng = Ca3dmm(comm, m, n, k)
+            a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 0))
+            b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 1))
+            eng.multiply(a, b)
+
+        res = spmd(P, f, machine=laptop())
+        b = breakdown_from_traces(res, "ca3dmm")
+        assert b.local_compute > 0
+        assert b.total == pytest.approx(max(t.time for t in res.traces), rel=0.01)
+        if plan.pk > 1:
+            assert b.reduce_c > 0
+
+    def test_executed_vs_analytic_buckets_agree(self, spmd):
+        """Same machine model, same schedule: buckets within 3x."""
+        m, n, k, P = 64, 64, 128, 16
+        mach = laptop()
+        plan = Ca3dmmPlan(m, n, k, P)
+
+        def f(comm):
+            eng = Ca3dmm(comm, m, n, k)
+            a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 0))
+            b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 1))
+            eng.multiply(a, b)
+
+        res = spmd(P, f, machine=mach)
+        got = breakdown_from_traces(res, "ca3dmm")
+        want = breakdown_from_report(ca3dmm_cost(m, n, k, P, mach))
+        assert got.local_compute == pytest.approx(want.local_compute, rel=0.5)
+        if want.reduce_c > 0:
+            assert got.reduce_c == pytest.approx(want.reduce_c, rel=2.0)

@@ -1,0 +1,145 @@
+"""Executed collectives vs the paper's closed-form α-β costs.
+
+These tests tie the two engines together: the byte/message counts the
+threaded collectives actually produce must equal what the formulas in
+:mod:`repro.machine.collcost` (the paper's Section III-D table) charge.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.machine.collcost import (
+    allgather_cost,
+    alltoall_cost,
+    barrier_cost,
+    bcast_cost,
+    p2p_cost,
+    reduce_scatter_cost,
+)
+from repro.machine.model import MachineModel, laptop
+
+
+def _traffic(spmd, P, fn):
+    res = spmd(P, fn)
+    return (
+        max(t.bytes_sent for t in res.traces),
+        max(t.msgs_sent for t in res.traces),
+        res.time,
+    )
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("P", [2, 3, 4, 7, 8, 16])
+    def test_volume_and_rounds(self, spmd, P):
+        nbytes_each = 800
+
+        def f(comm):
+            comm.allgather(np.zeros(100))
+
+        got_bytes, got_msgs, _ = _traffic(spmd, P, f)
+        cost = allgather_cost(laptop(), nbytes_each * P, P)
+        # Bruck moves total*(P-1)/P per rank; pickle wrapping adds a
+        # constant per block.
+        assert got_bytes == pytest.approx(cost.bytes_sent, rel=0.25)
+        assert got_msgs == cost.msgs == math.ceil(math.log2(P))
+
+
+class TestReduceScatter:
+    @pytest.mark.parametrize("P", [2, 3, 5, 8])
+    def test_pairwise_counts(self, spmd, P):
+        block = 400  # bytes per destination block
+
+        def f(comm):
+            comm.reduce_scatter([np.zeros(50) for _ in range(comm.size)])
+
+        got_bytes, got_msgs, _ = _traffic(spmd, P, f)
+        cost = reduce_scatter_cost(laptop(), block * P, P)
+        assert got_msgs == cost.msgs == P - 1
+        assert got_bytes == pytest.approx(cost.bytes_sent, rel=0.05)
+
+    def test_paper_formula_value(self):
+        """T_reduce_scatter = α(P-1) + βn(P-1)/P exactly."""
+        m = MachineModel(
+            alpha=1e-6, nic_beta=1e-10, ranks_per_node=1, nic_share=1.0,
+            alpha_intra=1e-6, beta_intra=1e-10,
+        )
+        c = reduce_scatter_cost(m, 8000, 8)
+        assert c.time == pytest.approx(7e-6 + 1e-10 * 8000 * 7 / 8)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("P", [2, 4, 8])
+    def test_long_bcast_volume(self, spmd, P):
+        """van de Geijn: root sends ~2n(P-1)/P bytes."""
+        n = 100000 * 8
+
+        def f(comm):
+            arr = np.zeros(100000) if comm.rank == 0 else None
+            comm.bcast(arr, root=0)
+
+        got_bytes, _, _ = _traffic(spmd, P, f)
+        cost = bcast_cost(laptop(), n, P)
+        assert got_bytes == pytest.approx(cost.bytes_sent, rel=0.10)
+
+    def test_formula_matches_paper(self):
+        m = MachineModel(
+            alpha=1e-6, nic_beta=1e-10, ranks_per_node=1, nic_share=1.0,
+            alpha_intra=1e-6, beta_intra=1e-10,
+        )
+        c = bcast_cost(m, 8000, 8)
+        assert c.time == pytest.approx((3 + 7) * 1e-6 + 2e-10 * 8000 * 7 / 8)
+
+
+class TestOthers:
+    @pytest.mark.parametrize("P", [2, 5, 8])
+    def test_alltoall_counts(self, spmd, P):
+        def f(comm):
+            comm.alltoall([np.zeros(25) for _ in range(comm.size)])
+
+        got_bytes, got_msgs, _ = _traffic(spmd, P, f)
+        cost = alltoall_cost(laptop(), 200 * P, P)
+        assert got_msgs == cost.msgs == P - 1
+        assert got_bytes == pytest.approx(cost.bytes_sent, rel=0.10)
+
+    @pytest.mark.parametrize("P", [2, 3, 8])
+    def test_barrier_rounds(self, spmd, P):
+        def f(comm):
+            comm.barrier()
+
+        _, got_msgs, _ = _traffic(spmd, P, f)
+        assert got_msgs == barrier_cost(laptop(), P).msgs
+
+    def test_p2p_cost(self):
+        m = laptop()
+        c = p2p_cost(m, 1000)
+        assert c.msgs == 1 and c.bytes_sent == 1000
+        assert c.time == pytest.approx(m.alpha + m.beta * 1000)
+
+    def test_trivial_groups_free(self):
+        m = laptop()
+        for fn in (allgather_cost, bcast_cost, reduce_scatter_cost, alltoall_cost):
+            assert fn(m, 1000, 1).time == 0
+        assert barrier_cost(m, 1).time == 0
+
+
+class TestSimulatedTime:
+    def test_executed_allgather_time_matches_formula(self, spmd):
+        """With uniform links, the executed Bruck allgather's simulated
+        time lands on α log2 P + βn(P-1)/P (power-of-two groups)."""
+        mach = MachineModel(
+            alpha=1e-3, nic_beta=0.0, alpha_intra=1e-3, beta_intra=0.0,
+            ranks_per_node=10 ** 9,
+        )
+        P = 8
+
+        def f(comm):
+            comm.allgather(np.zeros(10))
+            return comm.now()
+
+        res = spmd(P, f, machine=mach)
+        # 3 rounds of 1ms latency (bandwidth term zeroed)
+        assert max(res.results) == pytest.approx(3e-3, rel=0.01)

@@ -1,0 +1,108 @@
+"""Exact layout-conversion volumes vs executed redistribution traffic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.layout_cost import exact_redist_volume
+from repro.core.plan import Ca3dmmPlan
+from repro.layout import (
+    Block2D,
+    BlockCol1D,
+    BlockCyclic2D,
+    BlockRow1D,
+    DistMatrix,
+    dense_random,
+    redistribute,
+)
+from repro.machine.model import laptop
+from repro.mpi import run_spmd
+
+
+class TestExactVolume:
+    def test_identity_moves_nothing(self):
+        d = BlockRow1D((20, 30), 4)
+        v = exact_redist_volume(d, d)
+        assert v.total_moved == 0
+        assert v.overlap == 1.0
+
+    def test_row_to_col_moves_most(self):
+        src = BlockRow1D((16, 16), 4)
+        dst = BlockCol1D((16, 16), 4)
+        v = exact_redist_volume(src, dst)
+        # each rank keeps only its 4x4 diagonal-ish block
+        assert v.total_moved == 16 * 16 - 4 * (4 * 4)
+        assert 0 < v.overlap < 0.3
+
+    def test_per_rank_accounting(self):
+        src = BlockRow1D((8, 8), 2)
+        dst = BlockCol1D((8, 8), 2)
+        v = exact_redist_volume(src, dst)
+        # rank 0 owns rows 0-3, keeps cols 0-3 of them: ships 4x4
+        assert v.per_rank_sent == (16, 16)
+        assert v.max_sent == 16
+
+    def test_transpose_volume(self):
+        src = BlockRow1D((6, 10), 2)
+        dst = BlockRow1D((10, 6), 2)
+        v = exact_redist_volume(src, dst, transpose=True)
+        assert v.total_area == 60
+        assert v.total_moved > 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            exact_redist_volume(BlockRow1D((4, 4), 2), BlockRow1D((5, 4), 2))
+        with pytest.raises(ValueError):
+            exact_redist_volume(BlockRow1D((4, 4), 2), BlockRow1D((4, 4), 3))
+
+    def test_native_ca3dmm_conversion_volume(self):
+        """1D-column -> CA3DMM-native A: nearly everything moves — the
+        mechanism behind the paper's custom-layout penalty."""
+        plan = Ca3dmmPlan(32, 32, 64, 16)
+        src = BlockCol1D((32, 64), 16)
+        v = exact_redist_volume(src, plan.a_dist)
+        # (for this shape the k-major column layout half-aligns with the
+        # native blocks; half the matrix still changes owner)
+        assert v.moved_fraction >= 0.5
+
+
+class TestAgainstExecuted:
+    @pytest.mark.parametrize(
+        "mk_src,mk_dst",
+        [
+            (lambda s, P: BlockRow1D(s, P), lambda s, P: BlockCol1D(s, P)),
+            (lambda s, P: BlockCol1D(s, P), lambda s, P: Block2D(s, P, 2, 2)),
+            (lambda s, P: BlockRow1D(s, P), lambda s, P: BlockCyclic2D(s, P, 2, 2, bs=3)),
+        ],
+    )
+    def test_predicted_volume_matches_measured_bytes(self, mk_src, mk_dst):
+        P, m, n = 4, 18, 14
+        src, dst = mk_src((m, n), P), mk_dst((m, n), P)
+        predicted = exact_redist_volume(src, dst)
+
+        def f(comm):
+            x = DistMatrix.from_global(comm, src, dense_random(m, n, 1))
+            before = comm.transport.trace(comm.world_rank).bytes_sent
+            redistribute(x, dst)
+            return comm.transport.trace(comm.world_rank).bytes_sent - before
+
+        res = run_spmd(P, f, machine=laptop(), deadlock_timeout=30.0)
+        for rank, sent_bytes in enumerate(res.results):
+            raw = predicted.per_rank_sent[rank] * 8
+            # pickle envelope per piece; payload itself must match exactly
+            assert raw <= sent_bytes <= raw + 8192
+            if raw == 0:
+                assert sent_bytes == 0  # neighbourhood exchange: silence
+
+    @settings(max_examples=10, deadline=None)
+    @given(m=st.integers(2, 16), n=st.integers(2, 16), p=st.integers(1, 5))
+    def test_conservation_property(self, m, n, p):
+        """Total moved volume is symmetric under direction reversal."""
+        a = BlockRow1D((m, n), p)
+        b = BlockCol1D((m, n), p)
+        assert (
+            exact_redist_volume(a, b).total_moved
+            == exact_redist_volume(b, a).total_moved
+        )

@@ -1,0 +1,136 @@
+"""Event recording and timeline rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeline import (
+    critical_rank,
+    event_totals,
+    phase_spans,
+    render_timeline,
+)
+from repro.core import ca3dmm_matmul
+from repro.core.plan import Ca3dmmPlan
+from repro.layout import DistMatrix, dense_random
+from repro.machine.model import MachineModel, laptop
+from repro.mpi import run_spmd
+
+
+def _run_recorded(m=32, n=32, k=64, P=8):
+    plan = Ca3dmmPlan(m, n, k, P)
+
+    def f(comm):
+        a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 0))
+        b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 1))
+        c = ca3dmm_matmul(a, b)
+        return c.local_bytes()
+
+    return run_spmd(P, f, machine=laptop(), record_events=True)
+
+
+class TestEventRecording:
+    def test_events_off_by_default(self, spmd):
+        res = spmd(2, lambda comm: comm.allgather(comm.rank))
+        assert res.transport.events == []
+
+    def test_events_cover_all_kinds(self):
+        res = _run_recorded()
+        kinds = {e.kind for e in res.transport.events}
+        assert {"send", "recv", "compute"} <= kinds
+
+    def test_event_intervals_well_formed(self):
+        res = _run_recorded()
+        for e in res.transport.events:
+            assert e.t1 >= e.t0 >= 0.0
+            assert 0 <= e.rank < res.transport.nprocs
+
+    def test_event_times_bounded_by_makespan(self):
+        res = _run_recorded()
+        assert max(e.t1 for e in res.transport.events) <= res.time + 1e-15
+
+    def test_event_totals_match_phase_stats(self):
+        res = _run_recorded()
+        totals = event_totals(res)
+        for trace in res.traces:
+            if trace.rank not in totals:
+                continue
+            recorded = sum(totals[trace.rank].values())
+            assert recorded == pytest.approx(trace.time, rel=1e-9)
+
+    def test_transfer_events_carry_peer_and_bytes(self):
+        res = _run_recorded()
+        sends = [e for e in res.transport.events if e.kind == "send"]
+        assert sends
+        assert all(e.peer >= 0 and e.nbytes > 0 for e in sends)
+
+
+class TestRendering:
+    def test_render_produces_one_lane_per_rank(self):
+        res = _run_recorded(P=8)
+        text = render_timeline(res, width=60)
+        assert text.count("rank") == 8
+        assert "legend" in text
+        assert "#" in text  # some compute is visible
+
+    def test_render_subset_of_ranks(self):
+        res = _run_recorded(P=8)
+        text = render_timeline(res, width=40, ranks=[0, 3])
+        assert text.count("rank") == 2
+
+    def test_render_requires_events(self, spmd):
+        res = spmd(2, lambda comm: None)
+        with pytest.raises(ValueError):
+            render_timeline(res)
+
+    def test_phase_spans_ordered(self):
+        res = _run_recorded()
+        spans = phase_spans(res)
+        assert "cannon" in spans and "reduce" in spans
+        # the k-reduction happens after Cannon starts
+        assert spans["reduce"][1] >= spans["cannon"][0]
+
+    def test_critical_rank_is_makespan_owner(self):
+        res = _run_recorded()
+        cr = critical_rank(res)
+        assert res.traces[cr].time == pytest.approx(res.time)
+
+
+class TestOverlapVisibility:
+    def test_dual_buffer_overlap_shows_compute_over_transfer(self):
+        """With slow links, waiting appears; with fast links it does not —
+        the timeline makes the overlap model observable."""
+        m = n = k = 48
+        P = 4
+        plan = Ca3dmmPlan(m, n, k, P)
+
+        def f(comm):
+            a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 0))
+            b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 1))
+            ca3dmm_matmul(a, b)
+
+        slow = MachineModel(
+            alpha_intra=1e-3, beta_intra=1e-6, alpha=1e-3, nic_beta=1e-6,
+            ranks_per_node=10 ** 9, gamma=1e-12,
+        )
+        # fast network, compute-bound: transfers hide under GEMMs
+        fast = MachineModel(
+            alpha_intra=1e-9, beta_intra=1e-12, alpha=1e-9, nic_beta=1e-12,
+            ranks_per_node=10 ** 9, gamma=1e-8,
+        )
+        res_slow = run_spmd(P, f, machine=slow, record_events=True)
+        res_fast = run_spmd(P, f, machine=fast, record_events=True)
+        wait_slow = sum(
+            e.duration for e in res_slow.transport.events if e.kind in ("wait", "recv")
+        )
+        comp_fast = sum(
+            e.duration for e in res_fast.transport.events if e.kind == "compute"
+        )
+        assert wait_slow > 0
+        assert comp_fast > 0
+        # fast network: communication is a small share of the makespan
+        comm_fast = sum(
+            e.duration for e in res_fast.transport.events if e.kind != "compute"
+        )
+        assert comm_fast < comp_fast

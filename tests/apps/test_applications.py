@@ -1,0 +1,251 @@
+"""The driver applications: end-to-end integration tests.
+
+These are the repository's integration layer: each test composes many
+CA3DMM multiplications (all three problem-class shapes), layout
+conversions, and collectives into a numerically verifiable outcome.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    cholesky_qr,
+    cholesky_qr2,
+    gram_matrix,
+    initial_density_guess,
+    mcweeny_purification,
+    polar_decompose,
+    rayleigh_ritz,
+    shifted_cholesky_qr,
+    subspace_iteration,
+)
+from repro.layout import BlockCol1D, BlockRow1D, DistMatrix, dense_random
+from repro.layout import ops
+
+
+def _gapped_symmetric(n, n_low, seed=0, lo=(-2.0, -1.0), hi=(1.0, 2.0)):
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    vals = np.concatenate([np.linspace(*lo, n_low), np.linspace(*hi, n - n_low)])
+    return (q * vals) @ q.T, q, vals
+
+
+class TestPurification:
+    def test_converges_to_projector(self, spmd):
+        n, ne = 24, 10
+
+        def f(comm):
+            h_mat, q, _ = _gapped_symmetric(n, ne, seed=3)
+            h = DistMatrix.from_global(comm, BlockRow1D((n, n), comm.size), h_mat)
+            r = mcweeny_purification(h, ne, tol=1e-9)
+            ref = q[:, :ne] @ q[:, :ne].T
+            return (
+                float(np.abs(r.density.to_global() - ref).max()),
+                r.trace,
+                r.idempotency_error,
+            )
+
+        res = spmd(6, f, deadlock_timeout=120.0)
+        for err, tr, idem in res.results:
+            assert err < 1e-7
+            assert tr == pytest.approx(10.0, abs=1e-8)
+            assert idem < 1e-9
+
+    def test_trace_preserved_every_iteration(self, spmd):
+        """Canonical purification keeps tr(D) = ne throughout."""
+        n, ne = 16, 5
+
+        def f(comm):
+            h_mat, _, _ = _gapped_symmetric(n, ne, seed=1)
+            h = DistMatrix.from_global(comm, BlockCol1D((n, n), comm.size), h_mat)
+            d = initial_density_guess(h, ne)
+            t0 = ops.trace(d)
+            r = mcweeny_purification(h, ne, tol=1e-10, max_iter=40)
+            return t0, r.trace
+
+        res = spmd(4, f, deadlock_timeout=120.0)
+        for t0, tf in res.results:
+            assert t0 == pytest.approx(ne, abs=1e-10)
+            assert tf == pytest.approx(ne, abs=1e-8)
+
+    def test_initial_guess_spectrum_in_unit_interval(self, spmd):
+        n, ne = 12, 4
+
+        def f(comm):
+            h_mat, _, _ = _gapped_symmetric(n, ne, seed=7)
+            h = DistMatrix.from_global(comm, BlockRow1D((n, n), comm.size), h_mat)
+            d0 = initial_density_guess(h, ne).to_global()
+            eigs = np.linalg.eigvalsh(d0)
+            return float(eigs.min()), float(eigs.max())
+
+        res = spmd(3, f)
+        for lo, hi in res.results:
+            assert lo >= -1e-12 and hi <= 1.0 + 1e-12
+
+    def test_bad_electron_count(self, spmd):
+        def f(comm):
+            h = DistMatrix.random(comm, BlockRow1D((8, 8), comm.size), seed=0)
+            with pytest.raises(ValueError):
+                mcweeny_purification(h, 20)
+
+        spmd(2, f)
+
+
+class TestCholeskyQR:
+    @pytest.mark.parametrize("m,n,P", [(60, 6, 6), (48, 5, 8), (30, 3, 12)])
+    def test_qr2_orthogonal_and_exact(self, spmd, m, n, P):
+        def f(comm):
+            a_mat = dense_random(m, n, 1)
+            a = DistMatrix.from_global(comm, BlockRow1D((m, n), comm.size), a_mat)
+            q, r = cholesky_qr2(a)
+            qg = q.to_global()
+            return (
+                float(np.abs(qg.T @ qg - np.eye(n)).max()),
+                float(np.abs(qg @ r - a_mat).max()),
+                float(np.abs(np.tril(r, -1)).max()),
+            )
+
+        res = spmd(P, f, deadlock_timeout=120.0)
+        for orth, recon, tril in res.results:
+            assert orth < 1e-12
+            assert recon < 1e-12
+            assert tril < 1e-12
+
+    def test_gram_matrix_is_large_k_pgemm(self, spmd):
+        m, n = 80, 4
+
+        def f(comm):
+            a_mat = dense_random(m, n, 2)
+            a = DistMatrix.from_global(comm, BlockRow1D((m, n), comm.size), a_mat)
+            g = gram_matrix(a)
+            return float(np.abs(g - a_mat.T @ a_mat).max())
+
+        res = spmd(8, f)
+        assert max(res.results) < 1e-11
+
+    def test_single_pass_loses_orthogonality_on_bad_condition(self, spmd):
+        """CholeskyQR's known failure mode motivates the shifted variant."""
+        m, n = 40, 4
+
+        def f(comm):
+            rng = np.random.default_rng(0)
+            u, _ = np.linalg.qr(rng.standard_normal((m, n)))
+            v, _ = np.linalg.qr(rng.standard_normal((n, n)))
+            a_mat = (u * np.logspace(0, -6, n)) @ v.T  # condition ~ 1e6
+            a = DistMatrix.from_global(comm, BlockRow1D((m, n), comm.size), a_mat)
+            q1, _ = cholesky_qr(a)
+            q2, _ = cholesky_qr2(a)
+            qg1, qg2 = q1.to_global(), q2.to_global()
+            e1 = float(np.abs(qg1.T @ qg1 - np.eye(n)).max())
+            e2 = float(np.abs(qg2.T @ qg2 - np.eye(n)).max())
+            return e1, e2
+
+        res = spmd(4, f, deadlock_timeout=120.0)
+        for e1, e2 in res.results:
+            assert e2 < 1e-12
+            assert e1 > 10 * e2  # one pass is visibly worse
+
+    def test_shifted_variant_survives_ill_conditioning(self, spmd):
+        m, n = 40, 4
+
+        def f(comm):
+            rng = np.random.default_rng(0)
+            u, _ = np.linalg.qr(rng.standard_normal((m, n)))
+            v, _ = np.linalg.qr(rng.standard_normal((n, n)))
+            a_mat = (u * np.logspace(0, -7, n)) @ v.T  # condition ~ 1e7
+            a = DistMatrix.from_global(comm, BlockRow1D((m, n), comm.size), a_mat)
+            q, r = shifted_cholesky_qr(a)
+            qg = q.to_global()
+            return (
+                float(np.abs(qg.T @ qg - np.eye(n)).max()),
+                float(np.abs(qg @ r - a_mat).max() / np.abs(a_mat).max()),
+            )
+
+        res = spmd(4, f, deadlock_timeout=120.0)
+        for orth, recon in res.results:
+            assert orth < 1e-10
+            assert recon < 1e-8
+
+
+class TestPolar:
+    def test_orthogonal_factor(self, spmd):
+        m, n = 24, 8
+
+        def f(comm):
+            a_mat = dense_random(m, n, 2)
+            a = DistMatrix.from_global(comm, BlockRow1D((m, n), comm.size), a_mat)
+            r = polar_decompose(a, tol=1e-12)
+            u = r.u.to_global()
+            # U is the polar factor: UᵀA must be symmetric positive definite.
+            h = u.T @ a_mat
+            return (
+                float(np.abs(u.T @ u - np.eye(n)).max()),
+                float(np.abs(h - h.T).max()),
+                float(np.linalg.eigvalsh((h + h.T) / 2).min()),
+            )
+
+        res = spmd(6, f, deadlock_timeout=120.0)
+        for orth, sym, lam_min in res.results:
+            assert orth < 1e-10
+            assert sym < 1e-8
+            assert lam_min > 0
+
+    def test_square_case(self, spmd):
+        def f(comm):
+            a_mat = dense_random(12, 12, 3) + 3 * np.eye(12)
+            a = DistMatrix.from_global(comm, BlockCol1D((12, 12), comm.size), a_mat)
+            r = polar_decompose(a, tol=1e-12)
+            u = r.u.to_global()
+            return float(np.abs(u.T @ u - np.eye(12)).max())
+
+        res = spmd(4, f, deadlock_timeout=120.0)
+        assert max(res.results) < 1e-10
+
+    def test_shape_validated(self, spmd):
+        def f(comm):
+            a = DistMatrix.random(comm, BlockRow1D((4, 8), comm.size), seed=0)
+            with pytest.raises(ValueError):
+                polar_decompose(a)
+
+        spmd(2, f)
+
+
+class TestSubspace:
+    def test_rayleigh_ritz_recovers_invariant_subspace(self, spmd):
+        n, b = 20, 4
+
+        def f(comm):
+            h_mat, q, vals = _gapped_symmetric(n, b, seed=5)
+            h = DistMatrix.from_global(comm, BlockRow1D((n, n), comm.size), h_mat)
+            # start from the exact invariant subspace, randomly rotated
+            rng = np.random.default_rng(1)
+            w, _ = np.linalg.qr(rng.standard_normal((b, b)))
+            v_mat = q[:, :b] @ w
+            v = DistMatrix.from_global(comm, BlockCol1D((n, b), comm.size), v_mat)
+            ritz, v2 = rayleigh_ritz(h, v)
+            return float(np.abs(np.sort(ritz) - np.sort(vals[:b])).max())
+
+        res = spmd(6, f, deadlock_timeout=120.0)
+        assert max(res.results) < 1e-10
+
+    def test_subspace_iteration_finds_lowest_pairs(self, spmd):
+        n, b = 30, 6
+
+        def f(comm):
+            h_mat, _, vals = _gapped_symmetric(n, b, seed=5)
+            h = DistMatrix.from_global(comm, BlockRow1D((n, n), comm.size), h_mat)
+            r = subspace_iteration(h, b, degree=8, tol=1e-8, max_iter=25, seed=1)
+            return float(np.abs(np.sort(r.eigenvalues) - np.sort(vals[:b])).max())
+
+        res = spmd(4, f, deadlock_timeout=240.0)
+        assert max(res.results) < 1e-4
+
+    def test_invalid_subspace_size(self, spmd):
+        def f(comm):
+            h = DistMatrix.random(comm, BlockRow1D((8, 8), comm.size), seed=0)
+            with pytest.raises(ValueError):
+                subspace_iteration(h, 0)
+
+        spmd(2, f)

@@ -1,0 +1,100 @@
+"""Property-based tests of the driver applications (hypothesis).
+
+Randomized spectra, conditioning, and sizes; small example counts keep
+the SPMD runs fast while covering the parameter space the fixed tests
+sample only at points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import block_cholesky, cholesky_qr2, mcweeny_purification
+from repro.layout import BlockCol1D, BlockRow1D, DistMatrix
+from repro.machine.model import laptop
+from repro.mpi import run_spmd
+
+COMMON = dict(max_examples=8, deadline=None)
+
+
+@settings(**COMMON)
+@given(
+    n=st.integers(8, 20),
+    ne_frac=st.floats(0.15, 0.8),
+    gap=st.floats(0.5, 3.0),
+    seed=st.integers(0, 10 ** 6),
+    p=st.integers(2, 6),
+)
+def test_purification_any_gapped_spectrum(n, ne_frac, gap, seed, p):
+    ne = max(1, min(n - 1, int(n * ne_frac)))
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    vals = np.concatenate(
+        [np.linspace(-2 - gap, -gap, ne), np.linspace(gap, 2 + gap, n - ne)]
+    )
+    h_mat = (q * vals) @ q.T
+
+    def f(comm):
+        h = DistMatrix.from_global(comm, BlockRow1D((n, n), comm.size), h_mat)
+        r = mcweeny_purification(h, ne, tol=1e-9, max_iter=60)
+        ref = q[:, :ne] @ q[:, :ne].T
+        return (
+            abs(r.trace - ne) < 1e-6
+            and float(np.abs(r.density.to_global() - ref).max()) < 1e-5
+        )
+
+    res = run_spmd(p, f, machine=laptop(), deadlock_timeout=60.0)
+    assert all(res.results)
+
+
+@settings(**COMMON)
+@given(
+    m=st.integers(10, 50),
+    n=st.integers(2, 6),
+    logcond=st.floats(0.0, 4.0),
+    seed=st.integers(0, 10 ** 6),
+    p=st.integers(2, 6),
+)
+def test_choleskyqr2_random_conditioning(m, n, logcond, seed, p):
+    n = min(n, m)
+    rng = np.random.default_rng(seed)
+    u, _ = np.linalg.qr(rng.standard_normal((m, n)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    a_mat = (u * np.logspace(0, -logcond, n)) @ v.T
+
+    def f(comm):
+        a = DistMatrix.from_global(comm, BlockRow1D((m, n), comm.size), a_mat)
+        q, r = cholesky_qr2(a)
+        qg = q.to_global()
+        return (
+            float(np.abs(qg.T @ qg - np.eye(n)).max()) < 1e-10
+            and float(np.abs(qg @ r - a_mat).max()) < 1e-10 * max(1, 10 ** logcond)
+        )
+
+    res = run_spmd(p, f, machine=laptop(), deadlock_timeout=60.0)
+    assert all(res.results)
+
+
+@settings(**COMMON)
+@given(
+    n=st.integers(6, 24),
+    block=st.integers(1, 8),
+    seed=st.integers(0, 10 ** 6),
+    p=st.integers(2, 5),
+)
+def test_block_cholesky_any_blocking(n, block, seed, p):
+    rng = np.random.default_rng(seed)
+    g = rng.standard_normal((n, n))
+    a_mat = g @ g.T + n * np.eye(n)
+
+    def f(comm):
+        a = DistMatrix.from_global(comm, BlockCol1D((n, n), comm.size), a_mat)
+        l_mat = block_cholesky(a, block=block).to_global()
+        return (
+            float(np.abs(l_mat @ l_mat.T - a_mat).max() / np.abs(a_mat).max()) < 1e-11
+            and float(np.abs(np.triu(l_mat, 1)).max()) == 0.0
+        )
+
+    res = run_spmd(p, f, machine=laptop(), deadlock_timeout=60.0)
+    assert all(res.results)

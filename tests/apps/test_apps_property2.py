@@ -1,0 +1,70 @@
+"""More application properties: polar factors and Rayleigh-Ritz."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import polar_decompose, rayleigh_ritz
+from repro.layout import BlockCol1D, BlockRow1D, DistMatrix
+from repro.machine.model import laptop
+from repro.mpi import run_spmd
+
+COMMON = dict(max_examples=8, deadline=None)
+
+
+@settings(**COMMON)
+@given(
+    m=st.integers(6, 24),
+    n=st.integers(2, 6),
+    seed=st.integers(0, 10 ** 6),
+    p=st.integers(2, 6),
+)
+def test_polar_factor_properties(m, n, seed, p):
+    n = min(n, m)
+    rng = np.random.default_rng(seed)
+    a_mat = rng.standard_normal((m, n)) + (np.eye(m, n) * n)
+
+    def f(comm):
+        a = DistMatrix.from_global(comm, BlockRow1D((m, n), comm.size), a_mat)
+        res = polar_decompose(a, tol=1e-11, max_iter=80)
+        u = res.u.to_global()
+        h = u.T @ a_mat
+        return (
+            float(np.abs(u.T @ u - np.eye(n)).max()) < 1e-9
+            and float(np.abs(h - h.T).max()) < 1e-7
+            and res.orthogonality_error < 1e-11
+        )
+
+    res = run_spmd(p, f, machine=laptop(), deadlock_timeout=120.0)
+    assert all(res.results)
+
+
+@settings(**COMMON)
+@given(
+    n=st.integers(8, 24),
+    b=st.integers(2, 5),
+    seed=st.integers(0, 10 ** 6),
+    p=st.integers(2, 6),
+)
+def test_rayleigh_ritz_values_interlace(n, b, seed, p):
+    """Ritz values of any orthonormal basis lie inside H's spectrum."""
+    b = min(b, n)
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    vals = np.sort(rng.standard_normal(n)) * 2
+    h_mat = (q * vals) @ q.T
+    v_mat, _ = np.linalg.qr(rng.standard_normal((n, b)))
+
+    def f(comm):
+        h = DistMatrix.from_global(comm, BlockRow1D((n, n), comm.size), h_mat)
+        v = DistMatrix.from_global(comm, BlockCol1D((n, b), comm.size), v_mat)
+        ritz, v2 = rayleigh_ritz(h, v)
+        inside = vals.min() - 1e-9 <= ritz.min() and ritz.max() <= vals.max() + 1e-9
+        # the rotated basis stays orthonormal
+        vg = v2.to_global()
+        ortho = float(np.abs(vg.T @ vg - np.eye(b)).max()) < 1e-9
+        return inside and ortho
+
+    res = run_spmd(p, f, machine=laptop(), deadlock_timeout=120.0)
+    assert all(res.results)

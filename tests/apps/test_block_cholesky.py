@@ -1,0 +1,83 @@
+"""Blocked Cholesky: the flat-class trailing-update driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import block_cholesky
+from repro.layout import Block2D, BlockCol1D, BlockRow1D, DistMatrix
+
+
+def _spd(n: int, seed: int = 5) -> np.ndarray:
+    g = np.random.default_rng(seed).standard_normal((n, n))
+    return g @ g.T + n * np.eye(n)
+
+
+def _check(comm, n, b, dist_fn=BlockCol1D):
+    a_mat = _spd(n)
+    a = DistMatrix.from_global(comm, dist_fn((n, n), comm.size), a_mat)
+    l_mat = block_cholesky(a, block=b).to_global()
+    recon = float(np.abs(l_mat @ l_mat.T - a_mat).max() / np.abs(a_mat).max())
+    upper = float(np.abs(np.triu(l_mat, 1)).max())
+    return recon, upper
+
+
+class TestBlockCholesky:
+    @pytest.mark.parametrize("n,b,P", [(24, 6, 4), (30, 7, 6), (18, 5, 9)])
+    def test_factor_reconstructs(self, spmd, n, b, P):
+        res = spmd(P, lambda comm: _check(comm, n, b), deadlock_timeout=120.0)
+        for recon, upper in res.results:
+            assert recon < 1e-13
+            assert upper == 0.0
+
+    def test_single_block_is_plain_cholesky(self, spmd):
+        res = spmd(4, lambda comm: _check(comm, 16, 16))
+        assert res.results[0][0] < 1e-13
+
+    def test_unblocked_limit(self, spmd):
+        """block=1 is the scalar right-looking algorithm."""
+        res = spmd(5, lambda comm: _check(comm, 20, 1), deadlock_timeout=120.0)
+        assert res.results[0][0] < 1e-13
+
+    def test_any_input_layout(self, spmd):
+        res = spmd(
+            4,
+            lambda comm: _check(comm, 24, 8, dist_fn=lambda s, P: Block2D(s, P, 2, 2)),
+            deadlock_timeout=120.0,
+        )
+        assert res.results[0][0] < 1e-13
+
+    def test_output_layout_is_row_band(self, spmd):
+        def f(comm):
+            a = DistMatrix.from_global(comm, BlockCol1D((12, 12), comm.size), _spd(12))
+            l_out = block_cholesky(a, block=4)
+            return isinstance(l_out.dist, BlockRow1D)
+
+        assert all(spmd(3, f).results)
+
+    def test_rejects_non_square(self, spmd):
+        def f(comm):
+            a = DistMatrix.random(comm, BlockCol1D((8, 10), comm.size), seed=0)
+            with pytest.raises(ValueError):
+                block_cholesky(a)
+
+        spmd(2, f)
+
+    def test_rejects_bad_block(self, spmd):
+        def f(comm):
+            a = DistMatrix.from_global(comm, BlockCol1D((8, 8), comm.size), _spd(8))
+            with pytest.raises(ValueError):
+                block_cholesky(a, block=0)
+
+        spmd(2, f)
+
+    def test_indefinite_matrix_fails_cleanly(self, spmd):
+        """numpy's LinAlgError aborts the world instead of hanging it."""
+
+        def f(comm):
+            a = DistMatrix.from_global(comm, BlockCol1D((8, 8), comm.size), -np.eye(8))
+            block_cholesky(a, block=4)
+
+        with pytest.raises(RuntimeError, match="failed in SPMD run"):
+            spmd(2, f)

@@ -1,0 +1,118 @@
+"""Distributed elementwise/reduction operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layout import BlockCol1D, BlockRow1D, DistMatrix, dense_random
+from repro.layout import ops
+
+
+class TestElementwise:
+    def test_add_scale(self, spmd):
+        def f(comm):
+            d = BlockRow1D((8, 6), comm.size)
+            A, B = dense_random(8, 6, 1), dense_random(8, 6, 2)
+            a = DistMatrix.from_global(comm, d, A)
+            b = DistMatrix.from_global(comm, d, B)
+            s = ops.add(a, b, alpha=2.0, beta=-0.5)
+            t = ops.scale(a, 3.0)
+            return (
+                np.allclose(s.to_global(), 2 * A - 0.5 * B)
+                and np.allclose(t.to_global(), 3 * A)
+            )
+
+        assert all(spmd(3, f).results)
+
+    def test_apply(self, spmd):
+        def f(comm):
+            d = BlockRow1D((6, 6), comm.size)
+            a = DistMatrix.from_global(comm, d, dense_random(6, 6, 1))
+            sq = ops.apply(a, np.square)
+            return np.allclose(sq.to_global(), a.to_global() ** 2)
+
+        assert all(spmd(2, f).results)
+
+    def test_mismatched_dist_rejected(self, spmd):
+        def f(comm):
+            a = DistMatrix.random(comm, BlockRow1D((6, 6), comm.size), seed=0)
+            b = DistMatrix.random(comm, BlockCol1D((6, 6), comm.size), seed=1)
+            with pytest.raises(ValueError):
+                ops.add(a, b)
+
+        spmd(2, f)
+
+
+class TestReductions:
+    def test_trace(self, spmd):
+        def f(comm):
+            A = dense_random(9, 9, 4)
+            a = DistMatrix.from_global(comm, BlockCol1D((9, 9), comm.size), A)
+            return ops.trace(a), float(np.trace(A))
+
+        res = spmd(4, f)
+        for got, want in res.results:
+            assert got == pytest.approx(want, rel=1e-12)
+
+    def test_trace_requires_square(self, spmd):
+        def f(comm):
+            a = DistMatrix.random(comm, BlockRow1D((4, 6), comm.size), seed=0)
+            with pytest.raises(ValueError):
+                ops.trace(a)
+
+        spmd(2, f)
+
+    def test_frobenius_norm_and_distance(self, spmd):
+        def f(comm):
+            d = BlockRow1D((7, 5), comm.size)
+            A, B = dense_random(7, 5, 1), dense_random(7, 5, 2)
+            a = DistMatrix.from_global(comm, d, A)
+            b = DistMatrix.from_global(comm, d, B)
+            return (
+                ops.frobenius_norm(a),
+                float(np.linalg.norm(A)),
+                ops.distance(a, b),
+                float(np.linalg.norm(A - B)),
+            )
+
+        res = spmd(3, f)
+        for fa, na, db, nb in res.results:
+            assert fa == pytest.approx(na, rel=1e-12)
+            assert db == pytest.approx(nb, rel=1e-12)
+
+    def test_max_abs(self, spmd):
+        def f(comm):
+            A = dense_random(6, 8, 1)
+            a = DistMatrix.from_global(comm, BlockCol1D((6, 8), comm.size), A)
+            return ops.max_abs(a), float(np.abs(A).max())
+
+        res = spmd(5, f)
+        for got, want in res.results:
+            assert got == pytest.approx(want)
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("mk", [BlockRow1D, BlockCol1D])
+    def test_identity_1d(self, spmd, mk):
+        def f(comm):
+            eye = ops.identity(comm, mk((7, 7), comm.size))
+            return np.array_equal(eye.to_global(), np.eye(7))
+
+        assert all(spmd(3, f).results)
+
+    def test_identity_2d(self, spmd):
+        from repro.layout import Block2D
+
+        def f(comm):
+            eye = ops.identity(comm, Block2D((9, 9), comm.size, 2, 2))
+            return np.array_equal(eye.to_global(), np.eye(9))
+
+        assert all(spmd(4, f).results)
+
+    def test_identity_requires_square(self, spmd):
+        def f(comm):
+            with pytest.raises(ValueError):
+                ops.identity(comm, BlockRow1D((4, 5), comm.size))
+
+        spmd(2, f)

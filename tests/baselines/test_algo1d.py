@@ -1,0 +1,83 @@
+"""1D algorithm baselines: correctness and traffic character."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import matmul_1d, matmul_1d_k, matmul_1d_m, matmul_1d_n
+from repro.layout import BlockCol1D, BlockRow1D, DistMatrix, dense_random
+
+
+def _check(comm, fn, m, n, k):
+    A, B = dense_random(m, k, 1), dense_random(k, n, 2)
+    a = DistMatrix.from_global(comm, BlockCol1D((m, k), comm.size), A)
+    b = DistMatrix.from_global(comm, BlockCol1D((k, n), comm.size), B)
+    c = fn(a, b, c_dist=BlockRow1D((m, n), comm.size))
+    return np.allclose(c.to_global(), A @ B, atol=1e-10)
+
+
+@pytest.mark.parametrize("P", [1, 2, 3, 5, 8])
+class TestVariants:
+    def test_1d_m(self, spmd, P):
+        assert all(spmd(P, lambda comm: _check(comm, matmul_1d_m, 40, 10, 8)).results)
+
+    def test_1d_n(self, spmd, P):
+        assert all(spmd(P, lambda comm: _check(comm, matmul_1d_n, 10, 40, 8)).results)
+
+    def test_1d_k(self, spmd, P):
+        assert all(spmd(P, lambda comm: _check(comm, matmul_1d_k, 10, 8, 40)).results)
+
+
+class TestAuto:
+    def test_auto_picks_largest_dim(self, spmd):
+        for dims in [(40, 8, 8), (8, 40, 8), (8, 8, 40)]:
+            assert all(
+                spmd(4, lambda comm, d=dims: _check(comm, matmul_1d, *d)).results
+            )
+
+    def test_dims_smaller_than_ranks(self, spmd):
+        assert all(spmd(6, lambda comm: _check(comm, matmul_1d_m, 3, 4, 2)).results)
+
+    def test_inner_dim_mismatch(self, spmd):
+        def f(comm):
+            a = DistMatrix.random(comm, BlockCol1D((4, 5), comm.size), seed=0)
+            b = DistMatrix.random(comm, BlockCol1D((6, 4), comm.size), seed=1)
+            with pytest.raises(ValueError):
+                matmul_1d_m(a, b)
+
+        spmd(2, f)
+
+
+class TestTraffic:
+    def test_1d_m_replicates_b(self, spmd):
+        """The dominant traffic of the m-variant is the allgather of B."""
+        m, n, k, P = 64, 16, 16, 4
+
+        def f(comm):
+            A, B = dense_random(m, k, 1), dense_random(k, n, 2)
+            a = DistMatrix.from_global(comm, BlockRow1D((m, k), comm.size), A)
+            b = DistMatrix.from_global(comm, BlockRow1D((k, n), comm.size), B)
+            before = comm.transport.trace(comm.world_rank).bytes_sent
+            matmul_1d_m(a, b)
+            return comm.transport.trace(comm.world_rank).bytes_sent - before
+
+        res = spmd(P, f)
+        # allgather sends ~ kn(P-1)/P words each
+        expect = k * n * (P - 1) / P * 8
+        assert max(res.results) == pytest.approx(expect, rel=0.3)
+
+    def test_1d_k_reduces_c(self, spmd):
+        m, n, k, P = 16, 16, 64, 4
+
+        def f(comm):
+            A, B = dense_random(m, k, 1), dense_random(k, n, 2)
+            a = DistMatrix.from_global(comm, BlockCol1D((m, k), comm.size), A)
+            b = DistMatrix.from_global(comm, BlockRow1D((k, n), comm.size), B)
+            before = comm.transport.trace(comm.world_rank).bytes_sent
+            matmul_1d_k(a, b)
+            return comm.transport.trace(comm.world_rank).bytes_sent - before
+
+        res = spmd(P, f)
+        expect = m * n * (P - 1) / P * 8  # reduce-scatter volume
+        assert max(res.results) == pytest.approx(expect, rel=0.3)

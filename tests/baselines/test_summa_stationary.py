@@ -1,0 +1,127 @@
+"""Stationary-A / stationary-B SUMMA variants and the family dispatcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    summa_auto_matmul,
+    summa_matmul,
+    summa_stationary_a_matmul,
+    summa_stationary_b_matmul,
+)
+from repro.layout import BlockCol1D, BlockRow1D, DistMatrix, dense_random
+from repro.machine.model import laptop
+from repro.mpi import run_spmd
+
+
+def _check(comm, fn, m, n, k, **kw):
+    A, B = dense_random(m, k, 1), dense_random(k, n, 2)
+    a = DistMatrix.from_global(comm, BlockCol1D((m, k), comm.size), A)
+    b = DistMatrix.from_global(comm, BlockCol1D((k, n), comm.size), B)
+    c = fn(a, b, c_dist=BlockRow1D((m, n), comm.size), **kw)
+    return np.allclose(c.to_global(), A @ B, atol=1e-9)
+
+
+class TestStationaryA:
+    @pytest.mark.parametrize("P", [1, 2, 4, 6, 9, 12])
+    def test_correct(self, spmd, P):
+        assert all(
+            spmd(P, lambda comm: _check(comm, summa_stationary_a_matmul, 20, 24, 28)).results
+        )
+
+    @pytest.mark.parametrize("panel", [1, 4, 1000])
+    def test_panel_widths(self, spmd, panel):
+        assert all(
+            spmd(6, lambda comm: _check(comm, summa_stationary_a_matmul, 25, 19, 33, panel=panel)).results
+        )
+
+    def test_explicit_rectangular_grid(self, spmd):
+        assert all(
+            spmd(8, lambda comm: _check(comm, summa_stationary_a_matmul, 40, 6, 50, grid=(4, 2))).results
+        )
+
+    def test_bad_grid_rejected(self, spmd):
+        def f(comm):
+            a = DistMatrix.random(comm, BlockCol1D((8, 8), comm.size), seed=0)
+            b = DistMatrix.random(comm, BlockCol1D((8, 8), comm.size), seed=1)
+            with pytest.raises(ValueError):
+                summa_stationary_a_matmul(a, b, grid=(2, 2))
+
+        spmd(6, f)
+
+    def test_ragged_everything(self, spmd):
+        assert all(
+            spmd(6, lambda comm: _check(comm, summa_stationary_a_matmul, 13, 11, 17)).results
+        )
+
+
+class TestStationaryB:
+    @pytest.mark.parametrize("P", [1, 4, 6, 8])
+    def test_correct(self, spmd, P):
+        assert all(
+            spmd(P, lambda comm: _check(comm, summa_stationary_b_matmul, 18, 26, 22)).results
+        )
+
+    def test_rectangular_grid(self, spmd):
+        assert all(
+            spmd(8, lambda comm: _check(comm, summa_stationary_b_matmul, 6, 40, 50, grid=(2, 4))).results
+        )
+
+
+class TestDispatcher:
+    def test_auto_picks_largest_operand(self, spmd):
+        # the dispatcher must stay correct under every auto selection
+        for dims in [(60, 6, 6), (6, 60, 6), (30, 30, 4)]:
+            assert all(
+                spmd(4, lambda comm, d=dims: _check(comm, summa_auto_matmul, *d)).results
+            )
+
+    @pytest.mark.parametrize("variant", ["C", "A", "B"])
+    def test_explicit_variant(self, spmd, variant):
+        assert all(
+            spmd(
+                4,
+                lambda comm: _check(
+                    comm, summa_auto_matmul, 16, 20, 24, variant=variant
+                ),
+            ).results
+        )
+
+    def test_unknown_variant(self, spmd):
+        def f(comm):
+            a = DistMatrix.random(comm, BlockCol1D((8, 8), comm.size), seed=0)
+            b = DistMatrix.random(comm, BlockCol1D((8, 8), comm.size), seed=1)
+            with pytest.raises(ValueError):
+                summa_auto_matmul(a, b, variant="Z")
+
+        spmd(2, f)
+
+
+class TestStationarySignature:
+    def test_stationary_a_cheaper_when_a_dominates(self):
+        """With A huge and B/C small, stationary-A must beat stationary-C
+        on measured algorithm traffic (A never moves)."""
+        m, k, n, P = 96, 96, 8, 4
+
+        def traffic(fn):
+            def f(comm):
+                A, B = dense_random(m, k, 1), dense_random(k, n, 2)
+                from repro.layout import Block2D
+
+                a = DistMatrix.from_global(comm, Block2D((m, k), comm.size, 2, 2), A)
+                b = DistMatrix.from_global(comm, Block2D((k, n), comm.size, 2, 2), B)
+                before = comm.transport.trace(comm.world_rank).bytes_sent
+                c = fn(a, b)
+                sent = comm.transport.trace(comm.world_rank).bytes_sent - before
+                ok = np.allclose(c.to_global(), A @ B, atol=1e-9)
+                return ok, sent
+
+            res = run_spmd(P, f, machine=laptop(), deadlock_timeout=30.0)
+            assert all(ok for ok, _ in res.results)
+            return max(s for _, s in res.results)
+
+        t_a = traffic(summa_stationary_a_matmul)
+        t_c = traffic(summa_matmul)
+        assert t_a < t_c

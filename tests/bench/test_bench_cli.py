@@ -1,0 +1,42 @@
+"""The bench command-line front-end (python -m repro.bench)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+from repro.bench.__main__ import main
+
+
+class TestBenchCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "table3" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "available:" in capsys.readouterr().out
+
+    def test_single_generator(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+
+    def test_multiple_generators(self, capsys):
+        assert main(["fig5", "l_sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 5" in out and "l-sweep" in out
+
+    def test_unknown_name(self, capsys):
+        assert main(["nope"]) == 2
+
+    def test_module_invocation(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bench", "table3"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Table III" in proc.stdout

@@ -1,0 +1,58 @@
+"""Golden structure of every bench generator's rendered output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.__main__ import GENERATORS
+
+
+@pytest.fixture(scope="module")
+def rendered():
+    return {name: gen() for name, gen in GENERATORS.items()}
+
+
+class TestRenderedStructure:
+    def test_every_generator_produces_text_and_data(self, rendered):
+        for name, result in rendered.items():
+            assert result.text.strip(), name
+            assert result.data, name
+            assert result.name in name or name in ("l_sweep",)
+
+    def test_fig2_names_the_examples(self, rendered):
+        text = rendered["fig2"].text
+        assert "Example 1" in text and "Example 2" in text
+        assert "grid 2 x 4 x 1" in text and "grid 2 x 2 x 4" in text
+
+    def test_fig3_has_all_classes_and_procs(self, rendered):
+        text = rendered["fig3"].text
+        for cls in ("square", "large-K", "large-M", "flat"):
+            assert cls in text
+        for p in ("192", "3072"):
+            assert p in text
+
+    def test_fig4_has_both_modes(self, rendered):
+        text = rendered["fig4"].text
+        assert "pure MPI" in text and "hybrid" in text
+
+    def test_table1_units(self, rendered):
+        assert "memory per process (MB)" in rendered["table1"].text
+
+    def test_table2_marks_grids(self, rendered):
+        text = rendered["table2"].text
+        for grid in ("8x16x16", "2x2x512", "512x2x2", "32x32x2", "3x3x341", "39x39x2"):
+            assert grid in text
+        assert "nan" in text  # the constraint-(7)-violating COSMA-only grid
+
+    def test_fig5_normalized(self, rendered):
+        text = rendered["fig5"].text
+        assert "COSMA total = 1" in text
+        assert "replicate A,B" in text
+
+    def test_table3_gpu_columns(self, rendered):
+        text = rendered["table3"].text
+        assert "GPUs" in text and "CTF (s)" in text
+
+    def test_l_sweep_counts(self, rendered):
+        r = rendered["l_sweep"]
+        assert f"{r.data['same']}/{r.data['total']}" in r.text

@@ -1,0 +1,202 @@
+"""Benchmark harness: every table/figure generator runs and its data
+carries the paper's qualitative claims."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench import (
+    CPU_PROBLEMS,
+    GPU_PROBLEMS,
+    SCALING_PROCS,
+    SMALL_PROBLEMS,
+    Problem,
+    fig3_scaling,
+    fig4_hybrid,
+    fig5_breakdown,
+    l_sweep,
+    scaled_problem,
+    table1_memory,
+    table2_grids,
+    table3_gpu,
+)
+
+
+class TestWorkloads:
+    def test_paper_dimensions(self):
+        classes = {p.cls: p.dims for p in CPU_PROBLEMS}
+        assert classes["square"] == (50000, 50000, 50000)
+        assert classes["large-K"] == (6000, 6000, 1200000)
+        assert classes["large-M"] == (1200000, 6000, 6000)
+        assert classes["flat"] == (100000, 100000, 5000)
+        assert SCALING_PROCS == (192, 384, 768, 1536, 3072)
+
+    def test_gpu_dimensions(self):
+        classes = {p.cls: p.dims for p in GPU_PROBLEMS}
+        assert classes["large-K"] == (10000, 10000, 300000)
+        assert classes["flat"] == (50000, 50000, 10000)
+
+    def test_scaled_problem_keeps_aspect(self):
+        p = scaled_problem(Problem("large-K", 6000, 6000, 1200000), 250)
+        assert p.dims == (24, 24, 4800)
+
+    def test_labels(self):
+        assert Problem("square", 50000, 50000, 50000).label() == "square(50k,50k,50k)"
+        assert Problem("x", 7, 7, 7).label() == "x(7,7,7)"
+
+    def test_small_problems_match_classes(self):
+        for small, big in zip(SMALL_PROBLEMS, CPU_PROBLEMS):
+            assert small.cls == big.cls
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_scaling()
+
+    def test_all_series_present(self, result):
+        for p in CPU_PROBLEMS:
+            series = result.data[p.cls]
+            assert set(series) == {
+                "CA3DMM native", "CA3DMM custom", "COSMA native",
+                "COSMA custom", "CTF native",
+            }
+            assert all(len(v) == len(SCALING_PROCS) for v in series.values())
+
+    def test_ctf_below_tuned_libraries(self, result):
+        for p in CPU_PROBLEMS:
+            s = result.data[p.cls]
+            for ctf, ca in zip(s["CTF native"], s["CA3DMM native"]):
+                assert ctf < ca
+
+    def test_custom_layout_never_faster(self, result):
+        for p in CPU_PROBLEMS:
+            s = result.data[p.cls]
+            for cu, na in zip(s["CA3DMM custom"], s["CA3DMM native"]):
+                assert cu <= na + 1e-9
+
+    def test_conversion_hurts_tall_skinny_most(self, result):
+        def gap(cls, i=-1):
+            s = result.data[cls]
+            return s["CA3DMM native"][i] / max(s["CA3DMM custom"][i], 1e-9)
+
+        assert gap("large-K") > gap("square")
+        assert gap("large-M") > gap("square")
+
+    def test_text_rendered(self, result):
+        assert "Fig 3" in result.text and "square" in result.text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4_hybrid()
+
+    def test_series_shape(self, result):
+        for p in CPU_PROBLEMS:
+            assert len(result.data[p.cls]["CA3DMM hybrid"]) == len(SCALING_PROCS)
+
+    def test_large_k_prefers_hybrid_at_scale(self, result):
+        s = result.data["large-K"]
+        assert s["CA3DMM hybrid"][-1] >= s["CA3DMM pure MPI"][-1] * 0.98
+
+    def test_all_positive(self, result):
+        for p in CPU_PROBLEMS:
+            for series in result.data[p.cls].values():
+                assert all(v > 0 for v in series)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1_memory()
+
+    def test_square_ca3dmm_always_leaner(self, result):
+        """Paper: for the square class CA3DMM always uses less memory."""
+        co = result.data[("COSMA", "square")]
+        ca = result.data[("CA3DMM", "square")]
+        assert all(c < x for c, x in zip(ca, co))
+
+    def test_crossover_for_rectangular(self, result):
+        """Paper: CA3DMM's memory falls faster; it wins at P >= 1536."""
+        for cls in ("large-K", "large-M"):
+            co = result.data[("COSMA", cls)]
+            ca = result.data[("CA3DMM", cls)]
+            assert ca[-1] < co[-1]
+            assert ca[-2] < co[-2]
+
+    def test_memory_decreases_with_p(self, result):
+        for key, series in result.data.items():
+            assert all(a >= b * 0.8 for a, b in zip(series[:-1], series[1:]))
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2_grids()
+
+    def test_shared_grid_ca3dmm_wins_square(self, result):
+        row = result.data[("square", 2048, (8, 16, 16))]
+        assert row["ca3dmm"] <= row["cosma"]
+
+    def test_suboptimal_grid_beats_optimal_large_k(self, result):
+        """The paper's Table II observation: 4x2x384 beats 3x3x341 for
+        CA3DMM because pk = 341 is collective-unfriendly."""
+        opt = result.data[("large-K", 3072, (3, 3, 341))]["ca3dmm"]
+        sub = result.data[("large-K", 3072, (4, 2, 384))]["ca3dmm"]
+        assert sub <= opt
+
+    def test_incompatible_grid_is_nan_for_ca3dmm(self, result):
+        row = result.data[("square", 3072, (12, 16, 16))]
+        assert math.isnan(row["ca3dmm"])
+        assert row["cosma"] > 0
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5_breakdown()
+
+    def test_cosma_normalized_to_one(self, result):
+        for p in CPU_PROBLEMS:
+            assert result.data[p.cls]["cosma"].total == pytest.approx(1.0)
+
+    def test_ca3dmm_total_close_to_cosma(self, result):
+        for p in CPU_PROBLEMS:
+            assert result.data[p.cls]["ca3dmm"].total == pytest.approx(1.0, abs=0.25)
+
+    def test_dominant_comm_phase_per_class(self, result):
+        bk = result.data["large-K"]["ca3dmm"]
+        bm = result.data["large-M"]["ca3dmm"]
+        assert bk.reduce_c > bk.replicate_ab
+        assert bm.replicate_ab > bm.reduce_c
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3_gpu()
+
+    def test_cosma_wins_square_and_large_k(self, result):
+        for P in (16, 32):
+            for cls in ("square", "large-K"):
+                row = result.data[(P, cls)]
+                assert row["cosma"] <= row["ca3dmm"]
+
+    def test_large_m_parity(self, result):
+        for P in (16, 32):
+            row = result.data[(P, "large-M")]
+            assert row["ca3dmm"] == pytest.approx(row["cosma"], rel=0.15)
+
+    def test_ctf_slowest_everywhere(self, result):
+        for row in result.data.values():
+            assert row["ctf"] > row["ca3dmm"]
+            assert row["ctf"] > row["cosma"]
+
+
+class TestLSweep:
+    def test_grids_stable_across_l(self):
+        result = l_sweep()
+        assert result.data["same"] >= result.data["total"] * 0.9

@@ -1,0 +1,55 @@
+"""ASCII rendering helpers used by every bench."""
+
+from __future__ import annotations
+
+from repro.bench.report import _fmt, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_structure(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1], ["beta-long-name", 22]],
+            title="My table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert set(lines[2]) <= {"-", " "}
+        # all rows share the same width
+        assert len({len(l) for l in lines[1:]}) == 1
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_cells_right_justified(self):
+        text = format_table(["col"], [["x"], ["yyyy"]])
+        lines = text.splitlines()
+        assert lines[-2].endswith("   x") or lines[-2].endswith("x")
+        assert lines[-1].endswith("yyyy")
+
+
+class TestFormatSeries:
+    def test_series_rows(self):
+        text = format_series(
+            "P", [1, 2, 4], {"algo-a": [1.0, 2.0, 3.0], "algo-b": [4.0, 5.0, 6.0]}
+        )
+        assert "algo-a" in text and "algo-b" in text
+        assert text.splitlines()[0].startswith("P")
+
+    def test_unit_suffix(self):
+        text = format_series("P", [1], {"x": [2.0]}, unit="s")
+        assert "x [s]" in text
+
+
+class TestFmt:
+    def test_float_formats(self):
+        assert _fmt(0.0) == "0"
+        assert _fmt(1.5) == "1.5"
+        assert _fmt(0.125) == "0.125"
+        assert _fmt(12345.0) == "1.23e+04"
+        assert _fmt(0.0001234) == "0.000123"
+
+    def test_non_float_passthrough(self):
+        assert _fmt(7) == "7"
+        assert _fmt("x") == "x"

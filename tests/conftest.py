@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite.
+
+Executed-engine tests spawn real threads per rank; keep world sizes
+modest (the suite uses P <= 32) so the whole suite stays fast on one
+core.  ``spmd`` wraps :func:`repro.mpi.run_spmd` with a short deadlock
+timeout so a broken collective fails the test in seconds, not minutes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.model import laptop
+from repro.mpi import run_spmd
+
+
+@pytest.fixture
+def spmd():
+    """Run an SPMD function with test-friendly defaults."""
+
+    def _run(nprocs, fn, args=(), machine=None, deadlock_timeout=20.0):
+        return run_spmd(
+            nprocs,
+            fn,
+            args=args,
+            machine=machine if machine is not None else laptop(),
+            deadlock_timeout=deadlock_timeout,
+        )
+
+    return _run
+
+
+def assert_allclose(actual, desired, rtol=1e-12, atol=1e-12):
+    np.testing.assert_allclose(actual, desired, rtol=rtol, atol=atol)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20220701)

@@ -1,0 +1,82 @@
+"""The model-driven autotuner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.autotune import tune
+from repro.layout import BlockCol1D, DistMatrix, dense_random
+from repro.machine.model import laptop, pace_phoenix_cpu
+
+
+@pytest.fixture(scope="module")
+def mach():
+    return pace_phoenix_cpu("mpi")
+
+
+class TestTune:
+    def test_prefers_cannon_for_bandwidth_bound_problems(self, mach):
+        result = tune(50000, 50000, 50000, 1536, mach)
+        assert result.best.inner == "cannon"
+        assert result.best.time <= result.candidates[-1].time
+
+    def test_candidates_are_ranked(self, mach):
+        result = tune(20000, 20000, 20000, 256, mach)
+        times = [c.time for c in result.candidates]
+        assert times == sorted(times)
+        assert len(result.candidates) >= 2
+
+    def test_memory_cap_filters(self, mach):
+        dims = (20000, 20000, 20000)
+        free = tune(*dims, 256, mach)
+        cap = free.best.mem_words * 0.6
+        capped = tune(*dims, 256, mach, memory_limit_words=cap)
+        assert capped.best.mem_words <= cap or all(
+            c.mem_words > cap for c in free.candidates
+        )
+
+    def test_impossible_cap_still_returns(self, mach):
+        result = tune(4000, 4000, 4000, 64, mach, memory_limit_words=1.0)
+        assert result.best is not None
+        # the fallback is the leanest candidate
+        assert result.best.mem_words == min(c.mem_words for c in result.candidates)
+
+    def test_table2_anomaly_reproduced(self, mach):
+        """Autotuning large-K at 3072 must not pick the pk=341 grid the
+        paper found slow — a collective-friendlier near-optimum wins."""
+        result = tune(6000, 6000, 1200000, 3072, mach, consider_summa=False)
+        assert result.best.grid.pk != 341
+
+    def test_describe(self, mach):
+        result = tune(4000, 4000, 4000, 64, mach)
+        text = result.best.describe()
+        assert "grid" in text and "mem" in text
+
+    def test_build_runs_correctly(self, spmd, mach):
+        m = n = k = 32
+        result = tune(m, n, k, 8, laptop())
+        assert result.best.inner == "cannon"
+
+        def f(comm):
+            eng = result.build(comm)
+            a = DistMatrix.from_global(comm, BlockCol1D((m, k), comm.size), dense_random(m, k, 1))
+            b = DistMatrix.from_global(comm, BlockCol1D((k, n), comm.size), dense_random(k, n, 2))
+            c = eng.multiply(a, b)
+            return np.allclose(
+                c.to_global(), dense_random(m, k, 1) @ dense_random(k, n, 2), atol=1e-9
+            )
+
+        assert all(spmd(8, f).results)
+
+    def test_build_rejected_for_summa_winner(self, mach):
+        from repro.core.autotune import TunedChoice, TuneResult
+        from repro.analysis.costs import ca3dmm_cost
+        from repro.grid.optimizer import GridSpec
+
+        grid = GridSpec(2, 2, 2, 8)
+        rep = ca3dmm_cost(32, 32, 32, 8, laptop(), grid=grid, inner="summa")
+        choice = TunedChoice(inner="summa", grid=grid, report=rep)
+        result = TuneResult(best=choice, candidates=[choice])
+        with pytest.raises(ValueError):
+            result.build(None)

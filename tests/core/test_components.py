@@ -1,0 +1,113 @@
+"""Unit tests for CA3DMM's component steps in isolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reduce_c import reduce_partial_c, split_block
+from repro.core.replicate import replicate_block
+
+
+class TestSplitBlock:
+    def test_column_strips(self):
+        c = np.arange(24.0).reshape(4, 6)
+        strips = split_block(c, 3, by_cols=True)
+        assert [s.shape for s in strips] == [(4, 2)] * 3
+        assert np.array_equal(np.hstack(strips), c)
+
+    def test_row_strips(self):
+        c = np.arange(24.0).reshape(6, 4)
+        strips = split_block(c, 3, by_cols=False)
+        assert [s.shape for s in strips] == [(2, 4)] * 3
+        assert np.array_equal(np.vstack(strips), c)
+
+    def test_ragged_split(self):
+        c = np.ones((4, 7))
+        strips = split_block(c, 3, by_cols=True)
+        assert [s.shape[1] for s in strips] == [2, 2, 3]
+
+    def test_more_parts_than_extent(self):
+        c = np.ones((4, 2))
+        strips = split_block(c, 5, by_cols=True)
+        assert sum(s.shape[1] for s in strips) == 2
+        assert len(strips) == 5  # some empty
+
+
+class TestReducePartialC:
+    def test_sums_and_scatters(self, spmd):
+        def f(comm):
+            # every rank contributes rank-valued 4x8 partial block
+            c_loc = np.full((4, 8), float(comm.rank + 1))
+            strip = reduce_partial_c(comm, c_loc, by_cols=True)
+            return strip.shape, float(strip[0, 0])
+
+        res = spmd(4, f)
+        total = float(sum(range(1, 5)))
+        for shape, val in res.results:
+            assert shape == (4, 2)
+            assert val == total
+
+    def test_row_strips_order(self, spmd):
+        def f(comm):
+            c_loc = np.arange(16.0).reshape(8, 2)
+            strip = reduce_partial_c(comm, c_loc, by_cols=False)
+            return float(strip[0, 0])
+
+        res = spmd(2, f)
+        # rank 0 gets rows 0-3 (x2 contributions), rank 1 rows 4-7
+        assert res.results[0] == 0.0 * 2
+        assert res.results[1] == 8.0 * 2
+
+    def test_singleton_passthrough(self, spmd):
+        def f(comm):
+            c_loc = np.ones((3, 3))
+            out = reduce_partial_c(comm, c_loc, by_cols=True)
+            return out is c_loc
+
+        assert all(spmd(1, f).results)
+
+
+class TestReplicateBlock:
+    def test_column_pieces(self, spmd):
+        def f(comm):
+            piece = np.full((4, 2), float(comm.rank))
+            blk = replicate_block(comm, piece, axis=1)
+            return blk.shape, [float(blk[0, 2 * r]) for r in range(comm.size)]
+
+        res = spmd(3, f)
+        for shape, leading in res.results:
+            assert shape == (4, 6)
+            assert leading == [0.0, 1.0, 2.0]
+
+    def test_row_pieces(self, spmd):
+        def f(comm):
+            piece = np.full((2, 5), float(comm.rank))
+            blk = replicate_block(comm, piece, axis=0)
+            return blk.shape, float(blk[2, 0])
+
+        res = spmd(2, f)
+        for shape, second in res.results:
+            assert shape == (4, 5)
+            assert second == 1.0
+
+    def test_singleton_noop(self, spmd):
+        def f(comm):
+            piece = np.ones((2, 2))
+            return replicate_block(comm, piece, axis=1) is piece
+
+        assert all(spmd(1, f).results)
+
+    def test_ragged_pieces(self, spmd):
+        """Pieces of unequal width reassemble in rank order."""
+
+        def f(comm):
+            width = comm.rank + 1
+            piece = np.full((3, width), float(comm.rank))
+            blk = replicate_block(comm, piece, axis=1)
+            return blk.shape[1], float(blk[0, -1])
+
+        res = spmd(3, f)
+        for total, last in res.results:
+            assert total == 1 + 2 + 3
+            assert last == 2.0

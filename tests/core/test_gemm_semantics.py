@@ -1,0 +1,97 @@
+"""Full GEMM semantics: C = alpha * op(A) op(B) + beta * C_in."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ca3dmm_matmul
+from repro.layout import Block2D, BlockCol1D, BlockRow1D, DistMatrix, dense_random
+
+
+class TestAlphaBeta:
+    def test_alpha_scales(self, spmd):
+        def f(comm):
+            A, B = dense_random(10, 14, 1), dense_random(14, 12, 2)
+            a = DistMatrix.from_global(comm, BlockCol1D((10, 14), comm.size), A)
+            b = DistMatrix.from_global(comm, BlockCol1D((14, 12), comm.size), B)
+            c = ca3dmm_matmul(a, b, alpha=-2.5)
+            return np.allclose(c.to_global(), -2.5 * (A @ B), atol=1e-10)
+
+        assert all(spmd(6, f).results)
+
+    def test_beta_accumulates(self, spmd):
+        def f(comm):
+            A, B = dense_random(10, 14, 1), dense_random(14, 12, 2)
+            C0 = dense_random(10, 12, 3)
+            a = DistMatrix.from_global(comm, BlockCol1D((10, 14), comm.size), A)
+            b = DistMatrix.from_global(comm, BlockCol1D((14, 12), comm.size), B)
+            c0 = DistMatrix.from_global(comm, BlockRow1D((10, 12), comm.size), C0)
+            c = ca3dmm_matmul(a, b, alpha=1.0, beta=0.5, c_in=c0)
+            return np.allclose(c.to_global(), A @ B + 0.5 * C0, atol=1e-10)
+
+        assert all(spmd(6, f).results)
+
+    def test_trailing_update(self, spmd):
+        """The flat-class pattern: C <- C - A x B (LU trailing update)."""
+
+        def f(comm):
+            A, B = dense_random(16, 4, 1), dense_random(4, 16, 2)
+            C0 = dense_random(16, 16, 3)
+            a = DistMatrix.from_global(comm, BlockRow1D((16, 4), comm.size), A)
+            b = DistMatrix.from_global(comm, BlockRow1D((4, 16), comm.size), B)
+            c0 = DistMatrix.from_global(comm, Block2D((16, 16), comm.size, 2, 4), C0)
+            c = ca3dmm_matmul(
+                a, b, alpha=-1.0, beta=1.0, c_in=c0,
+                c_dist=Block2D((16, 16), comm.size, 2, 4),
+            )
+            return np.allclose(c.to_global(), C0 - A @ B, atol=1e-10)
+
+        assert all(spmd(8, f).results)
+
+    def test_beta_with_transposes(self, spmd):
+        def f(comm):
+            A, B = dense_random(14, 10, 1), dense_random(12, 14, 2)
+            C0 = dense_random(10, 12, 3)
+            a = DistMatrix.from_global(comm, BlockCol1D((14, 10), comm.size), A)
+            b = DistMatrix.from_global(comm, BlockCol1D((12, 14), comm.size), B)
+            c0 = DistMatrix.from_global(comm, BlockCol1D((10, 12), comm.size), C0)
+            c = ca3dmm_matmul(
+                a, b, transa=True, transb=True, alpha=2.0, beta=-1.0, c_in=c0
+            )
+            return np.allclose(c.to_global(), 2 * (A.T @ B.T) - C0, atol=1e-10)
+
+        assert all(spmd(5, f).results)
+
+    def test_beta_requires_c_in(self, spmd):
+        def f(comm):
+            a = DistMatrix.random(comm, BlockCol1D((8, 8), comm.size), seed=0)
+            b = DistMatrix.random(comm, BlockCol1D((8, 8), comm.size), seed=1)
+            with pytest.raises(ValueError):
+                ca3dmm_matmul(a, b, beta=1.0)
+
+        spmd(2, f)
+
+    def test_c_in_shape_validated(self, spmd):
+        def f(comm):
+            a = DistMatrix.random(comm, BlockCol1D((8, 8), comm.size), seed=0)
+            b = DistMatrix.random(comm, BlockCol1D((8, 8), comm.size), seed=1)
+            c0 = DistMatrix.random(comm, BlockCol1D((8, 9), comm.size), seed=2)
+            with pytest.raises(ValueError):
+                ca3dmm_matmul(a, b, beta=1.0, c_in=c0)
+
+        spmd(2, f)
+
+    def test_idle_ranks_with_accumulation(self, spmd):
+        """beta-folding must work when some ranks are idle (P=17-like)."""
+
+        def f(comm):
+            A, B = dense_random(12, 12, 1), dense_random(12, 12, 2)
+            C0 = dense_random(12, 12, 3)
+            a = DistMatrix.from_global(comm, BlockCol1D((12, 12), comm.size), A)
+            b = DistMatrix.from_global(comm, BlockCol1D((12, 12), comm.size), B)
+            c0 = DistMatrix.from_global(comm, BlockCol1D((12, 12), comm.size), C0)
+            c = ca3dmm_matmul(a, b, beta=1.0, c_in=c0)
+            return np.allclose(c.to_global(), A @ B + C0, atol=1e-10)
+
+        assert all(spmd(7, f).results)

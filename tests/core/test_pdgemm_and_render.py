@@ -1,0 +1,120 @@
+"""The pdgemm facade and the Fig.-2 partition renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Ca3dmm, pdgemm, render_partitions
+from repro.core.plan import Ca3dmmPlan
+from repro.layout import BlockCyclic2D, BlockCol1D, DistMatrix, dense_random
+
+
+class TestPdgemm:
+    def test_block_cyclic_scalapack_style(self, spmd):
+        """The canonical ScaLAPACK setting: everything block-cyclic."""
+        m, n, k, P = 20, 24, 28, 4
+
+        def f(comm):
+            bc = lambda s: BlockCyclic2D(s, comm.size, 2, 2, bs=3)
+            a_mat, b_mat, c_mat = (
+                dense_random(m, k, 1), dense_random(k, n, 2), dense_random(m, n, 3)
+            )
+            a = DistMatrix.from_global(comm, bc((m, k)), a_mat)
+            b = DistMatrix.from_global(comm, bc((k, n)), b_mat)
+            c0 = DistMatrix.from_global(comm, bc((m, n)), c_mat)
+            c = pdgemm("N", "N", 2.0, a, b, beta=-1.0, c=c0)
+            same_layout = c.dist == c0.dist
+            return same_layout and np.allclose(
+                c.to_global(), 2 * a_mat @ b_mat - c_mat, atol=1e-10
+            )
+
+        assert all(spmd(P, f).results)
+
+    def test_transposed_ops(self, spmd):
+        def f(comm):
+            a_mat = dense_random(16, 10, 1)
+            b_mat = dense_random(12, 16, 2)
+            a = DistMatrix.from_global(comm, BlockCol1D((16, 10), comm.size), a_mat)
+            b = DistMatrix.from_global(comm, BlockCol1D((12, 16), comm.size), b_mat)
+            c = pdgemm("T", "T", 1.0, a, b)
+            return np.allclose(c.to_global(), a_mat.T @ b_mat.T, atol=1e-10)
+
+        assert all(spmd(6, f).results)
+
+    def test_engine_reuse_and_mismatch(self, spmd):
+        def f(comm):
+            eng = Ca3dmm(comm, 8, 8, 8)
+            a = DistMatrix.random(comm, BlockCol1D((8, 8), comm.size), seed=0)
+            b = DistMatrix.random(comm, BlockCol1D((8, 8), comm.size), seed=1)
+            c = pdgemm("N", "N", 1.0, a, b, engine=eng)
+            ok = c.shape == (8, 8)
+            a2 = DistMatrix.random(comm, BlockCol1D((8, 9), comm.size), seed=2)
+            b2 = DistMatrix.random(comm, BlockCol1D((9, 8), comm.size), seed=3)
+            try:
+                pdgemm("N", "N", 1.0, a2, b2, engine=eng)
+                return False
+            except ValueError:
+                return ok
+
+        assert all(spmd(4, f).results)
+
+    def test_beta_requires_c(self, spmd):
+        def f(comm):
+            a = DistMatrix.random(comm, BlockCol1D((6, 6), comm.size), seed=0)
+            b = DistMatrix.random(comm, BlockCol1D((6, 6), comm.size), seed=1)
+            with pytest.raises(ValueError):
+                pdgemm("N", "N", 1.0, a, b, beta=1.0)
+
+        spmd(2, f)
+
+    def test_dim_mismatch(self, spmd):
+        def f(comm):
+            a = DistMatrix.random(comm, BlockCol1D((6, 7), comm.size), seed=0)
+            b = DistMatrix.random(comm, BlockCol1D((8, 6), comm.size), seed=1)
+            with pytest.raises(ValueError):
+                pdgemm("N", "N", 1.0, a, b)
+
+        spmd(2, f)
+
+
+class TestRenderPartitions:
+    def test_example2_c_matches_paper(self):
+        """Fig. 2b's final C strips, labelled exactly as in the paper."""
+        text = render_partitions(Ca3dmmPlan(32, 32, 64, 16), which="C")
+        first_row = next(l for l in text.splitlines() if "P1 " in l or "| P1" in l)
+        for label in ("P1", "P5", "P9", "P13"):
+            assert label in first_row
+        assert "col cuts: 0 4 8 12 16 20 24 28 32" in text
+
+    def test_example1_replication_pairs_visible(self):
+        """Fig. 2a: A's replica pieces P1|P5 sit side by side."""
+        text = render_partitions(Ca3dmmPlan(32, 64, 16, 8), which="A")
+        row = next(l for l in text.splitlines() if "P1" in l)
+        assert "P5" in row
+
+    def test_idle_ranks_annotated(self):
+        text = render_partitions(Ca3dmmPlan(32, 32, 64, 17))
+        assert "1 idle" in text
+
+    def test_all_cells_labelled(self):
+        for which in ("A", "B", "C"):
+            text = render_partitions(Ca3dmmPlan(12, 18, 24, 6), which=which)
+            for line in text.splitlines():
+                if line.startswith("|"):
+                    cells = [c.strip() for c in line.strip("|").split("|")]
+                    assert all(c.startswith("P") for c in cells), line
+
+    def test_subset_selection(self):
+        text = render_partitions(Ca3dmmPlan(8, 8, 8, 4), which="B")
+        assert "B (initial)" in text
+        assert "A (initial)" not in text and "C (final)" not in text
+
+
+class TestFig2Bench:
+    def test_generator(self):
+        from repro.bench import fig2_partitions
+
+        r = fig2_partitions()
+        assert "Fig 2a" in r.text and "Fig 2b" in r.text
+        assert r.data["ex2"].pk == 4

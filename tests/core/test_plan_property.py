@@ -1,0 +1,105 @@
+"""Property-based invariants of the CA3DMM plan (hypothesis)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.plan import Ca3dmmPlan
+
+DIMS = st.integers(1, 300)
+PROCS = st.integers(1, 64)
+COMMON = dict(max_examples=80, deadline=None)
+
+
+@settings(**COMMON)
+@given(m=DIMS, n=DIMS, k=DIMS, P=PROCS)
+def test_native_layouts_always_tile(m, n, k, P):
+    plan = Ca3dmmPlan(m, n, k, P)
+    plan.a_dist.validate()
+    plan.b_dist.validate()
+    plan.c_dist.validate()
+
+
+@settings(**COMMON)
+@given(m=DIMS, n=DIMS, k=DIMS, P=PROCS)
+def test_group_structure(m, n, k, P):
+    """Cannon groups have s^2 ranks, replica groups c, kred groups pk."""
+    plan = Ca3dmmPlan(m, n, k, P)
+    cannon = defaultdict(list)
+    replica = defaultdict(list)
+    kred = defaultdict(list)
+    for rank in range(plan.active):
+        colors = plan.split_colors(rank)
+        cannon[colors["cannon"][0]].append(colors["cannon"][1])
+        replica[colors["replica"][0]].append(colors["replica"][1])
+        kred[colors["kred"][0]].append(colors["kred"][1])
+    assert all(sorted(v) == list(range(plan.s ** 2)) for v in cannon.values())
+    assert len(cannon) == plan.c * plan.pk
+    assert all(sorted(v) == list(range(plan.c)) for v in replica.values())
+    assert all(sorted(v) == list(range(plan.pk)) for v in kred.values())
+    assert len(kred) == plan.pm * plan.pn
+
+
+@settings(**COMMON)
+@given(m=DIMS, n=DIMS, k=DIMS, P=PROCS)
+def test_replicated_blocks_consistent(m, n, k, P):
+    """All c members of a replica group share the same Cannon block, and
+    their initial pieces tile it disjointly."""
+    plan = Ca3dmmPlan(m, n, k, P)
+    groups = defaultdict(list)
+    for rank in range(plan.active):
+        groups[plan.split_colors(rank)["replica"][0]].append(rank)
+    for ranks in groups.values():
+        roles = [plan.role(r) for r in ranks]
+        blocks = {
+            (plan.a_cannon_block(ro) if plan.replicates_a else plan.b_cannon_block(ro))
+            for ro in roles
+        }
+        assert len(blocks) == 1
+        blk = blocks.pop()
+        pieces = [
+            plan.a_owned(r) if plan.replicates_a else plan.b_owned(r) for r in ranks
+        ]
+        assert sum(p.area for p in pieces) == blk.area
+        for i, a in enumerate(pieces):
+            assert blk.contains(a)
+            for b in pieces[i + 1 :]:
+                assert a.intersect(b).is_empty()
+
+
+@settings(**COMMON)
+@given(m=DIMS, n=DIMS, k=DIMS, P=PROCS)
+def test_cannon_blocks_compose_the_full_problem(m, n, k, P):
+    """Per k-group, the union of all (i,t) A blocks is A's k-slice."""
+    plan = Ca3dmmPlan(m, n, k, P)
+    for ik in range(plan.pk):
+        k0, k1 = plan.k_range(ik)
+        area = sum(
+            plan.a_block(ik, i, t).area
+            for i in range(plan.pm)
+            for t in range(plan.s)
+        )
+        # Each (i, t) covers m_range(i) x k_block(t); the pm x s grid
+        # tiles m x (k1-k0) exactly.
+        assert area == m * (k1 - k0)
+
+
+@settings(**COMMON)
+@given(m=DIMS, n=DIMS, k=DIMS, P=PROCS)
+def test_memory_balance_of_initial_pieces(m, n, k, P):
+    """Initial per-rank A+B words never exceed ~(mk+kn)/used by more than
+    the ceil effects of nested balanced splits."""
+    plan = Ca3dmmPlan(m, n, k, P)
+    if plan.active == 0:
+        return
+    ideal = (m * k + k * n) / plan.active
+    worst = 0
+    for rank in range(plan.active):
+        a = plan.a_owned(rank)
+        b = plan.b_owned(rank)
+        worst = max(worst, (a.area if a else 0) + (b.area if b else 0))
+    # Nested ceil splits inflate each factor by at most (1 + p/dim)-ish;
+    # use a generous structural bound that still catches real imbalance.
+    assert worst <= 4 * ideal + 4 * (m + n + k + plan.s + plan.c)

@@ -1,0 +1,81 @@
+"""CA3DMM-S (SUMMA inner kernel) — Sections III-E and V."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.costs import ca3dmm_cost
+from repro.core.summa_variant import ca3dmm_s_matmul
+from repro.grid.optimizer import GridSpec, enumerate_grids
+from repro.layout import BlockCol1D, BlockRow1D, DistMatrix, dense_random
+from repro.machine.model import pace_phoenix_cpu
+
+
+def _check(comm, m, n, k, **kw):
+    A, B = dense_random(m, k, 1), dense_random(k, n, 2)
+    a = DistMatrix.from_global(comm, BlockCol1D((m, k), comm.size), A)
+    b = DistMatrix.from_global(comm, BlockCol1D((k, n), comm.size), B)
+    c = ca3dmm_s_matmul(a, b, c_dist=BlockRow1D((m, n), comm.size), **kw)
+    return np.allclose(c.to_global(), A @ B, atol=1e-10)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("P", [1, 2, 4, 6, 8, 12, 16])
+    def test_various_worlds(self, spmd, P):
+        assert all(spmd(P, lambda comm: _check(comm, 20, 24, 28)).results)
+
+    def test_grid_without_constraint7(self, spmd):
+        """CA3DMM-S accepts grids Cannon cannot use (no eq. (7))."""
+        grid = GridSpec(pm=2, pn=3, pk=2, nprocs=12)
+        assert not grid.cannon_compatible
+        assert all(spmd(12, lambda comm: _check(comm, 18, 27, 16, grid=grid)).results)
+
+    @pytest.mark.parametrize("panel", [2, 8, 10 ** 6])
+    def test_panel_widths(self, spmd, panel):
+        assert all(spmd(8, lambda comm: _check(comm, 16, 16, 32, panel=panel)).results)
+
+    def test_degenerate_k_only(self, spmd):
+        grid = GridSpec(pm=1, pn=1, pk=8, nprocs=8)
+        assert all(spmd(8, lambda comm: _check(comm, 10, 10, 64, grid=grid)).results)
+
+
+class TestSectionIIIE:
+    """L(CA3DMM-S) >= L(CA3DMM-C) on every shared grid (the paper's proof)."""
+
+    @staticmethod
+    def _l_summa(pm, pn, pk):
+        import math
+
+        p_big = max(pm, pn)
+        if p_big == 1:
+            return pk - 1
+        return pm * (math.ceil(math.log2(p_big)) + p_big - 1) + (pk - 1)
+
+    @pytest.mark.parametrize("P", [8, 16, 24, 36, 64])
+    def test_latency_inequality_all_grids(self, P):
+        for g in enumerate_grids(P, 0.95, require_divisible=True):
+            l_c = g.latency_ca3dmm()
+            l_s = self._l_summa(g.pm, g.pn, g.pk)
+            assert l_s >= l_c, (g.pm, g.pn, g.pk)
+
+    def test_modeled_time_summa_not_faster_with_small_panels(self):
+        """With per-panel broadcasts, the SUMMA variant's modeled latency
+        exceeds Cannon's on a shared latency-bound grid."""
+        mach = pace_phoenix_cpu("mpi")
+        grid = GridSpec(pm=8, pn=8, pk=2, nprocs=128)
+        c = ca3dmm_cost(2048, 2048, 2048, 128, mach, grid=grid)
+        s = ca3dmm_cost(
+            2048, 2048, 2048, 128, mach, grid=grid, inner="summa",
+            summa_panel_frac=1.0 / 8,
+        )
+        assert s.l_msgs >= c.l_msgs
+
+    def test_memory_advantage_of_summa_variant(self):
+        """Section V: CA3DMM-S needs no operand replication, so its memory
+        model drops the factor c on the replicated operand."""
+        mach = pace_phoenix_cpu("mpi")
+        grid = GridSpec(pm=2, pn=8, pk=2, nprocs=32)  # c = 4
+        c = ca3dmm_cost(1024, 4096, 1024, 32, mach, grid=grid)
+        s = ca3dmm_cost(1024, 4096, 1024, 32, mach, grid=grid, inner="summa")
+        assert s.mem_words < c.mem_words

@@ -1,0 +1,91 @@
+"""Factorization utilities behind the grid search."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grid.factorize import (
+    divisors,
+    factor_triples,
+    is_pow2,
+    near_square_pair,
+    perfect_square_part,
+    prime_factors,
+)
+
+
+class TestDivisors:
+    def test_small(self):
+        assert divisors(12) == (1, 2, 3, 4, 6, 12)
+        assert divisors(1) == (1,)
+        assert divisors(17) == (1, 17)
+
+    def test_square(self):
+        assert divisors(36) == (1, 2, 3, 4, 6, 9, 12, 18, 36)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    @given(n=st.integers(1, 5000))
+    def test_all_divide(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert ds[0] == 1 and ds[-1] == n
+        assert list(ds) == sorted(set(ds))
+
+
+class TestPrimeFactors:
+    def test_small(self):
+        assert prime_factors(12) == (2, 2, 3)
+        assert prime_factors(1) == ()
+        assert prime_factors(97) == (97,)
+
+    @given(n=st.integers(1, 100000))
+    def test_product_reconstructs(self, n):
+        fs = prime_factors(n)
+        assert math.prod(fs) == n
+        assert all(prime_factors(f) == (f,) for f in set(fs))
+
+
+class TestFactorTriples:
+    @pytest.mark.parametrize("n", [1, 2, 12, 24, 60])
+    def test_all_products_match(self, n):
+        triples = list(factor_triples(n))
+        assert all(a * b * c == n for a, b, c in triples)
+        # each ordered triple appears exactly once
+        assert len(triples) == len(set(triples))
+
+    def test_count_for_perfect_power(self):
+        # ordered factorizations of p^2 into 3 factors: C(2+2,2) = 6
+        assert len(list(factor_triples(49))) == 6
+
+
+class TestHelpers:
+    def test_is_pow2(self):
+        assert [is_pow2(x) for x in (1, 2, 3, 4, 6, 8, 0)] == [
+            True, True, False, True, False, True, False,
+        ]
+
+    def test_near_square_pair(self):
+        assert near_square_pair(12) == (3, 4)
+        assert near_square_pair(16) == (4, 4)
+        assert near_square_pair(13) == (1, 13)
+
+    @given(n=st.integers(1, 2000))
+    def test_near_square_valid(self, n):
+        a, b = near_square_pair(n)
+        assert a * b == n and a <= b
+
+    def test_perfect_square_part(self):
+        assert perfect_square_part(48) == 4  # 16 * 3
+        assert perfect_square_part(7) == 1
+        assert perfect_square_part(36) == 6
+
+    @given(n=st.integers(1, 3000))
+    def test_square_part_divides(self, n):
+        s = perfect_square_part(n)
+        assert n % (s * s) == 0

@@ -1,0 +1,65 @@
+"""Golden grid table: frozen optimizer outputs across shape space.
+
+The grid choice feeds every layout and cost in the library, so silent
+changes to the optimizer would invalidate measurements everywhere.
+This table freezes its output over a spread of (m, n, k, P) points —
+any intentional optimizer change must update it consciously.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid import ca3dmm_grid
+
+GOLDEN = {
+    # (m, n, k, P): (pm, pn, pk)
+    (64, 64, 64, 1): (1, 1, 1),
+    (64, 64, 64, 2): (1, 1, 2),
+    (64, 64, 64, 3): (1, 1, 3),
+    (64, 64, 64, 4): (1, 2, 2),
+    (64, 64, 64, 6): (1, 2, 3),
+    (64, 64, 64, 7): (1, 2, 3),
+    (64, 64, 64, 8): (2, 2, 2),
+    (64, 64, 64, 12): (2, 2, 3),
+    (64, 64, 64, 16): (2, 4, 2),
+    (64, 64, 64, 24): (2, 4, 3),
+    (64, 64, 64, 27): (3, 3, 3),
+    (64, 64, 64, 32): (4, 4, 2),
+    (64, 64, 64, 64): (4, 4, 4),
+    (1000, 10, 10, 16): (16, 1, 1),
+    (10, 1000, 10, 16): (1, 16, 1),
+    (10, 10, 1000, 16): (1, 1, 16),
+    (1000, 1000, 10, 16): (4, 4, 1),
+    (1000, 10, 1000, 16): (4, 1, 4),
+    (10, 1000, 1000, 16): (1, 4, 4),
+    (100, 50, 25, 12): (6, 2, 1),
+    (50, 100, 25, 12): (2, 6, 1),
+    (25, 50, 100, 12): (1, 3, 4),
+    # degenerate dims: empty blocks are allowed, the volume objective
+    # still prefers the balanced cube over 1x1x8
+    (1, 1, 1, 8): (2, 2, 2),
+    (2, 2, 2, 8): (2, 2, 2),
+}
+
+
+@pytest.mark.parametrize("dims,expect", sorted(GOLDEN.items()))
+def test_golden_grid(dims, expect):
+    m, n, k, P = dims
+    g = ca3dmm_grid(m, n, k, P)
+    assert (g.pm, g.pn, g.pk) == expect, (
+        f"optimizer output changed for {dims}: got {(g.pm, g.pn, g.pk)}, "
+        f"golden {expect}"
+    )
+
+
+def test_golden_table_is_current():
+    """Regeneration helper: prints the fresh table on failure."""
+    fresh = {}
+    stale = []
+    for (m, n, k, P), expect in GOLDEN.items():
+        g = ca3dmm_grid(m, n, k, P)
+        fresh[(m, n, k, P)] = (g.pm, g.pn, g.pk)
+        if (g.pm, g.pn, g.pk) != expect:
+            stale.append(((m, n, k, P), expect, (g.pm, g.pn, g.pk)))
+    assert not stale, f"update GOLDEN: {stale}"

@@ -1,0 +1,124 @@
+"""Section V extension: memory-capped grid selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Ca3dmm
+from repro.core.plan import Ca3dmmPlan
+from repro.grid.optimizer import ca3dmm_grid
+from repro.layout.matrix import DistMatrix, dense_random
+
+
+class TestMemoryWords:
+    def test_matches_eq11_square(self):
+        from repro.grid.optimizer import GridSpec
+
+        m = 60
+        g = GridSpec(3, 3, 3, 27)
+        assert g.memory_words(m, m, m) == pytest.approx(
+            4 * m * m / 27 + m * m / 9
+        )
+
+    def test_replication_factor_applied_to_right_operand(self):
+        from repro.grid.optimizer import GridSpec
+
+        ga = GridSpec(pm=2, pn=4, pk=1, nprocs=8)  # A replicated (c=2)
+        gb = GridSpec(pm=4, pn=2, pk=1, nprocs=8)  # B replicated
+        m, n, k = 100, 100, 50
+        assert ga.memory_words(m, n, k) == pytest.approx(
+            2 * (2 * m * k + k * n) / 8 + m * n / 8
+        )
+        assert gb.memory_words(m, n, k) == pytest.approx(
+            2 * (m * k + 2 * k * n) / 8 + m * n / 8
+        )
+
+
+class TestCappedSelection:
+    def test_unlimited_equals_default(self):
+        dims = (5000, 5000, 5000)
+        a = ca3dmm_grid(*dims, 64)
+        b = ca3dmm_grid(*dims, 64, memory_limit_words=float("inf"))
+        assert (a.pm, a.pn, a.pk) == (b.pm, b.pn, b.pk)
+
+    def test_cap_reduces_memory(self):
+        dims = (2000, 2000, 2000)
+        free = ca3dmm_grid(*dims, 64)
+        free_mem = free.memory_words(*dims)
+        capped = ca3dmm_grid(*dims, 64, memory_limit_words=free_mem * 0.7)
+        assert capped.memory_words(*dims) <= free_mem * 0.7
+
+    def test_cap_moves_toward_2d(self):
+        """Shrinking the cap reduces pk (fewer partial-C copies) — the
+        paper's 'reducing the number of k-task groups' mechanism."""
+        dims = (2000, 2000, 2000)
+        free = ca3dmm_grid(*dims, 64)
+        tight = ca3dmm_grid(
+            *dims, 64, memory_limit_words=free.memory_words(*dims) * 0.55
+        )
+        assert tight.pk < free.pk
+
+    def test_cap_increases_communication_monotonically(self):
+        """The memory/communication trade-off frontier is monotone."""
+        dims = (3000, 3000, 3000)
+        free = ca3dmm_grid(*dims, 64)
+        base = free.memory_words(*dims)
+        prev_q = None
+        for frac in (1.0, 0.8, 0.6, 0.45):
+            g = ca3dmm_grid(*dims, 64, memory_limit_words=base * frac)
+            q = g.surface(*dims) / g.used
+            if prev_q is not None:
+                assert q >= prev_q * (1 - 1e-12)
+            prev_q = q
+
+    def test_unsatisfiable_cap_returns_min_memory_grid(self):
+        dims = (1000, 1000, 1000)
+        g = ca3dmm_grid(*dims, 64, memory_limit_words=1.0)
+        all_mems = [
+            c.memory_words(*dims)
+            for c in __import__("repro.grid.optimizer", fromlist=["enumerate_grids"])
+            .enumerate_grids(64, 0.95, True)
+        ]
+        assert g.memory_words(*dims) == pytest.approx(min(all_mems))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(8, 400), n=st.integers(8, 400), k=st.integers(8, 400),
+        P=st.integers(2, 48), frac=st.floats(0.3, 1.0),
+    )
+    def test_cap_respected_when_satisfiable(self, m, n, k, P, frac):
+        free = ca3dmm_grid(m, n, k, P)
+        limit = free.memory_words(m, n, k) * frac
+        g = ca3dmm_grid(m, n, k, P, memory_limit_words=limit)
+        from repro.grid.optimizer import enumerate_grids
+
+        satisfiable = any(
+            c.memory_words(m, n, k) <= limit for c in enumerate_grids(P, 0.95, True)
+        )
+        if satisfiable:
+            assert g.memory_words(m, n, k) <= limit + 1e-9
+
+
+class TestExecutedWithCap:
+    def test_capped_plan_still_correct(self, spmd):
+        m, n, k, P = 48, 48, 48, 16
+        free = ca3dmm_grid(m, n, k, P)
+        limit = free.memory_words(m, n, k) * 0.7  # 4x4x1 (720 words) fits
+        plan = Ca3dmmPlan(m, n, k, P, memory_limit_words=limit)
+        assert plan.grid.memory_words(m, n, k) <= limit + 1e-9
+
+        def f(comm):
+            eng = Ca3dmm(comm, m, n, k, memory_limit_words=limit)
+            a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 0))
+            b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 1))
+            c = eng.multiply(a, b)
+            peak = comm.transport.trace(comm.world_rank).peak_live_bytes
+            ok = np.allclose(c.to_global(), dense_random(m, k, 0) @ dense_random(k, n, 1), atol=1e-9)
+            return ok, peak / 8.0
+
+        res = spmd(P, f)
+        assert all(ok for ok, _ in res.results)
+        # executed peak tracks the eq.-(11) cap (ceil effects aside)
+        assert max(p for _, p in res.results) <= limit * 1.4

@@ -1,0 +1,180 @@
+"""Process-grid selection against the paper's reported grids."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid import GridSpec, ca3dmm_grid, cosma_grid, ctf_grid, enumerate_grids
+
+
+class TestGridSpec:
+    def test_derived_quantities(self):
+        g = GridSpec(pm=2, pn=4, pk=3, nprocs=30)
+        assert g.used == 24 and g.idle == 6
+        assert g.s == 2 and g.c == 2
+        assert g.replicates_a  # pn > pm
+        assert g.cannon_compatible
+
+    def test_surface_formula(self):
+        g = GridSpec(pm=2, pn=3, pk=4, nprocs=24)
+        # wait: 3 % 2 != 0 -> not cannon compatible, but surface still works
+        assert not g.cannon_compatible
+        assert g.surface(10, 20, 30) == 2 * (2 * 30 * 20 + 3 * 10 * 30 + 4 * 10 * 20)
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GridSpec(pm=0, pn=1, pk=1, nprocs=4)
+        with pytest.raises(ValueError):
+            GridSpec(pm=4, pn=4, pk=4, nprocs=16)
+
+    def test_c_raises_on_incompatible(self):
+        g = GridSpec(pm=2, pn=3, pk=1, nprocs=6)
+        with pytest.raises(ValueError):
+            _ = g.c
+
+    def test_latency_eq10(self):
+        # L = ceil(log2 c) + s + pk - 1 (paper eq. 10)
+        g = GridSpec(pm=2, pn=4, pk=3, nprocs=24)
+        assert g.latency_ca3dmm() == 1 + 2 + 2
+        g2 = GridSpec(pm=1, pn=1, pk=8, nprocs=8)
+        assert g2.latency_ca3dmm() == 7  # pure 1D-k: reduce only
+
+
+class TestPaperExamples:
+    def test_example1(self):
+        g = ca3dmm_grid(32, 64, 16, 8)
+        assert (g.pm, g.pn, g.pk) == (2, 4, 1)
+        assert g.c == 2 and g.replicates_a
+
+    def test_example2(self):
+        g = ca3dmm_grid(32, 32, 64, 16)
+        assert (g.pm, g.pn, g.pk) == (2, 2, 4)
+
+    def test_example3_idle_rank(self):
+        g = ca3dmm_grid(32, 32, 64, 17)
+        assert (g.pm, g.pn, g.pk) == (2, 2, 4)
+        assert g.idle == 1
+
+    def test_artifact_24_rank_grid(self):
+        """The artifact's 8000^3 on 24 ranks: a (4,2,3)-type grid, 100% util."""
+        g = ca3dmm_grid(8000, 8000, 8000, 24)
+        assert sorted((g.pm, g.pn, g.pk)) == [2, 3, 4]
+        assert g.idle == 0
+
+    @pytest.mark.parametrize(
+        "dims,P,expect",
+        [
+            ((6000, 6000, 1200000), 2048, (2, 2, 512)),
+            ((100000, 100000, 5000), 2048, (32, 32, 2)),
+            ((6000, 6000, 1200000), 3072, (3, 3, 341)),
+            ((100000, 100000, 5000), 3072, (39, 39, 2)),
+        ],
+    )
+    def test_table2_grids(self, dims, P, expect):
+        g = ca3dmm_grid(*dims, P)
+        assert (g.pm, g.pn, g.pk) == expect
+
+    @pytest.mark.parametrize(
+        "dims,P,expect",
+        [
+            ((10000, 10000, 300000), 16, (1, 1, 16)),
+            ((10000, 10000, 300000), 32, (1, 1, 32)),
+        ],
+    )
+    def test_table3_gpu_grids(self, dims, P, expect):
+        g = ca3dmm_grid(*dims, P)
+        assert (g.pm, g.pn, g.pk) == expect
+
+
+class TestConstraints:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        m=st.integers(1, 4000),
+        n=st.integers(1, 4000),
+        k=st.integers(1, 4000),
+        P=st.integers(1, 600),
+    )
+    def test_grid_always_valid(self, m, n, k, P):
+        g = ca3dmm_grid(m, n, k, P)
+        assert 1 <= g.used <= P
+        assert g.cannon_compatible  # eq. (7)
+        assert g.used >= int(0.95 * P)  # eq. (5), floor bound
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        m=st.integers(1, 2000),
+        n=st.integers(1, 2000),
+        k=st.integers(1, 2000),
+        P=st.integers(1, 256),
+    )
+    def test_optimal_among_candidates(self, m, n, k, P):
+        """The chosen grid minimizes per-process volume over all
+        candidates (the objective the reference grids imply; see
+        grid/optimizer.py)."""
+        g = ca3dmm_grid(m, n, k, P)
+        best = min(
+            c.surface(m, n, k) / c.used for c in enumerate_grids(P, 0.95, True)
+        )
+        assert g.surface(m, n, k) / g.used == best
+
+    def test_degenerate_shapes(self):
+        assert (lambda g: (g.pm, g.pn))(ca3dmm_grid(1, 1, 1024, 16)) == (1, 1)
+        g = ca3dmm_grid(1, 1024, 1, 16)
+        assert g.pm == 1 and g.pk == 1  # matvec: pure n-partition
+        g = ca3dmm_grid(1024, 1, 1, 16)
+        assert g.pn == 1 and g.pk == 1
+
+    def test_prime_process_count_idles(self):
+        g = ca3dmm_grid(1000, 1000, 1000, 13)
+        assert g.used in (12, 13)
+        assert g.cannon_compatible
+
+    def test_nprocs_one(self):
+        g = ca3dmm_grid(100, 100, 100, 1)
+        assert (g.pm, g.pn, g.pk, g.idle) == (1, 1, 1, 0)
+
+    def test_l_sweep_stability(self):
+        """Section IV-A: l in [0.85, 0.99] almost always gives one grid."""
+        dims = (50000, 50000, 50000)
+        grids = {
+            (g.pm, g.pn, g.pk)
+            for g in (ca3dmm_grid(*dims, 2048, l=l) for l in (0.85, 0.90, 0.95, 0.99))
+        }
+        assert len(grids) == 1
+
+
+class TestCosmaGrid:
+    def test_no_divisibility_constraint(self):
+        g = cosma_grid(6000, 6000, 1200000, 3072)
+        assert g.used >= int(0.95 * 3072)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        m=st.integers(1, 2000), n=st.integers(1, 2000),
+        k=st.integers(1, 2000), P=st.integers(1, 256),
+    )
+    def test_cosma_never_worse_than_ca3dmm(self, m, n, k, P):
+        """Dropping constraint (7) can only improve the optimum."""
+        gc = cosma_grid(m, n, k, P)
+        ga = ca3dmm_grid(m, n, k, P)
+        assert gc.surface(m, n, k) / gc.used <= ga.surface(m, n, k) / ga.used
+
+
+class TestCtfGrid:
+    @pytest.mark.parametrize("P", [4, 16, 64, 192, 768, 2048, 3072])
+    def test_square_face(self, P):
+        g = ctf_grid(1000, 1000, 1000, P)
+        assert g.pm == g.pn
+        assert g.pk <= g.pm or g.pm == 1
+        assert g.used <= P
+
+    def test_aspect_blind(self):
+        """CTF's grid ignores the matrix shape (the paper's criticism)."""
+        a = ctf_grid(1000, 1000, 1000, 256)
+        b = ctf_grid(100000, 10, 10, 256)
+        assert (a.pm, a.pn, a.pk) == (b.pm, b.pn, b.pk)
+
+    def test_tiny_world(self):
+        g = ctf_grid(8, 8, 8, 1)
+        assert (g.pm, g.pn, g.pk) == (1, 1, 1)

@@ -1,0 +1,72 @@
+"""The artifact-style CLI (repro.cli / examples/example_AB.py)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+class TestMainInProcess:
+    def test_basic_run(self, capsys):
+        rc = main(["-np", "8", "64", "64", "64", "0", "0", "1", "2", "0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Process grid mp * np * kp" in out
+        assert "CA3DMM output : 0 error(s)" in out
+        assert "Comm. volume / lower bound" in out
+
+    def test_transposed_run(self, capsys):
+        rc = main(["-np", "6", "40", "30", "50", "1", "1", "1", "1", "0"])
+        assert rc == 0
+        assert "Transpose A / B             : 1 / 1" in capsys.readouterr().out
+
+    def test_forced_grid(self, capsys):
+        rc = main(["-np", "8", "32", "32", "32", "0", "0", "1", "1", "0", "2", "2", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Process grid mp * np * kp   : 2 * 2 * 2" in out
+
+    def test_oversized_grid_rejected(self, capsys):
+        rc = main(["-np", "4", "16", "16", "16", "0", "0", "0", "1", "0", "2", "2", "2"])
+        assert rc == 2
+
+    def test_gpu_machine_model(self, capsys):
+        rc = main(["-np", "4", "32", "32", "32", "0", "0", "1", "1", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Device type                 : 1" in out
+
+    def test_validation_skippable(self, capsys):
+        rc = main(["-np", "4", "24", "24", "24", "0", "0", "0", "1", "0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "error(s)" not in out
+
+    def test_artifact_lower_bound_ratio_on_cube(self, capsys):
+        """The artifact's sample output reports 1.04 for a cube on 24
+        ranks; the same planning math must reproduce it."""
+        main(["-np", "24", "240", "240", "240", "0", "0", "0", "1", "0"])
+        out = capsys.readouterr().out
+        assert "Comm. volume / lower bound  : 1.04" in out
+
+
+class TestSubprocess:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["-np", "6", "48", "40", "56", "0", "0", "1", "1", "0"],
+        ],
+    )
+    def test_module_entrypoint(self, argv):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", *argv],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "0 error(s)" in proc.stdout

@@ -1,0 +1,64 @@
+"""Additional CLI surface: argument handling and report structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliArguments:
+    def test_defaults(self, capsys):
+        rc = main(["-np", "4", "24", "24", "24"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Number of tests             : 3" in out  # default ntest
+
+    def test_long_flag(self, capsys):
+        rc = main(["--nprocs", "4", "16", "16", "16", "0", "0", "1", "1", "0"])
+        assert rc == 0
+
+    def test_rectangular_with_idle_ranks(self, capsys):
+        rc = main(["-np", "7", "40", "10", "10", "0", "0", "1", "1", "0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Process utilization" in out
+        assert "0 error(s)" in out
+
+    def test_report_has_all_phases(self, capsys):
+        main(["-np", "8", "32", "32", "64", "0", "0", "1", "2", "0"])
+        out = capsys.readouterr().out
+        for line in (
+            "Redistribute A, B, C",
+            "Allgather A or B",
+            "2D Cannon execution",
+            "Reduce-scatter C",
+            "Execution time (avg)",
+        ):
+            assert line in out
+
+    def test_partial_grid_ignored(self, capsys):
+        """Only mp without np/kp falls back to the optimizer."""
+        rc = main(["-np", "4", "16", "16", "16", "0", "0", "1", "1", "0", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Process grid mp * np * kp" in out
+
+    def test_work_cuboid_line_matches_plan(self, capsys):
+        from repro.core.plan import Ca3dmmPlan
+
+        main(["-np", "6", "30", "20", "40", "0", "0", "0", "1", "0"])
+        out = capsys.readouterr().out
+        plan = Ca3dmmPlan(30, 20, 40, 6)
+        mb = -(-30 // plan.pm)
+        nb = -(-20 // plan.pn)
+        kb = -(-40 // plan.pk)
+        assert f"Work cuboid  mb * nb * kb   : {mb} * {nb} * {kb}" in out
+
+    def test_comm_ratio_reasonable(self, capsys):
+        """The reported volume / lower-bound ratio stays O(1)."""
+        main(["-np", "8", "64", "64", "64", "0", "0", "0", "1", "0"])
+        out = capsys.readouterr().out
+        line = next(l for l in out.splitlines() if "lower bound" in l)
+        ratio = float(line.split(":")[1])
+        assert 0.5 <= ratio <= 4.0

@@ -1,0 +1,81 @@
+"""The runnable examples execute end-to-end and self-verify."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str, timeout: float = 400.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "OK" in out
+        assert "Process grid" in out
+
+    def test_density_purification(self):
+        out = _run("density_purification.py")
+        assert "OK" in out
+        assert "tr(D)" in out
+
+    def test_tall_skinny_qr(self):
+        out = _run("tall_skinny_qr.py")
+        assert "OK" in out
+        # the two PGEMM shapes degenerate to the paper's 1D fallbacks
+        assert "1 x 1 x 16" in out
+        assert "16 x 1 x 1" in out
+
+    def test_example_ab_script(self):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(EXAMPLES / "example_AB.py"),
+                "-np", "8", "64", "48", "56", "0", "1", "1", "1", "0",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "0 error(s)" in proc.stdout
+
+    def test_timeline_visualization(self):
+        out = _run("timeline_visualization.py")
+        assert "legend" in out and "compute-bound machine" in out
+
+    def test_blocked_cholesky(self):
+        out = _run("blocked_cholesky.py")
+        assert "OK" in out and "flat PGEMM" in out
+
+    def test_memory_capped(self):
+        out = _run("memory_capped.py")
+        assert "OK" in out and "autotuner" in out
+
+    def test_all_examples_present(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "example_AB.py",
+            "density_purification.py",
+            "tall_skinny_qr.py",
+            "blocked_cholesky.py",
+            "memory_capped.py",
+            "timeline_visualization.py",
+            "subspace_eigensolver.py",
+            "algorithm_comparison.py",
+        } <= names

@@ -1,0 +1,103 @@
+"""Soak tests: long mixed workloads in one world, no cross-talk.
+
+Successive collectives, algorithm runs, and subcommunicator churn on a
+single transport must never interfere — these tests push the matching,
+context-id, and FIFO machinery harder than any single algorithm does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import cosma_matmul, summa_matmul
+from repro.core import Ca3dmm, ca3dmm_matmul
+from repro.layout import BlockCol1D, BlockRow1D, DistMatrix, dense_random
+
+
+class TestSoak:
+    def test_many_multiplies_one_engine(self, spmd):
+        """50 back-to-back multiplications through one engine."""
+        m = n = k = 16
+        P = 8
+
+        def f(comm):
+            eng = Ca3dmm(comm, m, n, k)
+            ok = True
+            x = DistMatrix.from_global(
+                comm, BlockRow1D((m, k), comm.size), dense_random(m, k, 0)
+            )
+            for i in range(50):
+                y = DistMatrix.from_global(
+                    comm, BlockRow1D((k, n), comm.size), dense_random(k, n, i)
+                )
+                c = eng.multiply(x, y)
+                if i % 10 == 0:
+                    ref = dense_random(m, k, 0) @ dense_random(k, n, i)
+                    ok = ok and np.allclose(c.to_global(), ref, atol=1e-9)
+            return ok
+
+        assert all(spmd(P, f, deadlock_timeout=120.0).results)
+
+    def test_interleaved_algorithms(self, spmd):
+        """Different algorithms interleaved on one communicator."""
+        m, n, k, P = 18, 20, 22, 4
+
+        def f(comm):
+            a = DistMatrix.from_global(comm, BlockCol1D((m, k), comm.size), dense_random(m, k, 1))
+            b = DistMatrix.from_global(comm, BlockCol1D((k, n), comm.size), dense_random(k, n, 2))
+            ref = dense_random(m, k, 1) @ dense_random(k, n, 2)
+            ok = True
+            for _ in range(5):
+                for fn in (ca3dmm_matmul, cosma_matmul, summa_matmul):
+                    c = fn(a, b)
+                    ok = ok and np.allclose(c.to_global(), ref, atol=1e-9)
+                comm.barrier()
+                ok = ok and comm.allgather(comm.rank) == list(range(comm.size))
+            return ok
+
+        assert all(spmd(P, f, deadlock_timeout=240.0).results)
+
+    def test_communicator_churn(self, spmd):
+        """Hundreds of splits/dups must stay isolated and deterministic."""
+
+        def f(comm):
+            ok = True
+            for i in range(100):
+                sub = comm.split(color=comm.rank % 2, key=comm.rank)
+                total = sub.allreduce(np.array([float(comm.rank)]))
+                members = [r for r in range(comm.size) if r % 2 == comm.rank % 2]
+                ok = ok and float(total[0]) == float(sum(members))
+                if i % 10 == 0:
+                    d = comm.dup()
+                    ok = ok and d.allgather(i) == [i] * comm.size
+            return ok
+
+        assert all(spmd(6, f, deadlock_timeout=120.0).results)
+
+    def test_mixed_tags_and_collectives(self, spmd):
+        """Point-to-point traffic interleaved with collectives."""
+
+        def f(comm):
+            nxt = (comm.rank + 1) % comm.size
+            prv = (comm.rank - 1) % comm.size
+            ok = True
+            for i in range(30):
+                comm.send(np.array([float(i)]), dest=nxt, tag=i % 3)
+                s = comm.allreduce(np.array([1.0]))
+                got = comm.recv(source=prv, tag=i % 3)
+                ok = ok and float(got[0]) == float(i) and float(s[0]) == comm.size
+            return ok
+
+        assert all(spmd(5, f, deadlock_timeout=120.0).results)
+
+    def test_simulated_clock_monotone_through_soak(self, spmd):
+        def f(comm):
+            stamps = []
+            for _ in range(10):
+                comm.allgather(comm.rank)
+                comm.compute(1000.0)
+                stamps.append(comm.now())
+            return all(a <= b for a, b in zip(stamps[:-1], stamps[1:]))
+
+        assert all(spmd(4, f).results)

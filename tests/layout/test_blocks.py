@@ -1,0 +1,154 @@
+"""Balanced block ranges and rectangle algebra (incl. hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.layout.blocks import (
+    Rect,
+    block_owner,
+    block_range,
+    block_size,
+    block_start,
+    rects_cover_exactly,
+)
+
+
+class TestBlockRanges:
+    def test_exact_cover(self):
+        assert [block_range(10, 3, r) for r in range(3)] == [(0, 3), (3, 6), (6, 10)]
+
+    def test_more_parts_than_items(self):
+        ranges = [block_range(2, 5, r) for r in range(5)]
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sum(sizes) == 2
+        assert all(s in (0, 1) for s in sizes)
+
+    def test_single_part(self):
+        assert block_range(7, 1, 0) == (0, 7)
+
+    def test_out_of_range_part(self):
+        with pytest.raises(ValueError):
+            block_start(10, 3, 4)
+
+    @given(n=st.integers(0, 500), p=st.integers(1, 64))
+    def test_partition_properties(self, n, p):
+        ranges = [block_range(n, p, r) for r in range(p)]
+        # contiguous, ordered, covering
+        assert ranges[0][0] == 0 and ranges[-1][1] == n
+        for (l0, h0), (l1, h1) in zip(ranges[:-1], ranges[1:]):
+            assert h0 == l1
+        # balanced: sizes differ by at most one
+        sizes = [h - l for l, h in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(n=st.integers(1, 300), p=st.integers(1, 40), data=st.data())
+    def test_owner_inverts_range(self, n, p, data):
+        i = data.draw(st.integers(0, n - 1))
+        r = block_owner(n, p, i)
+        lo, hi = block_range(n, p, r)
+        assert lo <= i < hi
+
+    def test_owner_out_of_range(self):
+        with pytest.raises(ValueError):
+            block_owner(5, 2, 5)
+
+    @given(n=st.integers(0, 200), p=st.integers(1, 30), r=st.data())
+    def test_block_size_consistent(self, n, p, r):
+        rr = r.draw(st.integers(0, p - 1))
+        lo, hi = block_range(n, p, rr)
+        assert block_size(n, p, rr) == hi - lo
+
+    def test_nesting_of_halvings(self):
+        """floor-halving nests: the mid of [0, floor(n/2)) is floor(n/4)."""
+        for n in range(1, 200):
+            mid = block_range(n, 2, 0)[1]
+            quarter = block_range(mid, 2, 0)[1]
+            assert quarter == n // 4
+
+
+class TestRect:
+    def test_shape_area(self):
+        r = Rect(2, 5, 1, 7)
+        assert r.shape == (3, 6)
+        assert r.area == 18
+        assert not r.is_empty()
+
+    def test_empty(self):
+        assert Rect(3, 3, 0, 5).is_empty()
+        assert Rect(0, 5, 4, 2).is_empty()
+        assert Rect(0, 5, 4, 2).area == 0
+
+    def test_intersect(self):
+        a = Rect(0, 10, 0, 10)
+        b = Rect(5, 15, 8, 20)
+        assert a.intersect(b) == Rect(5, 10, 8, 10)
+        assert b.intersect(a) == a.intersect(b)
+
+    def test_disjoint_intersection_empty(self):
+        assert Rect(0, 2, 0, 2).intersect(Rect(2, 4, 0, 2)).is_empty()
+
+    def test_contains(self):
+        outer = Rect(0, 10, 0, 10)
+        assert outer.contains(Rect(2, 5, 3, 9))
+        assert not outer.contains(Rect(2, 11, 3, 9))
+        assert outer.contains(Rect(4, 4, 0, 0))  # empty is contained anywhere
+
+    def test_transposed(self):
+        assert Rect(1, 2, 3, 5).transposed() == Rect(3, 5, 1, 2)
+
+    def test_local_slice(self):
+        outer = Rect(10, 20, 100, 120)
+        rs, cs = outer.local_slice(Rect(12, 15, 105, 110))
+        assert (rs, cs) == (slice(2, 5), slice(5, 10))
+
+    def test_local_slice_not_contained(self):
+        with pytest.raises(ValueError):
+            Rect(0, 5, 0, 5).local_slice(Rect(3, 8, 0, 2))
+
+    def test_shifted(self):
+        assert Rect(0, 2, 0, 3).shifted(5, 7) == Rect(5, 7, 7, 10)
+
+    def test_iter_unpack(self):
+        r0, r1, c0, c1 = Rect(1, 2, 3, 4)
+        assert (r0, r1, c0, c1) == (1, 2, 3, 4)
+
+    @given(
+        vals=st.tuples(*[st.integers(0, 30)] * 8),
+    )
+    def test_intersect_commutes_and_shrinks(self, vals):
+        a = Rect(min(vals[0], vals[1]), max(vals[0], vals[1]),
+                 min(vals[2], vals[3]), max(vals[2], vals[3]))
+        b = Rect(min(vals[4], vals[5]), max(vals[4], vals[5]),
+                 min(vals[6], vals[7]), max(vals[6], vals[7]))
+        i1, i2 = a.intersect(b), b.intersect(a)
+        assert i1 == i2
+        assert i1.area <= min(a.area, b.area)
+
+
+class TestCoverage:
+    def test_exact_cover_true(self):
+        whole = Rect(0, 4, 0, 4)
+        rects = [Rect(0, 2, 0, 4), Rect(2, 4, 0, 2), Rect(2, 4, 2, 4)]
+        assert rects_cover_exactly(rects, whole)
+
+    def test_hole_detected(self):
+        whole = Rect(0, 4, 0, 4)
+        rects = [Rect(0, 2, 0, 4), Rect(2, 4, 0, 2)]
+        assert not rects_cover_exactly(rects, whole)
+
+    def test_overlap_detected(self):
+        whole = Rect(0, 4, 0, 4)
+        rects = [Rect(0, 3, 0, 4), Rect(2, 4, 0, 4), Rect(3, 4, 0, 0)]
+        assert not rects_cover_exactly(rects, whole)
+
+    def test_outside_detected(self):
+        whole = Rect(0, 4, 0, 4)
+        rects = [Rect(0, 4, 0, 4), Rect(4, 5, 0, 4)]
+        assert not rects_cover_exactly(rects, whole)
+
+    def test_empty_rects_ignored(self):
+        whole = Rect(0, 2, 0, 2)
+        rects = [Rect(0, 2, 0, 2), Rect(1, 1, 0, 2)]
+        assert rects_cover_exactly(rects, whole)

@@ -1,0 +1,48 @@
+"""Conjugation in redistribution (the 'C' op's second half)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layout import BlockCol1D, BlockRow1D, DistMatrix, dense_random, redistribute
+
+
+class TestConjugateOnly:
+    def test_conjugate_without_transpose(self, spmd):
+        def f(comm):
+            ref = dense_random(8, 10, 1, dtype=np.complex128)
+            x = DistMatrix.from_global(comm, BlockRow1D((8, 10), comm.size), ref)
+            y = redistribute(x, BlockCol1D((8, 10), comm.size), conjugate=True)
+            return np.array_equal(y.to_global(), ref.conj())
+
+        assert all(spmd(4, f).results)
+
+    def test_conjugate_transpose(self, spmd):
+        def f(comm):
+            ref = dense_random(6, 9, 2, dtype=np.complex128)
+            x = DistMatrix.from_global(comm, BlockRow1D((6, 9), comm.size), ref)
+            y = redistribute(
+                x, BlockRow1D((9, 6), comm.size), transpose=True, conjugate=True
+            )
+            return np.array_equal(y.to_global(), ref.conj().T)
+
+        assert all(spmd(3, f).results)
+
+    def test_conjugate_real_is_identity(self, spmd):
+        def f(comm):
+            ref = dense_random(7, 7, 3)
+            x = DistMatrix.from_global(comm, BlockRow1D((7, 7), comm.size), ref)
+            y = redistribute(x, BlockCol1D((7, 7), comm.size), conjugate=True)
+            return np.array_equal(y.to_global(), ref)
+
+        assert all(spmd(3, f).results)
+
+    def test_double_conjugate_roundtrip(self, spmd):
+        def f(comm):
+            ref = dense_random(5, 8, 4, dtype=np.complex128)
+            x = DistMatrix.from_global(comm, BlockRow1D((5, 8), comm.size), ref)
+            y = redistribute(x, BlockCol1D((5, 8), comm.size), conjugate=True)
+            z = redistribute(y, BlockRow1D((5, 8), comm.size), conjugate=True)
+            return np.array_equal(z.to_global(), ref)
+
+        assert all(spmd(2, f).results)

@@ -1,0 +1,128 @@
+"""Distribution descriptors: tiling invariants and ownership queries."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.layout.blocks import Rect, rects_cover_exactly
+from repro.layout.distributions import (
+    Block2D,
+    BlockCol1D,
+    BlockCyclic2D,
+    BlockRow1D,
+    Explicit,
+)
+
+ALL_SIMPLE = [
+    lambda shape, n: BlockRow1D(shape, n),
+    lambda shape, n: BlockCol1D(shape, n),
+]
+
+
+def _assert_tiles(dist):
+    rects = [r for rk in range(dist.nranks) for r in dist.owned_rects(rk)]
+    assert rects_cover_exactly(rects, dist.whole())
+    dist.validate()  # must not raise
+
+
+class TestBlock1D:
+    @pytest.mark.parametrize("shape", [(10, 7), (1, 9), (9, 1), (3, 30)])
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 5, 12])
+    def test_row_tiles(self, shape, nranks):
+        _assert_tiles(BlockRow1D(shape, nranks))
+
+    @pytest.mark.parametrize("shape", [(10, 7), (1, 9), (9, 1), (3, 30)])
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 5, 12])
+    def test_col_tiles(self, shape, nranks):
+        _assert_tiles(BlockCol1D(shape, nranks))
+
+    def test_row_ownership_is_bands(self):
+        d = BlockRow1D((10, 4), 2)
+        assert d.owned_rects(0) == [Rect(0, 5, 0, 4)]
+        assert d.owned_rects(1) == [Rect(5, 10, 0, 4)]
+
+    def test_more_ranks_than_rows(self):
+        d = BlockRow1D((2, 4), 5)
+        owners = [rk for rk in range(5) if d.owned_rects(rk)]
+        assert len(owners) == 2
+        _assert_tiles(d)
+
+    def test_owned_elements(self):
+        d = BlockCol1D((4, 10), 4)
+        assert sum(d.owned_elements(r) for r in range(4)) == 40
+
+
+class TestBlock2D:
+    @pytest.mark.parametrize("pr,pc", [(1, 1), (2, 2), (2, 3), (3, 2), (4, 1)])
+    def test_tiles(self, pr, pc):
+        _assert_tiles(Block2D((11, 13), pr * pc, pr, pc))
+
+    def test_column_major_rank_order(self):
+        d = Block2D((4, 6), 6, 2, 3)
+        assert d.owned_rects(0) == [Rect(0, 2, 0, 2)]
+        assert d.owned_rects(1) == [Rect(2, 4, 0, 2)]
+        assert d.owned_rects(2) == [Rect(0, 2, 2, 4)]
+
+    def test_extra_ranks_own_nothing(self):
+        d = Block2D((8, 8), 7, 2, 2)
+        assert d.owned_rects(5) == []
+        _assert_tiles(d)
+
+    def test_grid_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            Block2D((8, 8), 3, 2, 2)
+
+
+class TestBlockCyclic2D:
+    @pytest.mark.parametrize("bs", [1, 2, 3, 5])
+    def test_tiles(self, bs):
+        _assert_tiles(BlockCyclic2D((13, 11), 6, 2, 3, bs=bs))
+
+    def test_cyclic_wraps(self):
+        d = BlockCyclic2D((8, 4), 4, 2, 2, bs=2)
+        rects0 = d.owned_rects(0)
+        # rank 0 (grid (0,0)) owns tile rows 0, 2 and tile cols 0 -> 4 rects
+        assert Rect(0, 2, 0, 2) in rects0
+        assert Rect(4, 6, 0, 2) in rects0
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            BlockCyclic2D((4, 4), 4, 2, 2, bs=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        m=st.integers(1, 30),
+        n=st.integers(1, 30),
+        pr=st.integers(1, 4),
+        pc=st.integers(1, 4),
+        bs=st.integers(1, 6),
+    )
+    def test_tiles_property(self, m, n, pr, pc, bs):
+        _assert_tiles(BlockCyclic2D((m, n), pr * pc, pr, pc, bs=bs))
+
+
+class TestExplicit:
+    def test_from_mapping(self):
+        d = Explicit.from_mapping(
+            (4, 4), 3, {0: [Rect(0, 4, 0, 2)], 2: [Rect(0, 4, 2, 4)]}
+        )
+        assert d.owned_rects(0) == [Rect(0, 4, 0, 2)]
+        assert d.owned_rects(1) == []
+        assert d.owned_rects(2) == [Rect(0, 4, 2, 4)]
+        _assert_tiles(d)
+
+    def test_empty_rects_filtered(self):
+        d = Explicit.from_mapping((4, 4), 1, {0: [Rect(0, 4, 0, 4), Rect(2, 2, 0, 4)]})
+        assert d.owned_rects(0) == [Rect(0, 4, 0, 4)]
+
+    def test_validate_rejects_overlap(self):
+        d = Explicit.from_mapping(
+            (4, 4), 2, {0: [Rect(0, 3, 0, 4)], 1: [Rect(2, 4, 0, 4)]}
+        )
+        with pytest.raises(ValueError):
+            d.validate()
+
+    def test_rank_beyond_table(self):
+        d = Explicit.from_mapping((2, 2), 2, {0: [Rect(0, 2, 0, 2)]})
+        assert d.owned_rects(5) == []

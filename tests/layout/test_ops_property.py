@@ -1,0 +1,99 @@
+"""Algebraic properties of the distributed operations (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.layout import BlockRow1D, DistMatrix, dense_random
+from repro.layout import ops
+from repro.machine.model import laptop
+from repro.mpi import run_spmd
+
+COMMON = dict(max_examples=12, deadline=None)
+
+
+@settings(**COMMON)
+@given(
+    m=st.integers(1, 16),
+    n=st.integers(1, 16),
+    alpha=st.floats(-3, 3, allow_nan=False),
+    beta=st.floats(-3, 3, allow_nan=False),
+    seed=st.integers(0, 10 ** 5),
+    p=st.integers(1, 5),
+)
+def test_add_is_global_linear_combination(m, n, alpha, beta, seed, p):
+    A, B = dense_random(m, n, seed), dense_random(m, n, seed + 1)
+
+    def f(comm):
+        d = BlockRow1D((m, n), comm.size)
+        a = DistMatrix.from_global(comm, d, A)
+        b = DistMatrix.from_global(comm, d, B)
+        out = ops.add(a, b, alpha=alpha, beta=beta)
+        return np.allclose(out.to_global(), alpha * A + beta * B, atol=1e-10)
+
+    assert all(run_spmd(p, f, machine=laptop(), deadlock_timeout=20.0).results)
+
+
+@settings(**COMMON)
+@given(
+    n=st.integers(1, 14),
+    seed=st.integers(0, 10 ** 5),
+    p=st.integers(1, 5),
+    alpha=st.floats(-2, 2, allow_nan=False),
+)
+def test_trace_linearity(n, seed, p, alpha):
+    A, B = dense_random(n, n, seed), dense_random(n, n, seed + 1)
+
+    def f(comm):
+        d = BlockRow1D((n, n), comm.size)
+        a = DistMatrix.from_global(comm, d, A)
+        b = DistMatrix.from_global(comm, d, B)
+        lhs = ops.trace(ops.add(a, b, alpha=alpha, beta=1.0))
+        rhs = alpha * ops.trace(a) + ops.trace(b)
+        return abs(lhs - rhs) < 1e-9
+
+    assert all(run_spmd(p, f, machine=laptop(), deadlock_timeout=20.0).results)
+
+
+@settings(**COMMON)
+@given(
+    m=st.integers(1, 14),
+    n=st.integers(1, 14),
+    seed=st.integers(0, 10 ** 5),
+    p=st.integers(1, 5),
+)
+def test_norm_triangle_inequality_and_distance(m, n, seed, p):
+    A, B = dense_random(m, n, seed), dense_random(m, n, seed + 1)
+
+    def f(comm):
+        d = BlockRow1D((m, n), comm.size)
+        a = DistMatrix.from_global(comm, d, A)
+        b = DistMatrix.from_global(comm, d, B)
+        na, nb = ops.frobenius_norm(a), ops.frobenius_norm(b)
+        nsum = ops.frobenius_norm(ops.add(a, b))
+        dist = ops.distance(a, b)
+        return (
+            nsum <= na + nb + 1e-9
+            and abs(dist - float(np.linalg.norm(A - B))) < 1e-9
+            and ops.distance(a, a) == 0.0
+        )
+
+    assert all(run_spmd(p, f, machine=laptop(), deadlock_timeout=20.0).results)
+
+
+@settings(**COMMON)
+@given(n=st.integers(1, 12), p=st.integers(1, 4), seed=st.integers(0, 10 ** 5))
+def test_identity_is_multiplicative_unit(n, p, seed):
+    from repro.core import ca3dmm_matmul
+
+    A = dense_random(n, n, seed)
+
+    def f(comm):
+        d = BlockRow1D((n, n), comm.size)
+        a = DistMatrix.from_global(comm, d, A)
+        eye = ops.identity(comm, d)
+        prod = ca3dmm_matmul(a, eye)
+        return np.allclose(prod.to_global(), A, atol=1e-10)
+
+    assert all(run_spmd(p, f, machine=laptop(), deadlock_timeout=20.0).results)

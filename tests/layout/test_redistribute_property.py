@@ -1,0 +1,137 @@
+"""Property tests: redistribution between arbitrary guillotine layouts.
+
+The fixed tests cover the named layouts; these generate random
+*guillotine partitions* (recursive axis-aligned splits, the shape of
+every layout CA3DMM produces) assigned to random ranks — including
+ranks owning several rectangles and ranks owning nothing — and check
+any-to-any conversion, with and without transposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.layout.blocks import Rect
+from repro.layout.distributions import Explicit
+from repro.layout.matrix import DistMatrix, dense_random
+from repro.layout.redistribute import redistribute
+from repro.machine.model import laptop
+from repro.mpi import run_spmd
+
+
+def _guillotine(rng: np.random.Generator, rect: Rect, pieces: int) -> list[Rect]:
+    """Split a rect into `pieces` parts with random axis-aligned cuts."""
+    parts = [rect]
+    while len(parts) < pieces:
+        idx = int(rng.integers(len(parts)))
+        r = parts[idx]
+        if r.rows <= 1 and r.cols <= 1:
+            # find any splittable part; give up if none
+            splittable = [i for i, p in enumerate(parts) if p.rows > 1 or p.cols > 1]
+            if not splittable:
+                break
+            idx = splittable[0]
+            r = parts[idx]
+        by_rows = r.rows > 1 and (r.cols <= 1 or rng.random() < 0.5)
+        if by_rows:
+            cut = int(rng.integers(r.r0 + 1, r.r1))
+            new = [Rect(r.r0, cut, r.c0, r.c1), Rect(cut, r.r1, r.c0, r.c1)]
+        else:
+            cut = int(rng.integers(r.c0 + 1, r.c1))
+            new = [Rect(r.r0, r.r1, r.c0, cut), Rect(r.r0, r.r1, cut, r.c1)]
+        parts[idx : idx + 1] = new
+    return parts
+
+
+def _random_layout(rng: np.random.Generator, m: int, n: int, nranks: int) -> Explicit:
+    pieces = int(rng.integers(1, 2 * nranks + 1))
+    rects = _guillotine(rng, Rect(0, m, 0, n), pieces)
+    mapping: dict[int, list[Rect]] = {}
+    for r in rects:
+        owner = int(rng.integers(nranks))
+        mapping.setdefault(owner, []).append(r)
+    return Explicit.from_mapping((m, n), nranks, mapping)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(1, 24),
+    n=st.integers(1, 24),
+    p=st.integers(1, 6),
+    seed=st.integers(0, 10 ** 6),
+)
+def test_random_guillotine_roundtrip(m, n, p, seed):
+    rng = np.random.default_rng(seed)
+    src = _random_layout(rng, m, n, p)
+    dst = _random_layout(rng, m, n, p)
+    src.validate()
+    dst.validate()
+    ref = dense_random(m, n, seed % 997)
+
+    def f(comm):
+        x = DistMatrix.from_global(comm, src, ref)
+        y = redistribute(x, dst)
+        z = redistribute(y, src)  # and back
+        return (
+            np.array_equal(y.to_global(), ref)
+            and all(np.array_equal(a, b) for a, b in zip(z.tiles, x.tiles))
+        )
+
+    res = run_spmd(p, f, machine=laptop(), deadlock_timeout=30.0)
+    assert all(res.results)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    m=st.integers(1, 18),
+    n=st.integers(1, 18),
+    p=st.integers(1, 5),
+    seed=st.integers(0, 10 ** 6),
+)
+def test_random_guillotine_transpose(m, n, p, seed):
+    rng = np.random.default_rng(seed)
+    src = _random_layout(rng, m, n, p)
+    dst = _random_layout(rng, n, m, p)  # transposed coordinates
+    ref = dense_random(m, n, seed % 991)
+
+    def f(comm):
+        x = DistMatrix.from_global(comm, src, ref)
+        y = redistribute(x, dst, transpose=True)
+        return np.array_equal(y.to_global(), ref.T)
+
+    res = run_spmd(p, f, machine=laptop(), deadlock_timeout=30.0)
+    assert all(res.results)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    m=st.integers(2, 20),
+    n=st.integers(2, 20),
+    p=st.integers(2, 6),
+    seed=st.integers(0, 10 ** 6),
+)
+def test_traffic_bounded_by_moved_area(m, n, p, seed):
+    """No rank sends more than the area leaving its ownership (+headers)."""
+    rng = np.random.default_rng(seed)
+    src = _random_layout(rng, m, n, p)
+    dst = _random_layout(rng, m, n, p)
+    ref = dense_random(m, n, 7)
+
+    def f(comm):
+        x = DistMatrix.from_global(comm, src, ref)
+        before = comm.transport.trace(comm.world_rank).bytes_sent
+        redistribute(x, dst)
+        sent = comm.transport.trace(comm.world_rank).bytes_sent - before
+        owned = sum(r.area for r in src.owned_rects(comm.rank))
+        kept = sum(
+            r.intersect(w).area
+            for r in src.owned_rects(comm.rank)
+            for w in dst.owned_rects(comm.rank)
+        )
+        return sent, (owned - kept) * 8
+
+    res = run_spmd(p, f, machine=laptop(), deadlock_timeout=30.0)
+    for sent, moved_bytes in res.results:
+        # pickle envelope: rects + array headers per piece
+        assert sent <= moved_bytes + 4096

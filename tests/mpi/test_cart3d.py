@@ -1,0 +1,88 @@
+"""Cart3D: column-major 3D coordinates and fiber communicators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import Cart3D
+from repro.mpi.errors import CommError
+
+
+class TestCoords:
+    def test_column_major(self, spmd):
+        def f(comm):
+            c = Cart3D(comm, 2, 3, 2)
+            return c.coords
+
+        res = spmd(12, f)
+        assert res.results[0] == (0, 0, 0)
+        assert res.results[1] == (1, 0, 0)
+        assert res.results[2] == (0, 1, 0)
+        assert res.results[6] == (0, 0, 1)
+        assert res.results[11] == (1, 2, 1)
+
+    def test_rank_of_roundtrip(self, spmd):
+        def f(comm):
+            c = Cart3D(comm, 2, 2, 3)
+            return c.rank_of(*c.coords) == comm.rank
+
+        assert all(spmd(12, f).results)
+
+    def test_rank_of_wraps(self, spmd):
+        def f(comm):
+            c = Cart3D(comm, 2, 2, 2)
+            return c.rank_of(-1, 2, 3)
+
+        res = spmd(8, f)
+        # (-1 % 2, 2 % 2, 3 % 2) = (1, 0, 1) -> 1 + 0 + 4 = 5
+        assert res.results[0] == 5
+
+    def test_size_mismatch(self, spmd):
+        def f(comm):
+            with pytest.raises(CommError):
+                Cart3D(comm, 2, 2, 2)
+
+        spmd(6, f)
+
+
+class TestFibers:
+    def test_fiber_sizes_and_membership(self, spmd):
+        def f(comm):
+            c = Cart3D(comm, 2, 3, 2)
+            fi, fj, fl = c.i_fiber(), c.j_fiber(), c.l_fiber()
+            lay = c.layer()
+            return (
+                fi.size, fj.size, fl.size, lay.size,
+                fi.allgather(c.i), fj.allgather(c.j), fl.allgather(c.l),
+            )
+
+        res = spmd(12, f)
+        for ni, nj, nl, lay, gi, gj, gl in res.results:
+            assert (ni, nj, nl, lay) == (2, 3, 2, 6)
+            assert gi == [0, 1]
+            assert gj == [0, 1, 2]
+            assert gl == [0, 1]
+
+    def test_fiber_reduction_sums_along_axis(self, spmd):
+        """Summing rank ids along the l-fiber matches the arithmetic."""
+
+        def f(comm):
+            c = Cart3D(comm, 2, 2, 3)
+            total = c.l_fiber().allreduce(np.array([float(comm.rank)]))
+            base = c.i + 2 * c.j
+            expect = sum(base + 4 * l for l in range(3))
+            return float(total[0]) == expect
+
+        assert all(spmd(12, f).results)
+
+    def test_layer_is_column_major_2d(self, spmd):
+        from repro.mpi import Cart2D
+
+        def f(comm):
+            c = Cart3D(comm, 2, 2, 2)
+            lay = c.layer()
+            cart = Cart2D(lay, 2, 2)
+            return (cart.row, cart.col) == (c.i, c.j)
+
+        assert all(spmd(8, f).results)

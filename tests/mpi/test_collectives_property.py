@@ -1,0 +1,120 @@
+"""Property-based tests of the collectives (hypothesis).
+
+Each property runs a small SPMD world per example, so example counts are
+kept low; the properties cover the dimensions the fixed tests cannot
+enumerate (arbitrary sizes, payload shapes, roots).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.model import laptop
+from repro.mpi import SUM, run_spmd
+
+COMMON = dict(max_examples=20, deadline=None)
+
+
+def _run(nprocs, fn, args=()):
+    return run_spmd(nprocs, fn, args=args, machine=laptop(), deadlock_timeout=15.0)
+
+
+@settings(**COMMON)
+@given(
+    size=st.integers(1, 9),
+    root=st.data(),
+    length=st.integers(0, 50),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_bcast_delivers_root_value(size, root, length, seed):
+    root = root.draw(st.integers(0, size - 1))
+    payload = np.random.default_rng(seed).standard_normal(length)
+
+    def f(comm):
+        value = payload if comm.rank == root else None
+        return comm.bcast(value, root=root).tobytes()
+
+    res = _run(size, f)
+    assert all(r == payload.tobytes() for r in res.results)
+
+
+@settings(**COMMON)
+@given(size=st.integers(1, 9), seed=st.integers(0, 2 ** 16), length=st.integers(1, 40))
+def test_allreduce_matches_numpy(size, seed, length):
+    rng = np.random.default_rng(seed)
+    contribs = [rng.standard_normal(length) for _ in range(size)]
+
+    def f(comm):
+        return comm.allreduce(contribs[comm.rank], SUM)
+
+    res = _run(size, f)
+    expect = np.sum(contribs, axis=0)
+    for r in res.results:
+        np.testing.assert_allclose(r, expect, rtol=1e-12, atol=1e-12)
+
+
+@settings(**COMMON)
+@given(size=st.integers(1, 9), seed=st.integers(0, 2 ** 16))
+def test_allgather_identity(size, seed):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(0, 12, size=size)
+
+    def f(comm):
+        mine = np.full(int(lengths[comm.rank]), float(comm.rank))
+        return [p.tolist() for p in comm.allgather(mine)]
+
+    res = _run(size, f)
+    expect = [[float(i)] * int(lengths[i]) for i in range(size)]
+    assert all(r == expect for r in res.results)
+
+
+@settings(**COMMON)
+@given(size=st.integers(1, 8), seed=st.integers(0, 2 ** 16))
+def test_reduce_scatter_equals_reduce_then_slice(size, seed):
+    """reduce_scatter(blocks)[rank] == elementwise-sum of blocks[rank]."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((size, size, 5))  # [source, dest, payload]
+
+    def f(comm):
+        blocks = [data[comm.rank, d] for d in range(comm.size)]
+        return comm.reduce_scatter(blocks)
+
+    res = _run(size, f)
+    for dest in range(size):
+        np.testing.assert_allclose(
+            res.results[dest], data[:, dest].sum(axis=0), rtol=1e-12, atol=1e-12
+        )
+
+
+@settings(**COMMON)
+@given(size=st.integers(1, 9))
+def test_alltoall_is_transpose(size):
+    def f(comm):
+        values = [(comm.rank, d) for d in range(comm.size)]
+        return comm.alltoall(values)
+
+    res = _run(size, f)
+    for dest in range(size):
+        assert res.results[dest] == [(s, dest) for s in range(size)]
+
+
+@settings(**COMMON)
+@given(size=st.integers(2, 9), seed=st.integers(0, 2 ** 16))
+def test_traffic_conservation(size, seed):
+    """Bytes sent across all ranks equal bytes received across all ranks."""
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(1, 64, size=size)
+
+    def f(comm):
+        dest = (comm.rank + 1) % comm.size
+        src = (comm.rank - 1) % comm.size
+        comm.sendrecv(np.zeros(int(sizes[comm.rank])), dest, src)
+        comm.allgather(comm.rank)
+        comm.barrier()
+
+    res = _run(size, f)
+    sent = sum(t.bytes_sent for t in res.traces)
+    recv = sum(t.bytes_recv for t in res.traces)
+    assert sent == recv
+    assert sum(t.msgs_sent for t in res.traces) == sum(t.msgs_recv for t in res.traces)

@@ -1,0 +1,128 @@
+"""Request objects: wait/test semantics, wait_all, buffer receives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import wait_all
+from repro.mpi.errors import BufferError_
+
+
+class TestSendRequest:
+    def test_wait_idempotent(self, spmd):
+        def f(comm):
+            other = 1 - comm.rank
+            req = comm.isend(np.ones(4), dest=other)
+            comm.recv(source=other)
+            t1 = comm.now()
+            req.wait()
+            t2 = comm.now()
+            req.wait()  # second wait is a no-op
+            t3 = comm.now()
+            return t2 >= t1 and t3 == t2
+
+        assert all(spmd(2, f).results)
+
+    def test_test_completes_send(self, spmd):
+        def f(comm):
+            other = 1 - comm.rank
+            req = comm.isend(np.ones(4), dest=other)
+            done, value = req.test()
+            comm.recv(source=other)
+            return done and value is None
+
+        assert all(spmd(2, f).results)
+
+
+class TestRecvRequest:
+    def test_wait_returns_payload(self, spmd):
+        def f(comm):
+            if comm.rank == 0:
+                comm.send({"k": 9}, dest=1)
+            else:
+                req = comm.irecv(source=0)
+                return req.wait()
+
+        assert spmd(2, f).results[1] == {"k": 9}
+
+    def test_wait_idempotent_value(self, spmd):
+        def f(comm):
+            if comm.rank == 0:
+                comm.send(5, dest=1)
+            else:
+                req = comm.irecv(source=0)
+                a = req.wait()
+                b = req.wait()
+                return a == b == 5
+
+        assert spmd(2, f).results[1]
+
+    def test_status_populated(self, spmd):
+        def f(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(3), dest=1, tag=6)
+            else:
+                req = comm.irecv(source=0, tag=6)
+                req.wait()
+                return (req.status.source, req.status.tag, req.status.nbytes)
+
+        assert spmd(2, f).results[1] == (0, 6, 24)
+
+    def test_irecv_into_buffer(self, spmd):
+        def f(comm):
+            if comm.rank == 0:
+                comm.send(np.full(5, 2.0), dest=1)
+            else:
+                buf = np.zeros(5)
+                req = comm.irecv(source=0, buf=buf)
+                out = req.wait()
+                return out is buf and buf.sum() == 10.0
+
+        assert spmd(2, f).results[1]
+
+    def test_irecv_buffer_mismatch(self, spmd):
+        def f(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(5), dest=1)
+            else:
+                req = comm.irecv(source=0, buf=np.zeros(2))
+                with pytest.raises(BufferError_):
+                    req.wait()
+
+        spmd(2, f)
+
+    def test_test_before_arrival(self, spmd):
+        def f(comm):
+            if comm.rank == 1:
+                req = comm.irecv(source=0, tag=3)
+                done_early, _ = req.test()
+                comm.send(b"go", dest=0, tag=1)
+                while True:
+                    done, val = req.test()
+                    if done:
+                        return (done_early, val)
+            else:
+                comm.recv(source=1, tag=1)  # wait for the probe to happen
+                comm.send("late", dest=1, tag=3)
+
+        early, val = spmd(2, f).results[1]
+        assert early is False and val == "late"
+
+
+class TestWaitAll:
+    def test_mixed_requests(self, spmd):
+        def f(comm):
+            other = 1 - comm.rank
+            reqs = [
+                comm.isend(np.full(2, float(comm.rank)), dest=other, tag=1),
+                comm.irecv(source=other, tag=1),
+                comm.isend(comm.rank * 100, dest=other, tag=2),
+                comm.irecv(source=other, tag=2),
+            ]
+            values = wait_all(reqs)
+            return float(values[1][0]), values[3]
+
+        res = spmd(2, f)
+        assert res.results[0] == (1.0, 100)
+        assert res.results[1] == (0.0, 0)

@@ -1,0 +1,167 @@
+"""Transport internals: context ids, ordering, counters, watchdog info."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.model import MachineModel, laptop
+from repro.mpi.transport import PhaseStats, Transport
+from repro.mpi.datatypes import Message, payload_pack, payload_unpack
+
+
+class TestContextIds:
+    def test_same_key_same_id(self):
+        t = Transport(2)
+        a = t.context_for_key(("ctx", 1))
+        b = t.context_for_key(("ctx", 1))
+        assert a == b
+
+    def test_different_keys_different_ids(self):
+        t = Transport(2)
+        ids = {t.context_for_key(("ctx", i)) for i in range(10)}
+        assert len(ids) == 10
+
+    def test_ids_never_collide_with_world(self):
+        from repro.mpi.runtime import WORLD_CTX
+
+        t = Transport(2)
+        assert t.context_for_key("x") != WORLD_CTX
+
+
+class TestPayloads:
+    def test_array_pack_is_copy(self):
+        arr = np.ones(4)
+        stored, nbytes, is_array = payload_pack(arr)
+        arr[:] = -1
+        assert is_array and nbytes == 32
+        assert payload_unpack(stored, True).tolist() == [1.0] * 4
+
+    def test_noncontiguous_array_packed_contiguous(self):
+        arr = np.arange(16.0).reshape(4, 4)[:, 1]
+        stored, nbytes, is_array = payload_pack(arr)
+        assert nbytes == 32
+        assert stored.flags["C_CONTIGUOUS"]
+
+    def test_object_pack_measures_pickle(self):
+        stored, nbytes, is_array = payload_pack({"a": 1})
+        assert not is_array
+        assert nbytes == len(stored) > 0
+        assert payload_unpack(stored, False) == {"a": 1}
+
+    def test_object_pack_isolates_mutation(self):
+        obj = [1, 2, 3]
+        stored, _, _ = payload_pack(obj)
+        obj.append(4)
+        assert payload_unpack(stored, False) == [1, 2, 3]
+
+
+class TestDirectTransport:
+    def test_fifo_sequence_numbers(self):
+        t = Transport(2)
+        for i in range(3):
+            stored, n, ia = payload_pack(i)
+            t.post_send(0, 0, 1, 5, stored, n, ia, advance_sender=True)
+        box = t._mail[(0, 1)]
+        assert [m.seq for m in box] == sorted(m.seq for m in box)
+        got = [t.match_recv(0, 1, 0, 5)[0].unpack() for _ in range(3)]
+        assert got == [0, 1, 2]
+
+    def test_counters_track_bytes_and_msgs(self):
+        t = Transport(2, laptop())
+        stored, n, ia = payload_pack(np.zeros(10))
+        t.post_send(0, 0, 1, 1, stored, n, ia, advance_sender=True)
+        t.match_recv(0, 1, 0, 1)
+        assert t.ranks[0].bytes_sent == 80 and t.ranks[0].msgs_sent == 1
+        assert t.ranks[1].bytes_recv == 80 and t.ranks[1].msgs_recv == 1
+
+    def test_probe_does_not_consume(self):
+        t = Transport(2)
+        stored, n, ia = payload_pack("x")
+        t.post_send(0, 0, 1, 1, stored, n, ia, advance_sender=True)
+        assert t.probe(0, 1, 0, 1) is not None
+        assert t.probe(0, 1, 0, 1) is not None  # still there
+        t.match_recv(0, 1, 0, 1)
+        assert t.probe(0, 1, 0, 1) is None
+
+    def test_negative_advance_rejected(self):
+        t = Transport(1)
+        with pytest.raises(ValueError):
+            t.advance(0, -1.0)
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValueError):
+            Transport(0)
+
+
+class TestPhaseStats:
+    def test_merged_adds_fields(self):
+        a = PhaseStats(time=1.0, comm_time=0.5, bytes_sent=10, msgs_sent=1)
+        b = PhaseStats(time=2.0, compute_time=1.5, bytes_recv=20, msgs_recv=2)
+        m = a.merged(b)
+        assert m.time == 3.0
+        assert m.comm_time == 0.5 and m.compute_time == 1.5
+        assert m.bytes_sent == 10 and m.bytes_recv == 20
+        assert m.msgs_sent == 1 and m.msgs_recv == 2
+
+    def test_phase_stack_nesting(self, spmd):
+        def f(comm):
+            with comm.phase("outer"):
+                comm.compute(100)
+                with comm.phase("inner"):
+                    comm.compute(200)
+                comm.compute(300)
+
+        res = spmd(1, f)
+        phases = res.traces[0].phases
+        # time attributes to the innermost active phase
+        assert phases["inner"].compute_time == pytest.approx(
+            200 * res.transport.machine.gamma
+        )
+        assert phases["outer"].compute_time == pytest.approx(
+            400 * res.transport.machine.gamma
+        )
+
+    def test_waiting_time_attributed_to_comm(self, spmd):
+        machine = MachineModel(
+            alpha=1e-3, nic_beta=0.0, alpha_intra=1e-3, beta_intra=0.0,
+            ranks_per_node=1,
+        )
+
+        def f(comm):
+            with comm.phase("xch"):
+                if comm.rank == 0:
+                    comm.compute(0)
+                    comm.send(b"z", dest=1)
+                else:
+                    comm.recv(source=0)
+
+        res = spmd(2, f, machine=machine)
+        ph = res.traces[1].phases["xch"]
+        assert ph.comm_time == pytest.approx(1e-3, rel=1e-6)
+        assert ph.compute_time == 0.0
+
+
+class TestWatchdogInfo:
+    def test_blocked_ranks_describes_wait(self):
+        import threading
+        import time
+
+        t = Transport(2)
+
+        def blocked():
+            try:
+                t.match_recv(0, 0, 1, 9)
+            except Exception:
+                pass
+
+        th = threading.Thread(target=blocked, daemon=True)
+        th.start()
+        time.sleep(0.2)
+        info = t.blocked_ranks()
+        assert 0 in info and "tag=9" in info[0]
+        from repro.mpi.errors import AbortError
+
+        t.abort(AbortError(-1))
+        th.join(timeout=5)
+        assert not th.is_alive()
