@@ -18,7 +18,6 @@ from __future__ import annotations
 import math
 
 from ..grid.factorize import near_square_pair
-from ..grid.optimizer import GridSpec
 from ..machine.model import MachineModel
 from .costs import (
     ITEM,

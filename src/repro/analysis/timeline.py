@@ -18,10 +18,10 @@ Also provided: :func:`phase_spans` (per-phase simulated intervals) and
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 
 from ..mpi.runtime import SpmdResult
-from ..mpi.transport import Event
 
 #: lane glyph per event kind; later entries win on overlap within a cell.
 GLYPHS = {"wait": ".", "recv": "<", "send": ">", "compute": "#"}
@@ -36,18 +36,22 @@ def render_timeline(
     """Render per-rank lanes over the simulated makespan.
 
     ``width`` columns cover ``[0, makespan]``; each cell shows the
-    highest-priority event kind overlapping that slice.  Requires the
-    run to have been executed with ``record_events=True``.
+    highest-priority event kind overlapping that slice.  Runs executed
+    without ``record_events=True`` (or that never touched the simulated
+    clock) render an explanatory placeholder instead of raising.
     """
     events = result.transport.events
     if not events:
-        raise ValueError(
-            "no events recorded — run with run_spmd(..., record_events=True) "
-            "and make sure the ranks did simulated work"
+        return (
+            "(no timeline: no events recorded — run with "
+            "run_spmd(..., record_events=True))"
         )
     makespan = max(result.time, max(e.t1 for e in events))
     if makespan <= 0:
-        raise ValueError("nothing happened on the simulated clock")
+        return (
+            f"(no timeline: {len(events)} event(s) recorded but the "
+            "simulated clock never advanced)"
+        )
     lanes = ranks if ranks is not None else list(range(result.transport.nprocs))
     grid = {r: [" "] * width for r in lanes}
     scale = width / makespan
@@ -55,7 +59,10 @@ def render_timeline(
         if e.rank not in grid:
             continue
         c0 = min(width - 1, int(e.t0 * scale))
-        c1 = min(width - 1, max(c0, int(e.t1 * scale - 1e-12)))
+        # Half-open mapping: the cell covering [c/scale, (c+1)/scale) is
+        # painted only if the event overlaps it, so an event ending
+        # exactly on a column boundary does not bleed into the next cell.
+        c1 = min(width - 1, max(c0, math.ceil(e.t1 * scale) - 1))
         glyph = GLYPHS.get(e.kind, "?")
         lane = grid[e.rank]
         for c in range(c0, c1 + 1):

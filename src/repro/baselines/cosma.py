@@ -35,7 +35,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..grid.optimizer import DEFAULT_L, GridSpec, cosma_grid
-from ..grid.factorize import prime_factors
 from ..layout.blocks import Rect, block_range
 from ..layout.distributions import Distribution, Explicit
 from ..layout.matrix import DistMatrix

@@ -41,7 +41,7 @@ from ..layout.redistribute import redistribute
 from ..mpi.comm import Comm
 from ..mpi.datatypes import INTERNAL_TAG_BASE
 from ..mpi.topology import Cart2D
-from .summa import DEFAULT_PANEL, panel_ranges
+from .summa import DEFAULT_PANEL
 
 _TAG_ROUTE = INTERNAL_TAG_BASE + 501
 

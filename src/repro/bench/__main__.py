@@ -25,6 +25,7 @@ from .harness import (
     table1_memory,
     table2_grids,
     table3_gpu,
+    trace_artifact,
 )
 
 GENERATORS = {
@@ -46,6 +47,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     ap.add_argument("names", nargs="*", help="fig2 fig3 fig4 fig5 table1 table2 table3 l_sweep, or 'all'")
     ap.add_argument("--list", action="store_true", help="list available generators")
+    ap.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="also execute a small stand-in of each figure's workload and "
+             "write a Chrome trace (<name>.trace.json) under DIR",
+    )
     args = ap.parse_args(argv)
 
     if args.list or not args.names:
@@ -61,6 +67,10 @@ def main(argv: list[str] | None = None) -> int:
             continue
         print(gen().text)
         print()
+        if args.trace_dir:
+            path = trace_artifact(name, args.trace_dir)
+            print(f"trace artifact: {path}")
+            print()
     return rc
 
 

@@ -11,9 +11,10 @@ engine backs it up at small scale through the verification helpers in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from ..analysis.breakdown import Breakdown, breakdown_from_report
-from ..analysis.costs import CostReport, ca3dmm_cost, cosma_cost, ctf_cost
+from ..analysis.breakdown import breakdown_from_report
+from ..analysis.costs import ca3dmm_cost, cosma_cost, ctf_cost
 from ..grid.optimizer import GridSpec, ca3dmm_grid, cosma_grid
 from ..machine.model import MachineModel, pace_phoenix_cpu, pace_phoenix_gpu
 from .report import format_series, format_table
@@ -38,6 +39,58 @@ class BenchResult:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.text
 
+
+
+# --------------------------------------------------------- trace artifacts -- #
+#: Small executed stand-ins per generator, used for trace artifacts: the
+#: analytic benches price paper-scale problems, so each figure/table gets
+#: a thread-simulator-sized problem of the same shape class whose
+#: executed trace documents the schedule the analytic numbers price.
+TRACE_WORKLOADS: dict[str, tuple[int, int, int, int]] = {
+    "fig2": (32, 64, 16, 8),      # the paper's worked Example 1
+    "fig3": (64, 64, 64, 8),      # square class (strong scaling)
+    "fig4": (64, 64, 64, 8),      # square class (hybrid scaling)
+    "fig5": (48, 48, 48, 8),      # breakdown: all phases populated
+    "table1": (32, 32, 64, 16),   # the paper's worked Example 2
+    "table2": (48, 40, 56, 8),    # non-square, forced-grid territory
+    "table3": (64, 32, 32, 8),    # large-M flavour (GPU table)
+    "l_sweep": (40, 40, 40, 8),
+}
+
+
+def trace_artifact(
+    name: str,
+    outdir: str | Path,
+    machine: MachineModel | None = None,
+) -> Path:
+    """Execute the stand-in workload for generator ``name`` and write a
+    schema-validated Chrome trace to ``outdir/<name>.trace.json``.
+
+    Returns the written path.  Raises ``KeyError`` for unknown names.
+    """
+    from ..core import ca3dmm_matmul
+    from ..core.plan import Ca3dmmPlan
+    from ..layout import DistMatrix, dense_random
+    from ..mpi import run_spmd
+    from ..obs.export import write_chrome_trace
+
+    m, n, k, p = TRACE_WORKLOADS[name]
+    plan = Ca3dmmPlan(m, n, k, p)
+
+    def f(comm):
+        a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 0))
+        b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 1))
+        ca3dmm_matmul(a, b)
+
+    mach = machine or pace_phoenix_cpu("mpi")
+    result = run_spmd(p, f, machine=mach, record_events=True)
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    path = outdir / f"{name}.trace.json"
+    write_chrome_trace(
+        result, path, label=f"{name} stand-in {m}x{n}x{k} P={p}"
+    )
+    return path
 
 
 # ------------------------------------------------------------------ Fig 2 -- #

@@ -1,4 +1,4 @@
-"""The artifact's example program, re-created (``example_AB``).
+"""The artifact's example program (``example_AB``) plus obs subcommands.
 
 The SC22 artifact ships ``example_AB.exe``, run as::
 
@@ -9,6 +9,19 @@ This module reproduces it on the virtual runtime (``-np`` becomes a
 flag, ``dtype`` 0/1 selects the CPU or GPU machine model) and prints the
 same report structure: the partition info block, per-phase timings over
 ``ntest`` runs, and a correctness check against the serial product.
+``transA``/``transB`` accept the artifact's 0/1 or BLAS op codes
+``N``/``T``/``C``; ``--json`` emits the whole report as one
+schema-validated JSON document (``repro.obs.export.RUN_JSON_SCHEMA``)
+for scripting.
+
+Two observability subcommands front the :mod:`repro.obs` subsystem::
+
+    python -m repro.cli trace 64 64 64 -np 8 -o run.trace.json
+    python -m repro.cli stats 64 64 64 -np 8 --json
+
+``trace`` executes one multiplication with event recording and exports a
+Chrome-trace/Perfetto JSON (plus an optional JSONL structured log);
+``stats`` prints the run's metrics snapshot and drift-guard report.
 
 Run as ``python -m repro.cli ...`` or via the ``ca3dmm-example``
 console script.
@@ -17,6 +30,7 @@ console script.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -29,6 +43,25 @@ from .layout.distributions import BlockCol1D
 from .layout.matrix import DistMatrix, dense_random
 from .machine.model import pace_phoenix_cpu, pace_phoenix_gpu
 from .mpi.runtime import run_spmd
+from .obs.drift import drift_report
+from .obs.export import (
+    validate_run_json,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .obs.metrics import format_metrics, snapshot_run
+
+#: CLI op-code spellings accepted for transA/transB.
+_OP_CODES = {"0": "N", "1": "T", "N": "N", "T": "T", "C": "C"}
+
+
+def _op_arg(value: str) -> str:
+    code = _OP_CODES.get(str(value).upper())
+    if code is None:
+        raise argparse.ArgumentTypeError(
+            f"invalid op code {value!r}; expected 0, 1, N, T, or C"
+        )
+    return code
 
 
 def _parse(argv: list[str] | None) -> argparse.Namespace:
@@ -37,11 +70,14 @@ def _parse(argv: list[str] | None) -> argparse.Namespace:
         description="CA3DMM example: C = op(A) x op(B) on the virtual MPI runtime",
     )
     ap.add_argument("-np", "--nprocs", type=int, default=8, help="number of ranks")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the report as one JSON document (no text output)")
     ap.add_argument("M", type=int)
     ap.add_argument("N", type=int)
     ap.add_argument("K", type=int)
-    ap.add_argument("transA", type=int, choices=(0, 1), nargs="?", default=0)
-    ap.add_argument("transB", type=int, choices=(0, 1), nargs="?", default=0)
+    ap.add_argument("transA", type=_op_arg, nargs="?", default="N",
+                    help="0/N, 1/T, or C (conjugate transpose)")
+    ap.add_argument("transB", type=_op_arg, nargs="?", default="N")
     ap.add_argument("validation", type=int, choices=(0, 1), nargs="?", default=1)
     ap.add_argument("ntest", type=int, nargs="?", default=3)
     ap.add_argument(
@@ -56,8 +92,9 @@ def _parse(argv: list[str] | None) -> argparse.Namespace:
 
 def _rank_main(comm, args, grid):
     m, n, k = args.M, args.N, args.K
-    a_shape = (k, m) if args.transA else (m, k)
-    b_shape = (n, k) if args.transB else (k, n)
+    transa, transb = args.transA != "N", args.transB != "N"
+    a_shape = (k, m) if transa else (m, k)
+    b_shape = (n, k) if transb else (k, n)
     a = DistMatrix.from_global(
         comm, BlockCol1D(a_shape, comm.size), dense_random(*a_shape, seed=7)
     )
@@ -71,9 +108,7 @@ def _rank_main(comm, args, grid):
     c = None
     for _ in range(max(1, args.ntest)):
         before = comm.transport.trace(comm.world_rank)
-        c = eng.multiply(
-            a, b, c_dist=out_dist, transa=bool(args.transA), transb=bool(args.transB)
-        )
+        c = eng.multiply(a, b, c_dist=out_dist, transa=args.transA, transb=args.transB)
         after = comm.transport.trace(comm.world_rank)
         delta = {
             name: after.phases[name].time
@@ -88,14 +123,35 @@ def _rank_main(comm, args, grid):
         got = c.to_global()
         a_g = a.to_global()
         b_g = b.to_global()
-        ref = (a_g.T if args.transA else a_g) @ (b_g.T if args.transB else b_g)
+        op_a = a_g.conj().T if args.transA == "C" else a_g.T if transa else a_g
+        op_b = b_g.conj().T if args.transB == "C" else b_g.T if transb else b_g
+        ref = op_a @ op_b
         scale = max(1.0, float(np.abs(ref).max()))
         errors = int(np.sum(np.abs(got - ref) > 1e-9 * scale))
     peak = comm.transport.trace(comm.world_rank).peak_live_bytes
     return timings, errors, peak
 
 
-def main(argv: list[str] | None = None) -> int:
+def _partition_doc(args, plan, metrics) -> dict:
+    m, n, k, p = args.M, args.N, args.K, args.nprocs
+    mb = -(-m // plan.pm)
+    nb = -(-n // plan.pn)
+    kb = -(-k // plan.pk)
+    return {
+        "pm": plan.pm,
+        "pn": plan.pn,
+        "pk": plan.pk,
+        "s": plan.s,
+        "c": plan.c,
+        "work_cuboid": [mb, nb, kb],
+        "utilization_pct": 100.0 * plan.active / p,
+        "q_over_lower_bound": metrics.q_words
+        / max(eq9_lower_bound(m, n, k, p), 1e-300),
+    }
+
+
+# -------------------------------------------------------------- example_AB -- #
+def _example_main(argv: list[str] | None) -> int:
     args = _parse(argv)
     m, n, k, p = args.M, args.N, args.K, args.nprocs
     machine = pace_phoenix_gpu() if args.dtype else pace_phoenix_cpu("mpi")
@@ -109,30 +165,57 @@ def main(argv: list[str] | None = None) -> int:
 
     plan = Ca3dmmPlan(m, n, k, p, grid=grid)
     metrics = theoretical_metrics(plan)
-    mb = -(-m // plan.pm)
-    nb = -(-n // plan.pn)
-    kb = -(-k // plan.pk)
+    part = _partition_doc(args, plan, metrics)
 
-    print(f"Test problem size m * n * k : {m} * {n} * {k}")
-    print(f"Transpose A / B             : {args.transA} / {args.transB}")
-    print(f"Number of tests             : {args.ntest}")
-    print(f"Check result correctness    : {args.validation}")
-    print(f"Device type                 : {args.dtype}")
-    print("CA3DMM partition info:")
-    print(f"Process grid mp * np * kp   : {plan.pm} * {plan.pn} * {plan.pk}")
-    print(f"Work cuboid  mb * nb * kb   : {mb} * {nb} * {kb}")
-    print(f"Process utilization         : {100.0 * plan.active / p:.2f} %")
-    ratio = metrics.q_words / max(eq9_lower_bound(m, n, k, p), 1e-300)
-    print(f"Comm. volume / lower bound  : {ratio:.2f}")
+    if not args.json:
+        print(f"Test problem size m * n * k : {m} * {n} * {k}")
+        print(f"Transpose A / B             : "
+              f"{int(args.transA != 'N')} / {int(args.transB != 'N')}")
+        print(f"Number of tests             : {args.ntest}")
+        print(f"Check result correctness    : {args.validation}")
+        print(f"Device type                 : {args.dtype}")
+        print("CA3DMM partition info:")
+        print(f"Process grid mp * np * kp   : {plan.pm} * {plan.pn} * {plan.pk}")
+        wc = part["work_cuboid"]
+        print(f"Work cuboid  mb * nb * kb   : {wc[0]} * {wc[1]} * {wc[2]}")
+        print(f"Process utilization         : {part['utilization_pct']:.2f} %")
+        print(f"Comm. volume / lower bound  : {part['q_over_lower_bound']:.2f}")
 
-    result = run_spmd(p, _rank_main, args=(args, grid), machine=machine)
+    result = run_spmd(
+        p, _rank_main, args=(args, grid), machine=machine,
+        record_events=args.json,
+    )
     timings, errors, peak = result.results[0]
-    print(f"Rank 0 work buffer size     : {peak / 2 ** 20:.2f} MBytes")
-    print()
 
     def avg(key: str) -> float:
         return 1e3 * sum(t.get(key, 0.0) for t in timings) / len(timings)
 
+    if args.json:
+        phase_names = sorted({name for t in timings for name in t})
+        doc = {
+            "schema_version": 1,
+            "problem": {
+                "m": m, "n": n, "k": k, "nprocs": p,
+                "transA": args.transA, "transB": args.transB,
+                "device": "gpu" if args.dtype else "cpu",
+            },
+            "partition": part,
+            "phases": {name: {"avg_ms": avg(name)} for name in phase_names},
+            "runs": [
+                {name: 1e3 * t.get(name, 0.0) for name in phase_names}
+                for t in timings
+            ],
+            "correctness": {"validated": bool(args.validation), "errors": errors},
+            "peak_bytes": int(peak),
+            "metrics": snapshot_run(result, plan).to_dict(),
+            "drift": drift_report(result, plan, nruns=max(1, args.ntest)).to_dict(),
+        }
+        validate_run_json(doc)
+        print(json.dumps(doc, indent=2))
+        return 0 if errors == 0 else 1
+
+    print(f"Rank 0 work buffer size     : {peak / 2 ** 20:.2f} MBytes")
+    print()
     print("================== CA3DMM algorithm engine ==================")
     print(f"* Number of executions   : {len(timings)}")
     print(f"* Execution time (avg)   : {avg('total'):.3f} ms (simulated)")
@@ -144,6 +227,115 @@ def main(argv: list[str] | None = None) -> int:
     if args.validation:
         print(f"CA3DMM output : {errors} error(s)")
     return 0 if errors == 0 else 1
+
+
+# ------------------------------------------------------- obs subcommands -- #
+def _obs_parser(name: str, description: str) -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog=f"python -m repro.cli {name}",
+                                 description=description)
+    ap.add_argument("M", type=int)
+    ap.add_argument("N", type=int)
+    ap.add_argument("K", type=int)
+    ap.add_argument("-np", "--nprocs", type=int, default=8)
+    ap.add_argument("--dtype", type=int, choices=(0, 1), default=0,
+                    help="0 = CPU machine model, 1 = GPU machine model")
+    ap.add_argument("--grid", type=int, nargs=3, metavar=("MP", "NP", "KP"),
+                    help="force the process grid pm pn pk")
+    ap.add_argument("--tol", type=float, default=0.05,
+                    help="drift-guard byte tolerance (relative)")
+    return ap
+
+
+def _run_traced(m: int, n: int, k: int, p: int, machine, grid):
+    """One native-layout multiplication with event recording."""
+    plan = Ca3dmmPlan(m, n, k, p, grid=grid)
+
+    def f(comm):
+        eng = Ca3dmm(comm, m, n, k, grid=grid)
+        a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 7))
+        b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 8))
+        eng.multiply(a, b)
+
+    result = run_spmd(p, f, machine=machine, record_events=True)
+    return plan, result
+
+
+def _obs_common(args):
+    machine = pace_phoenix_gpu() if args.dtype else pace_phoenix_cpu("mpi")
+    grid = None
+    if args.grid:
+        mp, np_, kp = args.grid
+        if mp * np_ * kp > args.nprocs:
+            raise SystemExit("grid mp * np * kp must be <= nprocs")
+        grid = GridSpec(pm=mp, pn=np_, pk=kp, nprocs=args.nprocs)
+    return machine, grid
+
+
+def _trace_main(argv: list[str]) -> int:
+    ap = _obs_parser(
+        "trace", "Execute one CA3DMM multiplication and export its trace"
+    )
+    ap.add_argument("-o", "--output", default="ca3dmm.trace.json",
+                    help="Chrome-trace output path (load in Perfetto)")
+    ap.add_argument("--jsonl", default=None,
+                    help="also write a JSONL structured log to this path")
+    ap.add_argument("--no-transport-events", action="store_true",
+                    help="export only spans (phases/collectives), not "
+                         "per-message slices")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit nonzero when the drift guard fails")
+    args = ap.parse_args(argv)
+    machine, grid = _obs_common(args)
+    plan, result = _run_traced(args.M, args.N, args.K, args.nprocs, machine, grid)
+
+    try:
+        doc = write_chrome_trace(
+            result, args.output,
+            include_transport_events=not args.no_transport_events,
+            label=f"ca3dmm {args.M}x{args.N}x{args.K} P={args.nprocs}",
+        )
+        print(f"wrote {args.output}: {len(doc['traceEvents'])} events, "
+              f"{len(result.spans)} spans, makespan "
+              f"{result.time * 1e3:.3f} ms (simulated)")
+        if args.jsonl:
+            n = write_jsonl(result, args.jsonl)
+            print(f"wrote {args.jsonl}: {n} records")
+    except OSError as exc:
+        raise SystemExit(f"cannot write trace: {exc}")
+    report = drift_report(result, plan, byte_tol=args.tol, machine=machine)
+    print(report.format())
+    return 1 if (args.strict and not report.ok) else 0
+
+
+def _stats_main(argv: list[str]) -> int:
+    ap = _obs_parser(
+        "stats", "Execute one CA3DMM multiplication and print its metrics"
+    )
+    ap.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit nonzero when the drift guard fails")
+    args = ap.parse_args(argv)
+    machine, grid = _obs_common(args)
+    plan, result = _run_traced(args.M, args.N, args.K, args.nprocs, machine, grid)
+    metrics = snapshot_run(result, plan)
+    report = drift_report(result, plan, byte_tol=args.tol, machine=machine)
+    if args.json:
+        print(json.dumps({"metrics": metrics.to_dict(), "drift": report.to_dict()},
+                         indent=2))
+    else:
+        print(format_metrics(metrics))
+        print(report.format())
+    return 1 if (args.strict and not report.ok) else 0
+
+
+_SUBCOMMANDS = {"trace": _trace_main, "stats": _stats_main}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
+    return _example_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess test

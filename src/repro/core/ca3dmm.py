@@ -154,7 +154,8 @@ class Ca3dmm:
             b_piece = self._native_tile(b_nat, plan.b_owned(comm.rank))
 
             # Step 5: replicate the smaller operand across Cannon groups.
-            with comm.phase("replicate"):
+            with comm.phase("replicate", c=plan.c,
+                            operand="A" if plan.replicates_a else "B"):
                 if plan.c > 1:
                     if plan.replicates_a:
                         a_piece = replicate_block(self.replica_comm, a_piece, axis=1)
@@ -182,7 +183,8 @@ class Ca3dmm:
             comm.note_live_bytes(peak)
 
             # Step 6: Cannon's algorithm inside the s x s group.
-            with comm.phase("cannon"):
+            with comm.phase("cannon", s=plan.s,
+                            shifts_per_gemm=self.shifts_per_gemm):
                 cart = Cart2D(self.cannon_comm, plan.s, plan.s)
                 c_loc = cannon_multiply(
                     cart,
@@ -192,7 +194,7 @@ class Ca3dmm:
                 )
 
             # Step 7: reduce-scatter partial C blocks across k-groups.
-            with comm.phase("reduce"):
+            with comm.phase("reduce", pk=plan.pk):
                 by_cols = plan.c_split_cols(role.i, role.j)
                 strip = reduce_partial_c(self.kred_comm, c_loc, by_cols)
 

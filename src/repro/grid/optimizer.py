@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from .factorize import divisors, factor_triples, perfect_square_part
+from .factorize import divisors, perfect_square_part
 
 #: The paper's default utilization lower bound (eq. 5).
 DEFAULT_L = 0.95

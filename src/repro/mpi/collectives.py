@@ -30,11 +30,29 @@ the same communicator safe without per-call tag salting.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+import contextlib
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
+from ..obs.tracer import CAT_COLLECTIVE
 from .datatypes import INTERNAL_TAG_BASE, Op, SUM
+
+
+@contextlib.contextmanager
+def _span(comm, name: str) -> Iterator[None]:
+    """Trace one collective call as a span (fast no-op when tracing is off)."""
+    transport = comm.transport
+    if not transport.tracer.enabled:
+        yield
+        return
+    sid = transport.begin_span(
+        comm.world_rank, name, cat=CAT_COLLECTIVE, attrs={"comm_size": comm.size}
+    )
+    try:
+        yield
+    finally:
+        transport.end_span(comm.world_rank, sid)
 
 _TAG_BARRIER = INTERNAL_TAG_BASE + 1
 _TAG_BCAST = INTERNAL_TAG_BASE + 2
@@ -60,12 +78,13 @@ def barrier(comm) -> None:
     size, rank = comm.size, comm.rank
     if size == 1:
         return
-    step = 1
-    while step < size:
-        dest = (rank + step) % size
-        src = (rank - step) % size
-        comm.sendrecv(b"", dest, src, _TAG_BARRIER, _TAG_BARRIER)
-        step <<= 1
+    with _span(comm, "barrier"):
+        step = 1
+        while step < size:
+            dest = (rank + step) % size
+            src = (rank - step) % size
+            comm.sendrecv(b"", dest, src, _TAG_BARRIER, _TAG_BARRIER)
+            step <<= 1
 
 
 # ------------------------------------------------------------------ bcast -- #
@@ -98,22 +117,23 @@ def bcast(comm, value: Any, root: int = 0) -> Any:
     """
     if comm.size == 1:
         return value
-    if comm.rank == root:
-        is_long = isinstance(value, np.ndarray) and value.nbytes >= BCAST_LONG_THRESHOLD
-        header = (is_long, (value.shape, value.dtype) if is_long else None)
-    else:
-        header = None
-    is_long, meta = _bcast_binomial(comm, header, root, _TAG_BCAST)
-    if not is_long:
-        return _bcast_binomial(comm, value, root, _TAG_BCAST)
-    shape, dtype = meta
-    if comm.rank == root:
-        chunks = np.array_split(np.ascontiguousarray(value).reshape(-1), comm.size)
-    else:
-        chunks = None
-    mine = scatter(comm, chunks, root)
-    parts = allgather(comm, mine)
-    return np.concatenate(parts).reshape(shape).astype(dtype, copy=False)
+    with _span(comm, "bcast"):
+        if comm.rank == root:
+            is_long = isinstance(value, np.ndarray) and value.nbytes >= BCAST_LONG_THRESHOLD
+            header = (is_long, (value.shape, value.dtype) if is_long else None)
+        else:
+            header = None
+        is_long, meta = _bcast_binomial(comm, header, root, _TAG_BCAST)
+        if not is_long:
+            return _bcast_binomial(comm, value, root, _TAG_BCAST)
+        shape, dtype = meta
+        if comm.rank == root:
+            chunks = np.array_split(np.ascontiguousarray(value).reshape(-1), comm.size)
+        else:
+            chunks = None
+        mine = scatter(comm, chunks, root)
+        parts = allgather(comm, mine)
+        return np.concatenate(parts).reshape(shape).astype(dtype, copy=False)
 
 
 # ----------------------------------------------------------------- reduce -- #
@@ -126,20 +146,21 @@ def reduce(comm, value: Any, op: Op = SUM, root: int = 0) -> Any:
     size = comm.size
     if size == 1:
         return value
-    vrank = (comm.rank - root) % size
-    acc = value
-    mask = 1
-    while mask < size:
-        if vrank & mask:
-            parent = vrank & ~mask
-            comm.send(acc, (parent + root) % size, _TAG_REDUCE)
-            return None
-        child = vrank | mask
-        if child < size:
-            other = comm.recv(source=(child + root) % size, tag=_TAG_REDUCE)
-            acc = op(acc, other)
-        mask <<= 1
-    return acc
+    with _span(comm, "reduce"):
+        vrank = (comm.rank - root) % size
+        acc = value
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                parent = vrank & ~mask
+                comm.send(acc, (parent + root) % size, _TAG_REDUCE)
+                return None
+            child = vrank | mask
+            if child < size:
+                other = comm.recv(source=(child + root) % size, tag=_TAG_REDUCE)
+                acc = op(acc, other)
+            mask <<= 1
+        return acc
 
 
 # -------------------------------------------------------------- allreduce -- #
@@ -148,46 +169,51 @@ def allreduce(comm, value: Any, op: Op = SUM) -> Any:
     size = comm.size
     if size == 1:
         return value
-    if _is_pow2(size):
-        acc = value
-        mask = 1
-        while mask < size:
-            partner = comm.rank ^ mask
-            other = comm.sendrecv(acc, partner, partner, _TAG_ALLREDUCE, _TAG_ALLREDUCE)
-            # Fixed operand order (lower rank's data first) keeps the
-            # result identical on every rank even for non-commutative ops.
-            acc = op(other, acc) if partner < comm.rank else op(acc, other)
-            mask <<= 1
-        return acc
-    res = reduce(comm, value, op, 0)
-    return bcast(comm, res, 0)
+    with _span(comm, "allreduce"):
+        if _is_pow2(size):
+            acc = value
+            mask = 1
+            while mask < size:
+                partner = comm.rank ^ mask
+                other = comm.sendrecv(acc, partner, partner, _TAG_ALLREDUCE, _TAG_ALLREDUCE)
+                # Fixed operand order (lower rank's data first) keeps the
+                # result identical on every rank even for non-commutative ops.
+                acc = op(other, acc) if partner < comm.rank else op(acc, other)
+                mask <<= 1
+            return acc
+        res = reduce(comm, value, op, 0)
+        return bcast(comm, res, 0)
 
 
 # ---------------------------------------------------------- gather/scatter -- #
 def gather(comm, value: Any, root: int = 0) -> list[Any] | None:
     """Linear gather; root returns the list ordered by rank."""
-    if comm.rank == root:
-        out: list[Any] = [None] * comm.size
-        out[root] = value
-        for r in range(comm.size):
-            if r != root:
-                out[r] = comm.recv(source=r, tag=_TAG_GATHER)
-        return out
-    comm.send(value, root, _TAG_GATHER)
-    return None
+    if comm.size == 1:
+        return [value]
+    with _span(comm, "gather"):
+        if comm.rank == root:
+            out: list[Any] = [None] * comm.size
+            out[root] = value
+            for r in range(comm.size):
+                if r != root:
+                    out[r] = comm.recv(source=r, tag=_TAG_GATHER)
+            return out
+        comm.send(value, root, _TAG_GATHER)
+        return None
 
 
 def scatter(comm, values: Sequence[Any] | None, root: int = 0) -> Any:
     """Linear scatter; each rank returns its element of root's sequence."""
-    if comm.rank == root:
-        assert values is not None and len(values) == comm.size, (
-            "scatter needs one value per rank at the root"
-        )
-        for r in range(comm.size):
-            if r != root:
-                comm.send(values[r], r, _TAG_SCATTER)
-        return values[root]
-    return comm.recv(source=root, tag=_TAG_SCATTER)
+    with _span(comm, "scatter"):
+        if comm.rank == root:
+            assert values is not None and len(values) == comm.size, (
+                "scatter needs one value per rank at the root"
+            )
+            for r in range(comm.size):
+                if r != root:
+                    comm.send(values[r], r, _TAG_SCATTER)
+            return values[root]
+        return comm.recv(source=root, tag=_TAG_SCATTER)
 
 
 # -------------------------------------------------------------- allgather -- #
@@ -199,17 +225,18 @@ def allgather(comm, value: Any) -> list[Any]:
     size, rank = comm.size, comm.rank
     if size == 1:
         return [value]
-    held: list[Any] = [value]  # blocks of ranks rank, rank+1, ... (mod P)
-    h = 1
-    while h < size:
-        cnt = min(h, size - h)
-        dest = (rank - h) % size
-        src = (rank + h) % size
-        incoming = comm.sendrecv(held[:cnt], dest, src, _TAG_ALLGATHER, _TAG_ALLGATHER)
-        held.extend(incoming)
-        h += cnt
-    # held[i] is the block of rank (rank + i) % size; rotate to absolute.
-    return [held[(r - rank) % size] for r in range(size)]
+    with _span(comm, "allgather"):
+        held: list[Any] = [value]  # blocks of ranks rank, rank+1, ... (mod P)
+        h = 1
+        while h < size:
+            cnt = min(h, size - h)
+            dest = (rank - h) % size
+            src = (rank + h) % size
+            incoming = comm.sendrecv(held[:cnt], dest, src, _TAG_ALLGATHER, _TAG_ALLGATHER)
+            held.extend(incoming)
+            h += cnt
+        # held[i] is the block of rank (rank + i) % size; rotate to absolute.
+        return [held[(r - rank) % size] for r in range(size)]
 
 
 # --------------------------------------------------------------- alltoall -- #
@@ -217,13 +244,16 @@ def alltoall(comm, values: Sequence[Any]) -> list[Any]:
     """Pairwise-exchange alltoall; ``values[r]`` goes to rank ``r``."""
     size, rank = comm.size, comm.rank
     assert len(values) == size, "alltoall needs one value per rank"
-    out: list[Any] = [None] * size
-    out[rank] = values[rank]
-    for i in range(1, size):
-        dest = (rank + i) % size
-        src = (rank - i) % size
-        out[src] = comm.sendrecv(values[dest], dest, src, _TAG_ALLTOALL, _TAG_ALLTOALL)
-    return out
+    if size == 1:
+        return [values[0]]
+    with _span(comm, "alltoall"):
+        out: list[Any] = [None] * size
+        out[rank] = values[rank]
+        for i in range(1, size):
+            dest = (rank + i) % size
+            src = (rank - i) % size
+            out[src] = comm.sendrecv(values[dest], dest, src, _TAG_ALLTOALL, _TAG_ALLTOALL)
+        return out
 
 
 # ---------------------------------------------------------- reduce_scatter -- #
@@ -242,15 +272,18 @@ def reduce_scatter(comm, blocks: Sequence[np.ndarray], op: Op = SUM) -> np.ndarr
     """
     size, rank = comm.size, comm.rank
     assert len(blocks) == size, "reduce_scatter needs one block per rank"
-    contributions: list[np.ndarray | None] = [None] * size
-    contributions[rank] = np.asarray(blocks[rank])
-    for i in range(1, size):
-        dest = (rank + i) % size
-        src = (rank - i) % size
-        contributions[src] = comm.sendrecv(
-            np.asarray(blocks[dest]), dest, src, _TAG_RSCAT, _TAG_RSCAT
-        )
-    acc = np.array(contributions[0], copy=True)
-    for r in range(1, size):
-        acc = op(acc, contributions[r])
-    return acc
+    if size == 1:
+        return np.array(np.asarray(blocks[0]), copy=True)
+    with _span(comm, "reduce_scatter"):
+        contributions: list[np.ndarray | None] = [None] * size
+        contributions[rank] = np.asarray(blocks[rank])
+        for i in range(1, size):
+            dest = (rank + i) % size
+            src = (rank - i) % size
+            contributions[src] = comm.sendrecv(
+                np.asarray(blocks[dest]), dest, src, _TAG_RSCAT, _TAG_RSCAT
+            )
+        acc = np.array(contributions[0], copy=True)
+        for r in range(1, size):
+            acc = op(acc, contributions[r])
+        return acc

@@ -305,13 +305,32 @@ class Comm:
         self._transport.advance(self._world_rank, dt, "compute")
 
     @contextlib.contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        """Attribute enclosed traffic/time to a named phase (for breakdowns)."""
-        self._transport.push_phase(self._world_rank, name)
+    def phase(self, name: str, **attrs) -> Iterator[None]:
+        """Attribute enclosed traffic/time to a named phase (for breakdowns).
+
+        When tracing is on (``record_events=True``) the phase also opens
+        a :class:`~repro.obs.tracer.Span` carrying ``attrs`` plus the
+        byte/message deltas measured over the region.
+        """
+        self._transport.push_phase(self._world_rank, name, attrs=attrs or None)
         try:
             yield
         finally:
             self._transport.pop_phase(self._world_rank)
+
+    @contextlib.contextmanager
+    def span(self, name: str, cat: str = "user", **attrs) -> Iterator[None]:
+        """Open a tracer span (no phase-stat redirection) over the region.
+
+        A no-op unless the run was started with ``record_events=True``.
+        Unlike :meth:`phase`, traffic counters keep charging the current
+        phase; the span only records the interval and its deltas.
+        """
+        sid = self._transport.begin_span(self._world_rank, name, cat=cat, attrs=attrs or None)
+        try:
+            yield
+        finally:
+            self._transport.end_span(self._world_rank, sid)
 
     def note_live_bytes(self, nbytes: int) -> None:
         """Report current live matrix bytes for peak-memory tracking."""

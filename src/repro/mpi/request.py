@@ -19,7 +19,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from .datatypes import ANY_TAG, Status
+from .datatypes import Status
 from .errors import BufferError_
 
 

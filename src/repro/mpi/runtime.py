@@ -43,6 +43,21 @@ class SpmdResult:
         return max((t.time for t in self.traces), default=0.0)
 
     @property
+    def spans(self):
+        """Tracer spans recorded during the run (requires record_events)."""
+        return self.transport.tracer.spans
+
+    @property
+    def metrics(self):
+        """Lazily-built :class:`~repro.obs.metrics.RunMetrics` snapshot."""
+        cached = getattr(self, "_metrics_cache", None)
+        if cached is None:
+            from ..obs.metrics import snapshot_run
+
+            cached = self._metrics_cache = snapshot_run(self)
+        return cached
+
+    @property
     def max_bytes_sent(self) -> int:
         """The paper's Q metric (in bytes): max over ranks of bytes sent."""
         return max((t.bytes_sent for t in self.traces), default=0)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..machine.model import MachineModel
+from ..obs.tracer import CAT_PHASE, Tracer
 from .datatypes import ANY_SOURCE, ANY_TAG, Message, Status
 from .errors import AbortError
 
@@ -68,6 +69,7 @@ class RankState:
     msgs_recv: int = 0
     peak_live_bytes: int = 0
     phase_stack: list[str] = field(default_factory=list)
+    phase_span_stack: list[int] = field(default_factory=list)  #: tracer span ids
     phases: dict[str, PhaseStats] = field(default_factory=dict)
     waiting_on: str | None = None  #: populated while blocked (watchdog info)
 
@@ -135,6 +137,8 @@ class Transport:
         self.machine = machine or MachineModel()
         self.record_events = record_events
         self.events: list[Event] = []
+        #: structured span tracer (repro.obs); enabled with record_events.
+        self.tracer = Tracer(enabled=record_events)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         # mailbox[(ctx, dst_world)] -> list of pending Message in seq order
@@ -260,13 +264,71 @@ class Transport:
                 )
 
     # ------------------------------------------------------------ phases -- #
-    def push_phase(self, world_rank: int, name: str) -> None:
+    def push_phase(self, world_rank: int, name: str, attrs: dict | None = None) -> None:
         with self._lock:
             self.ranks[world_rank].phase_stack.append(name)
+        if self.tracer.enabled:
+            sid = self.begin_span(world_rank, name, cat=CAT_PHASE, attrs=attrs)
+            with self._lock:
+                self.ranks[world_rank].phase_span_stack.append(sid)
 
     def pop_phase(self, world_rank: int) -> str:
         with self._lock:
-            return self.ranks[world_rank].phase_stack.pop()
+            name = self.ranks[world_rank].phase_stack.pop()
+            sid = (
+                self.ranks[world_rank].phase_span_stack.pop()
+                if self.ranks[world_rank].phase_span_stack
+                else None
+            )
+        if sid is not None:
+            self.end_span(world_rank, sid)
+        return name
+
+    # ------------------------------------------------------------- spans -- #
+    def _counter_snapshot(self, world_rank: int) -> tuple[int, int, int, int]:
+        st = self.ranks[world_rank]
+        return (st.bytes_sent, st.bytes_recv, st.msgs_sent, st.msgs_recv)
+
+    def begin_span(
+        self,
+        world_rank: int,
+        name: str,
+        cat: str = "user",
+        attrs: dict | None = None,
+    ) -> int | None:
+        """Open a tracer span at the rank's current simulated clock.
+
+        Returns the span id, or ``None`` when tracing is disabled (the
+        fast path: one attribute read, no locking).  The rank's traffic
+        counters are snapshotted so :meth:`end_span` can attach the
+        bytes/messages attributed to the span.
+        """
+        if not self.tracer.enabled:
+            return None
+        with self._lock:
+            t = self.ranks[world_rank].clock
+            snap = self._counter_snapshot(world_rank)
+        sid = self.tracer.begin(world_rank, name, t, cat=cat, attrs=attrs)
+        self.tracer.annotate(sid, _snap=snap)
+        return sid
+
+    def end_span(self, world_rank: int, sid: int | None) -> None:
+        """Close a span opened with :meth:`begin_span` (``None`` is a no-op)."""
+        if sid is None or not self.tracer.enabled:
+            return
+        with self._lock:
+            t = self.ranks[world_rank].clock
+            snap = self._counter_snapshot(world_rank)
+        prev = self.tracer.take_attr(sid, "_snap")
+        deltas = {}
+        if prev is not None:
+            deltas = {
+                "bytes_sent": snap[0] - prev[0],
+                "bytes_recv": snap[1] - prev[1],
+                "msgs_sent": snap[2] - prev[2],
+                "msgs_recv": snap[3] - prev[3],
+            }
+        self.tracer.end(world_rank, sid, t, attrs=deltas)
 
     def note_live_bytes(self, world_rank: int, nbytes: int) -> None:
         """Record a high-water mark of live matrix bytes on a rank."""

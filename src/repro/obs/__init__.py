@@ -1,0 +1,72 @@
+"""Observability for the executed engine: spans, metrics, exporters, drift.
+
+The :mod:`repro.obs` subsystem makes the paper's quantitative claims
+checkable on every run:
+
+* :mod:`~repro.obs.tracer` — nested spans on the simulated clock,
+  recorded by the transport for every CA3DMM phase and collective when
+  ``run_spmd(..., record_events=True)``;
+* :mod:`~repro.obs.metrics` — counters/gauges/histograms snapshotted
+  from a run (``SpmdResult.metrics``);
+* :mod:`~repro.obs.export` — Chrome-trace/Perfetto JSON and JSONL
+  structured logs, schema-validated;
+* :mod:`~repro.obs.drift` — measured-vs-analytic per-phase traffic
+  guard (eq. 9 / Section III-D as a runtime assertion).
+
+See ``docs/OBSERVABILITY.md`` for the span model and exporter formats.
+"""
+
+from .drift import (
+    DriftError,
+    DriftReport,
+    check_drift,
+    drift_report,
+    expected_phase_traffic,
+)
+from .export import (
+    CHROME_TRACE_SCHEMA,
+    RUN_JSON_SCHEMA,
+    TraceSchemaError,
+    chrome_trace,
+    jsonl_records,
+    validate_chrome_trace,
+    validate_run_json,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RunMetrics,
+    format_metrics,
+    snapshot_run,
+)
+from .tracer import Span, Tracer
+
+__all__ = [
+    "CHROME_TRACE_SCHEMA",
+    "Counter",
+    "DriftError",
+    "DriftReport",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RUN_JSON_SCHEMA",
+    "RunMetrics",
+    "Span",
+    "Tracer",
+    "TraceSchemaError",
+    "check_drift",
+    "chrome_trace",
+    "drift_report",
+    "expected_phase_traffic",
+    "format_metrics",
+    "jsonl_records",
+    "snapshot_run",
+    "validate_chrome_trace",
+    "validate_run_json",
+    "write_chrome_trace",
+    "write_jsonl",
+]

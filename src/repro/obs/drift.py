@@ -1,0 +1,307 @@
+"""Drift guard: executed per-phase traffic vs the paper's analytic model.
+
+The paper's communication claims are per-phase and exact: replication
+moves ``|blk|(c-1)/c`` words in ``⌈log2 c⌉`` rounds, Cannon moves
+``(|blk_A|+|blk_B|)·s`` words, the reduce-scatter ``|blk_C|(pk-1)/pk``
+words in ``pk-1`` rounds (Section III-D, summing to eq. 9's Q on
+balanced grids).  :func:`drift_report` re-derives those predictions from
+a :class:`~repro.core.plan.Ca3dmmPlan` — the same planning code the
+executed engine runs — and compares them against the *measured*
+phase-tagged traffic of an executed run, reporting per-phase relative
+error and failing above a configurable tolerance.  This turns the
+eq. 9 / Table-1 checks into an always-on runtime assertion: any future
+change that silently alters the communication schedule trips the guard.
+
+Volumes are compared tightly (they are scheduled, not timed); timing is
+compared only when a ``machine`` is given, against
+:func:`~repro.analysis.costs.ca3dmm_cost`, and only enforced when a
+``time_tol`` is set — timing predictions carry model error that byte
+counts do not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from .metrics import ITEM
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.plan import Ca3dmmPlan
+    from ..machine.model import MachineModel
+    from ..mpi.runtime import SpmdResult
+
+#: Executed phases with closed-form traffic predictions.
+GUARDED_PHASES = ("replicate", "cannon", "reduce")
+
+
+class DriftError(AssertionError):
+    """Measured traffic drifted from the analytic prediction."""
+
+
+@dataclass(frozen=True)
+class PhaseExpectation:
+    """Predicted per-rank traffic of one phase (critical rank, words)."""
+
+    words: float
+    msgs: int
+
+
+@dataclass
+class PhaseDrift:
+    """Measured vs predicted traffic for one phase."""
+
+    phase: str
+    measured_words: float
+    expected_words: float
+    measured_msgs: int
+    expected_msgs: int
+    words_rel_err: float
+    ok: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "phase": self.phase,
+            "measured_words": self.measured_words,
+            "expected_words": self.expected_words,
+            "measured_msgs": self.measured_msgs,
+            "expected_msgs": self.expected_msgs,
+            "words_rel_err": self.words_rel_err,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class TimeDrift:
+    """Measured vs model-predicted seconds for one analytic bucket."""
+
+    bucket: str
+    measured_s: float
+    predicted_s: float
+    ok: bool | None  #: None when timing is report-only
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "bucket": self.bucket,
+            "measured_s": self.measured_s,
+            "predicted_s": self.predicted_s,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class DriftReport:
+    """Per-phase drift of one executed run against its plan."""
+
+    phases: list[PhaseDrift]
+    times: list[TimeDrift] = field(default_factory=list)
+    byte_tol: float = 0.05
+    msg_slack: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(p.ok for p in self.phases) and all(
+            t.ok for t in self.times if t.ok is not None
+        )
+
+    @property
+    def max_rel_err(self) -> float:
+        return max((p.words_rel_err for p in self.phases), default=0.0)
+
+    def check(self) -> "DriftReport":
+        """Return self, or raise :class:`DriftError` listing violations."""
+        if self.ok:
+            return self
+        bad = [p for p in self.phases if not p.ok] + [
+            t for t in self.times if t.ok is False
+        ]
+        raise DriftError(
+            "executed traffic drifted from the analytic model:\n"
+            + "\n".join(f"  {b.to_dict()}" for b in bad)
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "byte_tol": self.byte_tol,
+            "max_rel_err": self.max_rel_err,
+            "phases": [p.to_dict() for p in self.phases],
+            "times": [t.to_dict() for t in self.times],
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"Drift guard (byte tol {100 * self.byte_tol:.1f}%): "
+            + ("OK" if self.ok else "FAIL")
+        ]
+        for p in self.phases:
+            lines.append(
+                f"  {p.phase:<10} words {p.measured_words:>12.0f} vs "
+                f"{p.expected_words:>12.0f} ({100 * p.words_rel_err:6.2f}%)  "
+                f"msgs {p.measured_msgs} vs {p.expected_msgs}  "
+                + ("ok" if p.ok else "DRIFT")
+            )
+        for t in self.times:
+            verdict = "report-only" if t.ok is None else ("ok" if t.ok else "DRIFT")
+            lines.append(
+                f"  t[{t.bucket:<9}] {t.measured_s * 1e3:9.3f} ms vs "
+                f"{t.predicted_s * 1e3:9.3f} ms  {verdict}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------- predictions -- #
+def expected_phase_traffic(plan: "Ca3dmmPlan") -> dict[str, PhaseExpectation]:
+    """Closed-form per-phase send volume/messages of the executed schedule.
+
+    Words use the continuous block extents (``m/pm`` etc.), exact when
+    the grid divides the dimensions; message counts are the executed
+    algorithms' exact per-rank maxima (Bruck rounds for the replication
+    allgather, 2 messages per Cannon round for A and B, ``pk-1``
+    pairwise exchanges for the reduce-scatter).  Their sum equals
+    :func:`repro.analysis.verify.theoretical_metrics`'s Q.
+    """
+    m, n, k = plan.m, plan.n, plan.k
+    pm, pn, pk, s, c = plan.pm, plan.pn, plan.pk, plan.s, plan.c
+    mb, nb, kg = m / pm, n / pn, k / pk
+    kb = kg / s
+    blk_a, blk_b = mb * kb, kb * nb
+
+    out: dict[str, PhaseExpectation] = {}
+    if c > 1:
+        blk = blk_a if plan.replicates_a else blk_b
+        out["replicate"] = PhaseExpectation(
+            words=blk * (c - 1) / c, msgs=math.ceil(math.log2(c))
+        )
+    if s > 1:
+        # Skew (A left by u, B up by v: ranks with u>0 and v>0 send both)
+        # plus s-1 dual-buffered shift rounds moving A and B each.
+        out["cannon"] = PhaseExpectation(words=(blk_a + blk_b) * s, msgs=2 * s)
+    if pk > 1:
+        out["reduce"] = PhaseExpectation(words=mb * nb * (pk - 1) / pk, msgs=pk - 1)
+    return out
+
+
+def _measured_phase(result: "SpmdResult", phase: str, nruns: int) -> tuple[float, int]:
+    words = 0.0
+    msgs = 0
+    for t in result.traces:
+        st = t.phases.get(phase)
+        if st is None:
+            continue
+        words = max(words, st.bytes_sent / ITEM / nruns)
+        msgs = max(msgs, st.msgs_sent // nruns)
+    return words, msgs
+
+
+def _time_buckets(
+    result: "SpmdResult",
+    plan: "Ca3dmmPlan",
+    machine: "MachineModel",
+    time_tol: float | None,
+) -> list[TimeDrift]:
+    from ..analysis.costs import ca3dmm_cost
+
+    rep = ca3dmm_cost(plan.m, plan.n, plan.k, plan.nprocs, machine, grid=plan.grid)
+    crit = max(result.traces, key=lambda t: t.time)
+
+    def phase_stat(name: str):
+        return crit.phases.get(name)
+
+    # Map measured phases onto the analytic buckets: the model books
+    # Cannon shift traffic under "replicate" and the local GEMMs under
+    # "compute" (Fig. 5's bucketing).
+    repl = phase_stat("replicate")
+    cann = phase_stat("cannon")
+    redu = phase_stat("reduce")
+    measured = {
+        "replicate": (repl.time if repl else 0.0)
+        + (cann.comm_time if cann else 0.0),
+        "compute": (cann.compute_time if cann else 0.0)
+        + (repl.compute_time if repl else 0.0),
+        "reduce": redu.time if redu else 0.0,
+    }
+    out = []
+    for bucket, meas in measured.items():
+        pred = rep.phases[bucket].time if bucket in rep.phases else 0.0
+        ok: bool | None = None
+        if time_tol is not None:
+            scale = max(pred, 1e-30)
+            ok = abs(meas - pred) / scale <= time_tol
+        out.append(TimeDrift(bucket=bucket, measured_s=meas, predicted_s=pred, ok=ok))
+    return out
+
+
+# ---------------------------------------------------------------- report -- #
+def drift_report(
+    result: "SpmdResult",
+    plan: "Ca3dmmPlan",
+    byte_tol: float = 0.05,
+    abs_tol_words: float = 64.0,
+    msg_slack: int = 0,
+    nruns: int = 1,
+    machine: "MachineModel | None" = None,
+    time_tol: float | None = None,
+) -> DriftReport:
+    """Compare an executed run's per-phase traffic against its plan.
+
+    Parameters
+    ----------
+    byte_tol:
+        Maximum allowed relative error on per-phase words sent.  The
+        default 5% absorbs ragged-block rounding and the pickle framing
+        on the replication allgather; balanced divisible grids measure
+        exact (0%).
+    abs_tol_words:
+        Absolute floor below which byte differences never fail (protects
+        tiny problems where framing dominates).
+    msg_slack:
+        Allowed absolute deviation in per-phase message counts.
+    nruns:
+        Number of multiplies the trace accumulated (counters are
+        divided by this before comparison).
+    machine, time_tol:
+        When ``machine`` is given, per-bucket timing vs
+        :func:`~repro.analysis.costs.ca3dmm_cost` is included; it only
+        affects :attr:`DriftReport.ok` when ``time_tol`` is set.
+    """
+    if nruns < 1:
+        raise ValueError("nruns must be >= 1")
+    expected = expected_phase_traffic(plan)
+    phases: list[PhaseDrift] = []
+    for name in GUARDED_PHASES:
+        exp = expected.get(name)
+        meas_words, meas_msgs = _measured_phase(result, name, nruns)
+        if exp is None:
+            # Phase not scheduled: any traffic at all is drift.
+            ok = meas_words == 0 and meas_msgs == 0
+            phases.append(
+                PhaseDrift(name, meas_words, 0.0, meas_msgs, 0,
+                           words_rel_err=0.0 if ok else math.inf, ok=ok)
+            )
+            continue
+        err = abs(meas_words - exp.words)
+        rel = err / exp.words if exp.words > 0 else (0.0 if err == 0 else math.inf)
+        words_ok = rel <= byte_tol or err <= abs_tol_words
+        msgs_ok = abs(meas_msgs - exp.msgs) <= msg_slack
+        phases.append(
+            PhaseDrift(
+                phase=name,
+                measured_words=meas_words,
+                expected_words=exp.words,
+                measured_msgs=meas_msgs,
+                expected_msgs=exp.msgs,
+                words_rel_err=rel,
+                ok=words_ok and msgs_ok,
+            )
+        )
+    times = (
+        _time_buckets(result, plan, machine, time_tol) if machine is not None else []
+    )
+    return DriftReport(phases=phases, times=times, byte_tol=byte_tol, msg_slack=msg_slack)
+
+
+def check_drift(result: "SpmdResult", plan: "Ca3dmmPlan", **kwargs: Any) -> DriftReport:
+    """:func:`drift_report` that raises :class:`DriftError` on violation."""
+    return drift_report(result, plan, **kwargs).check()

@@ -1,0 +1,328 @@
+"""Trace and metrics exporters: Chrome-trace/Perfetto JSON and JSONL.
+
+:func:`chrome_trace` turns an executed run (``run_spmd(...,
+record_events=True)``) into the Chrome Trace Event Format — the JSON
+Array-of-events flavour inside an object, which both ``chrome://tracing``
+and Perfetto load directly:
+
+* one ``"X"`` (complete) event per tracer span — CA3DMM phases,
+  collectives, user spans — with the span's byte/message deltas in
+  ``args``;
+* optionally one fine-grained ``"X"`` event per transport event
+  (send/recv/wait/compute slices), category ``transport``;
+* ``"M"`` metadata events naming the process and one thread per rank.
+
+Timestamps are microseconds of *simulated* time, re-zeroed to the trace
+epoch.  :data:`CHROME_TRACE_SCHEMA` is the JSON Schema the tests (and
+CI smoke job) validate exports against; :func:`validate_chrome_trace`
+applies it (via ``jsonschema`` when installed, with a built-in
+structural fallback otherwise).
+
+:func:`jsonl_records` / :func:`write_jsonl` produce a line-per-record
+structured log (run header, spans, per-rank summaries) for downstream
+tooling; :data:`RUN_JSON_SCHEMA` covers the CLI's ``--json`` document.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterator
+
+from .metrics import ITEM, snapshot_run
+from .tracer import Span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..mpi.runtime import SpmdResult
+
+#: displayTimeUnit for Chrome; ts values are always microseconds.
+_DISPLAY_UNIT = "ms"
+
+
+# ------------------------------------------------------------- schemas -- #
+CHROME_TRACE_SCHEMA: dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "Chrome Trace Event Format export",
+    "type": "object",
+    "required": ["traceEvents", "displayTimeUnit"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["ph", "pid", "tid", "name"],
+                "properties": {
+                    "ph": {"enum": ["X", "M", "i"]},
+                    "pid": {"type": "integer", "minimum": 0},
+                    "tid": {"type": "integer", "minimum": 0},
+                    "name": {"type": "string"},
+                    "cat": {"type": "string"},
+                    "ts": {"type": "number", "minimum": 0},
+                    "dur": {"type": "number", "minimum": 0},
+                    "args": {"type": "object"},
+                },
+                "allOf": [
+                    {
+                        "if": {"properties": {"ph": {"const": "X"}}},
+                        "then": {"required": ["ts", "dur", "cat"]},
+                    }
+                ],
+            },
+        },
+        "displayTimeUnit": {"type": "string"},
+        "otherData": {"type": "object"},
+    },
+}
+
+RUN_JSON_SCHEMA: dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro.cli --json run document",
+    "type": "object",
+    "required": ["schema_version", "problem", "partition", "phases", "correctness"],
+    "properties": {
+        "schema_version": {"const": 1},
+        "problem": {
+            "type": "object",
+            "required": ["m", "n", "k", "nprocs", "transA", "transB", "device"],
+            "properties": {
+                "m": {"type": "integer", "minimum": 1},
+                "n": {"type": "integer", "minimum": 1},
+                "k": {"type": "integer", "minimum": 1},
+                "nprocs": {"type": "integer", "minimum": 1},
+                "transA": {"enum": ["N", "T", "C"]},
+                "transB": {"enum": ["N", "T", "C"]},
+                "device": {"enum": ["cpu", "gpu"]},
+            },
+        },
+        "partition": {
+            "type": "object",
+            "required": ["pm", "pn", "pk", "s", "c", "utilization_pct"],
+            "properties": {
+                "pm": {"type": "integer", "minimum": 1},
+                "pn": {"type": "integer", "minimum": 1},
+                "pk": {"type": "integer", "minimum": 1},
+                "s": {"type": "integer", "minimum": 1},
+                "c": {"type": "integer", "minimum": 1},
+                "utilization_pct": {"type": "number"},
+                "q_over_lower_bound": {"type": "number"},
+                "work_cuboid": {
+                    "type": "array",
+                    "items": {"type": "integer"},
+                    "minItems": 3,
+                    "maxItems": 3,
+                },
+            },
+        },
+        "phases": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["avg_ms"],
+                "properties": {"avg_ms": {"type": "number", "minimum": 0}},
+            },
+        },
+        "runs": {"type": "array", "items": {"type": "object"}},
+        "correctness": {
+            "type": "object",
+            "required": ["validated", "errors"],
+            "properties": {
+                "validated": {"type": "boolean"},
+                "errors": {"type": "integer", "minimum": 0},
+            },
+        },
+        "peak_bytes": {"type": "integer", "minimum": 0},
+        "metrics": {"type": "object"},
+        "drift": {"type": "object"},
+    },
+}
+
+
+class TraceSchemaError(ValueError):
+    """An exported document does not match its schema."""
+
+
+def _validate(doc: Any, schema: dict[str, Any]) -> None:
+    try:
+        import jsonschema
+    except ImportError:  # pragma: no cover - jsonschema is normally present
+        _validate_fallback(doc, schema)
+        return
+    try:
+        jsonschema.validate(doc, schema)
+    except jsonschema.ValidationError as exc:
+        raise TraceSchemaError(str(exc)) from exc
+
+
+def _validate_fallback(doc: Any, schema: dict[str, Any]) -> None:
+    """Minimal structural check used when jsonschema is unavailable."""
+    if not isinstance(doc, dict):
+        raise TraceSchemaError("document must be an object")
+    for req in schema.get("required", []):
+        if req not in doc:
+            raise TraceSchemaError(f"missing required key {req!r}")
+    events = doc.get("traceEvents")
+    if events is not None:
+        if not isinstance(events, list):
+            raise TraceSchemaError("traceEvents must be an array")
+        for ev in events:
+            if not isinstance(ev, dict) or "ph" not in ev or "name" not in ev:
+                raise TraceSchemaError(f"malformed trace event: {ev!r}")
+            if ev["ph"] == "X" and ("ts" not in ev or "dur" not in ev):
+                raise TraceSchemaError(f"X event missing ts/dur: {ev!r}")
+
+
+def validate_chrome_trace(doc: Any) -> None:
+    """Raise :class:`TraceSchemaError` unless ``doc`` is a valid export."""
+    _validate(doc, CHROME_TRACE_SCHEMA)
+
+
+def validate_run_json(doc: Any) -> None:
+    """Raise :class:`TraceSchemaError` unless ``doc`` matches the CLI schema."""
+    _validate(doc, RUN_JSON_SCHEMA)
+
+
+# ---------------------------------------------------------- chrome trace -- #
+def _span_event(span: Span, epoch: float) -> dict[str, Any]:
+    t1 = span.t1 if span.t1 is not None else span.t0
+    args = {k: v for k, v in span.attrs.items() if not k.startswith("_")}
+    args["sid"] = span.sid
+    if span.parent >= 0:
+        args["parent"] = span.parent
+    return {
+        "ph": "X",
+        "pid": 0,
+        "tid": span.rank,
+        "name": span.name,
+        "cat": span.cat,
+        "ts": (span.t0 - epoch) * 1e6,
+        "dur": max(0.0, (t1 - span.t0) * 1e6),
+        "args": args,
+    }
+
+
+def chrome_trace(
+    result: "SpmdResult",
+    include_transport_events: bool = True,
+    label: str = "repro run",
+) -> dict[str, Any]:
+    """Build a Chrome-trace document from an executed run.
+
+    ``include_transport_events=False`` drops the per-message/per-GEMM
+    slices and keeps only the structured spans (phases, collectives) —
+    smaller files for large runs.
+    """
+    transport = result.transport
+    spans = transport.tracer.spans
+    epoch = min(
+        transport.tracer.epoch(),
+        min((e.t0 for e in transport.events), default=0.0),
+    )
+    events: list[dict[str, Any]] = [
+        {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+         "args": {"name": label}},
+    ]
+    for rank in range(transport.nprocs):
+        events.append(
+            {"ph": "M", "pid": 0, "tid": rank, "name": "thread_name",
+             "args": {"name": f"rank {rank}"}}
+        )
+    events.extend(_span_event(s, epoch) for s in spans)
+    if include_transport_events:
+        for e in transport.events:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": e.rank,
+                    "name": e.kind,
+                    "cat": "transport",
+                    "ts": (e.t0 - epoch) * 1e6,
+                    "dur": max(0.0, (e.t1 - e.t0) * 1e6),
+                    "args": {
+                        "phase": e.phase,
+                        "nbytes": e.nbytes,
+                        "peer": e.peer,
+                    },
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": _DISPLAY_UNIT,
+        "otherData": {
+            "generator": "repro.obs",
+            "nprocs": transport.nprocs,
+            "makespan_us": result.time * 1e6,
+            "q_words": max((t.bytes_sent for t in result.traces), default=0) / ITEM,
+        },
+    }
+
+
+def write_chrome_trace(result: "SpmdResult", path: str, **kwargs: Any) -> dict[str, Any]:
+    """Export, schema-validate, and write a Chrome trace; returns the doc."""
+    doc = chrome_trace(result, **kwargs)
+    validate_chrome_trace(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+# ---------------------------------------------------------------- jsonl -- #
+def jsonl_records(result: "SpmdResult") -> Iterator[dict[str, Any]]:
+    """Structured-log records for one run: header, spans, rank summaries."""
+    transport = result.transport
+    yield {
+        "type": "run",
+        "nprocs": transport.nprocs,
+        "makespan_s": result.time,
+        "record_events": transport.record_events,
+    }
+    epoch = transport.tracer.epoch()
+    for span in transport.tracer.spans:
+        yield {
+            "type": "span",
+            "sid": span.sid,
+            "parent": span.parent,
+            "rank": span.rank,
+            "name": span.name,
+            "cat": span.cat,
+            "t0_s": span.t0 - epoch,
+            "t1_s": (span.t1 if span.t1 is not None else span.t0) - epoch,
+            "attrs": {k: v for k, v in span.attrs.items() if not k.startswith("_")},
+        }
+    for trace in result.traces:
+        yield {
+            "type": "rank",
+            "rank": trace.rank,
+            "clock_s": trace.time,
+            "bytes_sent": trace.bytes_sent,
+            "bytes_recv": trace.bytes_recv,
+            "msgs_sent": trace.msgs_sent,
+            "msgs_recv": trace.msgs_recv,
+            "peak_live_bytes": trace.peak_live_bytes,
+            "phases": {
+                name: {
+                    "time_s": st.time,
+                    "comm_time_s": st.comm_time,
+                    "compute_time_s": st.compute_time,
+                    "bytes_sent": st.bytes_sent,
+                    "bytes_recv": st.bytes_recv,
+                    "msgs_sent": st.msgs_sent,
+                    "msgs_recv": st.msgs_recv,
+                }
+                for name, st in sorted(trace.phases.items())
+            },
+        }
+
+
+def write_jsonl(result: "SpmdResult", path: str) -> int:
+    """Write the structured log; returns the number of records."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in jsonl_records(result):
+            fh.write(json.dumps(rec) + "\n")
+            n += 1
+    return n
+
+
+def run_summary(result: "SpmdResult", plan=None) -> dict[str, Any]:
+    """Metrics snapshot as a JSON-ready dict (used by CLI ``stats``)."""
+    return snapshot_run(result, plan).to_dict()

@@ -1,0 +1,320 @@
+"""Metrics registry + run snapshots for executed CA3DMM runs.
+
+Two layers:
+
+* a small, dependency-free **registry** of :class:`Counter` /
+  :class:`Gauge` / :class:`Histogram` instruments keyed by name +
+  labels (Prometheus-style, but in-process and simulation-clocked);
+* :func:`snapshot_run`, which distils one
+  :class:`~repro.mpi.runtime.SpmdResult` into a :class:`RunMetrics`
+  snapshot: bytes/messages per phase per rank, Cannon shift latency
+  distribution, per-k-task-group imbalance, and the skew/shift
+  overlap ratio (how much of the Cannon transfer time the dual-buffer
+  hid behind local GEMMs).
+
+``SpmdResult.metrics`` calls :func:`snapshot_run` lazily, so every
+executed run carries its metrics without extra plumbing at call sites.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.plan import Ca3dmmPlan
+    from ..mpi.runtime import SpmdResult
+
+ITEM = 8  #: bytes per word (float64), as in the paper's analysis
+
+
+# ------------------------------------------------------------ instruments -- #
+@dataclass
+class Counter:
+    """Monotonically increasing count (bytes, messages, calls)."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (ratio, clock, high-water mark)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """A distribution of observations with quantile queries."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def sum(self) -> float:
+        return math.fsum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.samples else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile, q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.samples:
+            return 0.0
+        xs = sorted(self.samples)
+        pos = q * (len(xs) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(xs) - 1)
+        return xs[lo] + (xs[hi] - xs[lo]) * (pos - lo)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "max": self.max,
+        }
+
+
+_LabelKey = tuple[str, tuple[tuple[str, Any], ...]]
+
+
+def _key(name: str, labels: dict[str, Any]) -> _LabelKey:
+    return name, tuple(sorted(labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled instruments."""
+
+    def __init__(self) -> None:
+        self._counters: dict[_LabelKey, Counter] = {}
+        self._gauges: dict[_LabelKey, Gauge] = {}
+        self._histograms: dict[_LabelKey, Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._counters.setdefault(_key(name, labels), Counter())
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._gauges.setdefault(_key(name, labels), Gauge())
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._histograms.setdefault(_key(name, labels), Histogram())
+
+    # ------------------------------------------------------------ export -- #
+    @staticmethod
+    def _rows(table: dict[_LabelKey, Any], render) -> list[dict[str, Any]]:
+        return [
+            {"name": name, "labels": dict(labels), **render(inst)}
+            for (name, labels), inst in sorted(table.items())
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "counters": self._rows(self._counters, lambda c: {"value": c.value}),
+            "gauges": self._rows(self._gauges, lambda g: {"value": g.value}),
+            "histograms": self._rows(self._histograms, lambda h: h.summary()),
+        }
+
+    def find(self, name: str) -> list[tuple[dict[str, Any], Any]]:
+        """All instruments with ``name`` as ``(labels, instrument)`` pairs."""
+        out: list[tuple[dict[str, Any], Any]] = []
+        for table in (self._counters, self._gauges, self._histograms):
+            for (nm, labels), inst in table.items():
+                if nm == name:
+                    out.append((dict(labels), inst))
+        return out
+
+
+# ------------------------------------------------------------- snapshots -- #
+@dataclass
+class RunMetrics:
+    """One executed run distilled into a registry + headline numbers."""
+
+    registry: MetricsRegistry
+    makespan: float
+    q_words: float  #: max over ranks of words sent (the paper's Q)
+    total_words: float
+    max_msgs: int
+    peak_live_words: float
+    cannon_overlap_ratio: float | None  #: None when no cannon phase ran
+    k_group_imbalance: float | None  #: None without a plan / single group
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "makespan_s": self.makespan,
+            "q_words": self.q_words,
+            "total_words": self.total_words,
+            "max_msgs": self.max_msgs,
+            "peak_live_words": self.peak_live_words,
+            "cannon_overlap_ratio": self.cannon_overlap_ratio,
+            "k_group_imbalance": self.k_group_imbalance,
+            "registry": self.registry.to_dict(),
+        }
+
+
+def _phase_tables(result: "SpmdResult", reg: MetricsRegistry) -> None:
+    for trace in result.traces:
+        for phase, st in trace.phases.items():
+            reg.counter("bytes_sent", rank=trace.rank, phase=phase).inc(st.bytes_sent)
+            reg.counter("bytes_recv", rank=trace.rank, phase=phase).inc(st.bytes_recv)
+            reg.counter("msgs_sent", rank=trace.rank, phase=phase).inc(st.msgs_sent)
+            reg.counter("msgs_recv", rank=trace.rank, phase=phase).inc(st.msgs_recv)
+            reg.gauge("phase_time_s", rank=trace.rank, phase=phase).set(st.time)
+            reg.gauge("phase_comm_time_s", rank=trace.rank, phase=phase).set(st.comm_time)
+            reg.gauge("phase_compute_time_s", rank=trace.rank, phase=phase).set(
+                st.compute_time
+            )
+
+
+def _phase_maxima(result: "SpmdResult", reg: MetricsRegistry) -> None:
+    names: set[str] = set()
+    for trace in result.traces:
+        names.update(trace.phases)
+    for phase in names:
+        words = max(
+            (t.phases[phase].bytes_sent for t in result.traces if phase in t.phases),
+            default=0,
+        ) / ITEM
+        msgs = max(
+            (t.phases[phase].msgs_sent for t in result.traces if phase in t.phases),
+            default=0,
+        )
+        reg.gauge("phase_q_words", phase=phase).set(words)
+        reg.gauge("phase_max_msgs", phase=phase).set(msgs)
+
+
+def _shift_latencies(result: "SpmdResult", reg: MetricsRegistry) -> None:
+    hist = reg.histogram("cannon_shift_seconds")
+    for e in result.transport.events:
+        if e.phase == "cannon" and e.kind in ("recv", "wait") and e.duration > 0:
+            hist.observe(e.duration)
+
+
+def _overlap_ratio(result: "SpmdResult") -> float | None:
+    """Fraction of the Cannon stage *not* spent in visible communication.
+
+    The dual-buffer shift overlaps transfers with GEMMs; the transport
+    only charges the non-hidden remainder as comm time, so
+    ``1 - comm/total`` measures how well skew/shift traffic hid.
+    """
+    crit = max(result.traces, key=lambda t: t.time)
+    st = crit.phases.get("cannon")
+    if st is None or st.time <= 0:
+        return None
+    return max(0.0, min(1.0, 1.0 - st.comm_time / st.time))
+
+
+def _k_group_imbalance(
+    result: "SpmdResult", plan: "Ca3dmmPlan | None"
+) -> float | None:
+    """Relative spread of per-k-task-group busy time: (max-min)/max."""
+    if plan is None or plan.pk <= 1:
+        return None
+    group_time: dict[int, float] = {}
+    layer = plan.pm * plan.pn
+    for trace in result.traces:
+        if trace.rank >= plan.active:
+            continue
+        ik = trace.rank // layer
+        group_time[ik] = max(group_time.get(ik, 0.0), trace.time)
+    if not group_time:
+        return None
+    hi, lo = max(group_time.values()), min(group_time.values())
+    return 0.0 if hi <= 0 else (hi - lo) / hi
+
+
+def snapshot_run(
+    result: "SpmdResult", plan: "Ca3dmmPlan | None" = None
+) -> RunMetrics:
+    """Distil an executed run into a :class:`RunMetrics` snapshot.
+
+    ``plan`` (optional) enables plan-aware instruments such as the
+    k-task-group imbalance gauge.
+    """
+    reg = MetricsRegistry()
+    _phase_tables(result, reg)
+    _phase_maxima(result, reg)
+    _shift_latencies(result, reg)
+    for trace in result.traces:
+        reg.gauge("rank_clock_s", rank=trace.rank).set(trace.time)
+        reg.gauge("peak_live_bytes", rank=trace.rank).set(trace.peak_live_bytes)
+
+    overlap = _overlap_ratio(result)
+    imbalance = _k_group_imbalance(result, plan)
+    if overlap is not None:
+        reg.gauge("cannon_overlap_ratio").set(overlap)
+    if imbalance is not None:
+        reg.gauge("k_group_imbalance").set(imbalance)
+
+    return RunMetrics(
+        registry=reg,
+        makespan=result.time,
+        q_words=max((t.bytes_sent for t in result.traces), default=0) / ITEM,
+        total_words=sum(t.bytes_sent for t in result.traces) / ITEM,
+        max_msgs=max((t.msgs_sent for t in result.traces), default=0),
+        peak_live_words=max((t.peak_live_bytes for t in result.traces), default=0)
+        / ITEM,
+        cannon_overlap_ratio=overlap,
+        k_group_imbalance=imbalance,
+    )
+
+
+def format_metrics(metrics: RunMetrics) -> str:
+    """Human-readable one-screen rendering of a snapshot."""
+    lines = [
+        "Run metrics",
+        f"  makespan            : {metrics.makespan * 1e3:.3f} ms (simulated)",
+        f"  Q (max words sent)  : {metrics.q_words:.0f}",
+        f"  total words sent    : {metrics.total_words:.0f}",
+        f"  max messages / rank : {metrics.max_msgs}",
+        f"  peak live words     : {metrics.peak_live_words:.0f}",
+    ]
+    if metrics.cannon_overlap_ratio is not None:
+        lines.append(
+            f"  cannon overlap      : {100 * metrics.cannon_overlap_ratio:.1f} %"
+        )
+    if metrics.k_group_imbalance is not None:
+        lines.append(
+            f"  k-group imbalance   : {100 * metrics.k_group_imbalance:.1f} %"
+        )
+    shift = metrics.registry.histogram("cannon_shift_seconds")
+    if shift.count:
+        lines.append(
+            f"  shift latency       : n={shift.count} "
+            f"p50={shift.quantile(0.5) * 1e6:.2f}us p95={shift.quantile(0.95) * 1e6:.2f}us"
+        )
+    lines.append("  per-phase Q (words):")
+    for labels, gauge in sorted(
+        metrics.registry.find("phase_q_words"), key=lambda lg: lg[0]["phase"]
+    ):
+        lines.append(f"    {labels['phase']:<10}: {gauge.value:.0f}")
+    return "\n".join(lines)

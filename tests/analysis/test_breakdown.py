@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis.breakdown import (
@@ -10,7 +9,7 @@ from repro.analysis.breakdown import (
     breakdown_from_report,
     breakdown_from_traces,
 )
-from repro.analysis.costs import ca3dmm_cost, cosma_cost
+from repro.analysis.costs import ca3dmm_cost
 from repro.core import Ca3dmm
 from repro.core.plan import Ca3dmmPlan
 from repro.layout.matrix import DistMatrix, dense_random

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis.costs import ca3dmm_cost, cosma_cost, ctf_cost, redist_cost

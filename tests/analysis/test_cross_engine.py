@@ -12,7 +12,7 @@ import pytest
 
 from repro.analysis.costs import ITEM, cosma_cost, ctf_cost
 from repro.baselines import cosma_matmul, ctf_matmul
-from repro.grid.optimizer import cosma_grid, ctf_grid
+from repro.grid.optimizer import cosma_grid
 from repro.layout import BlockCol1D, DistMatrix, dense_random
 from repro.machine.model import laptop
 from repro.mpi import run_spmd

@@ -79,10 +79,32 @@ class TestRendering:
         text = render_timeline(res, width=40, ranks=[0, 3])
         assert text.count("rank") == 2
 
-    def test_render_requires_events(self, spmd):
+    def test_render_without_events_explains_itself(self, spmd):
         res = spmd(2, lambda comm: None)
-        with pytest.raises(ValueError):
-            render_timeline(res)
+        text = render_timeline(res)
+        assert "no events recorded" in text
+        assert "record_events=True" in text
+
+    def test_render_zero_makespan_explains_itself(self, spmd):
+        from repro.mpi.transport import Event
+
+        res = spmd(2, lambda comm: None)
+        # a degenerate zero-duration event at t=0: clock never advanced
+        res.transport.events.append(
+            Event(rank=0, kind="compute", t0=0.0, t1=0.0, phase="", peer=-1, nbytes=0)
+        )
+        text = render_timeline(res)
+        assert "no timeline" in text
+        assert "clock never advanced" in text
+
+    def test_right_edge_event_does_not_bleed_past_makespan(self):
+        res = _run_recorded(P=4)
+        width = 50
+        text = render_timeline(res, width=width)
+        for line in text.splitlines():
+            if line.lstrip().startswith("rank"):
+                lane = line.split("|", 1)[1]
+                assert len(lane) == width
 
     def test_phase_spans_ordered(self):
         res = _run_recorded()

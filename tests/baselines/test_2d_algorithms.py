@@ -7,7 +7,7 @@ import pytest
 
 from repro.baselines import cannon_matmul, summa_matmul
 from repro.baselines.summa import panel_ranges
-from repro.layout import Block2D, BlockCol1D, BlockRow1D, DistMatrix, dense_random
+from repro.layout import BlockCol1D, BlockRow1D, DistMatrix, dense_random
 
 
 def _check(comm, fn, m, n, k, **kw):

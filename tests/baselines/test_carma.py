@@ -9,8 +9,6 @@ from hypothesis import given, settings, strategies as st
 from repro.baselines import carma_matmul, carma_native_dists
 from repro.baselines.carma import _Prob, active_count
 from repro.layout import BlockCol1D, BlockRow1D, DistMatrix, dense_random
-from repro.machine.model import laptop
-from repro.mpi import run_spmd
 
 
 def _check(comm, m, n, k):

@@ -19,7 +19,7 @@ from repro.baselines import (
 )
 from repro.baselines.cannon2d import cannon_native_dists
 from repro.baselines.algo3d import algo3d_native_dists
-from repro.layout import Block2D, BlockCol1D, DistMatrix, dense_random
+from repro.layout import BlockCol1D, DistMatrix, dense_random
 from repro.machine.model import laptop
 from repro.mpi import run_spmd
 

@@ -1,0 +1,44 @@
+"""Bench trace artifacts: every generator has an executed stand-in."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import GENERATORS, main
+from repro.bench.harness import TRACE_WORKLOADS, trace_artifact
+from repro.machine.model import laptop
+from repro.obs.export import validate_chrome_trace
+
+
+class TestTraceWorkloads:
+    def test_every_generator_has_a_workload(self):
+        assert set(TRACE_WORKLOADS) == set(GENERATORS)
+
+    def test_workloads_are_simulator_sized(self):
+        for m, n, k, p in TRACE_WORKLOADS.values():
+            assert m * n * k <= 10**6
+            assert p <= 32
+
+
+class TestTraceArtifact:
+    def test_writes_schema_valid_trace(self, tmp_path):
+        path = trace_artifact("fig5", tmp_path, machine=laptop())
+        assert path == tmp_path / "fig5.trace.json"
+        doc = json.loads(path.read_text())
+        validate_chrome_trace(doc)
+        assert doc["otherData"]["nprocs"] == TRACE_WORKLOADS["fig5"][3]
+        names = {ev["name"] for ev in doc["traceEvents"] if ev["ph"] == "X"}
+        assert {"cannon", "reduce"} <= names
+
+    def test_unknown_name_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            trace_artifact("fig99", tmp_path)
+
+    def test_cli_trace_dir_flag(self, tmp_path, capsys):
+        rc = main(["fig2", "--trace-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trace artifact:" in out
+        assert (tmp_path / "fig2.trace.json").exists()

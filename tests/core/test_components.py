@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.reduce_c import reduce_partial_c, split_block
 from repro.core.replicate import replicate_block

@@ -8,7 +8,6 @@ own cost-analysis assumption that steps 4 and 8 can be skipped.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest

@@ -16,7 +16,8 @@ class TestPdgemm:
         m, n, k, P = 20, 24, 28, 4
 
         def f(comm):
-            bc = lambda s: BlockCyclic2D(s, comm.size, 2, 2, bs=3)
+            def bc(s):
+                return BlockCyclic2D(s, comm.size, 2, 2, bs=3)
             a_mat, b_mat, c_mat = (
                 dense_random(m, k, 1), dense_random(k, n, 2), dense_random(m, n, 3)
             )

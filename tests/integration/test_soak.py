@@ -8,7 +8,6 @@ context-id, and FIFO machinery harder than any single algorithm does.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.baselines import cosma_matmul, summa_matmul
 from repro.core import Ca3dmm, ca3dmm_matmul

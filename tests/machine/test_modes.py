@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.machine.model import MachineModel, pace_phoenix_cpu
 from repro.mpi import run_spmd

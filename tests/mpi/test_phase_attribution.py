@@ -1,0 +1,142 @@
+"""Nested Comm.phase attribution: innermost charging and unwinding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.model import laptop
+from repro.mpi import run_spmd
+from repro.obs.tracer import CAT_COLLECTIVE, CAT_PHASE
+
+
+class TestInnermostCharging:
+    def test_nested_phase_charges_innermost_only(self, spmd):
+        def f(comm):
+            with comm.phase("outer"):
+                with comm.phase("inner"):
+                    comm.allgather(np.arange(16.0))
+
+        res = spmd(4, f)
+        for trace in res.traces:
+            assert trace.phases["inner"].bytes_sent > 0
+            assert trace.phases["inner"].msgs_sent > 0
+            outer = trace.phases.get("outer")
+            assert outer is None or outer.bytes_sent == 0
+
+    def test_sibling_phases_are_separate(self, spmd):
+        def f(comm):
+            with comm.phase("first"):
+                comm.allgather(np.arange(8.0))
+            with comm.phase("second"):
+                comm.allgather(np.arange(32.0))
+
+        res = spmd(4, f)
+        for trace in res.traces:
+            assert 0 < trace.phases["first"].bytes_sent < trace.phases["second"].bytes_sent
+
+    def test_phase_totals_partition_rank_totals(self, spmd):
+        def f(comm):
+            with comm.phase("a"):
+                comm.allgather(np.arange(8.0))
+            with comm.phase("b"):
+                with comm.phase("c"):
+                    comm.allgather(np.arange(8.0))
+
+        res = spmd(4, f)
+        for trace in res.traces:
+            assert sum(st.bytes_sent for st in trace.phases.values()) == trace.bytes_sent
+
+
+class TestExceptionUnwinding:
+    def test_phase_stack_unwinds_on_exception(self, spmd):
+        """An exception escaping a phase block must pop the phase, so
+        later traffic is charged to the enclosing phase again."""
+
+        def f(comm):
+            with comm.phase("outer"):
+                try:
+                    with comm.phase("doomed"):
+                        comm.allgather(np.arange(4.0))
+                        raise RuntimeError("boom")
+                except RuntimeError:
+                    pass
+                comm.allgather(np.arange(4.0))
+
+        res = spmd(2, f)
+        for trace in res.traces:
+            assert trace.phases["doomed"].bytes_sent > 0
+            assert trace.phases["outer"].bytes_sent > 0
+            assert trace.phases["outer"].bytes_sent == trace.phases["doomed"].bytes_sent
+
+    def test_spans_close_on_exception(self):
+        def f(comm):
+            try:
+                with comm.phase("doomed"):
+                    comm.allgather(np.arange(4.0))
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            with comm.phase("after"):
+                comm.allgather(np.arange(4.0))
+
+        res = run_spmd(2, f, machine=laptop(), record_events=True)
+        spans = res.spans
+        assert all(s.closed for s in spans)
+        doomed = [s for s in spans if s.name == "doomed"]
+        after = [s for s in spans if s.name == "after"]
+        assert len(doomed) == len(after) == 2
+        # "after" is a fresh root, not a child of the unwound "doomed"
+        assert all(s.parent == -1 for s in after)
+
+
+class TestSpanRecording:
+    def test_phase_spans_nest_collective_spans(self):
+        def f(comm):
+            with comm.phase("work"):
+                comm.allgather(comm.rank)
+
+        res = run_spmd(2, f, machine=laptop(), record_events=True)
+        phase = [s for s in res.spans if s.cat == CAT_PHASE and s.name == "work"]
+        colls = [s for s in res.spans if s.cat == CAT_COLLECTIVE]
+        assert len(phase) == 2 and colls
+        by_sid = {s.sid: s for s in res.spans}
+        for c in colls:
+            assert by_sid[c.parent].name == "work"
+            assert c.attrs["comm_size"] == 2
+
+    def test_phase_span_carries_counter_deltas(self):
+        def f(comm):
+            with comm.phase("work"):
+                comm.allgather(np.arange(16.0))
+
+        res = run_spmd(4, f, machine=laptop(), record_events=True)
+        for s in res.spans:
+            if s.cat == CAT_PHASE:
+                assert s.attrs["bytes_sent"] > 0
+                assert s.attrs["msgs_sent"] > 0
+
+    def test_user_span_does_not_redirect_phase_stats(self):
+        def f(comm):
+            with comm.phase("work"):
+                with comm.span("inner-region", step=3):
+                    comm.allgather(np.arange(8.0))
+
+        res = run_spmd(2, f, machine=laptop(), record_events=True)
+        # traffic still charged to the phase, not a span-named phase
+        for trace in res.traces:
+            assert trace.phases["work"].bytes_sent > 0
+            assert "inner-region" not in trace.phases
+        user = [s for s in res.spans if s.name == "inner-region"]
+        assert len(user) == 2
+        assert all(s.attrs["step"] == 3 and s.attrs["bytes_sent"] > 0 for s in user)
+
+    def test_spans_off_without_record_events(self, spmd):
+        def f(comm):
+            with comm.phase("work"):
+                with comm.span("region"):
+                    comm.allgather(comm.rank)
+
+        res = spmd(2, f)
+        assert res.spans == []
+        # phase accounting still works with the tracer off
+        assert all(t.phases["work"].msgs_sent > 0 for t in res.traces)

@@ -7,7 +7,7 @@ import pytest
 
 from repro.machine.model import MachineModel, laptop
 from repro.mpi.transport import PhaseStats, Transport
-from repro.mpi.datatypes import Message, payload_pack, payload_unpack
+from repro.mpi.datatypes import payload_pack, payload_unpack
 
 
 class TestContextIds:

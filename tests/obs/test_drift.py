@@ -1,0 +1,135 @@
+"""Drift guard: measured per-phase traffic vs the analytic predictions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import ca3dmm_matmul
+from repro.core.plan import Ca3dmmPlan
+from repro.layout import DistMatrix, dense_random
+from repro.machine.model import laptop
+from repro.mpi import run_spmd
+from repro.obs.drift import (
+    DriftError,
+    check_drift,
+    drift_report,
+    expected_phase_traffic,
+)
+
+
+def _executed(m, n, k, P, nruns=1):
+    plan = Ca3dmmPlan(m, n, k, P)
+
+    def f(comm):
+        a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 0))
+        b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 1))
+        for _ in range(nruns):
+            ca3dmm_matmul(a, b)
+
+    return plan, run_spmd(P, f, machine=laptop(), record_events=False)
+
+
+class TestExpectedTraffic:
+    def test_closed_forms_on_balanced_cube(self):
+        plan = Ca3dmmPlan(64, 64, 64, 8)  # 2 x 2 x 2, s=2, c=1
+        exp = expected_phase_traffic(plan)
+        mb, nb, kb = 32.0, 32.0, 16.0
+        assert "replicate" not in exp  # c == 1
+        assert exp["cannon"].words == (mb * kb + kb * nb) * plan.s
+        assert exp["cannon"].msgs == 2 * plan.s
+        assert exp["reduce"].words == mb * nb * (plan.pk - 1) / plan.pk
+        assert exp["reduce"].msgs == plan.pk - 1
+
+    def test_replication_appears_when_c_gt_1(self):
+        plan = Ca3dmmPlan(64, 64, 64, 16)  # 2 x 4 x 2 grid: c = 2
+        assert plan.c > 1
+        exp = expected_phase_traffic(plan)
+        assert exp["replicate"].msgs == math.ceil(math.log2(plan.c))
+        assert exp["replicate"].words > 0
+
+    def test_degenerate_phases_absent(self):
+        plan = Ca3dmmPlan(64, 64, 16, 4)
+        exp = expected_phase_traffic(plan)
+        if plan.pk == 1:
+            assert "reduce" not in exp
+        if plan.s == 1:
+            assert "cannon" not in exp
+
+
+class TestDriftReport:
+    def test_balanced_grid_is_exact(self):
+        plan, res = _executed(64, 64, 64, 8)
+        report = drift_report(res, plan)
+        assert report.ok
+        by_phase = {p.phase: p for p in report.phases}
+        assert by_phase["cannon"].words_rel_err == 0.0
+        assert by_phase["reduce"].words_rel_err == 0.0
+        assert by_phase["cannon"].measured_msgs == by_phase["cannon"].expected_msgs
+        assert by_phase["reduce"].measured_msgs == by_phase["reduce"].expected_msgs
+
+    def test_acceptance_balanced_p64_within_tolerance(self):
+        """ISSUE acceptance: balanced P=64, m=n=k — measured per-phase
+        communication volume matches the analytic model within 5%
+        (exactly, for the divisible cube)."""
+        plan, res = _executed(64, 64, 64, 64)
+        report = check_drift(res, plan, byte_tol=0.05)  # must not raise
+        assert report.max_rel_err <= 0.05
+        for p in report.phases:
+            if p.expected_words > 0:
+                assert p.measured_words == p.expected_words  # exact volume
+            assert p.measured_msgs == p.expected_msgs
+
+    def test_nruns_normalizes_accumulated_counters(self):
+        plan, res = _executed(64, 64, 64, 8, nruns=3)
+        assert drift_report(res, plan, nruns=3).ok
+        # the same counters read as a single run drift by ~3x
+        assert not drift_report(res, plan, nruns=1, abs_tol_words=0.0).ok
+
+    def test_nruns_must_be_positive(self):
+        plan, res = _executed(64, 64, 64, 8)
+        with pytest.raises(ValueError):
+            drift_report(res, plan, nruns=0)
+
+    def test_unscheduled_phase_traffic_is_drift(self, spmd):
+        plan = Ca3dmmPlan(32, 32, 32, 2)  # s == 1: no cannon scheduled
+        assert plan.s == 1
+
+        def f(comm):
+            with comm.phase("cannon"):
+                comm.allgather(np.zeros(8))
+
+        res = spmd(2, f)
+        report = drift_report(res, plan)
+        assert not report.ok
+        assert report.max_rel_err == math.inf
+        with pytest.raises(DriftError):
+            report.check()
+
+    def test_mismatched_plan_trips_the_guard(self):
+        plan, res = _executed(64, 64, 64, 8)
+        other = Ca3dmmPlan(128, 128, 128, 8)
+        report = drift_report(res, other, abs_tol_words=0.0)
+        assert not report.ok
+        with pytest.raises(DriftError):
+            check_drift(res, other, abs_tol_words=0.0)
+
+    def test_report_serializes_and_formats(self):
+        plan, res = _executed(64, 64, 64, 8)
+        report = drift_report(res, plan, machine=laptop())
+        doc = report.to_dict()
+        assert doc["ok"] is True
+        assert {p["phase"] for p in doc["phases"]} == {"replicate", "cannon", "reduce"}
+        assert doc["times"]  # machine given -> timing buckets present
+        text = report.format()
+        assert "Drift guard" in text and "OK" in text
+        assert "report-only" in text
+
+    def test_time_tol_enforces_timing(self):
+        plan, res = _executed(64, 64, 64, 8)
+        # a huge tolerance passes; an absurdly small one fails
+        assert drift_report(res, plan, machine=laptop(), time_tol=100.0).ok
+        tight = drift_report(res, plan, machine=laptop(), time_tol=1e-12)
+        assert not tight.ok

@@ -1,0 +1,185 @@
+"""Chrome-trace / JSONL exporters and the golden trace-schema test."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import ca3dmm_matmul
+from repro.core.plan import Ca3dmmPlan
+from repro.layout import DistMatrix, dense_random
+from repro.machine.model import laptop
+from repro.mpi import run_spmd
+from repro.obs.export import (
+    CHROME_TRACE_SCHEMA,
+    TraceSchemaError,
+    _validate_fallback,
+    chrome_trace,
+    jsonl_records,
+    validate_chrome_trace,
+    validate_run_json,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import CAT_PHASE
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """The fixed golden run: P=8, m=n=k=64, native layouts."""
+    m = n = k = 64
+    P = 8
+    plan = Ca3dmmPlan(m, n, k, P)
+
+    def f(comm):
+        a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 0))
+        b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 1))
+        ca3dmm_matmul(a, b)
+
+    res = run_spmd(P, f, machine=laptop(), record_events=True)
+    return plan, res
+
+
+class TestGoldenTrace:
+    """Acceptance: the fixed run's export is schema-valid and complete."""
+
+    def test_schema_valid_with_jsonschema(self, golden):
+        jsonschema = pytest.importorskip("jsonschema")
+        _, res = golden
+        doc = chrome_trace(res)
+        jsonschema.validate(doc, CHROME_TRACE_SCHEMA)
+
+    def test_one_span_per_phase_per_rank(self, golden):
+        plan, res = golden
+        phase_spans = [s for s in res.spans if s.cat == CAT_PHASE]
+        per_rank: dict[int, list[str]] = {}
+        for s in phase_spans:
+            per_rank.setdefault(s.rank, []).append(s.name)
+        assert set(per_rank) == set(range(8))
+        for rank, names in per_rank.items():
+            # exactly one replicate/cannon/reduce span; two redists (A, B)
+            assert names.count("replicate") == 1
+            assert names.count("cannon") == 1
+            assert names.count("reduce") == 1
+            assert names.count("redist") == 2
+
+    def test_events_cover_metadata_spans_and_transport(self, golden):
+        _, res = golden
+        doc = chrome_trace(res)
+        phs = {}
+        for ev in doc["traceEvents"]:
+            phs.setdefault(ev["ph"], []).append(ev)
+        # process_name + one thread_name per rank
+        assert len(phs["M"]) == 1 + 8
+        cats = {ev["cat"] for ev in phs["X"]}
+        assert {"phase", "collective", "transport"} <= cats
+
+    def test_timestamps_rezeroed_and_nonnegative(self, golden):
+        _, res = golden
+        doc = chrome_trace(res)
+        xs = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        assert min(ev["ts"] for ev in xs) == 0.0
+        assert all(ev["ts"] >= 0 and ev["dur"] >= 0 for ev in xs)
+        assert all(0 <= ev["tid"] < 8 for ev in xs)
+
+    def test_span_events_carry_byte_deltas(self, golden):
+        _, res = golden
+        doc = chrome_trace(res)
+        cannon = [
+            ev for ev in doc["traceEvents"]
+            if ev["ph"] == "X" and ev["name"] == "cannon"
+        ]
+        assert len(cannon) == 8
+        for ev in cannon:
+            assert ev["args"]["bytes_sent"] > 0
+            assert not any(k.startswith("_") for k in ev["args"])
+
+    def test_other_data_headline(self, golden):
+        _, res = golden
+        doc = chrome_trace(res)
+        assert doc["otherData"]["nprocs"] == 8
+        assert doc["otherData"]["q_words"] > 0
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_written_file_roundtrips(self, golden, tmp_path):
+        _, res = golden
+        path = tmp_path / "golden.trace.json"
+        doc = write_chrome_trace(res, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(doc))
+        validate_chrome_trace(loaded)
+
+    def test_transport_events_can_be_dropped(self, golden):
+        _, res = golden
+        full = chrome_trace(res)
+        lean = chrome_trace(res, include_transport_events=False)
+        assert len(lean["traceEvents"]) < len(full["traceEvents"])
+        assert all(
+            ev.get("cat") != "transport" for ev in lean["traceEvents"]
+        )
+
+
+class TestValidation:
+    def test_missing_trace_events_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            validate_chrome_trace({"displayTimeUnit": "ms"})
+
+    def test_x_event_without_ts_rejected(self):
+        doc = {
+            "traceEvents": [{"ph": "X", "pid": 0, "tid": 0, "name": "x", "cat": "c"}],
+            "displayTimeUnit": "ms",
+        }
+        with pytest.raises(TraceSchemaError):
+            validate_chrome_trace(doc)
+
+    def test_fallback_validator_matches_on_basics(self):
+        with pytest.raises(TraceSchemaError):
+            _validate_fallback({"traceEvents": "nope"}, CHROME_TRACE_SCHEMA)
+        with pytest.raises(TraceSchemaError):
+            _validate_fallback(
+                {"traceEvents": [{"ph": "X", "name": "x"}], "displayTimeUnit": "ms"},
+                CHROME_TRACE_SCHEMA,
+            )
+        _validate_fallback(
+            {"traceEvents": [], "displayTimeUnit": "ms"}, CHROME_TRACE_SCHEMA
+        )
+
+    def test_run_json_schema_rejects_bad_op(self):
+        doc = {
+            "schema_version": 1,
+            "problem": {"m": 1, "n": 1, "k": 1, "nprocs": 1,
+                        "transA": "X", "transB": "N", "device": "cpu"},
+            "partition": {"pm": 1, "pn": 1, "pk": 1, "s": 1, "c": 1,
+                          "utilization_pct": 100.0},
+            "phases": {},
+            "correctness": {"validated": True, "errors": 0},
+        }
+        pytest.importorskip("jsonschema")
+        with pytest.raises(TraceSchemaError):
+            validate_run_json(doc)
+        doc["problem"]["transA"] = "T"
+        validate_run_json(doc)
+
+
+class TestJsonl:
+    def test_records_structure(self, golden):
+        _, res = golden
+        recs = list(jsonl_records(res))
+        kinds = [r["type"] for r in recs]
+        assert kinds[0] == "run"
+        assert kinds.count("rank") == 8
+        assert kinds.count("span") == len(res.spans)
+        run = recs[0]
+        assert run["nprocs"] == 8 and run["record_events"] is True
+        rank_recs = [r for r in recs if r["type"] == "rank"]
+        assert all("cannon" in r["phases"] for r in rank_recs)
+
+    def test_write_jsonl(self, golden, tmp_path):
+        _, res = golden
+        path = tmp_path / "run.jsonl"
+        n = write_jsonl(res, str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == n
+        for line in lines:
+            json.loads(line)

@@ -1,0 +1,156 @@
+"""Metrics registry instruments and executed-run snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ca3dmm_matmul
+from repro.core.plan import Ca3dmmPlan
+from repro.layout import DistMatrix, dense_random
+from repro.machine.model import laptop
+from repro.mpi import run_spmd
+from repro.obs.metrics import (
+    ITEM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metrics,
+    snapshot_run,
+)
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = Gauge()
+        g.set(3.5)
+        g.set(1.0)
+        assert g.value == 1.0
+
+    def test_histogram_stats(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 10.0
+        assert h.mean == 2.5
+        assert h.min == 1.0 and h.max == 4.0
+        assert h.quantile(0.5) == 2.5
+        assert h.quantile(0.0) == 1.0 and h.quantile(1.0) == 4.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_empty_histogram_is_safe(self):
+        h = Histogram()
+        assert h.quantile(0.5) == 0.0
+        assert h.summary()["count"] == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("bytes", rank=0, phase="cannon")
+        b = reg.counter("bytes", phase="cannon", rank=0)  # label order irrelevant
+        c = reg.counter("bytes", rank=1, phase="cannon")
+        assert a is b and a is not c
+
+    def test_to_dict_and_find(self):
+        reg = MetricsRegistry()
+        reg.counter("msgs", rank=0).inc(3)
+        reg.gauge("clock", rank=0).set(1.5)
+        reg.histogram("lat").observe(0.1)
+        doc = reg.to_dict()
+        assert doc["counters"][0] == {"name": "msgs", "labels": {"rank": 0}, "value": 3.0}
+        assert doc["gauges"][0]["value"] == 1.5
+        assert doc["histograms"][0]["count"] == 1.0
+        (labels, inst) = reg.find("msgs")[0]
+        assert labels == {"rank": 0} and inst.value == 3.0
+
+
+def _executed(m=32, n=32, k=64, P=8, record_events=True):
+    plan = Ca3dmmPlan(m, n, k, P)
+
+    def f(comm):
+        a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 0))
+        b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 1))
+        ca3dmm_matmul(a, b)
+
+    return plan, run_spmd(P, f, machine=laptop(), record_events=record_events)
+
+
+class TestSnapshot:
+    def test_headline_numbers_match_traces(self):
+        plan, res = _executed()
+        m = snapshot_run(res, plan)
+        assert m.makespan == res.time
+        assert m.q_words == max(t.bytes_sent for t in res.traces) / ITEM
+        assert m.total_words == sum(t.bytes_sent for t in res.traces) / ITEM
+        assert m.max_msgs == max(t.msgs_sent for t in res.traces)
+
+    def test_per_phase_q_gauges(self):
+        plan, res = _executed(m=64, n=64, k=64, P=16)  # c > 1: replication runs
+        m = snapshot_run(res, plan)
+        phases = {labels["phase"] for labels, _ in m.registry.find("phase_q_words")}
+        assert {"replicate", "cannon", "reduce"} <= phases
+        for labels, gauge in m.registry.find("phase_q_words"):
+            expect = max(
+                (t.phases[labels["phase"]].bytes_sent
+                 for t in res.traces if labels["phase"] in t.phases),
+                default=0,
+            ) / ITEM
+            assert gauge.value == expect
+
+    def test_shift_latency_histogram_populated(self):
+        plan, res = _executed()
+        m = snapshot_run(res, plan)
+        hist = m.registry.histogram("cannon_shift_seconds")
+        assert hist.count > 0
+        assert hist.min > 0
+
+    def test_overlap_ratio_in_unit_interval(self):
+        plan, res = _executed()
+        m = snapshot_run(res, plan)
+        assert m.cannon_overlap_ratio is not None
+        assert 0.0 <= m.cannon_overlap_ratio <= 1.0
+
+    def test_k_group_imbalance_needs_plan_and_pk(self):
+        plan, res = _executed(m=32, n=32, k=64, P=8)
+        assert plan.pk > 1
+        m = snapshot_run(res, plan)
+        assert m.k_group_imbalance is not None
+        assert 0.0 <= m.k_group_imbalance <= 1.0
+        assert snapshot_run(res).k_group_imbalance is None
+
+    def test_snapshot_without_events(self):
+        plan, res = _executed(record_events=False)
+        m = snapshot_run(res, plan)
+        assert m.registry.histogram("cannon_shift_seconds").count == 0
+        assert m.q_words > 0
+
+    def test_result_metrics_property_cached(self):
+        _, res = _executed()
+        assert res.metrics is res.metrics
+
+    def test_format_metrics_renders(self):
+        plan, res = _executed()
+        text = format_metrics(snapshot_run(res, plan))
+        assert "makespan" in text
+        assert "per-phase Q" in text
+        assert "cannon" in text
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        plan, res = _executed()
+        doc = snapshot_run(res, plan).to_dict()
+        json.dumps(doc)  # must not raise
+        assert doc["q_words"] > 0
+        assert "registry" in doc

@@ -1,0 +1,137 @@
+"""Span tracer unit tests (nesting, unwinding, attributes, ordering)."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.tracer import CAT_COLLECTIVE, CAT_PHASE, CAT_USER, Span, Tracer
+
+
+class TestSpanBasics:
+    def test_duration_and_closed(self):
+        s = Span(sid=0, parent=-1, rank=0, name="x", t0=1.0, t1=3.5)
+        assert s.duration == 2.5
+        assert s.closed
+        open_span = Span(sid=1, parent=-1, rank=0, name="y", t0=2.0)
+        assert open_span.duration == 0.0
+        assert not open_span.closed
+
+    def test_categories_are_distinct(self):
+        assert len({CAT_PHASE, CAT_COLLECTIVE, CAT_USER}) == 3
+
+
+class TestTracerNesting:
+    def test_parent_pointers_follow_the_stack(self):
+        tr = Tracer(enabled=True)
+        a = tr.begin(0, "outer", 0.0)
+        b = tr.begin(0, "inner", 1.0)
+        tr.end(0, b, 2.0)
+        tr.end(0, a, 3.0)
+        spans = {s.name: s for s in tr.spans}
+        assert spans["outer"].parent == -1
+        assert spans["inner"].parent == a
+        assert tr.children(a) == [spans["inner"]]
+
+    def test_stacks_are_per_rank(self):
+        tr = Tracer(enabled=True)
+        a0 = tr.begin(0, "r0", 0.0)
+        a1 = tr.begin(1, "r1", 0.0)
+        # rank 1's span is not a child of rank 0's open span
+        assert tr._spans[a1].parent == -1
+        tr.end(1, a1, 1.0)
+        tr.end(0, a0, 1.0)
+
+    def test_end_closes_abandoned_deeper_spans(self):
+        """A non-local exit (exception) may skip inner end() calls; ending
+        the outer span must close the abandoned inner ones too."""
+        tr = Tracer(enabled=True)
+        outer = tr.begin(0, "outer", 0.0)
+        inner = tr.begin(0, "inner", 1.0)
+        deepest = tr.begin(0, "deepest", 2.0)
+        tr.end(0, outer, 5.0)  # skips inner/deepest ends
+        spans = {s.sid: s for s in tr.spans}
+        assert spans[inner].closed and spans[inner].t1 == 5.0
+        assert spans[deepest].closed and spans[deepest].t1 == 5.0
+        # the stack fully unwound: a new span is a root again
+        fresh = tr.begin(0, "fresh", 6.0)
+        assert spans is not tr._spans or tr._spans[fresh].parent == -1
+        tr.end(0, fresh, 7.0)
+
+    def test_end_clamps_negative_durations(self):
+        tr = Tracer(enabled=True)
+        sid = tr.begin(0, "x", 5.0)
+        tr.end(0, sid, 4.0)  # clock cannot run backwards; clamp to t0
+        (span,) = tr.spans
+        assert span.t1 == span.t0 == 5.0
+
+
+class TestTracerAttributes:
+    def test_begin_attrs_copied_and_end_attrs_merged(self):
+        tr = Tracer(enabled=True)
+        attrs = {"k": 1}
+        sid = tr.begin(0, "x", 0.0, attrs=attrs)
+        attrs["k"] = 99  # caller's dict must not alias the span's
+        tr.end(0, sid, 1.0, attrs={"bytes": 64})
+        (span,) = tr.spans
+        assert span.attrs == {"k": 1, "bytes": 64}
+
+    def test_annotate_and_take_attr(self):
+        tr = Tracer(enabled=True)
+        sid = tr.begin(0, "x", 0.0)
+        tr.annotate(sid, _snap={"bytes": 10})
+        assert tr.take_attr(sid, "_snap") == {"bytes": 10}
+        assert tr.take_attr(sid, "_snap") is None
+        tr.end(0, sid, 1.0)
+
+
+class TestTracerQueries:
+    def _populated(self):
+        tr = Tracer(enabled=True)
+        a = tr.begin(0, "phase", 1.0, cat=CAT_PHASE)
+        b = tr.begin(0, "coll", 2.0, cat=CAT_COLLECTIVE)
+        tr.end(0, b, 3.0)
+        tr.end(0, a, 4.0)
+        c = tr.begin(1, "phase", 0.5, cat=CAT_PHASE)
+        tr.end(1, c, 2.0)
+        return tr
+
+    def test_spans_sorted_by_start_time(self):
+        tr = self._populated()
+        starts = [s.t0 for s in tr.spans]
+        assert starts == sorted(starts)
+
+    def test_epoch_is_earliest_start(self):
+        tr = self._populated()
+        assert tr.epoch() == 0.5
+        assert Tracer().epoch() == 0.0
+
+    def test_named_and_spans_of_and_roots(self):
+        tr = self._populated()
+        assert len(tr.named("phase")) == 2
+        assert [s.rank for s in tr.spans_of(1)] == [1]
+        assert all(s.parent == -1 for s in tr.roots())
+        assert [s.rank for s in tr.roots(rank=1)] == [1]
+
+    def test_len(self):
+        assert len(self._populated()) == 3
+
+
+class TestThreadSafety:
+    def test_concurrent_begin_end_from_many_ranks(self):
+        tr = Tracer(enabled=True)
+        n, per = 8, 50
+
+        def worker(rank):
+            for i in range(per):
+                sid = tr.begin(rank, f"s{i}", float(i))
+                tr.end(rank, sid, float(i) + 0.5)
+
+        threads = [threading.Thread(target=worker, args=(r,)) for r in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tr) == n * per
+        assert all(s.closed for s in tr.spans)
+        sids = [s.sid for s in tr.spans]
+        assert len(set(sids)) == len(sids)
