@@ -12,6 +12,12 @@ makes the paper's scheduling story *visible*: the Cannon stage's
 compute/transfer overlap, the reduce-scatter tail, stragglers from
 ragged blocks.
 
+``render_timeline(..., highlight_critical=True)`` overlays the binding
+chain from :mod:`repro.obs.critpath`: cells the critical path runs
+through switch to upper-case glyphs (``C`` compute, ``S`` send, ``R``
+receive/flight, ``W`` wait), so the one dependency chain that bounds the
+makespan stands out from the overlappable background work.
+
 Also provided: :func:`phase_spans` (per-phase simulated intervals) and
 :func:`critical_rank` — small utilities the tests and notebooks use.
 """
@@ -25,20 +31,45 @@ from ..mpi.runtime import SpmdResult
 
 #: lane glyph per event kind; later entries win on overlap within a cell.
 GLYPHS = {"wait": ".", "recv": "<", "send": ">", "compute": "#"}
+#: upper-case glyph per chain-segment kind (critical-path overlay).
+CRITICAL_GLYPHS = {"wait": "W", "recv": "R", "send": "S", "compute": "C"}
 _PRIORITY = {"wait": 0, "recv": 1, "send": 2, "compute": 3}
+
+
+def _paint(lane: list[str], kind: str, c0: int, c1: int, glyph: str) -> None:
+    for c in range(c0, c1 + 1):
+        old = lane[c]
+        if old == " " or _PRIORITY.get(kind, 0) >= _PRIORITY.get(
+            _kind_of(old), -1
+        ):
+            lane[c] = glyph
+
+
+def _cells(t0: float, t1: float, scale: float, width: int) -> tuple[int, int]:
+    c0 = min(width - 1, int(t0 * scale))
+    # Half-open mapping: the cell covering [c/scale, (c+1)/scale) is
+    # painted only if the event overlaps it, so an event ending
+    # exactly on a column boundary does not bleed into the next cell.
+    c1 = min(width - 1, max(c0, math.ceil(t1 * scale) - 1))
+    return c0, c1
 
 
 def render_timeline(
     result: SpmdResult,
     width: int = 80,
     ranks: list[int] | None = None,
+    highlight_critical: bool = False,
 ) -> str:
     """Render per-rank lanes over the simulated makespan.
 
     ``width`` columns cover ``[0, makespan]``; each cell shows the
-    highest-priority event kind overlapping that slice.  Runs executed
-    without ``record_events=True`` (or that never touched the simulated
-    clock) render an explanatory placeholder instead of raising.
+    highest-priority event kind overlapping that slice.  With
+    ``highlight_critical=True`` the binding chain is painted on top in
+    upper-case glyphs (a ``recv`` chain segment — a message flight —
+    highlights the *sender's* lane, where the chain continues).  Runs
+    executed without ``record_events=True`` (or that never touched the
+    simulated clock) render an explanatory placeholder instead of
+    raising.
     """
     events = result.transport.events
     if not events:
@@ -58,19 +89,21 @@ def render_timeline(
     for e in events:
         if e.rank not in grid:
             continue
-        c0 = min(width - 1, int(e.t0 * scale))
-        # Half-open mapping: the cell covering [c/scale, (c+1)/scale) is
-        # painted only if the event overlaps it, so an event ending
-        # exactly on a column boundary does not bleed into the next cell.
-        c1 = min(width - 1, max(c0, math.ceil(e.t1 * scale) - 1))
-        glyph = GLYPHS.get(e.kind, "?")
-        lane = grid[e.rank]
-        for c in range(c0, c1 + 1):
-            old = lane[c]
-            if old == " " or _PRIORITY.get(e.kind, 0) >= _PRIORITY.get(
-                _kind_of(old), -1
-            ):
+        c0, c1 = _cells(e.t0, e.t1, scale, width)
+        _paint(grid[e.rank], e.kind, c0, c1, GLYPHS.get(e.kind, "?"))
+    legend = "legend: # compute   > send   < recv   . wait"
+    if highlight_critical:
+        from ..obs.critpath import critical_path
+
+        for seg in critical_path(result).segments:
+            if seg.rank not in grid or seg.duration <= 0:
+                continue
+            c0, c1 = _cells(seg.t0, seg.t1, scale, width)
+            glyph = CRITICAL_GLYPHS.get(seg.kind, "?")
+            lane = grid[seg.rank]
+            for c in range(c0, c1 + 1):
                 lane[c] = glyph
+        legend += "   (upper-case: critical path)"
     label_w = len(str(max(lanes))) + 6
     header = (
         f"{'':{label_w}}0{'':{width - 2}}{makespan * 1e6:.1f}us\n"
@@ -79,7 +112,6 @@ def render_timeline(
     body = "\n".join(
         f"rank {r:>{label_w - 6}} |{''.join(grid[r])}" for r in lanes
     )
-    legend = "legend: # compute   > send   < recv   . wait"
     return f"{header}\n{body}\n{legend}"
 
 
@@ -100,7 +132,18 @@ def phase_spans(result: SpmdResult) -> dict[str, tuple[float, float]]:
 
 
 def critical_rank(result: SpmdResult) -> int:
-    """The rank with the largest simulated clock (the makespan owner)."""
+    """The rank whose finish bounds the makespan (critical-path endpoint).
+
+    Backed by :func:`repro.obs.critpath.critical_path`: the returned rank
+    is the endpoint of the binding dependency chain.  For runs executed
+    without ``record_events=True`` there is no chain to walk, so this
+    falls back to the rank with the largest simulated clock — the same
+    value the chain would end on.
+    """
+    if result.transport.events:
+        from ..obs.critpath import critical_path
+
+        return critical_path(result).final_rank
     return max(result.traces, key=lambda t: t.time).rank
 
 

@@ -17,6 +17,7 @@ import argparse
 import sys
 
 from .harness import (
+    baseline_artifact,
     fig2_partitions,
     fig3_scaling,
     fig4_hybrid,
@@ -52,6 +53,12 @@ def main(argv: list[str] | None = None) -> int:
         help="also execute a small stand-in of each figure's workload and "
              "write a Chrome trace (<name>.trace.json) under DIR",
     )
+    ap.add_argument(
+        "--baseline-dir", metavar="DIR", default=None,
+        help="also execute each figure's stand-in workload and write "
+             "(refresh) its perf baseline (<name>.json) under DIR; "
+             "commit the result to update the perf gate",
+    )
     args = ap.parse_args(argv)
 
     if args.list or not args.names:
@@ -70,6 +77,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.trace_dir:
             path = trace_artifact(name, args.trace_dir)
             print(f"trace artifact: {path}")
+            print()
+        if args.baseline_dir:
+            path = baseline_artifact(name, args.baseline_dir)
+            print(f"perf baseline: {path}")
             print()
     return rc
 

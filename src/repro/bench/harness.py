@@ -58,21 +58,17 @@ TRACE_WORKLOADS: dict[str, tuple[int, int, int, int]] = {
 }
 
 
-def trace_artifact(
-    name: str,
-    outdir: str | Path,
-    machine: MachineModel | None = None,
-) -> Path:
-    """Execute the stand-in workload for generator ``name`` and write a
-    schema-validated Chrome trace to ``outdir/<name>.trace.json``.
+def executed_workload(name: str, machine: MachineModel | None = None):
+    """Execute the stand-in workload for generator ``name``.
 
-    Returns the written path.  Raises ``KeyError`` for unknown names.
+    Returns ``(plan, result)`` with event recording on — the input both
+    the trace artifacts and the perf baselines are derived from.  Raises
+    ``KeyError`` for unknown names.
     """
     from ..core import ca3dmm_matmul
     from ..core.plan import Ca3dmmPlan
     from ..layout import DistMatrix, dense_random
     from ..mpi import run_spmd
-    from ..obs.export import write_chrome_trace
 
     m, n, k, p = TRACE_WORKLOADS[name]
     plan = Ca3dmmPlan(m, n, k, p)
@@ -84,6 +80,23 @@ def trace_artifact(
 
     mach = machine or pace_phoenix_cpu("mpi")
     result = run_spmd(p, f, machine=mach, record_events=True)
+    return plan, result
+
+
+def trace_artifact(
+    name: str,
+    outdir: str | Path,
+    machine: MachineModel | None = None,
+) -> Path:
+    """Execute the stand-in workload for generator ``name`` and write a
+    schema-validated Chrome trace to ``outdir/<name>.trace.json``.
+
+    Returns the written path.  Raises ``KeyError`` for unknown names.
+    """
+    from ..obs.export import write_chrome_trace
+
+    m, n, k, p = TRACE_WORKLOADS[name]
+    _plan, result = executed_workload(name, machine)
     outdir = Path(outdir)
     outdir.mkdir(parents=True, exist_ok=True)
     path = outdir / f"{name}.trace.json"
@@ -91,6 +104,32 @@ def trace_artifact(
         result, path, label=f"{name} stand-in {m}x{n}x{k} P={p}"
     )
     return path
+
+
+def baseline_artifact(
+    name: str,
+    outdir: str | Path,
+    machine: MachineModel | None = None,
+) -> Path:
+    """Execute the stand-in workload for ``name`` and write (or refresh)
+    its perf baseline under ``outdir/<name>.json``.
+
+    The baseline snapshots makespan, per-phase critical seconds (from
+    the binding chain), and traffic counters; ``repro perfdiff`` and the
+    CI perf-gate compare later runs against it.  Returns the written
+    path.  Raises ``KeyError`` for unknown names.
+    """
+    from ..obs.baseline import BaselineStore, capture_baseline
+
+    m, n, k, p = TRACE_WORKLOADS[name]
+    _plan, result = executed_workload(name, machine)
+    doc = capture_baseline(
+        result,
+        name,
+        workload={"m": m, "n": n, "k": k, "nprocs": p},
+        machine_label="pace_phoenix_cpu(mpi)" if machine is None else "custom",
+    )
+    return BaselineStore(outdir).save(name, doc)
 
 
 # ------------------------------------------------------------------ Fig 2 -- #

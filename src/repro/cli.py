@@ -14,14 +14,20 @@ same report structure: the partition info block, per-phase timings over
 schema-validated JSON document (``repro.obs.export.RUN_JSON_SCHEMA``)
 for scripting.
 
-Two observability subcommands front the :mod:`repro.obs` subsystem::
+Four observability subcommands front the :mod:`repro.obs` subsystem::
 
     python -m repro.cli trace 64 64 64 -np 8 -o run.trace.json
     python -m repro.cli stats 64 64 64 -np 8 --json
+    python -m repro.cli critpath 64 64 64 -np 8 --timeline
+    python -m repro.cli perfdiff --baseline-dir benchmarks/baselines
 
 ``trace`` executes one multiplication with event recording and exports a
 Chrome-trace/Perfetto JSON (plus an optional JSONL structured log);
-``stats`` prints the run's metrics snapshot and drift-guard report.
+``stats`` prints the run's metrics snapshot and drift-guard report;
+``critpath`` reconstructs the binding chain that bounds the makespan
+(per-phase blame, per-rank idle decomposition, stragglers); ``perfdiff``
+re-executes the fixed workload matrix and diffs it against committed
+perf baselines, exiting nonzero on a regression (the CI perf gate).
 
 Run as ``python -m repro.cli ...`` or via the ``ca3dmm-example``
 console script.
@@ -43,6 +49,7 @@ from .layout.distributions import BlockCol1D
 from .layout.matrix import DistMatrix, dense_random
 from .machine.model import pace_phoenix_cpu, pace_phoenix_gpu
 from .mpi.runtime import run_spmd
+from .obs.critpath import critpath_report
 from .obs.drift import drift_report
 from .obs.export import (
     validate_run_json,
@@ -307,6 +314,133 @@ def _trace_main(argv: list[str]) -> int:
     return 1 if (args.strict and not report.ok) else 0
 
 
+def _critpath_main(argv: list[str]) -> int:
+    ap = _obs_parser(
+        "critpath",
+        "Execute one CA3DMM multiplication and analyze the dependency "
+        "chain that bounds its simulated makespan",
+    )
+    ap.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    ap.add_argument("--timeline", action="store_true",
+                    help="also render the per-rank timeline with the "
+                         "binding chain highlighted (upper-case glyphs)")
+    ap.add_argument("--max-segments", type=int, default=12,
+                    help="chain segments shown in text mode")
+    args = ap.parse_args(argv)
+    machine, grid = _obs_common(args)
+    _plan, result = _run_traced(args.M, args.N, args.K, args.nprocs, machine, grid)
+    report = critpath_report(result)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format(max_segments=args.max_segments))
+        if args.timeline:
+            from .analysis.timeline import render_timeline
+
+            print()
+            print(render_timeline(result, highlight_critical=True))
+    return 0 if report.path.complete else 1
+
+
+def _perfdiff_main(argv: list[str]) -> int:
+    from dataclasses import replace as _dc_replace
+
+    from .bench.harness import TRACE_WORKLOADS, executed_workload
+    from .obs.baseline import BaselineStore, PerfTolerance, capture_baseline
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.cli perfdiff",
+        description="Re-execute the fixed workload matrix and diff makespan, "
+                    "per-phase critical time, and traffic against committed "
+                    "perf baselines",
+    )
+    ap.add_argument("names", nargs="*",
+                    help=f"workloads to check (default: all of "
+                         f"{' '.join(sorted(TRACE_WORKLOADS))})")
+    ap.add_argument("--baseline-dir", default="benchmarks/baselines",
+                    help="directory of committed <name>.json baselines")
+    ap.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baselines from this run instead of comparing")
+    ap.add_argument("--verbose", action="store_true",
+                    help="list every compared metric, not only changes")
+    ap.add_argument("--time-tol", type=float, default=None,
+                    help="relative makespan tolerance (default 0.03)")
+    ap.add_argument("--phase-tol", type=float, default=None,
+                    help="relative per-phase critical-time tolerance (default 0.10)")
+    ap.add_argument("--bytes-tol", type=float, default=None,
+                    help="relative traffic tolerance (default 0.02)")
+    ap.add_argument("--inject-latency", type=float, default=1.0, metavar="X",
+                    help="scale the machine model's link latency/bandwidth "
+                         "costs by X before running (gate self-test; 1.0 = off)")
+    args = ap.parse_args(argv)
+
+    names = args.names or sorted(TRACE_WORKLOADS)
+    unknown = [n for n in names if n not in TRACE_WORKLOADS]
+    if unknown:
+        print(f"unknown workload(s): {' '.join(unknown)}", file=sys.stderr)
+        return 2
+    tol = PerfTolerance()
+    if args.time_tol is not None:
+        tol = _dc_replace(tol, time_rel=args.time_tol)
+    if args.phase_tol is not None:
+        tol = _dc_replace(tol, phase_rel=args.phase_tol)
+    if args.bytes_tol is not None:
+        tol = _dc_replace(tol, bytes_rel=args.bytes_tol)
+    machine = pace_phoenix_cpu("mpi")
+    if args.inject_latency != 1.0:
+        x = args.inject_latency
+        machine = _dc_replace(
+            machine,
+            alpha=machine.alpha * x,
+            nic_beta=machine.nic_beta * x,
+            alpha_intra=machine.alpha_intra * x,
+            beta_intra=machine.beta_intra * x,
+        )
+
+    store = BaselineStore(args.baseline_dir)
+    diffs, missing = [], []
+    for name in names:
+        m, n, k, p = TRACE_WORKLOADS[name]
+        _plan, result = executed_workload(name, machine=machine)
+        doc = capture_baseline(
+            result, name,
+            workload={"m": m, "n": n, "k": k, "nprocs": p},
+            machine_label="pace_phoenix_cpu(mpi)",
+        )
+        if args.update:
+            path = store.save(name, doc)
+            if not args.json:
+                print(f"baseline refreshed: {path}")
+            continue
+        diff = store.compare(name, doc, tol)
+        if diff is None:
+            missing.append(name)
+        else:
+            diffs.append(diff)
+
+    if args.update:
+        return 0
+    ok = not missing and all(d.ok for d in diffs)
+    if args.json:
+        print(json.dumps({
+            "schema_version": 1,
+            "baseline_dir": args.baseline_dir,
+            "ok": ok,
+            "missing": missing,
+            "workloads": [d.to_dict() for d in diffs],
+        }, indent=2))
+    else:
+        for d in diffs:
+            print(d.format(verbose=args.verbose))
+        for name in missing:
+            print(f"{name}: NO BASELINE (run with --update and commit "
+                  f"{store.path(name)})")
+        print("perfdiff: " + ("OK" if ok else "FAIL")
+              + f" ({len(diffs)} compared, {len(missing)} missing)")
+    return 0 if ok else 1
+
+
 def _stats_main(argv: list[str]) -> int:
     ap = _obs_parser(
         "stats", "Execute one CA3DMM multiplication and print its metrics"
@@ -328,7 +462,12 @@ def _stats_main(argv: list[str]) -> int:
     return 1 if (args.strict and not report.ok) else 0
 
 
-_SUBCOMMANDS = {"trace": _trace_main, "stats": _stats_main}
+_SUBCOMMANDS = {
+    "trace": _trace_main,
+    "stats": _stats_main,
+    "critpath": _critpath_main,
+    "perfdiff": _perfdiff_main,
+}
 
 
 def main(argv: list[str] | None = None) -> int:

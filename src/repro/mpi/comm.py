@@ -111,7 +111,7 @@ class Comm:
             raise TagError("cannot send with ANY_TAG")
         stored, nbytes, is_array = payload_pack(value)
         dest_world = self._to_world(dest)
-        arrival = self._transport.post_send(
+        arrival, seq = self._transport.post_send(
             self._ctx,
             self._world_rank,
             dest_world,
@@ -122,7 +122,8 @@ class Comm:
             advance_sender=False,
         )
         return SendRequest(
-            self._transport, self._world_rank, arrival, nbytes=nbytes, peer=dest_world
+            self._transport, self._world_rank, arrival,
+            nbytes=nbytes, peer=dest_world, seq=seq,
         )
 
     def recv(
@@ -190,7 +191,7 @@ class Comm:
         self._check_tag(recvtag)
         t0 = self._transport.now(self._world_rank)
         stored, nbytes, is_array = payload_pack(sendvalue)
-        arrival_out = self._transport.post_send(
+        arrival_out, seq_out = self._transport.post_send(
             self._ctx,
             self._world_rank,
             self._to_world(dest),
@@ -206,7 +207,7 @@ class Comm:
         # Outgoing side also occupies this rank until arrival_out.
         self._transport.raise_clock(
             self._world_rank, arrival_out,
-            event_kind="send", nbytes=nbytes, peer=self._to_world(dest),
+            event_kind="send", nbytes=nbytes, peer=self._to_world(dest), seq=seq_out,
         )
         del t0
         return msg.unpack()

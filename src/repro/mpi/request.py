@@ -42,12 +42,14 @@ class SendRequest(Request):
         t_complete: float,
         nbytes: int = 0,
         peer: int = -1,
+        seq: int = -1,
     ):
         self._transport = transport
         self._world_rank = world_rank
         self._t_complete = t_complete
         self._nbytes = nbytes
         self._peer = peer
+        self._seq = seq
         self._done = False
 
     def wait(self) -> None:
@@ -55,6 +57,7 @@ class SendRequest(Request):
             self._transport.raise_clock(
                 self._world_rank, self._t_complete,
                 event_kind="send", nbytes=self._nbytes, peer=self._peer,
+                seq=self._seq,
             )
             self._done = True
 

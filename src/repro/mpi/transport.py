@@ -92,7 +92,12 @@ class Event:
     ``kind`` is one of ``"send"``, ``"recv"``, ``"wait"`` (clock raised
     to a message arrival or request completion), or ``"compute"``.
     ``peer`` is the world rank on the other side of a transfer (-1 for
-    compute/wait).  Intervals use the simulated clock, in seconds.
+    compute/wait).  ``seq`` is the transport sequence number of the
+    message behind a send/recv interval (-1 otherwise); it keys into
+    :attr:`Transport.msglog`, so the critical-path analyzer
+    (:mod:`repro.obs.critpath`) can match every blocking receive to the
+    exact send that released it.  Intervals use the simulated clock, in
+    seconds.
     """
 
     rank: int
@@ -102,10 +107,36 @@ class Event:
     t1: float
     nbytes: int = 0
     peer: int = -1
+    seq: int = -1
 
     @property
     def duration(self) -> float:
         return self.t1 - self.t0
+
+
+@dataclass(frozen=True)
+class MsgRecord:
+    """One message's life on the wire (recorded with ``record_events``).
+
+    ``t_post`` is the sender's simulated clock when the message was
+    posted; ``arrival = t_post + msg_time`` is when it becomes
+    receivable.  ``seq`` matches :attr:`Event.seq` on both the send- and
+    recv-side events, giving the wait-for DAG its edges.
+    """
+
+    seq: int
+    src: int
+    dst: int
+    t_post: float
+    arrival: float
+    nbytes: int
+    tag: int
+    ctx: int
+    phase: str  #: the sender's active phase at post time
+
+    @property
+    def flight(self) -> float:
+        return self.arrival - self.t_post
 
 
 @dataclass
@@ -137,6 +168,8 @@ class Transport:
         self.machine = machine or MachineModel()
         self.record_events = record_events
         self.events: list[Event] = []
+        #: per-message records (by list index == seq - 1) when recording.
+        self.msglog: list[MsgRecord] = []
         #: structured span tracer (repro.obs); enabled with record_events.
         self.tracer = Tracer(enabled=record_events)
         self._lock = threading.Lock()
@@ -198,6 +231,7 @@ class Transport:
         event_kind: str | None = None,
         nbytes: int = 0,
         peer: int = -1,
+        seq: int = -1,
     ) -> None:
         st = self.ranks[world_rank]
         t0 = st.clock
@@ -218,6 +252,7 @@ class Transport:
                     t1=st.clock,
                     nbytes=nbytes,
                     peer=peer,
+                    seq=seq,
                 )
             )
 
@@ -228,10 +263,11 @@ class Transport:
         event_kind: str = "wait",
         nbytes: int = 0,
         peer: int = -1,
+        seq: int = -1,
     ) -> None:
         """Move a rank's clock up to ``t`` if it is behind (never back)."""
         with self._lock:
-            self._raise_clock_locked(world_rank, t, event_kind, nbytes, peer)
+            self._raise_clock_locked(world_rank, t, event_kind, nbytes, peer, seq)
 
     def _raise_clock_locked(
         self,
@@ -240,6 +276,7 @@ class Transport:
         event_kind: str = "wait",
         nbytes: int = 0,
         peer: int = -1,
+        seq: int = -1,
     ) -> None:
         """Move a rank's clock up to ``t`` (waiting time counts as comm)."""
         st = self.ranks[world_rank]
@@ -260,6 +297,7 @@ class Transport:
                         t1=t,
                         nbytes=nbytes,
                         peer=peer,
+                        seq=seq,
                     )
                 )
 
@@ -348,29 +386,47 @@ class Transport:
         nbytes: int,
         is_array: bool,
         advance_sender: bool,
-    ) -> float:
-        """Deposit a message; return its simulated arrival time.
+    ) -> tuple[float, int]:
+        """Deposit a message; return ``(arrival_time, seq)``.
 
         ``advance_sender=True`` models a blocking send (the sender's
         clock moves past the transfer); ``False`` models a nonblocking
         send whose cost is accounted at ``wait`` time by the caller.
+        ``seq`` identifies the message in :attr:`msglog` (and on the
+        send/recv events bracketing its transfer) when recording.
         """
         t_msg = self.machine.msg_time(nbytes, src_world, dst_world)
         with self._cond:
             self._check_abort()
             st = self.ranks[src_world]
-            arrival = st.clock + t_msg
+            t_post = st.clock
+            arrival = t_post + t_msg
+            self._seq += 1
+            seq = self._seq
+            if self.record_events:
+                self.msglog.append(
+                    MsgRecord(
+                        seq=seq,
+                        src=src_world,
+                        dst=dst_world,
+                        t_post=t_post,
+                        arrival=arrival,
+                        nbytes=nbytes,
+                        tag=tag,
+                        ctx=ctx,
+                        phase=st.phase,
+                    )
+                )
             if advance_sender:
                 self._advance_locked(
                     src_world, t_msg, "comm",
-                    event_kind="send", nbytes=nbytes, peer=dst_world,
+                    event_kind="send", nbytes=nbytes, peer=dst_world, seq=seq,
                 )
             ps = st.phase_stats()
             ps.bytes_sent += nbytes
             ps.msgs_sent += 1
             st.bytes_sent += nbytes
             st.msgs_sent += 1
-            self._seq += 1
             msg = Message(
                 ctx=ctx,
                 src_world=src_world,
@@ -380,12 +436,19 @@ class Transport:
                 nbytes=nbytes,
                 is_array=is_array,
                 arrival=arrival,
-                seq=self._seq,
+                seq=seq,
             )
             self._mail[(ctx, dst_world)].append(msg)
             self.progress += 1
             self._cond.notify_all()
-        return arrival
+        return arrival, seq
+
+    def msg_record(self, seq: int) -> MsgRecord | None:
+        """The :class:`MsgRecord` for a message seq (None when unknown)."""
+        i = seq - 1
+        if 0 <= i < len(self.msglog) and self.msglog[i].seq == seq:
+            return self.msglog[i]
+        return None
 
     @staticmethod
     def _matches(msg: Message, src_world: int, tag: int) -> bool:
@@ -435,6 +498,7 @@ class Transport:
                     self._raise_clock_locked(
                         dst_world, msg.arrival,
                         event_kind="recv", nbytes=msg.nbytes, peer=msg.src_world,
+                        seq=msg.seq,
                     )
                 ps = st.phase_stats()
                 ps.bytes_recv += msg.nbytes

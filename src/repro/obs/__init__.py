@@ -16,6 +16,33 @@ checkable on every run:
 See ``docs/OBSERVABILITY.md`` for the span model and exporter formats.
 """
 
+from .baseline import (
+    BASELINE_JSON_SCHEMA,
+    BaselineStore,
+    PerfDelta,
+    PerfDiff,
+    PerfTolerance,
+    capture_baseline,
+    compare_baseline,
+    validate_baseline_json,
+)
+from .critpath import (
+    CRITPATH_JSON_SCHEMA,
+    CriticalPath,
+    CritPathReport,
+    PathSegment,
+    PhaseBlame,
+    RankBreakdown,
+    Straggler,
+    WaitEdge,
+    critical_path,
+    critpath_report,
+    phase_blame,
+    rank_decomposition,
+    stragglers,
+    validate_critpath_json,
+    waitfor_edges,
+)
 from .drift import (
     DriftError,
     DriftReport,
@@ -46,27 +73,50 @@ from .metrics import (
 from .tracer import Span, Tracer
 
 __all__ = [
+    "BASELINE_JSON_SCHEMA",
+    "BaselineStore",
     "CHROME_TRACE_SCHEMA",
+    "CRITPATH_JSON_SCHEMA",
     "Counter",
+    "CritPathReport",
+    "CriticalPath",
     "DriftError",
     "DriftReport",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PathSegment",
+    "PerfDelta",
+    "PerfDiff",
+    "PerfTolerance",
+    "PhaseBlame",
     "RUN_JSON_SCHEMA",
+    "RankBreakdown",
     "RunMetrics",
     "Span",
+    "Straggler",
     "Tracer",
     "TraceSchemaError",
+    "WaitEdge",
+    "capture_baseline",
     "check_drift",
     "chrome_trace",
+    "compare_baseline",
+    "critical_path",
+    "critpath_report",
     "drift_report",
     "expected_phase_traffic",
     "format_metrics",
     "jsonl_records",
+    "phase_blame",
+    "rank_decomposition",
     "snapshot_run",
+    "stragglers",
+    "validate_baseline_json",
     "validate_chrome_trace",
+    "validate_critpath_json",
     "validate_run_json",
+    "waitfor_edges",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -67,6 +67,8 @@ class Tracer:
         self._ids = itertools.count()
         self._spans: dict[int, Span] = {}
         self._stacks: dict[int, list[int]] = {}
+        #: cached start-ordered view; invalidated when a span is added.
+        self._sorted: list[Span] | None = None
 
     # ------------------------------------------------------------ record -- #
     def begin(
@@ -92,6 +94,7 @@ class Tracer:
             )
             self._spans[sid] = span
             stack.append(sid)
+            self._sorted = None
             return sid
 
     def end(self, rank: int, sid: int, t: float, attrs: dict[str, Any] | None = None) -> None:
@@ -99,19 +102,28 @@ class Tracer:
 
         Spans must close innermost-first (context managers guarantee
         this); closing a span also closes any deeper spans left open by
-        a non-local exit, so the stack never wedges on exceptions.
+        a non-local exit, so the stack never wedges on exceptions.  A
+        stale ``sid`` — already closed, e.g. by an ancestor's non-local
+        exit, or never opened on this rank — only updates that span's
+        end time/attrs and leaves the rank's stack untouched.
         """
         with self._lock:
+            span = self._spans.get(sid)
+            if span is None:
+                return
             stack = self._stacks.get(rank, [])
-            while stack:
-                top = stack.pop()
-                span = self._spans[top]
-                if span.t1 is None:
-                    span.t1 = max(t, span.t0)
-                if top == sid:
-                    break
+            if sid in stack:
+                while stack:
+                    top = stack.pop()
+                    inner = self._spans[top]
+                    if inner.t1 is None:
+                        inner.t1 = max(t, inner.t0)
+                    if top == sid:
+                        break
+            elif span.t1 is None:
+                span.t1 = max(t, span.t0)
             if attrs:
-                self._spans[sid].attrs.update(attrs)
+                span.attrs.update(attrs)
 
     def annotate(self, sid: int, **attrs: Any) -> None:
         """Attach attributes to an already-recorded span."""
@@ -124,17 +136,31 @@ class Tracer:
             return self._spans[sid].attrs.pop(key, None)
 
     # ----------------------------------------------------------- inspect -- #
+    def _sorted_view(self) -> list[Span]:
+        """The cached start-ordered span list (shared; do not mutate)."""
+        with self._lock:
+            if self._sorted is None:
+                self._sorted = sorted(
+                    self._spans.values(), key=lambda s: (s.t0, s.sid)
+                )
+            return self._sorted
+
     @property
     def spans(self) -> list[Span]:
-        """All spans, ordered by start time then id (open ones included)."""
-        with self._lock:
-            return sorted(self._spans.values(), key=lambda s: (s.t0, s.sid))
+        """All spans, ordered by start time then id (open ones included).
+
+        The sort is computed once and cached until the next ``begin``
+        (span end times never reorder the ``(t0, sid)`` key), so
+        repeated access — exporters iterating per rank, per name, per
+        parent — costs a copy, not a re-sort.
+        """
+        return list(self._sorted_view())
 
     def spans_of(self, rank: int) -> list[Span]:
-        return [s for s in self.spans if s.rank == rank]
+        return [s for s in self._sorted_view() if s.rank == rank]
 
     def named(self, name: str) -> list[Span]:
-        return [s for s in self.spans if s.name == name]
+        return [s for s in self._sorted_view() if s.name == name]
 
     def epoch(self) -> float:
         """Earliest span start (0.0 when no spans were recorded)."""
@@ -142,10 +168,10 @@ class Tracer:
             return min((s.t0 for s in self._spans.values()), default=0.0)
 
     def children(self, sid: int) -> list[Span]:
-        return [s for s in self.spans if s.parent == sid]
+        return [s for s in self._sorted_view() if s.parent == sid]
 
     def roots(self, rank: int | None = None) -> Iterator[Span]:
-        for s in self.spans:
+        for s in self._sorted_view():
             if s.parent == -1 and (rank is None or s.rank == rank):
                 yield s
 

@@ -156,3 +156,43 @@ class TestOverlapVisibility:
             e.duration for e in res_fast.transport.events if e.kind != "compute"
         )
         assert comm_fast < comp_fast
+
+
+class TestCriticalHighlight:
+    def test_overlay_paints_uppercase_glyphs(self):
+        res = _run_recorded(P=4)
+        text = render_timeline(res, width=60, highlight_critical=True)
+        assert "(upper-case: critical path)" in text
+        lanes = [ln.split("|", 1)[1] for ln in text.splitlines() if "|" in ln]
+        painted = set("".join(lanes))
+        assert painted & set("CSRW")  # some chain cells are highlighted
+        assert painted & set("#><. ")  # background work still visible
+
+    def test_overlay_off_by_default(self):
+        res = _run_recorded(P=4)
+        text = render_timeline(res, width=60)
+        lanes = [ln.split("|", 1)[1] for ln in text.splitlines() if "|" in ln]
+        assert not set("".join(lanes)) & set("CSRW")
+        assert "upper-case" not in text
+
+    def test_highlight_covers_every_column_when_complete(self):
+        """A complete chain spans [0, makespan]; with the overlay on, every
+        time slice has at least one highlighted rank."""
+        res = _run_recorded(P=4)
+        text = render_timeline(res, width=40, highlight_critical=True)
+        lanes = [ln.split("|", 1)[1] for ln in text.splitlines() if "|" in ln]
+        for col in range(40):
+            assert any(lane[col] in "CSRW" for lane in lanes)
+
+
+class TestCriticalRankOnCritpath:
+    def test_matches_the_chain_endpoint(self):
+        from repro.obs.critpath import critical_path
+
+        res = _run_recorded(P=8)
+        assert critical_rank(res) == critical_path(res).final_rank
+
+    def test_fallback_without_events(self, spmd):
+        res = spmd(4, lambda comm: comm.allgather(comm.rank))
+        cr = critical_rank(res)
+        assert res.traces[cr].time == pytest.approx(res.time)

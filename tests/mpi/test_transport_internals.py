@@ -165,3 +165,58 @@ class TestWatchdogInfo:
         t.abort(AbortError(-1))
         th.join(timeout=5)
         assert not th.is_alive()
+
+
+class TestMessageLog:
+    """The per-message log keying the wait-for DAG (obs.critpath)."""
+
+    def _recorded_pingpong(self):
+        from repro.mpi import run_spmd
+
+        def f(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(8), 1)
+                comm.recv(source=1)
+            else:
+                comm.recv(source=0)
+                comm.send(np.ones(8), 0)
+
+        return run_spmd(2, f, machine=laptop(), record_events=True)
+
+    def test_msglog_records_every_message(self):
+        res = self._recorded_pingpong()
+        log = res.transport.msglog
+        assert len(log) == 2
+        assert [m.seq for m in log] == [1, 2]
+        for m in log:
+            assert m.arrival >= m.t_post >= 0.0
+            assert m.flight == m.arrival - m.t_post
+            assert m.nbytes > 0
+
+    def test_msg_record_lookup(self):
+        res = self._recorded_pingpong()
+        t = res.transport
+        for m in t.msglog:
+            assert t.msg_record(m.seq) is m
+        assert t.msg_record(0) is None
+        assert t.msg_record(99) is None
+
+    def test_blocking_recv_events_carry_the_seq(self):
+        res = self._recorded_pingpong()
+        recvs = [e for e in res.transport.events if e.kind == "recv"]
+        assert recvs
+        for e in recvs:
+            msg = res.transport.msg_record(e.seq)
+            assert msg is not None
+            assert msg.dst == e.rank
+            # the clock raise landed exactly on the arrival
+            assert e.t1 == msg.arrival
+
+    def test_msglog_empty_without_recording(self):
+        from repro.mpi import run_spmd
+
+        def f(comm):
+            comm.sendrecv(np.zeros(4), 1 - comm.rank, 1 - comm.rank)
+
+        res = run_spmd(2, f, machine=laptop())
+        assert res.transport.msglog == []

@@ -1,0 +1,231 @@
+"""Critical-path analyzer: exact chains, decompositions, blame, report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ca3dmm_matmul
+from repro.core.plan import Ca3dmmPlan
+from repro.layout import DistMatrix, dense_random
+from repro.machine.model import MachineModel, laptop
+from repro.mpi import run_spmd
+from repro.obs.critpath import (
+    SEG_COMPUTE,
+    SEG_RECV,
+    CritPathReport,
+    critical_path,
+    critpath_report,
+    phase_blame,
+    rank_decomposition,
+    stragglers,
+    validate_critpath_json,
+    waitfor_edges,
+)
+
+
+def _run_ca3dmm(P, m=48, n=48, k=48):
+    plan = Ca3dmmPlan(m, n, k, P)
+
+    def f(comm):
+        a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 0))
+        b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 1))
+        c = ca3dmm_matmul(a, b)
+        return c.local_bytes()
+
+    return run_spmd(P, f, machine=laptop(), record_events=True)
+
+
+class TestChainExactness:
+    """ISSUE acceptance: chain length == makespan, connected, complete."""
+
+    @pytest.mark.parametrize("P", [4, 8, 16])
+    def test_chain_total_equals_makespan(self, P):
+        res = _run_ca3dmm(P)
+        path = critical_path(res)
+        assert path.complete
+        assert path.total == pytest.approx(res.time, rel=1e-12, abs=0.0)
+
+    @pytest.mark.parametrize("P", [4, 8, 16])
+    def test_chain_is_connected(self, P):
+        res = _run_ca3dmm(P)
+        path = critical_path(res)
+        assert path.connected()
+        # chronological, starting at t = 0 and ending at the makespan
+        assert path.segments[0].t0 == pytest.approx(0.0, abs=1e-18)
+        assert path.segments[-1].t1 == pytest.approx(res.time, rel=1e-12)
+        for a, b in zip(path.segments, path.segments[1:]):
+            assert b.t0 >= a.t0
+
+    def test_final_rank_owns_the_makespan(self):
+        res = _run_ca3dmm(8)
+        path = critical_path(res)
+        clocks = {t.rank: t.time for t in res.traces}
+        assert clocks[path.final_rank] == res.time
+
+    def test_segment_durations_positive(self):
+        res = _run_ca3dmm(8)
+        for s in critical_path(res).segments:
+            assert s.duration > 0
+            assert s.kind in ("compute", "send", "recv", "wait")
+
+    def test_without_events_path_is_empty(self, spmd):
+        res = spmd(4, lambda comm: comm.allgather(comm.rank))
+        path = critical_path(res)
+        assert path.segments == []
+        assert not path.complete  # nonzero makespan, nothing to walk
+
+
+class TestCannonRingHandChecked:
+    """P=4 Cannon-style ring: the chain is 3 x (compute + flight), walked
+    backward around the ring — every segment predictable by hand."""
+
+    STEPS = 3
+
+    def _run(self):
+        machine = MachineModel(alpha=1e-4, gamma=1e-9)
+
+        def f(comm):
+            right = (comm.rank + 1) % 4
+            left = (comm.rank - 1) % 4
+            for _ in range(self.STEPS):
+                with comm.phase("cannon"):
+                    comm.compute(1e5)  # 100us at 1ns/flop
+                    comm.sendrecv(np.zeros(16), right, left)
+
+        return run_spmd(4, f, machine=machine, record_events=True), machine
+
+    def test_chain_shape(self):
+        res, _ = self._run()
+        path = critical_path(res)
+        assert path.complete and path.connected()
+        # one compute + one flight per step, nothing else
+        assert len(path.segments) == 2 * self.STEPS
+        kinds = [s.kind for s in path.segments]
+        assert kinds == [SEG_COMPUTE, SEG_RECV] * self.STEPS
+        assert all(s.phase == "cannon" for s in path.segments)
+
+    def test_chain_walks_backward_around_the_ring(self):
+        res, _ = self._run()
+        path = critical_path(res)
+        # the makespan lands on rank 0; each step hops to the left
+        # neighbour's sender, so the chain visits 1 -> 2 -> 3 (flights
+        # feeding 2 -> 3 -> 0) in chronological order
+        computes = [s for s in path.segments if s.kind == SEG_COMPUTE]
+        flights = [s for s in path.segments if s.kind == SEG_RECV]
+        assert [s.rank for s in computes] == [1, 2, 3]
+        assert [(s.rank, s.peer) for s in flights] == [(1, 2), (2, 3), (3, 0)]
+        assert path.final_rank == 0
+
+    def test_segment_durations_match_the_model(self):
+        res, machine = self._run()
+        path = critical_path(res)
+        ct = machine.compute_time(1e5)
+        for s in path.segments:
+            if s.kind == SEG_COMPUTE:
+                assert s.duration == pytest.approx(ct, rel=1e-12)
+            else:
+                assert s.duration == pytest.approx(
+                    machine.msg_time(s.nbytes, s.rank, s.peer), rel=1e-12
+                )
+        assert res.time == pytest.approx(path.total, rel=1e-12)
+
+
+class TestRankDecomposition:
+    @pytest.mark.parametrize("P", [4, 8])
+    def test_buckets_sum_to_makespan(self, P):
+        res = _run_ca3dmm(P)
+        decomp = rank_decomposition(res)
+        assert set(decomp) == set(range(P))
+        for r, b in decomp.items():
+            assert b.total == pytest.approx(res.time, rel=1e-9)
+            assert b.tail_idle_s >= -1e-15
+
+    def test_finish_matches_trace_clock(self):
+        res = _run_ca3dmm(8)
+        clocks = {t.rank: t.time for t in res.traces}
+        for r, b in rank_decomposition(res).items():
+            assert b.finish_s == clocks[r]
+            assert b.tail_idle_s == pytest.approx(
+                res.time - clocks[r], abs=1e-18
+            )
+
+
+class TestPhaseBlame:
+    def test_critical_sums_to_makespan(self):
+        res = _run_ca3dmm(8)
+        blame = phase_blame(res)
+        total = sum(b.critical_s for b in blame.values())
+        assert total == pytest.approx(res.time, rel=1e-12)
+        shares = sum(b.critical_share for b in blame.values())
+        assert shares == pytest.approx(1.0, rel=1e-9)
+
+    def test_covers_the_executed_phases(self):
+        res = _run_ca3dmm(8)
+        blame = phase_blame(res)
+        assert {"cannon", "reduce"} <= set(blame)
+        for b in blame.values():
+            assert b.elapsed_s >= 0 and b.critical_s >= 0
+
+
+class TestWaitforEdges:
+    def test_edges_reference_real_messages(self):
+        res = _run_ca3dmm(8)
+        edges = waitfor_edges(res)
+        assert edges
+        for e in edges:
+            assert e.seq >= 1
+            assert e.arrival >= e.t_post
+            assert e.released in ("recv", "send")
+        arrivals = [e.arrival for e in edges]
+        assert arrivals == sorted(arrivals)
+
+
+class TestStragglers:
+    def test_relay_blames_the_slow_rank(self):
+        machine = MachineModel(alpha=1e-5, gamma=1e-9)
+
+        def f(comm):
+            if comm.rank == 0:
+                comm.compute(1e6)  # 1ms: dominates the run
+                comm.send(np.zeros(8), 1)
+            else:
+                comm.recv(source=0)
+
+        res = run_spmd(2, f, machine=machine, record_events=True)
+        out = stragglers(res)
+        assert out and out[0].rank == 0
+        assert out[0].share > 0.9
+
+    def test_balanced_ring_reports_none(self):
+        machine = MachineModel(alpha=1e-4, gamma=1e-9)
+
+        def f(comm):
+            for _ in range(4):
+                comm.compute(1e5)
+                comm.sendrecv(np.zeros(16), (comm.rank + 1) % 4, (comm.rank - 1) % 4)
+
+        res = run_spmd(4, f, machine=machine, record_events=True)
+        # fair share is 1/4; the default threshold is 2/4 of the makespan
+        assert stragglers(res) == []
+
+
+class TestReport:
+    def test_to_dict_is_schema_valid(self):
+        res = _run_ca3dmm(8)
+        doc = critpath_report(res).to_dict()
+        validate_critpath_json(doc)
+        assert doc["complete"] is True
+        assert doc["nprocs"] == 8
+        assert doc["path_total_s"] == pytest.approx(doc["makespan_s"], rel=1e-12)
+        assert len(doc["rank_decomposition"]) == 8
+
+    def test_format_is_readable(self):
+        res = _run_ca3dmm(4)
+        report = critpath_report(res)
+        assert isinstance(report, CritPathReport)
+        text = report.format(max_segments=5)
+        assert "Critical path:" in text
+        assert "complete" in text
+        assert "phase blame" in text
+        assert text.count("\n") > 5

@@ -135,3 +135,69 @@ class TestThreadSafety:
         assert all(s.closed for s in tr.spans)
         sids = [s.sid for s in tr.spans]
         assert len(set(sids)) == len(sids)
+
+
+class TestStaleSidEnd:
+    """Ending a sid that is not on the stack must not unwind live spans."""
+
+    def test_double_end_leaves_open_spans_alone(self):
+        tr = Tracer(enabled=True)
+        outer = tr.begin(0, "outer", 0.0)
+        inner = tr.begin(0, "inner", 1.0)
+        tr.end(0, inner, 2.0)
+        tr.end(0, inner, 3.0)  # stale: inner already closed and popped
+        spans = {s.name: s for s in tr.spans}
+        assert spans["inner"].t1 == 2.0  # first close wins
+        assert spans["outer"].t1 is None  # outer survived the stale end
+        # the stack is intact: a new span still nests under outer
+        child = tr.begin(0, "child", 4.0)
+        assert tr._spans[child].parent == outer
+        tr.end(0, child, 5.0)
+        tr.end(0, outer, 6.0)
+
+    def test_stale_open_sid_is_closed_in_place(self):
+        """A sid evicted from the stack by an outer unwind but never
+        explicitly ended gets a t1 without disturbing other ranks."""
+        tr = Tracer(enabled=True)
+        outer = tr.begin(0, "outer", 0.0)
+        inner = tr.begin(0, "inner", 1.0)
+        tr.end(0, outer, 2.0)  # unwinds inner too
+        other = tr.begin(0, "other", 3.0)
+        tr.end(0, inner, 4.0)  # stale and already closed: no-op
+        assert tr._spans[inner].t1 == 2.0
+        assert tr._spans[other].t1 is None
+        tr.end(0, other, 5.0)
+
+    def test_unknown_sid_is_a_noop(self):
+        tr = Tracer(enabled=True)
+        a = tr.begin(0, "a", 0.0)
+        tr.end(0, 999, 1.0)
+        assert tr._spans[a].t1 is None
+        tr.end(0, a, 2.0)
+        assert tr._spans[a].t1 == 2.0
+
+
+class TestSortedViewCache:
+    def test_spans_returns_a_fresh_list(self):
+        tr = Tracer(enabled=True)
+        a = tr.begin(0, "a", 0.0)
+        view = tr.spans
+        view.clear()  # caller mutation must not corrupt the tracer
+        assert [s.sid for s in tr.spans] == [a]
+        tr.end(0, a, 1.0)
+
+    def test_cache_invalidated_by_begin(self):
+        tr = Tracer(enabled=True)
+        tr.begin(1, "late", 5.0)
+        assert [s.t0 for s in tr.spans] == [5.0]
+        tr.begin(0, "early", 1.0)
+        assert [s.t0 for s in tr.spans] == [1.0, 5.0]
+
+    def test_order_is_stable_across_ends(self):
+        tr = Tracer(enabled=True)
+        a = tr.begin(0, "a", 0.0)
+        b = tr.begin(1, "b", 0.0)  # same t0: sid breaks the tie
+        before = [s.sid for s in tr.spans]
+        tr.end(1, b, 9.0)
+        tr.end(0, a, 1.0)
+        assert [s.sid for s in tr.spans] == before == [a, b]
