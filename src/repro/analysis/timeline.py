@@ -31,9 +31,11 @@ from ..mpi.runtime import SpmdResult
 
 #: lane glyph per event kind; later entries win on overlap within a cell.
 GLYPHS = {"wait": ".", "recv": "<", "send": ">", "compute": "#"}
+#: glyph for intervals caused/extended by fault injection (repro.mpi.faults).
+INJECTED_GLYPH = "!"
 #: upper-case glyph per chain-segment kind (critical-path overlay).
 CRITICAL_GLYPHS = {"wait": "W", "recv": "R", "send": "S", "compute": "C"}
-_PRIORITY = {"wait": 0, "recv": 1, "send": 2, "compute": 3}
+_PRIORITY = {"wait": 0, "recv": 1, "send": 2, "compute": 3, "injected": 4}
 
 
 def _paint(lane: list[str], kind: str, c0: int, c1: int, glyph: str) -> None:
@@ -86,12 +88,19 @@ def render_timeline(
     lanes = ranks if ranks is not None else list(range(result.transport.nprocs))
     grid = {r: [" "] * width for r in lanes}
     scale = width / makespan
+    any_injected = False
     for e in events:
         if e.rank not in grid:
             continue
         c0, c1 = _cells(e.t0, e.t1, scale, width)
-        _paint(grid[e.rank], e.kind, c0, c1, GLYPHS.get(e.kind, "?"))
+        if e.injected:
+            any_injected = True
+            _paint(grid[e.rank], "injected", c0, c1, INJECTED_GLYPH)
+        else:
+            _paint(grid[e.rank], e.kind, c0, c1, GLYPHS.get(e.kind, "?"))
     legend = "legend: # compute   > send   < recv   . wait"
+    if any_injected:
+        legend += f"   {INJECTED_GLYPH} injected fault"
     if highlight_critical:
         from ..obs.critpath import critical_path
 
@@ -116,6 +125,8 @@ def render_timeline(
 
 
 def _kind_of(glyph: str) -> str:
+    if glyph == INJECTED_GLYPH:
+        return "injected"
     for kind, g in GLYPHS.items():
         if g == glyph:
             return kind

@@ -18,6 +18,7 @@ import sys
 
 from .harness import (
     baseline_artifact,
+    fault_degradation,
     fig2_partitions,
     fig3_scaling,
     fig4_hybrid,
@@ -59,7 +60,20 @@ def main(argv: list[str] | None = None) -> int:
              "(refresh) its perf baseline (<name>.json) under DIR; "
              "commit the result to update the perf gate",
     )
+    ap.add_argument(
+        "--fault-plan", metavar="FILE", default=None,
+        help="also execute each figure's stand-in workload clean and "
+             "under the fault plan (JSON, see docs/FAULTS.md) and print "
+             "the degradation (makespan delta, retries, injected "
+             "critical-path share)",
+    )
     args = ap.parse_args(argv)
+
+    plan = None
+    if args.fault_plan:
+        from ..mpi.faults import FaultPlan
+
+        plan = FaultPlan.load(args.fault_plan)
 
     if args.list or not args.names:
         print("available:", " ".join(sorted(GENERATORS)), "or 'all'")
@@ -81,6 +95,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.baseline_dir:
             path = baseline_artifact(name, args.baseline_dir)
             print(f"perf baseline: {path}")
+            print()
+        if plan is not None:
+            print(fault_degradation(name, plan).text)
             print()
     return rc
 

@@ -58,12 +58,18 @@ TRACE_WORKLOADS: dict[str, tuple[int, int, int, int]] = {
 }
 
 
-def executed_workload(name: str, machine: MachineModel | None = None):
+def executed_workload(
+    name: str,
+    machine: MachineModel | None = None,
+    faults=None,
+):
     """Execute the stand-in workload for generator ``name``.
 
     Returns ``(plan, result)`` with event recording on — the input both
-    the trace artifacts and the perf baselines are derived from.  Raises
-    ``KeyError`` for unknown names.
+    the trace artifacts and the perf baselines are derived from.
+    ``faults`` (a :class:`~repro.mpi.faults.FaultPlan`) runs the same
+    workload under deterministic fault injection.  Raises ``KeyError``
+    for unknown names.
     """
     from ..core import ca3dmm_matmul
     from ..core.plan import Ca3dmmPlan
@@ -79,8 +85,49 @@ def executed_workload(name: str, machine: MachineModel | None = None):
         ca3dmm_matmul(a, b)
 
     mach = machine or pace_phoenix_cpu("mpi")
-    result = run_spmd(p, f, machine=mach, record_events=True)
+    result = run_spmd(p, f, machine=mach, record_events=True, faults=faults)
     return plan, result
+
+
+def fault_degradation(
+    name: str,
+    faults,
+    machine: MachineModel | None = None,
+) -> BenchResult:
+    """Degradation curve: a workload clean vs under a fault plan.
+
+    Runs the stand-in workload for ``name`` twice — once clean, once
+    under ``faults`` — and reports makespan delta, retry/timeout
+    counters, and how much of the faulted run's critical path sits on
+    injected segments.  Used by ``python -m repro.bench --fault-plan``.
+    """
+    from ..obs.critpath import critical_path
+
+    _plan, clean = executed_workload(name, machine)
+    _plan, faulted = executed_workload(name, machine, faults=faults)
+    injected_s = critical_path(faulted).injected_s
+    fm = faulted.metrics
+    delta = faulted.time - clean.time
+    data = {
+        "clean_makespan_s": clean.time,
+        "faulted_makespan_s": faulted.time,
+        "delta_s": delta,
+        "slowdown": faulted.time / clean.time if clean.time else float("inf"),
+        "total_retries": fm.total_retries,
+        "total_timeouts": fm.total_timeouts,
+        "injected_wait_s": fm.injected_wait_s,
+        "injected_critical_s": injected_s,
+    }
+    text = "\n".join([
+        f"fault degradation — {name}",
+        f"  clean makespan   : {clean.time * 1e3:.6f} ms",
+        f"  faulted makespan : {faulted.time * 1e3:.6f} ms "
+        f"({data['slowdown']:.3f}x, +{delta * 1e3:.6f} ms)",
+        f"  retries/timeouts : {fm.total_retries}/{fm.total_timeouts}",
+        f"  injected wait    : {fm.injected_wait_s * 1e3:.6f} ms "
+        f"({injected_s * 1e3:.6f} ms on the critical path)",
+    ])
+    return BenchResult(f"faults_{name}", text, data)
 
 
 def trace_artifact(

@@ -14,12 +14,13 @@ same report structure: the partition info block, per-phase timings over
 schema-validated JSON document (``repro.obs.export.RUN_JSON_SCHEMA``)
 for scripting.
 
-Four observability subcommands front the :mod:`repro.obs` subsystem::
+Five observability subcommands front the :mod:`repro.obs` subsystem::
 
     python -m repro.cli trace 64 64 64 -np 8 -o run.trace.json
     python -m repro.cli stats 64 64 64 -np 8 --json
     python -m repro.cli critpath 64 64 64 -np 8 --timeline
     python -m repro.cli perfdiff --baseline-dir benchmarks/baselines
+    python -m repro.cli faults 64 64 64 -np 8 --plan drop.json
 
 ``trace`` executes one multiplication with event recording and exports a
 Chrome-trace/Perfetto JSON (plus an optional JSONL structured log);
@@ -27,7 +28,11 @@ Chrome-trace/Perfetto JSON (plus an optional JSONL structured log);
 ``critpath`` reconstructs the binding chain that bounds the makespan
 (per-phase blame, per-rank idle decomposition, stragglers); ``perfdiff``
 re-executes the fixed workload matrix and diffs it against committed
-perf baselines, exiting nonzero on a regression (the CI perf gate).
+perf baselines, exiting nonzero on a regression (the CI perf gate);
+``faults`` runs the same workload clean and under a deterministic fault
+plan (:mod:`repro.mpi.faults`, see ``docs/FAULTS.md``) and reports the
+makespan delta, retry counters, result correctness, and the critical-path
+chain through the injected fault.
 
 Run as ``python -m repro.cli ...`` or via the ``ca3dmm-example``
 console script.
@@ -441,6 +446,93 @@ def _perfdiff_main(argv: list[str]) -> int:
     return 0 if ok else 1
 
 
+def _faults_main(argv: list[str]) -> int:
+    from .mpi.faults import FaultPlan, LinkFault
+
+    ap = _obs_parser(
+        "faults",
+        "Execute one CA3DMM multiplication clean and under a deterministic "
+        "fault plan; report the makespan delta, retry counters, result "
+        "correctness, and the critical-path chain through the injected fault",
+    )
+    ap.add_argument("--plan", default=None, metavar="FILE",
+                    help="fault-plan JSON (docs/FAULTS.md); default: a "
+                         "seeded demo plan dropping the first Cannon-phase "
+                         "message on every link")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="seed for the default demo plan (ignored with --plan)")
+    ap.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    ap.add_argument("--timeline", action="store_true",
+                    help="also render the faulted run's timeline "
+                         "('!' marks injected intervals)")
+    ap.add_argument("--max-segments", type=int, default=12,
+                    help="chain segments shown in text mode")
+    args = ap.parse_args(argv)
+    machine, grid = _obs_common(args)
+
+    if args.plan:
+        fault_plan = FaultPlan.load(args.plan)
+    else:
+        fault_plan = FaultPlan(
+            seed=args.seed, links=(LinkFault(phase="cannon", drop_at=(0,)),)
+        )
+
+    m, n, k, p = args.M, args.N, args.K, args.nprocs
+    plan = Ca3dmmPlan(m, n, k, p, grid=grid)
+
+    def f(comm):
+        eng = Ca3dmm(comm, m, n, k, grid=grid)
+        a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 7))
+        b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 8))
+        c = eng.multiply(a, b)
+        full = c.to_global()
+        return full if comm.rank == 0 else None
+
+    clean = run_spmd(p, f, machine=machine, record_events=True)
+    faulted = run_spmd(
+        p, f, machine=machine, record_events=True, faults=fault_plan
+    )
+    correct = np.array_equal(clean.results[0], faulted.results[0])
+    report = critpath_report(faulted)
+    fm = faulted.metrics
+    delta = faulted.time - clean.time
+    ok = correct and report.path.complete
+
+    if args.json:
+        doc = {
+            "schema_version": 1,
+            "problem": {"m": m, "n": n, "k": k, "nprocs": p},
+            "plan": fault_plan.to_dict(),
+            "clean_makespan_s": clean.time,
+            "faulted_makespan_s": faulted.time,
+            "delta_s": delta,
+            "correct": correct,
+            "total_retries": fm.total_retries,
+            "total_timeouts": fm.total_timeouts,
+            "injected_wait_s": fm.injected_wait_s,
+            "critpath": report.to_dict(),
+        }
+        print(json.dumps(doc, indent=2))
+        return 0 if ok else 1
+
+    print(f"fault plan        : {args.plan or 'demo (drop first cannon msg/link)'}"
+          f" seed={fault_plan.seed}")
+    print(f"clean makespan    : {clean.time * 1e3:.6f} ms")
+    print(f"faulted makespan  : {faulted.time * 1e3:.6f} ms "
+          f"(+{delta * 1e3:.6f} ms)")
+    print(f"retries/timeouts  : {fm.total_retries}/{fm.total_timeouts}")
+    print(f"injected wait     : {fm.injected_wait_s * 1e3:.6f} ms")
+    print(f"result            : {'bit-identical to clean run' if correct else 'MISMATCH'}")
+    print()
+    print(report.format(max_segments=args.max_segments))
+    if args.timeline:
+        from .analysis.timeline import render_timeline
+
+        print()
+        print(render_timeline(faulted, highlight_critical=True))
+    return 0 if ok else 1
+
+
 def _stats_main(argv: list[str]) -> int:
     ap = _obs_parser(
         "stats", "Execute one CA3DMM multiplication and print its metrics"
@@ -467,6 +559,7 @@ _SUBCOMMANDS = {
     "stats": _stats_main,
     "critpath": _critpath_main,
     "perfdiff": _perfdiff_main,
+    "faults": _faults_main,
 }
 
 

@@ -73,8 +73,8 @@ def cannon_multiply(
     c_loc = np.zeros((a_blk.shape[0], b_blk.shape[1]), dtype=out_dtype)
 
     if s == 1:
-        comm.gemm_tick(a_blk.shape[0], b_blk.shape[1], a_blk.shape[1])
         if a_blk.shape[1]:
+            comm.gemm_tick(a_blk.shape[0], b_blk.shape[1], a_blk.shape[1])
             c_loc[:] = a_blk @ b_blk
         return c_loc
 
@@ -90,8 +90,11 @@ def cannon_multiply(
             return
         a_cat = pending_a[0] if len(pending_a) == 1 else np.concatenate(pending_a, axis=1)
         b_cat = pending_b[0] if len(pending_b) == 1 else np.concatenate(pending_b, axis=0)
-        comm.gemm_tick(a_cat.shape[0], b_cat.shape[1], a_cat.shape[1])
         if a_cat.shape[1]:
+            # A zero inner width means no flops AND no operand staging:
+            # ticking here would charge phantom GEMM-call time (GPU mode
+            # stages m*n result bytes even at k == 0).
+            comm.gemm_tick(a_cat.shape[0], b_cat.shape[1], a_cat.shape[1])
             np.add(c_loc, a_cat @ b_cat, out=c_loc)
         pending_a.clear()
         pending_b.clear()

@@ -49,8 +49,15 @@ def pdgemm(
         raise ValueError(
             f"inner dimensions differ: op(A) is {m}x{k}, op(B) is {k2}x{n}"
         )
+    if alpha != alpha or beta != beta:  # NaN (also complex NaN)
+        raise ValueError(f"alpha/beta must not be NaN, got alpha={alpha}, beta={beta}")
     if beta != 0.0 and c is None:
         raise ValueError("beta != 0 requires the C operand")
+    if c is not None and c_dist is not None and c_dist != c.dist:
+        raise ValueError(
+            "c and c_dist conflict: the C operand's distribution defines "
+            "the output layout; drop c_dist or pass one equal to c.dist"
+        )
     out_dist = c.dist if c is not None else c_dist
     eng = engine if engine is not None else Ca3dmm(a.comm, m, n, k)
     if (eng.plan.m, eng.plan.n, eng.plan.k) != (m, n, k):

@@ -20,12 +20,33 @@ from ..mpi.comm import Comm
 
 
 def split_block(c_loc: np.ndarray, parts: int, by_cols: bool) -> list[np.ndarray]:
-    """Split a partial C block into the ``parts`` reduce-scatter strips."""
+    """Split a partial C block into the ``parts`` reduce-scatter strips.
+
+    The strips must round-trip: consecutive half-open ranges that tile
+    ``[0, extent)`` exactly.  Empty strips are fine (``parts`` may exceed
+    the extent — a k-replication factor larger than a thin block), but a
+    gap or overlap would silently corrupt the reduce-scatter, so the
+    tiling is validated here.
+    """
+    if parts < 1:
+        raise ValueError(f"split_block needs parts >= 1, got {parts}")
     out = []
     extent = c_loc.shape[1] if by_cols else c_loc.shape[0]
+    prev_hi = 0
     for r in range(parts):
         lo, hi = block_range(extent, parts, r)
+        if lo != prev_hi or hi < lo or hi > extent:
+            raise ValueError(
+                f"strips do not tile extent {extent} into {parts} parts: "
+                f"part {r} is [{lo}, {hi}) but [0, {prev_hi}) is covered"
+            )
+        prev_hi = hi
         out.append(c_loc[:, lo:hi] if by_cols else c_loc[lo:hi, :])
+    if prev_hi != extent:
+        raise ValueError(
+            f"strips cover only [0, {prev_hi}) of extent {extent} "
+            f"({parts} parts)"
+        )
     return out
 
 

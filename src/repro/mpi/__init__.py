@@ -9,7 +9,10 @@ This subpackage is the substrate substituting for a real MPI cluster
 * wildcard/op constants (:data:`ANY_SOURCE`, :data:`ANY_TAG`,
   :data:`SUM`, :data:`MAX`, :data:`MIN`, :data:`PROD`),
 * :class:`SpmdResult` / :class:`RankTrace` — measured traffic and
-  simulated time, the raw material of the reproduction's measurements.
+  simulated time, the raw material of the reproduction's measurements,
+* :class:`FaultPlan` / :class:`LinkFault` / :class:`RankFault` /
+  :class:`RetryPolicy` — deterministic fault injection
+  (:mod:`repro.mpi.faults`), passed to :func:`run_spmd` via ``faults=``.
 """
 
 from .comm import Comm
@@ -19,10 +22,13 @@ from .errors import (
     BufferError_,
     CommError,
     DeadlockError,
+    InjectedAbortError,
     RankError,
+    RecvTimeoutError,
     TagError,
     VMpiError,
 )
+from .faults import ANY_RANK, FaultPlan, LinkFault, RankFault, RetryPolicy
 from .request import Request, wait_all
 from .runtime import SpmdResult, run_spmd
 from .topology import Cart2D, Cart3D
@@ -54,4 +60,11 @@ __all__ = [
     "CommError",
     "DeadlockError",
     "AbortError",
+    "RecvTimeoutError",
+    "InjectedAbortError",
+    "ANY_RANK",
+    "FaultPlan",
+    "LinkFault",
+    "RankFault",
+    "RetryPolicy",
 ]

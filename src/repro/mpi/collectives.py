@@ -26,6 +26,13 @@ All functions are collective: every rank of the communicator must call
 them in the same order.  Message tags are drawn from a reserved internal
 range; per-(source, tag) FIFO matching makes back-to-back collectives on
 the same communicator safe without per-call tag salting.
+
+Every collective is built on ``sendrecv``/``recv``, so under a fault
+plan (:mod:`repro.mpi.faults`) they inherit the receive-side
+timeout/retry/backoff semantics automatically: a dropped message inside
+a collective shows up as injected retries on the affected rank, and an
+exhausted retry budget aborts the job with a typed
+:class:`~repro.mpi.errors.RecvTimeoutError` instead of hanging.
 """
 
 from __future__ import annotations

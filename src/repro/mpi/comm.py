@@ -137,6 +137,15 @@ class Comm:
 
         If ``buf`` is given, array payloads are copied into it (shape is
         ignored; sizes must match) and ``buf`` is returned.
+
+        Under a fault plan (:mod:`repro.mpi.faults`) a receive whose
+        matching message was dropped retries per the plan's
+        :class:`~repro.mpi.faults.RetryPolicy` (simulated timeout +
+        geometric backoff, counted on the rank's trace) and raises
+        :class:`~repro.mpi.errors.RecvTimeoutError` when the budget is
+        exhausted.  Collectives and :meth:`sendrecv` inherit the same
+        semantics — every blocking receive goes through the transport's
+        ``match_recv``.
         """
         self._check_tag(tag)
         msg, st = self._transport.match_recv(

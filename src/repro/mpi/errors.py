@@ -52,3 +52,47 @@ class AbortError(VMpiError):
         super().__init__(
             f"virtual MPI job aborted (first failure on rank {origin_rank})"
         )
+
+
+class RecvTimeoutError(VMpiError, TimeoutError):
+    """A receive exhausted its fault-plan retry budget on a dropped message.
+
+    Raised on the *receiving* rank when a message the transport knows
+    was dropped (fault injection) has timed out more times than the
+    plan's :class:`~repro.mpi.faults.RetryPolicy` allows; the runtime
+    then aborts every other live rank with :class:`AbortError`.  Never
+    raised without an active fault plan — organic stalls remain the
+    watchdog's :class:`DeadlockError`.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        src: int,
+        tag: int,
+        attempts: int,
+        waited_s: float,
+    ):
+        self.rank = rank
+        self.src = src
+        self.tag = tag
+        self.attempts = attempts
+        self.waited_s = waited_s
+        super().__init__(
+            f"rank {rank} recv from {src} (tag {tag}) timed out after "
+            f"{attempts} attempt(s), {waited_s:.6g}s simulated wait; "
+            f"retry budget exhausted"
+        )
+
+
+class InjectedAbortError(VMpiError):
+    """A scripted fatal fault (``RankFault(abort=True)``) fired on a rank."""
+
+    def __init__(self, rank: int, phase: str, occurrence: int):
+        self.rank = rank
+        self.phase = phase
+        self.occurrence = occurrence
+        super().__init__(
+            f"injected abort on rank {rank} at entry #{occurrence} "
+            f"of phase {phase!r}"
+        )

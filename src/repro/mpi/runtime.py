@@ -23,6 +23,7 @@ from typing import Any, Callable, Sequence
 from ..machine.model import MachineModel
 from .comm import Comm
 from .errors import AbortError, DeadlockError
+from .faults import FaultPlan
 from .transport import RankTrace, Transport
 
 #: Context id of the world communicator.
@@ -79,6 +80,7 @@ def run_spmd(
     machine: MachineModel | None = None,
     deadlock_timeout: float = 30.0,
     record_events: bool = False,
+    faults: FaultPlan | None = None,
 ) -> SpmdResult:
     """Run ``fn(comm, *args)`` on ``nprocs`` threaded ranks.
 
@@ -100,8 +102,17 @@ def run_spmd(
         Record per-rank simulated-time :class:`~repro.mpi.transport.Event`
         intervals (send/recv/wait/compute) on ``result.transport.events``
         for timeline rendering (:mod:`repro.analysis.timeline`).
+    faults:
+        Optional deterministic :class:`~repro.mpi.faults.FaultPlan` the
+        transport consults to perturb messages and ranks
+        (:mod:`repro.mpi.faults`).  A rank that exhausts its retry
+        budget (:class:`~repro.mpi.errors.RecvTimeoutError`) or hits a
+        scripted abort (:class:`~repro.mpi.errors.InjectedAbortError`)
+        fails the job exactly like an organic rank error: every live
+        rank is woken with :class:`~repro.mpi.errors.AbortError` and the
+        typed original is re-raised (chained) on the driver thread.
     """
-    transport = Transport(nprocs, machine, record_events=record_events)
+    transport = Transport(nprocs, machine, record_events=record_events, faults=faults)
     results: list[Any] = [None] * nprocs
     errors: list[tuple[int, BaseException, str]] = []
     err_lock = threading.Lock()

@@ -10,9 +10,20 @@ shared object they communicate through.  It provides:
   completes at ``max(receiver_clock, arrival)``),
 * per-rank, per-phase traffic counters (bytes/messages sent and received,
   simulated time) used to reproduce the paper's communication-volume and
-  runtime-breakdown results from *executed* traffic, and
+  runtime-breakdown results from *executed* traffic,
 * the progress counter that the runtime watchdog uses for deadlock
-  detection.
+  detection, and
+* an optional deterministic fault-injection layer
+  (:mod:`repro.mpi.faults`): a :class:`~repro.mpi.faults.FaultPlan`
+  consulted at every ``post_send`` (latency inflation, jitter, bounded
+  reordering, drop-with-resend), phase entry (stalls, scripted aborts),
+  and compute advance (slowdown factors), with receive-side
+  timeout/retry/backoff semantics so a dropped message surfaces as a
+  typed retry — or, when the budget is exhausted, a
+  :class:`~repro.mpi.errors.RecvTimeoutError` — instead of a silent
+  hang.  Injected intervals are tagged ``injected=True`` on their
+  events so the critical-path analyzer can tell injected waits from
+  organic ones.
 
 A single coarse lock protects all state; with the GIL and the heavy
 lifting done inside numpy, finer locking buys nothing.
@@ -20,6 +31,7 @@ lifting done inside numpy, finer locking buys nothing.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
@@ -28,7 +40,8 @@ from typing import Any
 from ..machine.model import MachineModel
 from ..obs.tracer import CAT_PHASE, Tracer
 from .datatypes import ANY_SOURCE, ANY_TAG, Message, Status
-from .errors import AbortError
+from .errors import AbortError, InjectedAbortError, RecvTimeoutError
+from .faults import FaultPlan
 
 #: Phase label used when no explicit phase is active.
 DEFAULT_PHASE = "other"
@@ -72,6 +85,9 @@ class RankState:
     phase_span_stack: list[int] = field(default_factory=list)  #: tracer span ids
     phases: dict[str, PhaseStats] = field(default_factory=dict)
     waiting_on: str | None = None  #: populated while blocked (watchdog info)
+    retries: int = 0  #: retransmits requested for dropped messages
+    timeouts: int = 0  #: recv timeouts charged (== retries unless fatal)
+    injected_wait_s: float = 0.0  #: simulated time added by injected faults
 
     @property
     def phase(self) -> str:
@@ -108,6 +124,7 @@ class Event:
     nbytes: int = 0
     peer: int = -1
     seq: int = -1
+    injected: bool = False  #: interval caused/extended by fault injection
 
     @property
     def duration(self) -> float:
@@ -133,6 +150,7 @@ class MsgRecord:
     tag: int
     ctx: int
     phase: str  #: the sender's active phase at post time
+    injected: bool = False  #: flight perturbed (delayed/dropped) by a fault
 
     @property
     def flight(self) -> float:
@@ -151,6 +169,19 @@ class RankTrace:
     msgs_recv: int
     peak_live_bytes: int
     phases: dict[str, PhaseStats]
+    retries: int = 0  #: fault-injection retransmits this rank requested
+    timeouts: int = 0  #: fault-injection recv timeouts this rank charged
+    injected_wait_s: float = 0.0  #: simulated seconds added by injected faults
+
+
+@dataclass
+class _Dropped:
+    """A message lost on the wire, awaiting receiver-driven retransmits."""
+
+    msg: Message
+    flight: float  #: perturbed one-transmission flight time
+    drops: int  #: transmissions that must be lost before one succeeds
+    attempts: int = 0  #: retransmit requests made by the receiver so far
 
 
 class Transport:
@@ -161,12 +192,14 @@ class Transport:
         nprocs: int,
         machine: MachineModel | None = None,
         record_events: bool = False,
+        faults: FaultPlan | None = None,
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         self.nprocs = nprocs
         self.machine = machine or MachineModel()
         self.record_events = record_events
+        self.faults = faults
         self.events: list[Event] = []
         #: per-message records (by list index == seq - 1) when recording.
         self.msglog: list[MsgRecord] = []
@@ -176,6 +209,12 @@ class Transport:
         self._cond = threading.Condition(self._lock)
         # mailbox[(ctx, dst_world)] -> list of pending Message in seq order
         self._mail: dict[tuple[int, int], list[Message]] = defaultdict(list)
+        # dropped[(ctx, dst_world)] -> messages lost on the wire (faults)
+        self._dropped: dict[tuple[int, int], list[_Dropped]] = defaultdict(list)
+        # per-(rule, src, dst) matched-message counters (fault decisions)
+        self._fault_hits: dict[tuple[int, int, int], int] = {}
+        # per-(rule,) phase-entry counters for rank faults
+        self._rankfault_hits: dict[int, int] = {}
         self._seq = 0
         self.ranks = [RankState() for _ in range(nprocs)]
         #: bumped on every delivery/removal; the watchdog samples it.
@@ -232,8 +271,20 @@ class Transport:
         nbytes: int = 0,
         peer: int = -1,
         seq: int = -1,
+        injected: bool = False,
     ) -> None:
         st = self.ranks[world_rank]
+        if (
+            kind == "compute"
+            and self.faults is not None
+            and self.faults.has_compute_faults
+        ):
+            factor = self.faults.compute_factor(world_rank, st.phase)
+            if factor != 1.0:
+                slowed = dt * factor
+                st.injected_wait_s += slowed - dt
+                dt = slowed
+                injected = True
         t0 = st.clock
         st.clock += dt
         ps = st.phase_stats()
@@ -253,6 +304,7 @@ class Transport:
                     nbytes=nbytes,
                     peer=peer,
                     seq=seq,
+                    injected=injected,
                 )
             )
 
@@ -277,6 +329,7 @@ class Transport:
         nbytes: int = 0,
         peer: int = -1,
         seq: int = -1,
+        injected: bool = False,
     ) -> None:
         """Move a rank's clock up to ``t`` (waiting time counts as comm)."""
         st = self.ranks[world_rank]
@@ -298,6 +351,7 @@ class Transport:
                         nbytes=nbytes,
                         peer=peer,
                         seq=seq,
+                        injected=injected,
                     )
                 )
 
@@ -305,10 +359,33 @@ class Transport:
     def push_phase(self, world_rank: int, name: str, attrs: dict | None = None) -> None:
         with self._lock:
             self.ranks[world_rank].phase_stack.append(name)
+            if self.faults is not None:
+                self._apply_rank_faults_locked(world_rank, name)
         if self.tracer.enabled:
             sid = self.begin_span(world_rank, name, cat=CAT_PHASE, attrs=attrs)
             with self._lock:
                 self.ranks[world_rank].phase_span_stack.append(sid)
+
+    def _apply_rank_faults_locked(self, world_rank: int, name: str) -> None:
+        """Fire matching :class:`~repro.mpi.faults.RankFault` rules on
+        phase entry (stall windows and scripted aborts; slowdown factors
+        are applied per compute advance in :meth:`_advance_locked`)."""
+        for idx, rule in enumerate(self.faults.ranks):
+            if not rule.matches_phase(world_rank, name):
+                continue
+            count = self._rankfault_hits.get(idx, 0) + 1
+            self._rankfault_hits[idx] = count
+            if not rule.triggers(world_rank, name, count):
+                continue
+            if rule.stall_s > 0.0:
+                st = self.ranks[world_rank]
+                st.injected_wait_s += rule.stall_s
+                self._advance_locked(
+                    world_rank, rule.stall_s, "comm",
+                    event_kind="wait", injected=True,
+                )
+            if rule.abort:
+                raise InjectedAbortError(world_rank, name, count)
 
     def pop_phase(self, world_rank: int) -> str:
         with self._lock:
@@ -399,6 +476,12 @@ class Transport:
         with self._cond:
             self._check_abort()
             st = self.ranks[src_world]
+            drops = 0
+            injected = False
+            if self.faults is not None:
+                t_msg, drops, injected = self._perturb_flight_locked(
+                    src_world, dst_world, st.phase, t_msg
+                )
             t_post = st.clock
             arrival = t_post + t_msg
             self._seq += 1
@@ -415,12 +498,14 @@ class Transport:
                         tag=tag,
                         ctx=ctx,
                         phase=st.phase,
+                        injected=injected,
                     )
                 )
             if advance_sender:
                 self._advance_locked(
                     src_world, t_msg, "comm",
                     event_kind="send", nbytes=nbytes, peer=dst_world, seq=seq,
+                    injected=injected,
                 )
             ps = st.phase_stats()
             ps.bytes_sent += nbytes
@@ -438,10 +523,44 @@ class Transport:
                 arrival=arrival,
                 seq=seq,
             )
-            self._mail[(ctx, dst_world)].append(msg)
+            if drops > 0:
+                # Lost on the wire: held until the receiver times out and
+                # requests retransmits (see match_recv).  The sender is
+                # oblivious — its clock and counters were charged as usual.
+                self._dropped[(ctx, dst_world)].append(
+                    _Dropped(msg=msg, flight=t_msg, drops=drops)
+                )
+            else:
+                self._mail[(ctx, dst_world)].append(msg)
             self.progress += 1
             self._cond.notify_all()
         return arrival, seq
+
+    def _perturb_flight_locked(
+        self, src_world: int, dst_world: int, phase: str, t_msg: float
+    ) -> tuple[float, int, bool]:
+        """Apply matching link-fault rules to one posted message.
+
+        Returns ``(perturbed_flight, drops, injected)``.  Factors from
+        multiple matching rules multiply, extra delays add, and drop
+        counts take the max.  Per-(rule, link) hit counters make every
+        decision reproducible (one sender thread per link).
+        """
+        extra = 0.0
+        factor = 1.0
+        drops = 0
+        for idx, rule in self.faults.link_rules(src_world, dst_world, phase):
+            key = (idx, src_world, dst_world)
+            hit = self._fault_hits.get(key, 0)
+            self._fault_hits[key] = hit + 1
+            dec = rule.decide(
+                self.faults.seed, idx, src_world, dst_world, hit, t_msg
+            )
+            extra += dec.extra_s
+            factor *= dec.latency_factor
+            drops = max(drops, dec.drops)
+        injected = extra > 0.0 or factor != 1.0 or drops > 0
+        return t_msg * factor + extra, drops, injected
 
     def msg_record(self, seq: int) -> MsgRecord | None:
         """The :class:`MsgRecord` for a message seq (None when unknown)."""
@@ -458,15 +577,96 @@ class Transport:
             return False
         return True
 
-    def _find_locked(self, ctx: int, dst_world: int, src_world: int, tag: int) -> Message | None:
+    def _find_locked(
+        self,
+        ctx: int,
+        dst_world: int,
+        src_world: int,
+        tag: int,
+        before_seq: int | None = None,
+    ) -> Message | None:
+        """Pop the first matching mailbox message.
+
+        ``before_seq`` caps matching at messages posted before that
+        transport seq — used under fault injection so a held dropped
+        message is never overtaken by a later one it should precede.
+        """
         box = self._mail.get((ctx, dst_world))
         if not box:
             return None
         for i, msg in enumerate(box):
+            if before_seq is not None and msg.seq >= before_seq:
+                continue
             if self._matches(msg, src_world, tag):
                 box.pop(i)
                 return msg
         return None
+
+    def _find_dropped_locked(
+        self, ctx: int, dst_world: int, src_world: int, tag: int
+    ) -> _Dropped | None:
+        """The lowest-seq held dropped message this receive would match."""
+        held = self._dropped.get((ctx, dst_world))
+        if not held:
+            return None
+        best: _Dropped | None = None
+        for d in held:
+            if self._matches(d.msg, src_world, tag) and (
+                best is None or d.msg.seq < best.msg.seq
+            ):
+                best = d
+        return best
+
+    def _timeout_retry_locked(self, ctx: int, dst_world: int, d: _Dropped) -> None:
+        """Charge one recv timeout against the held dropped message ``d``
+        and either request a retransmit or raise :class:`RecvTimeoutError`.
+
+        The timeout is a *simulated-time* construct: it fires as soon as
+        the transport can prove the awaited message was dropped, and the
+        wait it models (``timeout_s * backoff**(n-1)``) is charged to
+        the receiver's simulated clock as an ``injected=True`` wait.
+        """
+        st = self.ranks[dst_world]
+        policy = self.faults.retry
+        d.attempts += 1
+        wait_s = policy.nth_timeout_s(d.attempts)
+        st.timeouts += 1
+        st.injected_wait_s += wait_s
+        self._advance_locked(
+            dst_world, wait_s, "comm",
+            event_kind="wait", peer=d.msg.src_world, seq=d.msg.seq,
+            injected=True,
+        )
+        self.progress += 1
+        if d.attempts > policy.max_retries:
+            waited = sum(policy.nth_timeout_s(i) for i in range(1, d.attempts + 1))
+            raise RecvTimeoutError(
+                dst_world, d.msg.src_world, d.msg.tag, d.attempts, waited
+            )
+        st.retries += 1
+        if d.attempts >= d.drops:
+            # Retransmit succeeds: receiver-driven resend arrives one
+            # flight after the request.  The msglog record is replaced
+            # in place (index == seq - 1 invariant) so the critical-path
+            # walk sees the true arrival.
+            self._dropped[(ctx, dst_world)].remove(d)
+            msg = d.msg
+            msg.arrival = st.clock + d.flight
+            # Re-insert in seq order: later same-(src, tag) messages may
+            # already sit in the mailbox, and matching pops in list order,
+            # so an append here would let them overtake the retransmit.
+            box = self._mail[(ctx, dst_world)]
+            i = len(box)
+            while i > 0 and box[i - 1].seq > msg.seq:
+                i -= 1
+            box.insert(i, msg)
+            if self.record_events:
+                i = msg.seq - 1
+                if 0 <= i < len(self.msglog) and self.msglog[i].seq == msg.seq:
+                    self.msglog[i] = dataclasses.replace(
+                        self.msglog[i], arrival=msg.arrival, injected=True
+                    )
+            self._cond.notify_all()
 
     def match_recv(
         self,
@@ -481,6 +681,12 @@ class Transport:
         On return the receiver's simulated clock has been raised to the
         message arrival time (if ``advance_receiver``), and the
         receive-side counters are charged.
+
+        Under a fault plan, a receive whose matching message was
+        *dropped* times out per the plan's
+        :class:`~repro.mpi.faults.RetryPolicy`: each timeout charges a
+        simulated backoff wait and requests a retransmit; exhausting the
+        budget raises :class:`~repro.mpi.errors.RecvTimeoutError`.
         """
         with self._cond:
             waitdesc = f"recv(src={src_world}, tag={tag}, ctx={ctx})"
@@ -489,9 +695,23 @@ class Transport:
             try:
                 while True:
                     self._check_abort()
-                    msg = self._find_locked(ctx, dst_world, src_world, tag)
+                    # Non-overtaking: a held dropped message must not be
+                    # overtaken by a later message on the same pair, so
+                    # mailbox matching is capped at the dropped seq.
+                    d = (
+                        self._find_dropped_locked(ctx, dst_world, src_world, tag)
+                        if self.faults is not None
+                        else None
+                    )
+                    msg = self._find_locked(
+                        ctx, dst_world, src_world, tag,
+                        before_seq=d.msg.seq if d is not None else None,
+                    )
                     if msg is not None:
                         break
+                    if d is not None:
+                        self._timeout_retry_locked(ctx, dst_world, d)
+                        continue
                     self._cond.wait(timeout=0.5)
                 self.progress += 1
                 if advance_receiver:
@@ -511,11 +731,24 @@ class Transport:
                 st.waiting_on = None
 
     def probe(self, ctx: int, dst_world: int, src_world: int, tag: int) -> Status | None:
-        """Nonblocking probe: status of the first matching message, if any."""
+        """Nonblocking probe: status of the first matching message, if any.
+
+        A held dropped message (fault injection) caps what the probe may
+        report, mirroring :meth:`match_recv`: a later message that the
+        drop should precede is invisible until the retransmit lands.
+        """
         with self._lock:
+            d = (
+                self._find_dropped_locked(ctx, dst_world, src_world, tag)
+                if self.faults is not None
+                else None
+            )
+            before_seq = d.msg.seq if d is not None else None
             box = self._mail.get((ctx, dst_world))
             if box:
                 for msg in box:
+                    if before_seq is not None and msg.seq >= before_seq:
+                        continue
                     if self._matches(msg, src_world, tag):
                         return Status(source=msg.src_world, tag=msg.tag, nbytes=msg.nbytes)
             return None
@@ -533,6 +766,9 @@ class Transport:
                 msgs_recv=st.msgs_recv,
                 peak_live_bytes=st.peak_live_bytes,
                 phases={k: v.merged(PhaseStats()) for k, v in st.phases.items()},
+                retries=st.retries,
+                timeouts=st.timeouts,
+                injected_wait_s=st.injected_wait_s,
             )
 
     def traces(self) -> list[RankTrace]:

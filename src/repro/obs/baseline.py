@@ -85,6 +85,15 @@ BASELINE_JSON_SCHEMA: dict[str, Any] = {
         },
         "critical_rank": {"type": "integer", "minimum": 0},
         "path_segments": {"type": "integer", "minimum": 0},
+        "faults": {
+            "type": "object",
+            "properties": {
+                "total_retries": {"type": "integer", "minimum": 0},
+                "total_timeouts": {"type": "integer", "minimum": 0},
+                "injected_wait_s": {"type": "number", "minimum": 0},
+                "injected_critical_s": {"type": "number", "minimum": 0},
+            },
+        },
     },
 }
 
@@ -212,6 +221,18 @@ def capture_baseline(
         "critical_rank": report.path.final_rank,
         "path_segments": len(report.path.segments),
     }
+    retries = sum(t.retries for t in result.traces)
+    timeouts = sum(t.timeouts for t in result.traces)
+    injected_wait = sum(t.injected_wait_s for t in result.traces)
+    if retries or timeouts or injected_wait or report.path.injected_s:
+        # Only faulted runs carry the block, so organic baselines stay
+        # byte-identical to pre-fault-layer captures.
+        doc["faults"] = {
+            "total_retries": retries,
+            "total_timeouts": timeouts,
+            "injected_wait_s": injected_wait,
+            "injected_critical_s": report.path.injected_s,
+        }
     validate_baseline_json(doc)
     return doc
 

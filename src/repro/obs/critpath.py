@@ -77,6 +77,7 @@ class PathSegment:
     peer: int = -1
     nbytes: int = 0
     seq: int = -1
+    injected: bool = False  #: interval caused/extended by fault injection
 
     @property
     def duration(self) -> float:
@@ -93,6 +94,7 @@ class PathSegment:
             "peer": self.peer,
             "nbytes": self.nbytes,
             "seq": self.seq,
+            "injected": self.injected,
         }
 
 
@@ -109,6 +111,11 @@ class CriticalPath:
     def total(self) -> float:
         """Chain length in seconds (== makespan when ``complete``)."""
         return sum(s.duration for s in self.segments)
+
+    @property
+    def injected_s(self) -> float:
+        """Chain seconds on segments tagged ``injected`` (fault layer)."""
+        return sum(s.duration for s in self.segments if s.injected)
 
     @property
     def ranks(self) -> list[int]:
@@ -311,6 +318,7 @@ def critical_path(result: "SpmdResult") -> CriticalPath:
                     peer=e.rank,
                     nbytes=e.nbytes,
                     seq=e.seq,
+                    injected=e.injected or msg.injected,
                 )
             )
             rank, t = msg.src, msg.t_post
@@ -327,6 +335,7 @@ def critical_path(result: "SpmdResult") -> CriticalPath:
                     peer=e.peer,
                     nbytes=e.nbytes,
                     seq=e.seq,
+                    injected=e.injected or msg.injected,
                 )
             )
             t = msg.t_post
@@ -341,6 +350,7 @@ def critical_path(result: "SpmdResult") -> CriticalPath:
                     peer=e.peer,
                     nbytes=e.nbytes,
                     seq=e.seq,
+                    injected=e.injected,
                 )
             )
             t = e.t0
@@ -515,9 +525,11 @@ CRITPATH_JSON_SCHEMA: dict[str, Any] = {
                     "peer": {"type": "integer"},
                     "nbytes": {"type": "integer", "minimum": 0},
                     "seq": {"type": "integer"},
+                    "injected": {"type": "boolean"},
                 },
             },
         },
+        "injected_critical_s": {"type": "number", "minimum": 0},
         "phase_blame": {
             "type": "object",
             "additionalProperties": {
@@ -563,6 +575,7 @@ class CritPathReport:
             "critical_rank": self.path.final_rank,
             "complete": self.path.complete,
             "path_total_s": self.path.total,
+            "injected_critical_s": self.path.injected_s,
             "path": [s.to_dict() for s in self.path.segments],
             "phase_blame": {p: b.to_dict() for p, b in self.blame.items()},
             "rank_decomposition": {
@@ -586,6 +599,12 @@ class CritPathReport:
             f"ends on rank {p.final_rank}",
             f"  chain visits {len(p.ranks)} of {self.nprocs} rank(s)",
         ]
+        if p.injected_s > 0.0:
+            lines.append(
+                f"  injected faults hold {p.injected_s * 1e3:.6f} ms of the "
+                f"chain ({100 * p.injected_s / max(p.makespan, 1e-300):.1f}% "
+                f"of makespan; segments marked '!')"
+            )
         if self.blame:
             lines.append("  phase blame (critical | elapsed | share):")
             for b in sorted(
@@ -622,6 +641,7 @@ class CritPathReport:
                 lines.append(
                     f"    [{s.t0 * 1e3:10.6f}, {s.t1 * 1e3:10.6f}] ms "
                     f"{s.kind:<7} r{arrow:<7} {s.phase}"
+                    f"{'  !injected' if s.injected else ''}"
                 )
         return "\n".join(lines)
 

@@ -167,6 +167,9 @@ class RunMetrics:
     peak_live_words: float
     cannon_overlap_ratio: float | None  #: None when no cannon phase ran
     k_group_imbalance: float | None  #: None without a plan / single group
+    total_retries: int = 0  #: fault-injection retransmits across ranks
+    total_timeouts: int = 0  #: fault-injection recv timeouts across ranks
+    injected_wait_s: float = 0.0  #: simulated seconds added by injected faults
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -177,6 +180,9 @@ class RunMetrics:
             "peak_live_words": self.peak_live_words,
             "cannon_overlap_ratio": self.cannon_overlap_ratio,
             "k_group_imbalance": self.k_group_imbalance,
+            "total_retries": self.total_retries,
+            "total_timeouts": self.total_timeouts,
+            "injected_wait_s": self.injected_wait_s,
             "registry": self.registry.to_dict(),
         }
 
@@ -267,6 +273,10 @@ def snapshot_run(
     for trace in result.traces:
         reg.gauge("rank_clock_s", rank=trace.rank).set(trace.time)
         reg.gauge("peak_live_bytes", rank=trace.rank).set(trace.peak_live_bytes)
+        if trace.retries or trace.timeouts or trace.injected_wait_s:
+            reg.counter("fault_retries", rank=trace.rank).inc(trace.retries)
+            reg.counter("fault_timeouts", rank=trace.rank).inc(trace.timeouts)
+            reg.gauge("injected_wait_s", rank=trace.rank).set(trace.injected_wait_s)
 
     overlap = _overlap_ratio(result)
     imbalance = _k_group_imbalance(result, plan)
@@ -285,6 +295,9 @@ def snapshot_run(
         / ITEM,
         cannon_overlap_ratio=overlap,
         k_group_imbalance=imbalance,
+        total_retries=sum(t.retries for t in result.traces),
+        total_timeouts=sum(t.timeouts for t in result.traces),
+        injected_wait_s=sum(t.injected_wait_s for t in result.traces),
     )
 
 
@@ -305,6 +318,13 @@ def format_metrics(metrics: RunMetrics) -> str:
     if metrics.k_group_imbalance is not None:
         lines.append(
             f"  k-group imbalance   : {100 * metrics.k_group_imbalance:.1f} %"
+        )
+    if metrics.total_retries or metrics.total_timeouts:
+        lines.append(
+            f"  injected faults     : {metrics.total_retries} retr"
+            f"{'y' if metrics.total_retries == 1 else 'ies'}, "
+            f"{metrics.total_timeouts} timeout(s), "
+            f"{metrics.injected_wait_s * 1e3:.3f} ms injected wait"
         )
     shift = metrics.registry.histogram("cannon_shift_seconds")
     if shift.count:

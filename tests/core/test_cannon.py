@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.cannon import cannon_multiply
 from repro.layout.blocks import block_range
-from repro.mpi import Cart2D
+from repro.mpi import Cart2D, run_spmd
 
 
 def _run_cannon(spmd, s, m, n, k, shifts_per_gemm=1, dtype=np.float64):
@@ -109,3 +109,49 @@ class TestTraffic:
         # rank-dependent skew skips; the max must be exactly 2*s blocks of traffic
         # minus the (u=0 / v=0) skips, so between 2(s-1) and 2s blocks.
         assert 2 * (s - 1) * blk <= res.max_bytes_sent <= 2 * s * blk
+
+
+class TestEmptyStripMetrics:
+    """A flushed strip with zero inner width must not tick the GEMM
+    clock: in GPU mode a k == 0 tick still stages the m x n result over
+    PCIe, charging phantom compute time (regression)."""
+
+    def _compute_time(self, res):
+        m = res.metrics
+        total = 0.0
+        for row in m.registry.to_dict()["gauges"]:
+            if row["name"] == "phase_compute_time_s":
+                total += row["value"]
+        return total
+
+    def test_k_smaller_than_grid_charges_one_gemm_per_rank(self, spmd):
+        """k=1 on a 2x2 grid: every rank sees one real and one empty
+        strip; compute time must match exactly one GEMM per rank."""
+        from repro.machine.model import pace_phoenix_gpu
+
+        s, m, n, k = 2, 8, 6, 1
+        machine = pace_phoenix_gpu()
+        res = _run_cannon(lambda np_, f: run_spmd(np_, f, machine=machine),
+                          s, m, n, k)
+        mloc, nloc = m // s, n // s
+        expected = machine.gemm_time(
+            mloc, nloc, 1, stage_bytes=(mloc * 1 + 1 * nloc + mloc * nloc) * 8
+        )
+        got = self._compute_time(res)
+        assert got == pytest.approx(s * s * expected), (
+            f"phantom GEMM tick charged: {got} != {s * s * expected}"
+        )
+
+    def test_zero_k_block_charges_no_compute(self, spmd):
+        """s=1 with an empty inner dimension: no tick at all."""
+
+        def f(comm):
+            cart = Cart2D(comm, 1, 1)
+            c = cannon_multiply(cart, np.zeros((4, 0)), np.zeros((0, 3)))
+            return c.shape
+
+        from repro.machine.model import pace_phoenix_gpu
+
+        res = run_spmd(1, f, machine=pace_phoenix_gpu())
+        assert res.results == [(4, 3)]
+        assert self._compute_time(res) == 0.0

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.core.reduce_c import reduce_partial_c, split_block
 from repro.core.replicate import replicate_block
@@ -110,3 +111,51 @@ class TestReplicateBlock:
         for total, last in res.results:
             assert total == 1 + 2 + 3
             assert last == 2.0
+
+
+class TestSplitBlockRoundTrip:
+    """The strips must tile [0, extent) exactly — a gap or overlap would
+    silently corrupt the reduce-scatter (regression guard)."""
+
+    @pytest.mark.parametrize("extent", [1, 2, 3, 7, 16])
+    @pytest.mark.parametrize("parts", [1, 2, 3, 5, 8, 11])
+    @pytest.mark.parametrize("by_cols", [True, False])
+    def test_reassembles_exactly(self, extent, parts, by_cols):
+        shape = (3, extent) if by_cols else (extent, 3)
+        c = np.arange(float(np.prod(shape))).reshape(shape)
+        strips = split_block(c, parts, by_cols=by_cols)
+        assert len(strips) == parts
+        stack = np.hstack if by_cols else np.vstack
+        assert np.array_equal(stack(strips), c)
+
+    def test_parts_exceeding_extent_yields_empty_strips(self):
+        c = np.ones((2, 3))
+        strips = split_block(c, 7, by_cols=True)
+        assert len(strips) == 7
+        assert sum(s.shape[1] for s in strips) == 3
+        assert sum(1 for s in strips if s.shape[1] == 0) == 4
+
+    def test_zero_extent_block(self):
+        strips = split_block(np.ones((4, 0)), 3, by_cols=True)
+        assert [s.shape for s in strips] == [(4, 0)] * 3
+
+    def test_invalid_parts_rejected(self):
+        with pytest.raises(ValueError, match="parts >= 1"):
+            split_block(np.ones((2, 2)), 0, by_cols=True)
+
+    def test_reduce_scatter_with_more_ranks_than_extent(self, spmd):
+        """pk > block extent: the extra ranks get empty strips but the
+        sum still lands correctly in the owned ones."""
+
+        def f(comm):
+            c_loc = np.full((2, 3), float(comm.rank + 1))
+            strip = reduce_partial_c(comm, c_loc, by_cols=True)
+            return strip.shape, strip.sum()
+
+        res = spmd(5, f)
+        total = float(sum(range(1, 6)))
+        shapes = [s for s, _ in res.results]
+        assert sum(w for _, w in shapes) == 3
+        for (rows, w), tot in res.results:
+            assert rows == 2
+            assert tot == pytest.approx(total * 2 * w)

@@ -119,3 +119,91 @@ class TestFig2Bench:
         r = fig2_partitions()
         assert "Fig 2a" in r.text and "Fig 2b" in r.text
         assert r.data["ex2"].pk == 4
+
+
+class TestPdgemmValidation:
+    def test_conflicting_c_and_c_dist_rejected(self, spmd):
+        def f(comm):
+            a = DistMatrix.random(comm, BlockCol1D((8, 8), comm.size), seed=0)
+            b = DistMatrix.random(comm, BlockCol1D((8, 8), comm.size), seed=1)
+            c0 = DistMatrix.random(comm, BlockCol1D((8, 8), comm.size), seed=2)
+            try:
+                pdgemm("N", "N", 1.0, a, b, beta=1.0, c=c0,
+                       c_dist=BlockCyclic2D((8, 8), comm.size, 2, 2, bs=2))
+                return False
+            except ValueError as e:
+                return "conflict" in str(e)
+
+        assert all(spmd(4, f).results)
+
+    def test_matching_c_dist_is_allowed(self, spmd):
+        def f(comm):
+            dist = BlockCol1D((8, 8), comm.size)
+            a = DistMatrix.random(comm, BlockCol1D((8, 8), comm.size), seed=0)
+            b = DistMatrix.random(comm, BlockCol1D((8, 8), comm.size), seed=1)
+            c0 = DistMatrix.random(comm, dist, seed=2)
+            c = pdgemm("N", "N", 1.0, a, b, beta=1.0, c=c0, c_dist=dist)
+            return c.dist == dist
+
+        assert all(spmd(4, f).results)
+
+    @pytest.mark.parametrize("alpha,beta", [
+        (float("nan"), 0.0),
+        (1.0, float("nan")),
+        (complex(float("nan"), 0.0), 0.0),
+    ])
+    def test_nan_scalars_rejected(self, spmd, alpha, beta):
+        def f(comm):
+            a = DistMatrix.random(comm, BlockCol1D((6, 6), comm.size), seed=0)
+            b = DistMatrix.random(comm, BlockCol1D((6, 6), comm.size), seed=1)
+            c0 = DistMatrix.random(comm, BlockCol1D((6, 6), comm.size), seed=2)
+            try:
+                pdgemm("N", "N", alpha, a, b, beta=beta, c=c0)
+                return False
+            except ValueError as e:
+                return "NaN" in str(e)
+
+        assert all(spmd(2, f, args=()).results)
+
+
+class TestPdgemmConjTranspose:
+    """'C' op codes through the facade with complex128, checked against
+    the dense reference on more than one process grid."""
+
+    @pytest.mark.parametrize("nprocs", [4, 6])
+    @pytest.mark.parametrize("ta,tb", [("C", "N"), ("N", "C"), ("C", "C")])
+    def test_conj_transpose_vs_dense(self, spmd, nprocs, ta, tb):
+        m, n, k = 10, 8, 12
+        a_shape = (k, m) if ta == "C" else (m, k)
+        b_shape = (n, k) if tb == "C" else (k, n)
+
+        def op(mat, code):
+            return mat.conj().T if code == "C" else mat
+
+        def f(comm):
+            a_mat = dense_random(*a_shape, seed=4, dtype=np.complex128)
+            b_mat = dense_random(*b_shape, seed=5, dtype=np.complex128)
+            a = DistMatrix.from_global(comm, BlockCol1D(a_shape, comm.size), a_mat)
+            b = DistMatrix.from_global(comm, BlockCol1D(b_shape, comm.size), b_mat)
+            c = pdgemm(ta, tb, 1.0 + 0.5j, a, b)
+            ref = (1.0 + 0.5j) * (op(a_mat, ta) @ op(b_mat, tb))
+            return bool(np.allclose(c.to_global(), ref, atol=1e-10))
+
+        assert all(spmd(nprocs, f).results)
+
+    def test_conj_beta_accumulate(self, spmd):
+        """beta-accumulation keeps the conjugated product exact."""
+        m, n, k = 8, 6, 10
+
+        def f(comm):
+            a_mat = dense_random(k, m, seed=1, dtype=np.complex128)
+            b_mat = dense_random(k, n, seed=2, dtype=np.complex128)
+            c_mat = dense_random(m, n, seed=3, dtype=np.complex128)
+            a = DistMatrix.from_global(comm, BlockCol1D((k, m), comm.size), a_mat)
+            b = DistMatrix.from_global(comm, BlockCol1D((k, n), comm.size), b_mat)
+            c0 = DistMatrix.from_global(comm, BlockCol1D((m, n), comm.size), c_mat)
+            c = pdgemm("C", "N", 2.0, a, b, beta=-1.0j, c=c0)
+            ref = 2.0 * (a_mat.conj().T @ b_mat) - 1.0j * c_mat
+            return bool(np.allclose(c.to_global(), ref, atol=1e-10))
+
+        assert all(spmd(4, f).results)

@@ -178,3 +178,57 @@ class TestCtfGrid:
     def test_tiny_world(self):
         g = ctf_grid(8, 8, 8, 1)
         assert (g.pm, g.pn, g.pk) == (1, 1, 1)
+
+
+class TestPrimeProcessCounts:
+    """Prime worlds admit only 1 x 1 x P-style factorizations; the
+    search must still return a valid (near-1D) grid without tripping
+    GridSpec validation, and the idle-rank accounting must add up."""
+
+    PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31]
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_valid_grid_every_prime(self, p):
+        g = ca3dmm_grid(96, 96, 96, p)
+        assert isinstance(g, GridSpec)
+        assert g.nprocs == p
+        assert 1 <= g.used <= p
+        assert g.used + g.idle == p
+        assert g.idle >= 0
+        assert g.cannon_compatible
+        # the divisibility constraint (eq. 7) must hold: c is derivable
+        assert g.c >= 1
+
+    @pytest.mark.parametrize("p", [7, 13, 31])
+    @pytest.mark.parametrize("dims", [(512, 8, 8), (8, 512, 8), (8, 8, 512)])
+    def test_skewed_shapes_go_near_1d(self, p, dims):
+        """One long dimension: the chosen grid puts its parallelism
+        there (possibly using all p ranks, since 1D grids always
+        divide)."""
+        g = ca3dmm_grid(*dims, p)
+        long_axis = max(range(3), key=lambda i: dims[i])
+        parts = (g.pm, g.pn, g.pk)
+        assert parts[long_axis] == max(parts)
+        assert g.used + g.idle == p
+
+    def test_prime_grid_runs_end_to_end(self):
+        """An actual multiply on a prime world: idle ranks participate
+        in redistribution only, and the answer is still exact."""
+        import numpy as np
+
+        from repro.core import ca3dmm_matmul
+        from repro.layout import BlockCol1D, DistMatrix, dense_random
+        from repro.machine.model import laptop
+        from repro.mpi import run_spmd
+
+        m, n, k, p = 12, 10, 14, 5
+
+        def f(comm):
+            a_mat = dense_random(m, k, seed=1)
+            b_mat = dense_random(k, n, seed=2)
+            a = DistMatrix.from_global(comm, BlockCol1D((m, k), comm.size), a_mat)
+            b = DistMatrix.from_global(comm, BlockCol1D((k, n), comm.size), b_mat)
+            c = ca3dmm_matmul(a, b).to_global()
+            return bool(np.allclose(c, a_mat @ b_mat, atol=1e-10))
+
+        assert all(run_spmd(p, f, machine=laptop()).results)

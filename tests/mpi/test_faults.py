@@ -1,0 +1,248 @@
+"""Deterministic fault injection: plans, perturbation, retry, abort.
+
+The acceptance story (ISSUE): a seeded plan that drops a Cannon shift
+message must leave the run bit-correct with at least one retry counted
+in ``SpmdResult.metrics`` and an ``injected`` segment on the critical
+path; with retries disabled the same plan must abort every rank with a
+typed error instead of hanging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ca3dmm_matmul
+from repro.layout import BlockCol1D, DistMatrix, dense_random
+from repro.machine.model import laptop
+from repro.mpi import (
+    FaultPlan,
+    InjectedAbortError,
+    LinkFault,
+    RankFault,
+    RecvTimeoutError,
+    RetryPolicy,
+    run_spmd,
+)
+from repro.mpi.faults import validate_fault_plan
+from repro.obs.critpath import critical_path
+
+M, N, K, P = 24, 20, 28, 8
+
+
+def _matmul(comm):
+    a_mat = dense_random(M, K, seed=7)
+    b_mat = dense_random(K, N, seed=8)
+    a = DistMatrix.from_global(comm, BlockCol1D((M, K), comm.size), a_mat)
+    b = DistMatrix.from_global(comm, BlockCol1D((K, N), comm.size), b_mat)
+    c = ca3dmm_matmul(a, b)
+    c_full = c.to_global()
+    return c_full if comm.rank == 0 else None
+
+
+def _run(faults=None, nprocs=P, fn=_matmul, record_events=True):
+    return run_spmd(
+        nprocs, fn, machine=laptop(), record_events=record_events, faults=faults
+    )
+
+
+# --------------------------------------------------------------- plans -- #
+class TestFaultPlanSerialization:
+    def _plan(self):
+        return FaultPlan(
+            seed=42,
+            links=(
+                LinkFault(src=1, dst=2, phase="cannon", drop_at=(0, 3),
+                          latency_factor=2.0, jitter_s=1e-6),
+                LinkFault(drop_every=5, reorder_window=2, drop_prob=0.1,
+                          drop_repeat=2),
+            ),
+            ranks=(
+                RankFault(rank=3, phase="reduce", stall_s=1e-3),
+                RankFault(rank=0, slowdown=1.5, occurrence=0),
+            ),
+            retry=RetryPolicy(timeout_s=5e-4, max_retries=4, backoff=1.5),
+        )
+
+    def test_dict_round_trip(self):
+        plan = self._plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_round_trip(self):
+        plan = self._plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_save_load(self, tmp_path):
+        plan = self._plan()
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+
+    def test_schema_validates(self):
+        validate_fault_plan(self._plan().to_dict())
+
+    def test_schema_rejects_junk(self):
+        with pytest.raises(Exception):
+            validate_fault_plan({"schema_version": 1, "links": [{"drop_at": "x"}]})
+
+    def test_decisions_are_pure(self):
+        rule = LinkFault(jitter_s=1e-6, drop_prob=0.5, reorder_window=3)
+        a = rule.decide(seed=9, salt=0, src=1, dst=2, hit=4, flight_s=1e-5)
+        b = rule.decide(seed=9, salt=0, src=1, dst=2, hit=4, flight_s=1e-5)
+        assert a == b
+        assert rule.decide(seed=10, salt=0, src=1, dst=2, hit=4, flight_s=1e-5) != a
+
+    def test_retry_backoff_schedule(self):
+        pol = RetryPolicy(timeout_s=1e-3, max_retries=3, backoff=2.0)
+        assert pol.nth_timeout_s(1) == pytest.approx(1e-3)
+        assert pol.nth_timeout_s(3) == pytest.approx(4e-3)
+
+
+# ---------------------------------------------------- drop/retry story -- #
+class TestDropRetryAcceptance:
+    """The ISSUE's acceptance criteria, end to end."""
+
+    PLAN = FaultPlan(seed=1, links=(LinkFault(phase="cannon", drop_at=(0,)),))
+
+    def test_dropped_shift_is_bit_correct_with_retries(self):
+        clean = _run()
+        faulted = _run(faults=self.PLAN)
+        assert np.array_equal(clean.results[0], faulted.results[0])
+        m = faulted.metrics
+        assert m.total_retries >= 1
+        assert m.total_timeouts >= 1
+        assert m.injected_wait_s > 0.0
+        assert faulted.time > clean.time
+
+    def test_critpath_attributes_injected_wait(self):
+        faulted = _run(faults=self.PLAN)
+        path = critical_path(faulted)
+        assert path.complete
+        assert path.injected_s > 0.0
+        assert any(seg.injected for seg in path.segments)
+
+    def test_clean_run_counters_stay_zero(self):
+        clean = _run()
+        m = clean.metrics
+        assert (m.total_retries, m.total_timeouts, m.injected_wait_s) == (0, 0, 0.0)
+
+    def test_retries_disabled_aborts_typed_not_hang(self):
+        plan = FaultPlan(
+            seed=1,
+            links=(LinkFault(phase="cannon", drop_at=(0,)),),
+            retry=RetryPolicy(timeout_s=1e-4, max_retries=0),
+        )
+        with pytest.raises(RuntimeError) as ei:
+            _run(faults=plan)
+        assert isinstance(ei.value.__cause__, RecvTimeoutError)
+        cause = ei.value.__cause__
+        assert cause.attempts == 1
+        assert cause.waited_s > 0.0
+
+    def test_deterministic_replay(self):
+        runs = [_run(faults=self.PLAN) for _ in range(2)]
+        assert np.array_equal(runs[0].results[0], runs[1].results[0])
+        assert runs[0].time == runs[1].time
+        assert runs[0].metrics.total_retries == runs[1].metrics.total_retries
+        assert runs[0].metrics.injected_wait_s == pytest.approx(
+            runs[1].metrics.injected_wait_s
+        )
+
+
+# ----------------------------------------------- ordering regressions -- #
+class TestDropOrdering:
+    """Dropped messages must not be overtaken by later same-(src, tag)
+    traffic — collectives reuse tags and rely on FIFO matching."""
+
+    WILD = FaultPlan(seed=42, links=(LinkFault(drop_at=(0,), jitter_s=1e-6),))
+
+    @pytest.mark.parametrize("attempt", range(3))
+    def test_allgather_order_survives_first_message_drop(self, attempt):
+        res = _run(faults=self.WILD, nprocs=6,
+                   fn=lambda comm: comm.allgather(comm.rank),
+                   record_events=False)
+        assert all(r == list(range(6)) for r in res.results)
+
+    @pytest.mark.parametrize("attempt", range(3))
+    def test_split_membership_survives_first_message_drop(self, attempt):
+        def f(comm):
+            sub = comm.split(comm.rank % 2, comm.rank)
+            return (sub.size, sub.rank)
+
+        res = _run(faults=self.WILD, nprocs=8, fn=f, record_events=False)
+        assert res.results == [(4, r // 2) for r in range(8)]
+
+    def test_full_pipeline_under_wildcard_drop(self):
+        clean = _run()
+        faulted = _run(faults=self.WILD)
+        assert np.array_equal(clean.results[0], faulted.results[0])
+        assert faulted.metrics.total_retries >= 1
+
+    def test_burst_drop_needs_multiple_retries(self):
+        plan = FaultPlan(
+            seed=3,
+            links=(LinkFault(src=1, dst=0, drop_at=(0,), drop_repeat=3),),
+        )
+
+        def f(comm):
+            if comm.rank == 1:
+                comm.send(b"x" * 64, 0, tag=5)
+            elif comm.rank == 0:
+                comm.recv(source=1, tag=5)
+
+        res = _run(faults=plan, nprocs=2, fn=f, record_events=False)
+        assert res.traces[0].retries >= 3
+
+
+# ----------------------------------------------------------- rank faults -- #
+class TestRankFaults:
+    def test_stall_charges_injected_wait(self):
+        plan = FaultPlan(seed=0, ranks=(RankFault(rank=2, phase="cannon",
+                                                  stall_s=2e-3),))
+        clean = _run()
+        faulted = _run(faults=plan)
+        assert np.array_equal(clean.results[0], faulted.results[0])
+        assert faulted.traces[2].injected_wait_s >= 2e-3
+        assert faulted.time > clean.time
+
+    def test_slowdown_stretches_compute(self):
+        plan = FaultPlan(
+            seed=0,
+            ranks=tuple(
+                RankFault(rank=r, slowdown=4.0, occurrence=0) for r in range(P)
+            ),
+        )
+        clean = _run()
+        faulted = _run(faults=plan)
+        assert np.array_equal(clean.results[0], faulted.results[0])
+        assert faulted.time > clean.time
+        assert faulted.metrics.injected_wait_s > 0.0
+
+    def test_scripted_abort_is_typed(self):
+        plan = FaultPlan(seed=0, ranks=(RankFault(rank=1, phase="cannon",
+                                                  abort=True),))
+        with pytest.raises(RuntimeError) as ei:
+            _run(faults=plan)
+        cause = ei.value.__cause__
+        assert isinstance(cause, InjectedAbortError)
+        assert cause.rank == 1
+        assert cause.phase == "cannon"
+
+
+# ------------------------------------------------------------- latency -- #
+class TestLatencyPerturbation:
+    def test_latency_factor_slows_without_breaking(self):
+        plan = FaultPlan(seed=0, links=(LinkFault(latency_factor=10.0),))
+        clean = _run()
+        faulted = _run(faults=plan)
+        assert np.array_equal(clean.results[0], faulted.results[0])
+        assert faulted.time > clean.time
+
+    def test_jitter_is_seed_deterministic(self):
+        def mk(seed):
+            return FaultPlan(seed=seed, links=(LinkFault(jitter_s=1e-5),))
+
+        t1 = _run(faults=mk(7)).time
+        t2 = _run(faults=mk(7)).time
+        t3 = _run(faults=mk(8)).time
+        assert t1 == t2
+        assert t1 != t3
