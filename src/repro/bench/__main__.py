@@ -24,6 +24,7 @@ from .harness import (
     fig4_hybrid,
     fig5_breakdown,
     l_sweep,
+    recovery_cost,
     table1_memory,
     table2_grids,
     table3_gpu,
@@ -67,6 +68,13 @@ def main(argv: list[str] | None = None) -> int:
              "the degradation (makespan delta, retries, injected "
              "critical-path share)",
     )
+    ap.add_argument(
+        "--kill-rank", metavar="R", type=int, default=None,
+        help="also execute each figure's stand-in workload with rank R "
+             "permanently killed mid-Cannon and print the recovery "
+             "overhead (ULFM-style shrink-replan recovery, see "
+             "docs/RECOVERY.md)",
+    )
     args = ap.parse_args(argv)
 
     plan = None
@@ -98,6 +106,9 @@ def main(argv: list[str] | None = None) -> int:
             print()
         if plan is not None:
             print(fault_degradation(name, plan).text)
+            print()
+        if args.kill_rank is not None:
+            print(recovery_cost(name, args.kill_rank).text)
             print()
     return rc
 

@@ -130,6 +130,77 @@ def fault_degradation(
     return BenchResult(f"faults_{name}", text, data)
 
 
+def recovery_cost(
+    name: str,
+    kill_rank: int = 1,
+    machine: MachineModel | None = None,
+) -> BenchResult:
+    """Recovery overhead: a workload clean vs surviving a rank kill.
+
+    Runs the stand-in workload for ``name`` twice through
+    :func:`~repro.ft.resilient_multiply` — once clean, once with
+    ``kill_rank`` permanently killed at its first Cannon entry — and
+    reports the makespan cost of the shrink-replan-redistribute
+    recovery plus a correctness check of the recovered C.  Used by
+    ``python -m repro.bench --kill-rank``.
+    """
+    import numpy as np
+
+    from ..core.plan import Ca3dmmPlan
+    from ..ft import resilient_multiply
+    from ..layout import DistMatrix, dense_random
+    from ..mpi import run_spmd
+    from ..mpi.faults import FaultPlan, RankFault
+
+    m, n, k, p = TRACE_WORKLOADS[name]
+    if not 0 <= kill_rank < p:
+        raise ValueError(f"kill_rank {kill_rank} outside world [0, {p})")
+    plan = Ca3dmmPlan(m, n, k, p)
+    fault = FaultPlan(
+        seed=0,
+        ranks=(RankFault(rank=kill_rank, phase="cannon", occurrence=1,
+                         kill=True),),
+    )
+
+    def f(comm):
+        a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 0))
+        b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 1))
+        c = resilient_multiply(comm, a, b, max_recoveries=2)
+        return c.to_global()
+
+    mach = machine or pace_phoenix_cpu("mpi")
+    clean = run_spmd(p, f, machine=mach, record_events=True)
+    faulted = run_spmd(p, f, machine=mach, record_events=True, faults=fault)
+    got = next(r for r in faulted.results if r is not None)
+    ref = dense_random(m, k, 0) @ dense_random(k, n, 1)
+    tol = 1e-9 * max(1.0, float(np.abs(ref).max()))
+    correct = bool(float(np.abs(got - ref).max()) <= tol)
+    fm = faulted.metrics
+    delta = faulted.time - clean.time
+    data = {
+        "kill_rank": kill_rank,
+        "clean_makespan_s": clean.time,
+        "faulted_makespan_s": faulted.time,
+        "delta_s": delta,
+        "slowdown": faulted.time / clean.time if clean.time else float("inf"),
+        "recoveries": fm.recoveries,
+        "failed_ranks": faulted.failed_ranks,
+        "survivors": p - len(faulted.failed_ranks),
+        "correct": correct,
+    }
+    text = "\n".join([
+        f"recovery cost — {name} (kill rank {kill_rank} mid-Cannon)",
+        f"  clean makespan   : {clean.time * 1e3:.6f} ms",
+        f"  faulted makespan : {faulted.time * 1e3:.6f} ms "
+        f"({data['slowdown']:.3f}x, +{delta * 1e3:.6f} ms)",
+        f"  recoveries       : {fm.recoveries} "
+        f"({data['survivors']}/{p} ranks survive)",
+        f"  recovered C      : "
+        f"{'correct' if correct else 'WRONG'} (tol {tol:.3e})",
+    ])
+    return BenchResult(f"recovery_{name}", text, data)
+
+
 def trace_artifact(
     name: str,
     outdir: str | Path,

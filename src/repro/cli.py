@@ -14,13 +14,14 @@ same report structure: the partition info block, per-phase timings over
 schema-validated JSON document (``repro.obs.export.RUN_JSON_SCHEMA``)
 for scripting.
 
-Five observability subcommands front the :mod:`repro.obs` subsystem::
+Six observability subcommands front the :mod:`repro.obs` subsystem::
 
     python -m repro.cli trace 64 64 64 -np 8 -o run.trace.json
     python -m repro.cli stats 64 64 64 -np 8 --json
     python -m repro.cli critpath 64 64 64 -np 8 --timeline
     python -m repro.cli perfdiff --baseline-dir benchmarks/baselines
     python -m repro.cli faults 64 64 64 -np 8 --plan drop.json
+    python -m repro.cli recover 64 64 64 -np 8 --kill-rank 3 --corrupt
 
 ``trace`` executes one multiplication with event recording and exports a
 Chrome-trace/Perfetto JSON (plus an optional JSONL structured log);
@@ -32,7 +33,10 @@ perf baselines, exiting nonzero on a regression (the CI perf gate);
 ``faults`` runs the same workload clean and under a deterministic fault
 plan (:mod:`repro.mpi.faults`, see ``docs/FAULTS.md``) and reports the
 makespan delta, retry counters, result correctness, and the critical-path
-chain through the injected fault.
+chain through the injected fault; ``recover`` demonstrates the
+fault-*tolerance* layer (:mod:`repro.ft`, see ``docs/RECOVERY.md``):
+ULFM-style rank-failure recovery and/or ABFT corruption protection,
+exiting nonzero unless the faulted run recovers a correct result.
 
 Run as ``python -m repro.cli ...`` or via the ``ca3dmm-example``
 console script.
@@ -533,6 +537,159 @@ def _faults_main(argv: list[str]) -> int:
     return 0 if ok else 1
 
 
+def _recover_main(argv: list[str]) -> int:
+    from .ft import resilient_multiply
+    from .mpi.faults import FaultPlan, LinkFault, RankFault
+
+    ap = _obs_parser(
+        "recover",
+        "Execute one CA3DMM multiplication under rank kills and/or payload "
+        "corruption and demonstrate the fault-tolerance layer: ULFM-style "
+        "shrink-replan-redistribute recovery and ABFT checksum "
+        "detect-and-recompute (docs/RECOVERY.md)",
+    )
+    ap.add_argument("--plan", default=None, metavar="FILE",
+                    help="fault-plan JSON; default: a demo plan built from "
+                         "--kill-rank / --corrupt")
+    ap.add_argument("--kill-rank", type=int, default=None, metavar="R",
+                    help="permanently kill rank R at its first Cannon entry "
+                         "(default demo when neither --corrupt nor --plan "
+                         "is given: rank 1)")
+    ap.add_argument("--corrupt", action="store_true",
+                    help="corrupt the first Cannon-phase message on every "
+                         "link (caught by ABFT)")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="seed for the demo plan (ignored with --plan)")
+    ap.add_argument("--max-recoveries", type=int, default=2,
+                    help="shrink-replan rounds allowed before giving up")
+    ap.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    ap.add_argument("--timeline", action="store_true",
+                    help="also render the faulted run's timeline")
+    args = ap.parse_args(argv)
+    machine, grid = _obs_common(args)
+    m, n, k, p = args.M, args.N, args.K, args.nprocs
+
+    if args.plan:
+        fault_plan = FaultPlan.load(args.plan)
+    else:
+        kill = args.kill_rank
+        if kill is None and not args.corrupt:
+            kill = 1 if p > 1 else None
+        ranks = ()
+        if kill is not None:
+            if not 0 <= kill < p:
+                print(f"--kill-rank must be in [0, {p})", file=sys.stderr)
+                return 2
+            ranks = (RankFault(rank=kill, phase="cannon", occurrence=1,
+                               kill=True),)
+        links = (LinkFault(phase="cannon", corrupt_at=(0,)),) if args.corrupt else ()
+        fault_plan = FaultPlan(seed=args.seed, ranks=ranks, links=links)
+
+    kills = any(r.kill for r in fault_plan.ranks)
+    corrupts = any(r.corrupt_at or r.corrupt_prob for r in fault_plan.links)
+    abft = corrupts  # checksum protection on whenever corruption is scripted
+
+    def f(comm):
+        a = DistMatrix.from_global(
+            comm, BlockCol1D((m, k), comm.size), dense_random(m, k, seed=7)
+        )
+        b = DistMatrix.from_global(
+            comm, BlockCol1D((k, n), comm.size), dense_random(k, n, seed=8)
+        )
+        c = resilient_multiply(
+            comm, a, b,
+            c_dist=lambda cm: BlockCol1D((m, n), cm.size),
+            grid=grid, abft=abft, max_recoveries=args.max_recoveries,
+        )
+        return c.to_global()
+
+    clean = run_spmd(p, f, machine=machine, record_events=True)
+    try:
+        faulted = run_spmd(
+            p, f, machine=machine, record_events=True, faults=fault_plan
+        )
+    except RuntimeError as exc:
+        print(f"recovery failed: {exc.__cause__ or exc}", file=sys.stderr)
+        return 1
+
+    got = next((r for r in faulted.results if r is not None), None)
+    if got is None:
+        print("recovery failed: no surviving rank returned a result",
+              file=sys.stderr)
+        return 1
+    ref = dense_random(m, k, seed=7) @ dense_random(k, n, seed=8)
+    scale = max(1.0, float(np.abs(ref).max()))
+    max_err = float(np.abs(got - ref).max())
+    numeric_ok = max_err <= 1e-9 * scale
+    # Corruption-only runs re-execute the identical schedule, so the
+    # recovered C must match the clean run bit for bit.  A rank loss
+    # re-plans the grid for P' ranks (different summation order), so
+    # there only the numeric check applies.
+    bit_identical = None
+    if corrupts and not kills:
+        bit_identical = all(
+            np.array_equal(x, y)
+            for x, y in zip(faulted.results, clean.results)
+        )
+    fm = faulted.metrics
+    ok = numeric_ok
+    if kills:
+        ok = ok and fm.recoveries >= 1 and bool(faulted.failed_ranks)
+    if corrupts and not kills:
+        # With kills in the same plan, detection may legitimately stay
+        # zero: a corrupted attempt can be discarded wholesale by the
+        # rank-failure recovery before its checksums are ever read.
+        ok = ok and fm.corruptions_detected >= 1
+    if bit_identical is not None:
+        ok = ok and bit_identical
+
+    if args.json:
+        doc = {
+            "schema_version": 1,
+            "problem": {"m": m, "n": n, "k": k, "nprocs": p},
+            "plan": fault_plan.to_dict(),
+            "abft": abft,
+            "max_recoveries": args.max_recoveries,
+            "clean_makespan_s": clean.time,
+            "faulted_makespan_s": faulted.time,
+            "failed_ranks": faulted.failed_ranks,
+            "recoveries": fm.recoveries,
+            "corruptions_injected": fm.corruptions_injected,
+            "corruptions_detected": fm.corruptions_detected,
+            "recomputed_flops": fm.recomputed_flops,
+            "max_abs_error": max_err,
+            "tolerance": 1e-9 * scale,
+            "bit_identical_to_clean": bit_identical,
+            "correct": ok,
+        }
+        print(json.dumps(doc, indent=2))
+        return 0 if ok else 1
+
+    print(f"fault plan        : "
+          f"{args.plan or 'demo'} seed={fault_plan.seed} "
+          f"({len(fault_plan.ranks)} rank rule(s), "
+          f"{len(fault_plan.links)} link rule(s), abft={'on' if abft else 'off'})")
+    print(f"clean makespan    : {clean.time * 1e3:.6f} ms")
+    print(f"faulted makespan  : {faulted.time * 1e3:.6f} ms "
+          f"(+{(faulted.time - clean.time) * 1e3:.6f} ms)")
+    print(f"failed ranks      : {faulted.failed_ranks or 'none'}")
+    print(f"recoveries        : {fm.recoveries}")
+    print(f"corruption (ABFT) : {fm.corruptions_injected} injected, "
+          f"{fm.corruptions_detected} detected, "
+          f"{fm.recomputed_flops:.0f} flops recomputed")
+    print(f"max |C - ref|     : {max_err:.3e} (tol {1e-9 * scale:.3e})")
+    if bit_identical is not None:
+        print(f"vs clean run      : "
+              f"{'bit-identical' if bit_identical else 'MISMATCH'}")
+    print(f"result            : {'recovered OK' if ok else 'FAILED'}")
+    if args.timeline:
+        from .analysis.timeline import render_timeline
+
+        print()
+        print(render_timeline(faulted, highlight_critical=True))
+    return 0 if ok else 1
+
+
 def _stats_main(argv: list[str]) -> int:
     ap = _obs_parser(
         "stats", "Execute one CA3DMM multiplication and print its metrics"
@@ -560,6 +717,7 @@ _SUBCOMMANDS = {
     "critpath": _critpath_main,
     "perfdiff": _perfdiff_main,
     "faults": _faults_main,
+    "recover": _recover_main,
 }
 
 

@@ -70,6 +70,7 @@ class Ca3dmm:
         l: float = DEFAULT_L,
         shifts_per_gemm: int = 1,
         memory_limit_words: float | None = None,
+        abft=None,
     ):
         self.comm = comm
         self.plan = Ca3dmmPlan(
@@ -77,6 +78,14 @@ class Ca3dmm:
             memory_limit_words=memory_limit_words,
         )
         self.shifts_per_gemm = shifts_per_gemm
+        # ABFT: checksum-protect the Cannon stage (docs/RECOVERY.md).
+        # ``True`` means the default policy; an AbftPolicy tunes it.
+        if abft:
+            from ..ft.abft import AbftPolicy  # deferred: repro.ft imports us
+
+            self.abft = AbftPolicy() if abft is True else abft
+        else:
+            self.abft = None
         colors = self.plan.split_colors(comm.rank)
         # One split per subgroup kind; idle ranks pass color None and
         # receive no subcommunicator (they only join redistribution).
@@ -182,21 +191,44 @@ class Ca3dmm:
             )
             comm.note_live_bytes(peak)
 
-            # Step 6: Cannon's algorithm inside the s x s group.
+            # Step 6: Cannon's algorithm inside the s x s group.  With
+            # ABFT on, the unskewed blocks get Huang-Abraham checksum
+            # borders first; the kernel itself is unchanged and the
+            # bordered result is verified (and recomputed if corrupted)
+            # before the reduce-scatter strips it.
+            a_run = a_piece.astype(out_dtype, copy=False)
+            b_run = b_piece.astype(out_dtype, copy=False)
+            guard = None
             with comm.phase("cannon", s=plan.s,
-                            shifts_per_gemm=self.shifts_per_gemm):
+                            shifts_per_gemm=self.shifts_per_gemm,
+                            abft=self.abft is not None):
                 cart = Cart2D(self.cannon_comm, plan.s, plan.s)
+                if self.abft is not None:
+                    from ..ft.abft import AbftGuard, augment_a, augment_b
+
+                    a_run = augment_a(a_run)
+                    b_run = augment_b(b_run)
+                    k0, k1 = plan.k_range(role.ik)
+                    guard = AbftGuard(
+                        comm=comm,
+                        group_comm=self.cannon_comm,
+                        policy=self.abft,
+                        recompute=lambda: cannon_multiply(
+                            cart, a_run, b_run,
+                            shifts_per_gemm=self.shifts_per_gemm,
+                        ),
+                        flops=2.0 * a_run.shape[0] * b_run.shape[1] * (k1 - k0),
+                    )
                 c_loc = cannon_multiply(
-                    cart,
-                    a_piece.astype(out_dtype, copy=False),
-                    b_piece.astype(out_dtype, copy=False),
+                    cart, a_run, b_run,
                     shifts_per_gemm=self.shifts_per_gemm,
                 )
 
             # Step 7: reduce-scatter partial C blocks across k-groups.
             with comm.phase("reduce", pk=plan.pk):
                 by_cols = plan.c_split_cols(role.i, role.j)
-                strip = reduce_partial_c(self.kred_comm, c_loc, by_cols)
+                strip = reduce_partial_c(self.kred_comm, c_loc, by_cols,
+                                         abft=guard)
 
             rect = plan.c_owned(comm.rank)
             if rect is None or rect.is_empty():

@@ -31,6 +31,7 @@ def pdgemm(
     c: DistMatrix | None = None,
     c_dist: Distribution | None = None,
     engine: Ca3dmm | None = None,
+    abft=None,
 ) -> DistMatrix:
     """``C = alpha * op(A) op(B) + beta * C`` in the caller's layouts.
 
@@ -38,6 +39,9 @@ def pdgemm(
     distribution defines the output layout; otherwise ``c_dist`` (or the
     library-native layout if neither is given).  ``engine`` may carry a
     pre-planned :class:`Ca3dmm` for repeated same-shape calls.
+    ``abft`` (True or an :class:`~repro.ft.abft.AbftPolicy`) turns on
+    checksum protection of the Cannon stage when no pre-planned engine
+    is given.
     """
     ta, _ = _norm_op(transa)
     tb, _ = _norm_op(transb)
@@ -59,7 +63,7 @@ def pdgemm(
             "the output layout; drop c_dist or pass one equal to c.dist"
         )
     out_dist = c.dist if c is not None else c_dist
-    eng = engine if engine is not None else Ca3dmm(a.comm, m, n, k)
+    eng = engine if engine is not None else Ca3dmm(a.comm, m, n, k, abft=abft)
     if (eng.plan.m, eng.plan.n, eng.plan.k) != (m, n, k):
         raise ValueError(
             f"engine planned for {(eng.plan.m, eng.plan.n, eng.plan.k)}, "

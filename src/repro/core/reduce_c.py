@@ -13,10 +13,15 @@ the pairwise-exchange reduce-scatter formula.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..layout.blocks import block_range
 from ..mpi.comm import Comm
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..ft.abft import AbftGuard
 
 
 def split_block(c_loc: np.ndarray, parts: int, by_cols: bool) -> list[np.ndarray]:
@@ -50,13 +55,25 @@ def split_block(c_loc: np.ndarray, parts: int, by_cols: bool) -> list[np.ndarray
     return out
 
 
-def reduce_partial_c(kred_comm: Comm, c_loc: np.ndarray, by_cols: bool) -> np.ndarray:
+def reduce_partial_c(
+    kred_comm: Comm,
+    c_loc: np.ndarray,
+    by_cols: bool,
+    abft: "AbftGuard | None" = None,
+) -> np.ndarray:
     """Reduce-scatter this rank's partial C block; return its final strip.
 
     ``kred_comm`` orders its ``pk`` members by k-group index, so rank
     ``ik`` receives strip ``ik`` — matching
     :meth:`~repro.core.plan.Ca3dmmPlan.c_owned`.
+
+    With an :class:`~repro.ft.abft.AbftGuard`, ``c_loc`` is the
+    checksum-bordered Cannon result: it is verified — and the Cannon
+    stage recomputed if corrupted — before the borders are stripped, so
+    only clean partial blocks ever enter the reduce-scatter.
     """
+    if abft is not None:
+        c_loc = abft.verified(c_loc)
     if kred_comm.size == 1:
         return c_loc
     strips = split_block(c_loc, kred_comm.size, by_cols)

@@ -1,0 +1,29 @@
+"""Fault tolerance for CA3DMM on the virtual MPI runtime.
+
+Two protection paths over the deterministic fault injector
+(:mod:`repro.mpi.faults`), documented in ``docs/RECOVERY.md``:
+
+* **rank-failure recovery** — :func:`resilient_multiply` wraps the
+  engine in a ULFM-style revoke/agree/shrink loop with buddy-backed
+  input redistribution and grid re-planning for the survivor count;
+* **ABFT** — :class:`AbftPolicy`/:class:`AbftGuard` carry
+  Huang-Abraham checksum borders through the Cannon stage so corrupted
+  partial-C blocks are detected, located, and recomputed
+  (:mod:`repro.ft.abft`).
+"""
+
+from .abft import AbftGuard, AbftPolicy, augment_a, augment_b, block_checksum_errors
+from .errors import CorruptionError, FtError, UnrecoverableError
+from .recovery import resilient_multiply
+
+__all__ = [
+    "AbftGuard",
+    "AbftPolicy",
+    "augment_a",
+    "augment_b",
+    "block_checksum_errors",
+    "CorruptionError",
+    "FtError",
+    "UnrecoverableError",
+    "resilient_multiply",
+]

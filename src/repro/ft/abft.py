@@ -1,0 +1,156 @@
+"""Huang-Abraham checksums for the Cannon stage (ABFT).
+
+Algorithm-based fault tolerance protects the numerically dominant step
+of CA3DMM — Cannon's algorithm — against silent payload corruption
+(the ``corrupt`` link rules of :mod:`repro.mpi.faults`, or a flaky
+interconnect in the real world).  Each rank augments its unskewed
+operand blocks before the skew:
+
+* A gets a *checksum row* appended: ``[A; 1ᵀA]`` — shape ``(r+1, k)``,
+* B gets a *checksum column* appended: ``[B, B·1]`` — shape ``(k, c+1)``.
+
+Augmentation is linear and per-block, so it commutes with everything
+Cannon does: blocks in one grid row keep a consistent row count, blocks
+in one grid column a consistent column count, and the inner k-extents
+are unchanged.  The group then computes, with **no change to the Cannon
+kernel**,
+
+    Σ_t [A_t; 1ᵀA_t] [B_t, B_t·1]  =  [ C,   C·1 ]
+                                      [ 1ᵀC, 1ᵀC·1 ]
+
+i.e. the partial C block bordered by its own row/column/total
+checksums.  :func:`block_checksum_errors` recomputes the borders from
+the body and flags rows/columns whose sums disagree — locating the
+corruption.  A corrupted *message* poisons a full row (A payload) or
+column (B payload) of C, which is beyond single-element correction, so
+the response is collective: every rank of the Cannon group re-runs the
+stage from its retained unskewed blocks (:class:`AbftGuard`), bounded
+by :class:`AbftPolicy.max_recomputes`.  One-shot ``corrupt_at`` hits
+are consumed by the first (corrupted) pass, so the re-run is clean and
+the final C is bit-identical to an unfaulted run.
+
+The detection vote is an ``allreduce(MAX)`` of a Python int — a pickled
+payload the corruption machinery never touches (it flips elements of
+*array* payloads only), so the agreement itself is trustworthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..mpi.comm import Comm
+from ..mpi.datatypes import MAX
+from .errors import CorruptionError
+
+
+@dataclass(frozen=True)
+class AbftPolicy:
+    """Tolerance and budget of the checksum verification."""
+
+    #: Checksum residuals above ``rel_tol * max(1, |C_f|_max)`` count as
+    #: corruption.  Injected flips change an element by ``1 + |v|``,
+    #: orders of magnitude above float64 summation roundoff.
+    rel_tol: float = 1e-8
+    #: Cannon-stage recomputations allowed before :class:`CorruptionError`.
+    max_recomputes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.rel_tol <= 0:
+            raise ValueError("rel_tol must be > 0")
+        if self.max_recomputes < 0:
+            raise ValueError("max_recomputes must be >= 0")
+
+
+def augment_a(a: np.ndarray) -> np.ndarray:
+    """Append the checksum row: ``[A; 1ᵀA]``, shape ``(r+1, k)``."""
+    return np.vstack([a, a.sum(axis=0, keepdims=True)])
+
+
+def augment_b(b: np.ndarray) -> np.ndarray:
+    """Append the checksum column: ``[B, B·1]``, shape ``(k, c+1)``."""
+    return np.hstack([b, b.sum(axis=1, keepdims=True)])
+
+
+def block_checksum_errors(
+    c_f: np.ndarray, rel_tol: float
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Row/column indices of the body whose checksums disagree.
+
+    ``c_f`` is the bordered ``(r+1, c+1)`` block.  Returns
+    ``(bad_rows, bad_cols)``; both empty means the block verifies.  A
+    mismatch only in the corner total is reported as ``((-1,), (-1,))``
+    — it cannot be located further, but a recompute clears it.
+    """
+    body = c_f[:-1, :-1]
+    scale = float(np.abs(c_f).max()) if c_f.size else 0.0
+    tol = rel_tol * max(1.0, scale)
+    bad_cols = np.flatnonzero(np.abs(body.sum(axis=0) - c_f[-1, :-1]) > tol)
+    bad_rows = np.flatnonzero(np.abs(body.sum(axis=1) - c_f[:-1, -1]) > tol)
+    if not bad_rows.size and not bad_cols.size:
+        if abs(float(body.sum()) - float(c_f[-1, -1])) > tol:
+            return (-1,), (-1,)
+    return tuple(int(i) for i in bad_rows), tuple(int(i) for i in bad_cols)
+
+
+class AbftGuard:
+    """Verification/recompute driver for one rank's bordered C block.
+
+    Built by :class:`~repro.core.ca3dmm.Ca3dmm` when ABFT is on; handed
+    to :func:`~repro.core.reduce_c.reduce_partial_c`, which calls
+    :meth:`verified` before the reduce-scatter so only clean strips are
+    combined.
+    """
+
+    def __init__(
+        self,
+        comm: Comm,
+        group_comm: Comm | None,
+        policy: AbftPolicy,
+        recompute: Callable[[], np.ndarray],
+        flops: float,
+    ):
+        self.comm = comm  #: the world comm (spans, metrics)
+        self.group_comm = group_comm  #: the s x s Cannon group (the vote)
+        self.policy = policy
+        self.recompute = recompute  #: re-runs the Cannon stage, clean
+        self.flops = flops  #: local flops charged per recompute
+
+    def verified(self, c_f: np.ndarray) -> np.ndarray:
+        """Verify checksums; recompute until clean; return the stripped body.
+
+        Collective over the Cannon group: detection anywhere forces the
+        whole group back into the (communicating) Cannon stage, so the
+        re-run's shifts stay matched.  Raises :class:`CorruptionError`
+        when ``max_recomputes`` is exhausted.
+        """
+        rounds = 0
+        while True:
+            bad_rows, bad_cols = block_checksum_errors(c_f, self.policy.rel_tol)
+            bad = bool(bad_rows or bad_cols)
+            if bad:
+                self.comm.transport.add_ft(self.comm.world_rank, detected=1)
+            if self.group_comm is not None and self.group_comm.size > 1:
+                any_bad = self.group_comm.allreduce(int(bad), op=MAX)
+            else:
+                any_bad = int(bad)
+            if not any_bad:
+                return np.ascontiguousarray(c_f[:-1, :-1])
+            rounds += 1
+            if rounds > self.policy.max_recomputes:
+                raise CorruptionError(
+                    self.comm.world_rank, rounds - 1, bad_rows, bad_cols
+                )
+            with self.comm.span(
+                "abft_recompute",
+                cat="ft",
+                round=rounds,
+                bad_rows=len(bad_rows),
+                bad_cols=len(bad_cols),
+            ):
+                c_f = self.recompute()
+            self.comm.transport.add_ft(
+                self.comm.world_rank, recomputed_flops=self.flops
+            )

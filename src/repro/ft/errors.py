@@ -1,0 +1,48 @@
+"""Typed failures of the fault-tolerance layer.
+
+These are *application-level* errors: they propagate out of the rank
+function like any other exception (the runtime then aborts the world),
+but carry enough structure for tests and drivers to distinguish "the
+recovery budget ran out" from "the data could not be protected".
+"""
+
+from __future__ import annotations
+
+
+class FtError(Exception):
+    """Base class for fault-tolerance errors."""
+
+
+class UnrecoverableError(FtError):
+    """Recovery was attempted but cannot restore a correct computation.
+
+    Raised when the retry budget (``max_recoveries``) is exhausted, or
+    when the surviving ranks no longer hold (or back up) every piece of
+    the input operands — e.g. a rank *and* its backup buddy both died.
+    """
+
+    def __init__(self, reason: str, recoveries: int = 0):
+        self.reason = reason
+        self.recoveries = recoveries
+        super().__init__(
+            f"unrecoverable after {recoveries} recovery attempt(s): {reason}"
+        )
+
+
+class CorruptionError(FtError):
+    """ABFT detected corruption that recomputation could not clear.
+
+    Raised on the detecting rank when checksum verification still fails
+    after ``AbftPolicy.max_recomputes`` recomputations of the Cannon
+    stage (e.g. a ``corrupt_prob`` rule that keeps hitting).
+    """
+
+    def __init__(self, rank: int, recomputes: int, bad_rows=(), bad_cols=()):
+        self.rank = rank
+        self.recomputes = recomputes
+        self.bad_rows = tuple(int(i) for i in bad_rows)
+        self.bad_cols = tuple(int(i) for i in bad_cols)
+        super().__init__(
+            f"rank {rank}: checksum mismatch persists after {recomputes} "
+            f"recompute(s) (bad rows {self.bad_rows}, bad cols {self.bad_cols})"
+        )

@@ -1,0 +1,260 @@
+"""ULFM-style shrink-replan-redistribute recovery for CA3DMM.
+
+:func:`resilient_multiply` wraps the :class:`~repro.core.ca3dmm.Ca3dmm`
+engine in the classic ULFM recovery loop.  Before each attempt every
+rank backs up its input tiles to a *buddy* (the next rank around the
+ring), so the inputs survive any single failure — and any wider failure
+pattern that never takes out a rank and its buddy together.  Then:
+
+1. **run** — the attempt executes normally; a rank killed by a
+   ``RankFault(kill=True)`` rule dies silently, and the first survivor
+   to touch it gets :class:`~repro.mpi.errors.RankFailedError`
+   (``MPI_ERR_PROC_FAILED``).
+2. **revoke** — the detector revokes the world
+   (:meth:`~repro.mpi.comm.Comm.revoke`): every rank blocked in — or
+   about to enter — a communication call unblocks with
+   :class:`~repro.mpi.errors.CommRevokedError` (``MPI_ERR_REVOKED``),
+   so nobody is left stranded in a half-finished collective.
+3. **agree** — all survivors join :meth:`~repro.mpi.comm.Comm.agree`
+   (``MPIX_Comm_agree``) and learn a consistent verdict plus survivor
+   snapshot.  Success returns the result; failure proceeds to:
+4. **shrink + re-plan + redistribute** —
+   :meth:`~repro.mpi.comm.Comm.shrink` builds the survivor
+   communicator; the CA3DMM grid optimizer re-solves eq. (4)-(7) for
+   the new process count (the optimizer works for *any* P, which is
+   what makes this recovery style viable); and the surviving input
+   tiles — each dead rank's restored from its buddy — are re-expressed
+   as an :class:`~repro.layout.distributions.Explicit` layout over the
+   survivors.  The next attempt's engine redistributes them to its new
+   native layout through the ordinary machinery.
+
+The loop is bounded by ``max_recoveries``; exhausting it — or losing a
+rank together with its buddy — raises a typed
+:class:`~repro.ft.errors.UnrecoverableError`.
+
+Note the recovered C is produced by a *different* grid (P' ranks), so
+partial sums accumulate in a different order: the result matches the
+clean run to numerical roundoff, not bit-for-bit (the ABFT path, which
+re-runs the identical schedule, is bit-identical; see
+``docs/RECOVERY.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.ca3dmm import Ca3dmm, _norm_op
+from ..grid.optimizer import DEFAULT_L, GridSpec
+from ..layout.distributions import Distribution, Explicit
+from ..layout.matrix import DistMatrix
+from ..mpi.comm import Comm
+from ..mpi.datatypes import INTERNAL_TAG_BASE
+from ..mpi.errors import CommRevokedError, RankFailedError
+from .abft import AbftPolicy
+from .errors import FtError, UnrecoverableError
+
+_TAG_BACKUP = INTERNAL_TAG_BASE + 501
+
+
+def _exchange_backups(comm: Comm, mats: tuple[DistMatrix, ...]):
+    """Ring backup: my tiles go to rank+1; rank-1's tiles come to me.
+
+    Returns the left neighbour's ``[(rect, tile), ...]`` list per
+    matrix, or None on a single-rank communicator.
+    """
+    if comm.size == 1:
+        return None
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    payload = [list(zip(m.owned_rects, m.tiles)) for m in mats]
+    with comm.span("ft_backup", cat="ft"):
+        return comm.sendrecv(payload, right, left, _TAG_BACKUP, _TAG_BACKUP)
+
+
+def _survivor_layout(
+    old_dist: Distribution,
+    old_group: tuple[int, ...],
+    survivors: tuple[int, ...],
+    recoveries: int,
+) -> tuple[Explicit, dict[int, int], list[int]]:
+    """The post-shrink layout: every survivor derives it identically.
+
+    Returns ``(dist, buddy_of, dead)`` where ``dist`` maps new local
+    ranks to their old rects plus any dead left-neighbour's rects,
+    ``buddy_of`` maps each dead world rank to the world rank holding
+    its backup, and ``dead`` lists the casualties in old-rank order.
+    """
+    alive = set(survivors)
+    dead = [w for w in old_group if w not in alive]
+    w2old = {w: i for i, w in enumerate(old_group)}
+    size = len(old_group)
+    buddy_of: dict[int, int] = {}
+    for d in dead:
+        buddy = old_group[(w2old[d] + 1) % size]
+        if buddy not in alive:
+            raise UnrecoverableError(
+                f"rank {d} and its backup buddy {buddy} both failed",
+                recoveries=recoveries,
+            )
+        buddy_of[d] = buddy
+    mapping = {}
+    for new_local, w in enumerate(survivors):
+        rects = list(old_dist.owned_rects(w2old[w]))
+        for d in dead:
+            if buddy_of[d] == w:
+                rects.extend(old_dist.owned_rects(w2old[d]))
+        mapping[new_local] = rects
+    dist = Explicit.from_mapping(old_dist.shape, len(survivors), mapping)
+    return dist, buddy_of, dead
+
+
+def _recover_matrix(
+    new_comm: Comm,
+    old_mat: DistMatrix,
+    backup,
+    old_group: tuple[int, ...],
+    survivors: tuple[int, ...],
+    recoveries: int,
+) -> DistMatrix:
+    """Rebuild one input matrix over the shrunk communicator."""
+    dist, buddy_of, dead = _survivor_layout(
+        old_mat.dist, old_group, survivors, recoveries
+    )
+    me = new_comm.world_rank
+    tiles = list(old_mat.tiles)
+    for d in dead:
+        if buddy_of[d] != me:
+            continue
+        # d is my left neighbour on the old ring; the backup I hold is
+        # exactly its (rect, tile) list, already in rect order.
+        n_rects = len(old_mat.dist.owned_rects(old_group.index(d)))
+        if backup is None or len(backup) != n_rects:
+            raise UnrecoverableError(
+                f"backup for failed rank {d} is missing or incomplete "
+                f"(rank died before the backup exchange finished)",
+                recoveries=recoveries,
+            )
+        tiles.extend(tile for _rect, tile in backup)
+    return DistMatrix(new_comm, dist, tiles)
+
+
+def _resolve_c_dist(c_dist, comm: Comm):
+    if c_dist is None:
+        return None
+    if callable(c_dist):
+        return c_dist(comm)
+    if c_dist.nranks != comm.size:
+        raise FtError(
+            f"c_dist spans {c_dist.nranks} ranks but the communicator "
+            f"now has {comm.size}; pass a callable c_dist (comm -> "
+            f"Distribution) so the output layout can follow recovery"
+        )
+    return c_dist
+
+
+def resilient_multiply(
+    comm: Comm,
+    a: DistMatrix,
+    b: DistMatrix,
+    c_dist: Distribution | Callable[[Comm], Distribution] | None = None,
+    transa: bool | str = False,
+    transb: bool | str = False,
+    alpha: float = 1.0,
+    grid: GridSpec | None = None,
+    l: float = DEFAULT_L,
+    shifts_per_gemm: int = 1,
+    abft: bool | AbftPolicy = False,
+    max_recoveries: int = 1,
+) -> DistMatrix:
+    """``C = alpha * op(A) x op(B)``, surviving rank deaths and corruption.
+
+    Drop-in for the fault-free engines, with three differences:
+
+    * ``c_dist`` may be a *callable* ``comm -> Distribution`` so the
+      requested output layout can be rebuilt for the survivor count
+      (a plain Distribution works only while no rank dies).
+    * ``abft=True`` (or an :class:`AbftPolicy`) turns on checksum
+      protection of the Cannon stage.
+    * the returned matrix lives on the *final* communicator —
+      ``result.comm`` is the shrunk comm after any recovery, and killed
+      ranks never return at all.
+
+    ``max_recoveries`` bounds the shrink-replan-redistribute rounds;
+    one more failure raises :class:`UnrecoverableError` on every
+    survivor (aborting the world, as an unhandled error does).
+    """
+    transa, _ = _norm_op(transa)
+    transb, _ = _norm_op(transb)
+    am, an = a.shape
+    bm, bn = b.shape
+    m, k = (an, am) if transa else (am, an)
+    k2, n = (bn, bm) if transb else (bm, bn)
+    if k != k2:
+        raise ValueError(
+            f"inner dimensions differ: op(A) is {m}x{k}, op(B) is {k2}x{n}"
+        )
+    abft_policy: AbftPolicy | None
+    if abft is True:
+        abft_policy = AbftPolicy()
+    elif isinstance(abft, AbftPolicy):
+        abft_policy = abft
+    else:
+        abft_policy = None
+
+    cur_comm, cur_a, cur_b = comm, a, b
+    cur_grid = grid
+    recoveries = 0
+    while True:
+        backups = None
+        c: DistMatrix | None = None
+        ok = True
+        try:
+            # The ``ft_attempt`` phase is entered as the attempt's very
+            # first action — nothing before it can raise — so its entry
+            # count is a deterministic per-attempt anchor for
+            # ``RankFault`` rules (a kill keyed on it dies *before* the
+            # backup exchange, i.e. with its current tiles unprotected).
+            with cur_comm.phase("ft_attempt", attempt=recoveries + 1):
+                backups = _exchange_backups(cur_comm, (cur_a, cur_b))
+                engine = Ca3dmm(
+                    cur_comm, m, n, k,
+                    grid=cur_grid, l=l,
+                    shifts_per_gemm=shifts_per_gemm,
+                    abft=abft_policy,
+                )
+                c = engine.multiply(
+                    cur_a, cur_b,
+                    c_dist=_resolve_c_dist(c_dist, cur_comm),
+                    transa=transa, transb=transb, alpha=alpha,
+                )
+        except (RankFailedError, CommRevokedError):
+            cur_comm.revoke()
+            ok = False
+        all_ok, survivors = cur_comm.agree(ok)
+        if all_ok:
+            return c  # type: ignore[return-value]  (all voted ok => c is set)
+        recoveries += 1
+        cur_comm.transport.add_ft(cur_comm.world_rank, recoveries=1)
+        if recoveries > max_recoveries:
+            raise UnrecoverableError(
+                f"recovery budget max_recoveries={max_recoveries} exhausted",
+                recoveries=recoveries,
+            )
+        with cur_comm.span(
+            "ft_recover", cat="ft",
+            attempt=recoveries, survivors=len(survivors),
+        ):
+            old_group = cur_comm.group
+            new_comm = cur_comm.shrink(survivors)
+            cur_a = _recover_matrix(
+                new_comm, cur_a, backups[0] if backups else None,
+                old_group, survivors, recoveries,
+            )
+            cur_b = _recover_matrix(
+                new_comm, cur_b, backups[1] if backups else None,
+                old_group, survivors, recoveries,
+            )
+            cur_comm = new_comm
+            cur_grid = None  # re-run the grid optimizer for P' ranks

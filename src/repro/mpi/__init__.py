@@ -21,9 +21,12 @@ from .errors import (
     AbortError,
     BufferError_,
     CommError,
+    CommRevokedError,
     DeadlockError,
     InjectedAbortError,
     RankError,
+    RankFailedError,
+    RankKilledError,
     RecvTimeoutError,
     TagError,
     VMpiError,
@@ -62,6 +65,9 @@ __all__ = [
     "AbortError",
     "RecvTimeoutError",
     "InjectedAbortError",
+    "RankKilledError",
+    "RankFailedError",
+    "CommRevokedError",
     "ANY_RANK",
     "FaultPlan",
     "LinkFault",

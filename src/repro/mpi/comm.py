@@ -41,6 +41,8 @@ class Comm:
             raise CommError(f"world rank {world_rank} not in group {group}")
         self._w2l = {w: l for l, w in enumerate(self._group)}
         self._split_seq = 0
+        self._agree_seq = 0
+        self._shrink_seq = 0
 
     # ------------------------------------------------------------ basics -- #
     @property
@@ -297,6 +299,62 @@ class Comm:
         color = 0 if self._rank in ranks else None
         key = ranks.index(self._rank) if self._rank in ranks else 0
         return self.split(color, key)
+
+    # ------------------------------------- ULFM-style failure mitigation -- #
+    def failed_ranks(self) -> tuple[int, ...]:
+        """Local ranks of members the transport knows are dead.
+
+        The ULFM ``MPIX_Comm_failure_ack``/``get_acked`` analog: purely
+        local, no communication.
+        """
+        dead = self._transport.dead_ranks()
+        return tuple(l for l, w in enumerate(self._group) if w in dead)
+
+    def revoke(self) -> None:
+        """Revoke communication (``MPIX_Comm_revoke`` analog): wake every
+        rank blocked in a p2p call with
+        :class:`~repro.mpi.errors.CommRevokedError` so all survivors can
+        converge on :meth:`agree`.  Purely local; never blocks."""
+        self._transport.revoke()
+
+    def agree(self, flag: bool = True) -> tuple[bool, tuple[int, ...]]:
+        """Fault-tolerant agreement (``MPIX_Comm_agree`` analog).
+
+        Collective over the *surviving* members.  Returns the same
+        ``(all_ok, survivors)`` on every survivor: ``all_ok`` is true
+        only when every member is alive and voted ``flag=True``;
+        ``survivors`` is a consistent snapshot of the live members'
+        *world* ranks, suitable for :meth:`shrink`.  Works while the
+        world is revoked, and completing it lifts the revocation.
+        """
+        self._agree_seq += 1
+        key = (self._ctx, "agree", self._agree_seq)
+        return self._transport.agree(key, self._group, self._world_rank, flag)
+
+    def shrink(self, survivors: Sequence[int] | None = None) -> "Comm":
+        """A new communicator over the surviving members
+        (``MPIX_Comm_shrink`` analog), preserving relative rank order.
+
+        ``survivors`` (world ranks, e.g. straight from :meth:`agree`)
+        pins the member snapshot so every caller builds the identical
+        communicator even if more ranks die meanwhile; omitted, the
+        transport's current dead set is consulted.  Must be called by
+        every survivor; the caller must be one of them.
+        """
+        if survivors is not None:
+            group = tuple(survivors)
+        else:
+            dead = self._transport.dead_ranks()
+            group = tuple(w for w in self._group if w not in dead)
+        if self._world_rank not in group:
+            raise CommError(
+                f"world rank {self._world_rank} not among survivors {group}"
+            )
+        self._shrink_seq += 1
+        ctx = self._transport.context_for_key(
+            (self._ctx, "shrink", self._shrink_seq, group)
+        )
+        return Comm(self._transport, ctx, group, self._world_rank)
 
     # ------------------------------------------------- simulated compute -- #
     def compute(self, flops: float) -> None:

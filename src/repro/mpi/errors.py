@@ -96,3 +96,62 @@ class InjectedAbortError(VMpiError):
             f"injected abort on rank {rank} at entry #{occurrence} "
             f"of phase {phase!r}"
         )
+
+
+class RankKilledError(VMpiError):
+    """An injected permanent failure (``RankFault(kill=True)``) fired.
+
+    Unlike :class:`InjectedAbortError`, a kill does *not* abort the
+    world: the rank is marked dead on the transport and its thread
+    simply ends.  Survivors that touch the dead rank see
+    :class:`RankFailedError` (ULFM's ``MPI_ERR_PROC_FAILED`` analog)
+    and may recover via ``Comm.revoke``/``agree``/``shrink``
+    (see :mod:`repro.ft`).
+    """
+
+    def __init__(self, rank: int, phase: str, occurrence: int):
+        self.rank = rank
+        self.phase = phase
+        self.occurrence = occurrence
+        super().__init__(
+            f"injected permanent failure of rank {rank} at entry "
+            f"#{occurrence} of phase {phase!r}"
+        )
+
+
+class RankFailedError(VMpiError):
+    """An operation touched a rank the transport knows is dead.
+
+    The ULFM ``MPI_ERR_PROC_FAILED`` analog: raised on the *calling*
+    rank when it sends to, or waits on a receive from, a rank killed by
+    a ``RankFault(kill=True)`` rule.  Without a recovery driver this
+    propagates like any rank error and aborts the world; with one
+    (:func:`repro.ft.resilient_multiply`) it triggers
+    revoke-agree-shrink recovery instead.
+    """
+
+    def __init__(self, rank: int, failed: int, op: str = "recv"):
+        self.rank = rank
+        self.failed = failed
+        self.op = op
+        super().__init__(
+            f"rank {rank} {op} involving failed rank {failed}"
+        )
+
+
+class CommRevokedError(VMpiError):
+    """Communication was revoked pending survivor agreement.
+
+    The ULFM ``MPI_ERR_REVOKED`` analog: after a failure is detected,
+    the first detector revokes the world (``Comm.revoke``) so every
+    rank still blocked in — or about to enter — a communication call
+    unblocks with this error and can join the recovery protocol.  The
+    revocation is cleared when a ``Comm.agree`` completes.
+    """
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        super().__init__(
+            f"communication revoked (observed on rank {rank}); "
+            f"join agreement to recover"
+        )

@@ -16,13 +16,19 @@ goes wrong:
   latency inflation (``latency_factor``), seeded jitter (``jitter_s``),
   bounded wire-level reordering (``reorder_window`` — arrival times may
   invert by up to ``window`` flight times; MPI matching order is
-  preserved, as on a real reliable transport), and drop-with-resend
+  preserved, as on a real reliable transport), drop-with-resend
   (``drop_at`` / ``drop_every`` / ``drop_prob``, each lost
-  ``drop_repeat`` times before a retransmit gets through).
+  ``drop_repeat`` times before a retransmit gets through), and silent
+  payload corruption (``corrupt_at`` / ``corrupt_prob`` — seeded
+  element flips on matching in-flight *array* payloads, the fault model
+  the ABFT checksums of :mod:`repro.ft.abft` exist to catch).
 * :class:`RankFault` rules perturb ranks: a stall window injected at
   the Nth entry to a named phase (``stall_s``), a compute slowdown
-  factor while inside a phase (``slowdown`` — a straggler), or a fatal
-  scripted abort (``abort=True``).
+  factor while inside a phase (``slowdown`` — a straggler), a fatal
+  scripted abort (``abort=True``), or a *permanent death*
+  (``kill=True`` — the rank is marked dead instead of aborting the
+  world, enabling ULFM-style survivor recovery; see
+  ``docs/RECOVERY.md``).
 * a :class:`RetryPolicy` giving the receive-side timeout/retry/backoff
   semantics: a receiver blocked on a *dropped* message times out after
   ``timeout_s`` simulated seconds, requests a retransmit (counted on
@@ -81,10 +87,16 @@ class LinkDecision:
     extra_s: float = 0.0  #: additive delay (jitter + reorder slots)
     latency_factor: float = 1.0  #: multiplier on the nominal flight time
     drops: int = 0  #: transmissions lost before a retransmit succeeds
+    corrupt_elems: int = 0  #: array elements to flip in the payload (ABFT)
 
     @property
     def perturbed(self) -> bool:
-        return self.extra_s > 0.0 or self.latency_factor != 1.0 or self.drops > 0
+        return (
+            self.extra_s > 0.0
+            or self.latency_factor != 1.0
+            or self.drops > 0
+            or self.corrupt_elems > 0
+        )
 
 
 @dataclass(frozen=True)
@@ -108,6 +120,9 @@ class LinkFault:
     drop_every: int = 0
     drop_prob: float = 0.0
     drop_repeat: int = 1
+    corrupt_at: tuple[int, ...] = ()
+    corrupt_prob: float = 0.0
+    corrupt_elems: int = 1
 
     def __post_init__(self) -> None:
         if self.latency_factor < 0:
@@ -122,7 +137,14 @@ class LinkFault:
             raise ValueError("drop_repeat must be >= 1")
         if any(i < 0 for i in self.drop_at):
             raise ValueError("drop_at indices must be >= 0")
+        if any(i < 0 for i in self.corrupt_at):
+            raise ValueError("corrupt_at indices must be >= 0")
+        if not 0.0 <= self.corrupt_prob <= 1.0:
+            raise ValueError("corrupt_prob must be in [0, 1]")
+        if self.corrupt_elems < 1:
+            raise ValueError("corrupt_elems must be >= 1")
         object.__setattr__(self, "drop_at", tuple(self.drop_at))
+        object.__setattr__(self, "corrupt_at", tuple(self.corrupt_at))
 
     def matches(self, src: int, dst: int, phase: str) -> bool:
         if self.src != ANY_RANK and self.src != src:
@@ -150,10 +172,14 @@ class LinkFault:
             dropped = hit % self.drop_every == self.drop_every - 1
         if not dropped and self.drop_prob > 0.0:
             dropped = _mix(seed, salt, 3, src, dst, hit) < self.drop_prob
+        corrupted = hit in self.corrupt_at
+        if not corrupted and self.corrupt_prob > 0.0:
+            corrupted = _mix(seed, salt, 4, src, dst, hit) < self.corrupt_prob
         return LinkDecision(
             extra_s=extra,
             latency_factor=self.latency_factor,
             drops=self.drop_repeat if dropped else 0,
+            corrupt_elems=self.corrupt_elems if corrupted else 0,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -168,6 +194,9 @@ class LinkFault:
             "drop_every": self.drop_every,
             "drop_prob": self.drop_prob,
             "drop_repeat": self.drop_repeat,
+            "corrupt_at": list(self.corrupt_at),
+            "corrupt_prob": self.corrupt_prob,
+            "corrupt_elems": self.corrupt_elems,
         }
 
     @classmethod
@@ -183,6 +212,9 @@ class LinkFault:
             drop_every=int(doc.get("drop_every", 0)),
             drop_prob=float(doc.get("drop_prob", 0.0)),
             drop_repeat=int(doc.get("drop_repeat", 1)),
+            corrupt_at=tuple(int(i) for i in doc.get("corrupt_at", ())),
+            corrupt_prob=float(doc.get("corrupt_prob", 0.0)),
+            corrupt_elems=int(doc.get("corrupt_elems", 1)),
         )
 
 
@@ -202,6 +234,7 @@ class RankFault:
     stall_s: float = 0.0
     slowdown: float = 1.0
     abort: bool = False
+    kill: bool = False
 
     def __post_init__(self) -> None:
         if self.rank < 0:
@@ -212,6 +245,8 @@ class RankFault:
             raise ValueError("stall_s must be >= 0")
         if self.slowdown < 0:
             raise ValueError("slowdown must be >= 0")
+        if self.abort and self.kill:
+            raise ValueError("abort and kill are mutually exclusive")
 
     def matches_phase(self, rank: int, phase: str) -> bool:
         return rank == self.rank and (self.phase is None or self.phase == phase)
@@ -230,6 +265,7 @@ class RankFault:
             "stall_s": self.stall_s,
             "slowdown": self.slowdown,
             "abort": self.abort,
+            "kill": self.kill,
         }
 
     @classmethod
@@ -241,6 +277,7 @@ class RankFault:
             stall_s=float(doc.get("stall_s", 0.0)),
             slowdown=float(doc.get("slowdown", 1.0)),
             abort=bool(doc.get("abort", False)),
+            kill=bool(doc.get("kill", False)),
         )
 
 
@@ -383,6 +420,12 @@ FAULTPLAN_JSON_SCHEMA: dict[str, Any] = {
                     "drop_every": {"type": "integer", "minimum": 0},
                     "drop_prob": {"type": "number", "minimum": 0, "maximum": 1},
                     "drop_repeat": {"type": "integer", "minimum": 1},
+                    "corrupt_at": {
+                        "type": "array",
+                        "items": {"type": "integer", "minimum": 0},
+                    },
+                    "corrupt_prob": {"type": "number", "minimum": 0, "maximum": 1},
+                    "corrupt_elems": {"type": "integer", "minimum": 1},
                 },
             },
         },
@@ -398,6 +441,7 @@ FAULTPLAN_JSON_SCHEMA: dict[str, Any] = {
                     "stall_s": {"type": "number", "minimum": 0},
                     "slowdown": {"type": "number", "minimum": 0},
                     "abort": {"type": "boolean"},
+                    "kill": {"type": "boolean"},
                 },
             },
         },

@@ -22,7 +22,7 @@ from typing import Any, Callable, Sequence
 
 from ..machine.model import MachineModel
 from .comm import Comm
-from .errors import AbortError, DeadlockError
+from .errors import AbortError, DeadlockError, RankKilledError
 from .faults import FaultPlan
 from .transport import RankTrace, Transport
 
@@ -57,6 +57,11 @@ class SpmdResult:
 
             cached = self._metrics_cache = snapshot_run(self)
         return cached
+
+    @property
+    def failed_ranks(self) -> list[int]:
+        """World ranks killed by injected permanent failures, sorted."""
+        return sorted(self.transport.dead_ranks())
 
     @property
     def max_bytes_sent(self) -> int:
@@ -111,6 +116,13 @@ def run_spmd(
         fails the job exactly like an organic rank error: every live
         rank is woken with :class:`~repro.mpi.errors.AbortError` and the
         typed original is re-raised (chained) on the driver thread.
+
+        A permanent kill (``RankFault(kill=True)``) is different: the
+        killed rank's thread just ends (its result stays ``None``) and
+        the world keeps running.  Survivors that touch the dead rank see
+        :class:`~repro.mpi.errors.RankFailedError`, which — absent a
+        recovery driver (:func:`repro.ft.resilient_multiply`) — aborts
+        the world like any other rank error.
     """
     transport = Transport(nprocs, machine, record_events=record_events, faults=faults)
     results: list[Any] = [None] * nprocs
@@ -125,6 +137,8 @@ def run_spmd(
             results[rank] = fn(comm, *args)
         except AbortError:
             pass  # secondary casualty of another rank's failure
+        except RankKilledError:
+            pass  # injected permanent death: thread ends, world keeps going
         except BaseException as exc:  # noqa: BLE001 - must not kill the thread silently
             with err_lock:
                 errors.append((rank, exc, traceback.format_exc()))

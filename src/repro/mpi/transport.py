@@ -35,13 +35,22 @@ import dataclasses
 import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
+
+import numpy as np
 
 from ..machine.model import MachineModel
 from ..obs.tracer import CAT_PHASE, Tracer
 from .datatypes import ANY_SOURCE, ANY_TAG, Message, Status
-from .errors import AbortError, InjectedAbortError, RecvTimeoutError
-from .faults import FaultPlan
+from .errors import (
+    AbortError,
+    CommRevokedError,
+    InjectedAbortError,
+    RankFailedError,
+    RankKilledError,
+    RecvTimeoutError,
+)
+from .faults import FaultPlan, _mix
 
 #: Phase label used when no explicit phase is active.
 DEFAULT_PHASE = "other"
@@ -88,6 +97,10 @@ class RankState:
     retries: int = 0  #: retransmits requested for dropped messages
     timeouts: int = 0  #: recv timeouts charged (== retries unless fatal)
     injected_wait_s: float = 0.0  #: simulated time added by injected faults
+    corruptions_injected: int = 0  #: corrupt-rule firings on messages this rank sent
+    corruptions_detected: int = 0  #: ABFT checksum mismatches this rank caught
+    recomputed_flops: float = 0.0  #: flops re-executed for ABFT correction
+    recoveries: int = 0  #: shrink-replan recovery rounds this rank survived
 
     @property
     def phase(self) -> str:
@@ -172,6 +185,10 @@ class RankTrace:
     retries: int = 0  #: fault-injection retransmits this rank requested
     timeouts: int = 0  #: fault-injection recv timeouts this rank charged
     injected_wait_s: float = 0.0  #: simulated seconds added by injected faults
+    corruptions_injected: int = 0  #: corrupt-rule firings on this rank's sends
+    corruptions_detected: int = 0  #: ABFT checksum mismatches this rank caught
+    recomputed_flops: float = 0.0  #: flops re-executed for ABFT correction
+    recoveries: int = 0  #: shrink-replan recovery rounds this rank survived
 
 
 @dataclass
@@ -222,6 +239,13 @@ class Transport:
         self._context_keys: dict[Any, int] = {}
         self._next_ctx = 1
         self.aborted: AbortError | None = None
+        #: world ranks permanently failed by ``RankFault(kill=True)``.
+        self.dead: set[int] = set()
+        #: ULFM-style revocation flag: set by :meth:`revoke` after a
+        #: failure is detected, cleared when an :meth:`agree` completes.
+        self.revoked = False
+        # agreement rendezvous state, keyed by the comm's (ctx, seq) key
+        self._agrees: dict[Any, dict[str, Any]] = {}
 
     # ----------------------------------------------------- context ids -- #
     def context_for_key(self, key: Any) -> int:
@@ -249,6 +273,83 @@ class Transport:
     def _check_abort(self) -> None:
         if self.aborted is not None:
             raise self.aborted
+
+    # ------------------------------------------- ULFM-style fault tolerance -- #
+    def dead_ranks(self) -> frozenset[int]:
+        """World ranks permanently failed so far (``RankFault(kill=True)``)."""
+        with self._lock:
+            return frozenset(self.dead)
+
+    def revoke(self) -> None:
+        """Revoke communication world-wide (ULFM ``MPI_Comm_revoke`` analog).
+
+        Every rank blocked in — or subsequently entering — a p2p call is
+        woken/refused with :class:`~repro.mpi.errors.CommRevokedError`,
+        funnelling all survivors into the recovery protocol.  The flag is
+        cleared when a subsequent :meth:`agree` completes.
+        """
+        with self._cond:
+            self.revoked = True
+            self.progress += 1
+            self._cond.notify_all()
+
+    def agree(
+        self, key: Any, group: Sequence[int], world_rank: int, flag: bool
+    ) -> tuple[bool, tuple[int, ...]]:
+        """Fault-tolerant agreement over ``group`` (ULFM ``MPIX_Comm_agree``).
+
+        Collective over the *surviving* members of ``group`` (world
+        ranks): blocks until every live member has voted, then returns
+        the same ``(all_ok, survivors)`` on each of them, where
+        ``all_ok`` is true only when every member is alive *and* voted
+        ``True``.  Works while the world is revoked — this is the
+        recovery rendezvous — and completing it clears the revocation.
+        Members that die mid-agreement are dropped from the required
+        voter set, so the agreement itself tolerates failures.
+        """
+        group = tuple(group)
+        with self._cond:
+            st = self._agrees.setdefault(key, {"votes": {}, "result": None})
+            st["votes"][world_rank] = bool(flag)
+            self.progress += 1
+            self._cond.notify_all()
+            me = self.ranks[world_rank]
+            me.waiting_on = f"agree(key={key})"
+            try:
+                while st["result"] is None:
+                    self._check_abort()
+                    alive = [r for r in group if r not in self.dead]
+                    if alive and all(r in st["votes"] for r in alive):
+                        ok = len(alive) == len(group) and all(
+                            st["votes"][r] for r in alive
+                        )
+                        t = max(self.ranks[r].clock for r in alive)
+                        st["result"] = (ok, tuple(alive), t)
+                        self.revoked = False
+                        self.progress += 1
+                        self._cond.notify_all()
+                        break
+                    self._cond.wait(timeout=0.5)
+            finally:
+                me.waiting_on = None
+            ok, survivors, t = st["result"]
+            self._raise_clock_locked(world_rank, t, event_kind="wait")
+            return ok, survivors
+
+    def add_ft(
+        self,
+        world_rank: int,
+        *,
+        detected: int = 0,
+        recomputed_flops: float = 0.0,
+        recoveries: int = 0,
+    ) -> None:
+        """Charge fault-tolerance counters (ABFT detection, recovery rounds)."""
+        with self._lock:
+            st = self.ranks[world_rank]
+            st.corruptions_detected += detected
+            st.recomputed_flops += recomputed_flops
+            st.recoveries += recoveries
 
     # ------------------------------------------------------------ clocks -- #
     def now(self, world_rank: int) -> float:
@@ -386,6 +487,15 @@ class Transport:
                 )
             if rule.abort:
                 raise InjectedAbortError(world_rank, name, count)
+            if rule.kill:
+                # Permanent death, not a world abort: mark the rank dead,
+                # wake every blocked peer (their next matching attempt on
+                # this rank raises RankFailedError), and unwind this
+                # rank's thread with the typed kill error.
+                self.dead.add(world_rank)
+                self.progress += 1
+                self._cond.notify_all()
+                raise RankKilledError(world_rank, name, count)
 
     def pop_phase(self, world_rank: int) -> str:
         with self._lock:
@@ -475,12 +585,17 @@ class Transport:
         t_msg = self.machine.msg_time(nbytes, src_world, dst_world)
         with self._cond:
             self._check_abort()
+            if self.revoked:
+                raise CommRevokedError(src_world)
+            if dst_world in self.dead:
+                raise RankFailedError(src_world, dst_world, op="send to")
             st = self.ranks[src_world]
             drops = 0
             injected = False
             if self.faults is not None:
                 t_msg, drops, injected = self._perturb_flight_locked(
-                    src_world, dst_world, st.phase, t_msg
+                    src_world, dst_world, st.phase, t_msg,
+                    stored=stored, is_array=is_array,
                 )
             t_post = st.clock
             arrival = t_post + t_msg
@@ -537,18 +652,29 @@ class Transport:
         return arrival, seq
 
     def _perturb_flight_locked(
-        self, src_world: int, dst_world: int, phase: str, t_msg: float
+        self,
+        src_world: int,
+        dst_world: int,
+        phase: str,
+        t_msg: float,
+        stored: Any = None,
+        is_array: bool = False,
     ) -> tuple[float, int, bool]:
         """Apply matching link-fault rules to one posted message.
 
         Returns ``(perturbed_flight, drops, injected)``.  Factors from
         multiple matching rules multiply, extra delays add, and drop
         counts take the max.  Per-(rule, link) hit counters make every
-        decision reproducible (one sender thread per link).
+        decision reproducible (one sender thread per link).  Corrupt
+        rules flip seeded elements of ``stored`` in place (array
+        payloads only — ``payload_pack`` hands the transport a private
+        copy, so the sender's buffer is untouched and the receiver sees
+        the corrupted bits, exactly like a wire-level flip).
         """
         extra = 0.0
         factor = 1.0
         drops = 0
+        corrupt: list[tuple[int, int, int]] = []
         for idx, rule in self.faults.link_rules(src_world, dst_world, phase):
             key = (idx, src_world, dst_world)
             hit = self._fault_hits.get(key, 0)
@@ -559,8 +685,46 @@ class Transport:
             extra += dec.extra_s
             factor *= dec.latency_factor
             drops = max(drops, dec.drops)
-        injected = extra > 0.0 or factor != 1.0 or drops > 0
+            if dec.corrupt_elems > 0:
+                corrupt.append((idx, hit, dec.corrupt_elems))
+        corrupted = False
+        if corrupt and is_array:
+            corrupted = self._corrupt_payload_locked(
+                src_world, dst_world, stored, corrupt
+            )
+        injected = extra > 0.0 or factor != 1.0 or drops > 0 or corrupted
         return t_msg * factor + extra, drops, injected
+
+    def _corrupt_payload_locked(
+        self,
+        src_world: int,
+        dst_world: int,
+        arr: Any,
+        requests: list[tuple[int, int, int]],
+    ) -> bool:
+        """Flip seeded elements of an in-flight array payload (in place).
+
+        Only inexact (float/complex) arrays are corruptible — control
+        traffic (pickled objects, integer arrays) is off limits, so the
+        ABFT agreement collective itself can never be corrupted.  Each
+        flip adds ``1 + |v|`` to the chosen element: large relative to
+        both the value and float64 roundoff, hence always detectable by
+        a checksum with a sane tolerance.
+        """
+        if not isinstance(arr, np.ndarray) or arr.size == 0:
+            return False
+        if not np.issubdtype(arr.dtype, np.inexact):
+            return False
+        seed = self.faults.seed
+        for idx, hit, elems in requests:
+            for e in range(elems):
+                pos = int(
+                    _mix(seed, idx, 5, src_world, dst_world, hit, e) * arr.size
+                ) % arr.size
+                val = arr.flat[pos]
+                arr.flat[pos] = val + (1.0 + abs(val))
+            self.ranks[src_world].corruptions_injected += 1
+        return True
 
     def msg_record(self, seq: int) -> MsgRecord | None:
         """The :class:`MsgRecord` for a message seq (None when unknown)."""
@@ -695,6 +859,8 @@ class Transport:
             try:
                 while True:
                     self._check_abort()
+                    if self.revoked:
+                        raise CommRevokedError(dst_world)
                     # Non-overtaking: a held dropped message must not be
                     # overtaken by a later message on the same pair, so
                     # mailbox matching is capped at the dropped seq.
@@ -709,6 +875,11 @@ class Transport:
                     )
                     if msg is not None:
                         break
+                    # A message already on the wire from a now-dead rank
+                    # is still deliverable (checked above); with nothing
+                    # in flight, waiting on a dead rank is hopeless.
+                    if src_world != ANY_SOURCE and src_world in self.dead:
+                        raise RankFailedError(dst_world, src_world, op="recv from")
                     if d is not None:
                         self._timeout_retry_locked(ctx, dst_world, d)
                         continue
@@ -738,6 +909,8 @@ class Transport:
         drop should precede is invisible until the retransmit lands.
         """
         with self._lock:
+            if self.revoked:
+                raise CommRevokedError(dst_world)
             d = (
                 self._find_dropped_locked(ctx, dst_world, src_world, tag)
                 if self.faults is not None
@@ -769,6 +942,10 @@ class Transport:
                 retries=st.retries,
                 timeouts=st.timeouts,
                 injected_wait_s=st.injected_wait_s,
+                corruptions_injected=st.corruptions_injected,
+                corruptions_detected=st.corruptions_detected,
+                recomputed_flops=st.recomputed_flops,
+                recoveries=st.recoveries,
             )
 
     def traces(self) -> list[RankTrace]:

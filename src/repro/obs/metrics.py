@@ -170,6 +170,10 @@ class RunMetrics:
     total_retries: int = 0  #: fault-injection retransmits across ranks
     total_timeouts: int = 0  #: fault-injection recv timeouts across ranks
     injected_wait_s: float = 0.0  #: simulated seconds added by injected faults
+    recoveries: int = 0  #: shrink-replan-redistribute rounds (max over ranks)
+    corruptions_injected: int = 0  #: payload flips injected, across ranks
+    corruptions_detected: int = 0  #: ABFT checksum violations, across ranks
+    recomputed_flops: float = 0.0  #: extra flops spent on ABFT recomputes
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -183,6 +187,10 @@ class RunMetrics:
             "total_retries": self.total_retries,
             "total_timeouts": self.total_timeouts,
             "injected_wait_s": self.injected_wait_s,
+            "recoveries": self.recoveries,
+            "corruptions_injected": self.corruptions_injected,
+            "corruptions_detected": self.corruptions_detected,
+            "recomputed_flops": self.recomputed_flops,
             "registry": self.registry.to_dict(),
         }
 
@@ -277,6 +285,21 @@ def snapshot_run(
             reg.counter("fault_retries", rank=trace.rank).inc(trace.retries)
             reg.counter("fault_timeouts", rank=trace.rank).inc(trace.timeouts)
             reg.gauge("injected_wait_s", rank=trace.rank).set(trace.injected_wait_s)
+        if (
+            trace.recoveries
+            or trace.corruptions_injected
+            or trace.corruptions_detected
+        ):
+            reg.counter("ft_recoveries", rank=trace.rank).inc(trace.recoveries)
+            reg.counter("corruptions_injected", rank=trace.rank).inc(
+                trace.corruptions_injected
+            )
+            reg.counter("corruptions_detected", rank=trace.rank).inc(
+                trace.corruptions_detected
+            )
+            reg.counter("recomputed_flops", rank=trace.rank).inc(
+                trace.recomputed_flops
+            )
 
     overlap = _overlap_ratio(result)
     imbalance = _k_group_imbalance(result, plan)
@@ -298,6 +321,12 @@ def snapshot_run(
         total_retries=sum(t.retries for t in result.traces),
         total_timeouts=sum(t.timeouts for t in result.traces),
         injected_wait_s=sum(t.injected_wait_s for t in result.traces),
+        # Every survivor bumps its counter once per recovery round, so
+        # the round count is the max, not the sum.
+        recoveries=max((t.recoveries for t in result.traces), default=0),
+        corruptions_injected=sum(t.corruptions_injected for t in result.traces),
+        corruptions_detected=sum(t.corruptions_detected for t in result.traces),
+        recomputed_flops=sum(t.recomputed_flops for t in result.traces),
     )
 
 
@@ -325,6 +354,14 @@ def format_metrics(metrics: RunMetrics) -> str:
             f"{'y' if metrics.total_retries == 1 else 'ies'}, "
             f"{metrics.total_timeouts} timeout(s), "
             f"{metrics.injected_wait_s * 1e3:.3f} ms injected wait"
+        )
+    if metrics.recoveries:
+        lines.append(f"  recoveries          : {metrics.recoveries}")
+    if metrics.corruptions_injected or metrics.corruptions_detected:
+        lines.append(
+            f"  corruption (ABFT)   : {metrics.corruptions_injected} injected, "
+            f"{metrics.corruptions_detected} detected, "
+            f"{metrics.recomputed_flops:.0f} flops recomputed"
         )
     shift = metrics.registry.histogram("cannon_shift_seconds")
     if shift.count:

@@ -1,0 +1,193 @@
+"""ULFM-style rank-failure recovery, end to end.
+
+The acceptance story (ISSUE): a seeded plan that permanently kills a
+rank mid-Cannon must leave :func:`~repro.ft.resilient_multiply` with a
+correct C on every survivor — the survivors agree on the failure,
+shrink the communicator, re-plan the CA3DMM grid for P' ranks,
+redistribute the surviving A/B panels from buddy backups, and re-run.
+Exhausting the retry budget or losing a buddy pair must surface a
+typed :class:`~repro.ft.UnrecoverableError` instead of hanging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ft import UnrecoverableError, resilient_multiply
+from repro.layout import BlockCol1D, DistMatrix, dense_random
+from repro.machine.model import laptop
+from repro.mpi import FaultPlan, RankFault, run_spmd
+
+M, N, K, P = 24, 20, 28, 8
+REF = dense_random(M, K, seed=7) @ dense_random(K, N, seed=8)
+TOL = 1e-9 * max(1.0, float(np.abs(REF).max()))
+
+
+def _resilient(max_recoveries=1, abft=False):
+    def f(comm):
+        a = DistMatrix.from_global(
+            comm, BlockCol1D((M, K), comm.size), dense_random(M, K, seed=7)
+        )
+        b = DistMatrix.from_global(
+            comm, BlockCol1D((K, N), comm.size), dense_random(K, N, seed=8)
+        )
+        c = resilient_multiply(
+            comm, a, b,
+            c_dist=lambda cm: BlockCol1D((M, N), cm.size),
+            abft=abft,
+            max_recoveries=max_recoveries,
+        )
+        return c.to_global()
+
+    return f
+
+
+def _run(faults=None, fn=None, nprocs=P, record_events=True):
+    return run_spmd(
+        nprocs, fn or _resilient(), machine=laptop(),
+        record_events=record_events, faults=faults,
+    )
+
+
+def _kill(rank, occurrence=1):
+    return RankFault(rank=rank, phase="cannon", occurrence=occurrence, kill=True)
+
+
+class TestKillRecovery:
+    PLAN = FaultPlan(seed=0, ranks=(_kill(3),))
+
+    def test_survivors_recover_correct_c(self):
+        res = _run(faults=self.PLAN)
+        assert res.failed_ranks == [3]
+        assert res.results[3] is None
+        got = [r for r in res.results if r is not None]
+        assert len(got) == P - 1
+        for c in got:
+            assert float(np.abs(c - REF).max()) <= TOL
+
+    def test_recovery_counted_in_metrics(self):
+        res = _run(faults=self.PLAN)
+        assert res.metrics.recoveries == 1
+        assert "recoveries" in res.metrics.to_dict()
+
+    def test_clean_run_counts_no_recoveries(self):
+        res = _run()
+        assert res.failed_ranks == []
+        assert res.metrics.recoveries == 0
+        assert float(np.abs(res.results[0] - REF).max()) <= TOL
+
+    def test_deterministic_replay(self):
+        """The recovered *data* path is deterministic: same survivors,
+        same re-planned grid, bit-equal C.  (The virtual timestamp at
+        which peers observe a death depends on thread scheduling, so
+        makespans may wobble — see docs/RECOVERY.md.)"""
+        runs = [_run(faults=self.PLAN) for _ in range(2)]
+        a = next(r for r in runs[0].results if r is not None)
+        b = next(r for r in runs[1].results if r is not None)
+        assert np.array_equal(a, b)
+        assert runs[0].failed_ranks == runs[1].failed_ranks
+        assert runs[0].metrics.recoveries == runs[1].metrics.recoveries
+
+    def test_recovery_spans_recorded(self):
+        res = _run(faults=self.PLAN)
+        names = {s.name for s in res.spans}
+        assert "ft_backup" in names
+        assert "ft_recover" in names
+
+    def test_double_kill(self):
+        """Two non-adjacent kills: both ranks race toward their first
+        Cannon entry, so the deaths land in the same attempt or split
+        across two (the loser may be unwound by the first revocation
+        before reaching Cannon).  Either way both must end up dead and
+        every survivor correct."""
+        plan = FaultPlan(seed=0, ranks=(_kill(3), _kill(5)))
+        res = _run(faults=plan, fn=_resilient(max_recoveries=2))
+        assert res.failed_ranks == [3, 5]
+        assert res.metrics.recoveries in (1, 2)
+        got = [r for r in res.results if r is not None]
+        assert len(got) == P - 2
+        for c in got:
+            assert float(np.abs(c - REF).max()) <= TOL
+
+
+class TestUnrecoverable:
+    def test_budget_exhaustion_is_typed(self):
+        """max_recoveries=0 turns the first (otherwise recoverable)
+        failure into a typed give-up on every survivor."""
+        plan = FaultPlan(seed=0, ranks=(_kill(3),))
+        with pytest.raises(RuntimeError) as ei:
+            _run(faults=plan, fn=_resilient(max_recoveries=0))
+        cause = ei.value.__cause__
+        assert isinstance(cause, UnrecoverableError)
+        assert cause.recoveries == 1
+        assert "budget" in str(cause)
+
+    def test_adjacent_kill_loses_buddy(self):
+        """Rank r backs up to r+1; losing both in *one* attempt makes the
+        backup unreachable and recovery must give up, typed.  Kills are
+        keyed on ``ft_attempt``, the phase the recovery loop enters as
+        its very first action, so both deaths deterministically land in
+        attempt 1."""
+        plan = FaultPlan(seed=0, ranks=(
+            RankFault(rank=3, phase="ft_attempt", occurrence=1, kill=True),
+            RankFault(rank=4, phase="ft_attempt", occurrence=1, kill=True),
+        ))
+        with pytest.raises(RuntimeError) as ei:
+            _run(faults=plan, fn=_resilient(max_recoveries=2))
+        assert isinstance(ei.value.__cause__, UnrecoverableError)
+        assert "buddy" in str(ei.value.__cause__)
+
+    def test_plain_multiply_without_recovery_fails(self):
+        """The same kill without the ft wrapper aborts the run — the
+        recovery loop, not luck, is what survives it."""
+        from repro.core import ca3dmm_matmul
+
+        def f(comm):
+            a = DistMatrix.from_global(
+                comm, BlockCol1D((M, K), comm.size), dense_random(M, K, seed=7)
+            )
+            b = DistMatrix.from_global(
+                comm, BlockCol1D((K, N), comm.size), dense_random(K, N, seed=8)
+            )
+            return ca3dmm_matmul(a, b).to_global()
+
+        with pytest.raises(RuntimeError):
+            _run(faults=FaultPlan(seed=0, ranks=(_kill(3),)), fn=f)
+
+
+class TestUlfmPrimitives:
+    def test_failed_ranks_and_agree_and_shrink(self):
+        plan = FaultPlan(seed=0, ranks=(
+            RankFault(rank=2, phase="doomed", occurrence=1, kill=True),
+        ))
+
+        def f(comm):
+            if comm.rank == 2:
+                with comm.phase("doomed"):  # kill fires on phase entry
+                    pass
+                return None  # pragma: no cover - unreachable
+            # agree() rendezvouses with the other survivors, so by the
+            # time it returns the kill has been observed everywhere.
+            ok, survivors = comm.agree(True)
+            assert not ok  # rank 2 never voted
+            assert survivors == (0, 1, 3)
+            assert comm.failed_ranks() == (2,)
+            sub = comm.shrink(survivors)
+            assert sub.size == 3
+            return sub.allreduce(np.array([1.0]))[0]
+
+        res = run_spmd(4, f, machine=laptop(), faults=plan)
+        assert [r for r in res.results if r is not None] == [3.0, 3.0, 3.0]
+        assert res.failed_ranks == [2]
+
+    def test_shrink_excluding_self_raises(self):
+        from repro.mpi import CommError
+
+        def f(comm):
+            if comm.rank == 0:
+                with pytest.raises(CommError):
+                    comm.shrink((1, 2))
+            return comm.rank
+
+        run_spmd(3, f, machine=laptop())

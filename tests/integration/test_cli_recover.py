@@ -1,0 +1,78 @@
+"""Exit-code contracts of ``repro faults`` and ``repro recover``.
+
+CI leans on these as commands: 0 means the faulted run ended correct
+(recovered/corrected where the plan demands it), nonzero means a
+correctness mismatch or an unrecoverable failure.  Pin both directions.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.mpi import FaultPlan, LinkFault
+
+ARGS = ["24", "20", "28", "-np", "8"]
+
+
+class TestFaultsExitCodes:
+    def test_recovered_drop_exits_zero(self, capsys):
+        rc = main(["faults", *ARGS])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bit-identical to clean run" in out
+
+    def test_json_mode_exits_zero(self, capsys):
+        rc = main(["faults", *ARGS, "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["correct"] is True
+        assert doc["total_retries"] >= 1
+
+    def test_corruption_without_abft_exits_nonzero(self, capsys, tmp_path):
+        """``faults`` runs the unprotected engine, so a corrupt rule
+        produces a silent mismatch — which must surface as exit 1."""
+        plan = FaultPlan(
+            seed=0, links=(LinkFault(phase="cannon", corrupt_at=(0,)),)
+        )
+        path = plan.save(tmp_path / "corrupt.json")
+        rc = main(["faults", *ARGS, "--plan", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "MISMATCH" in out
+
+
+class TestRecoverExitCodes:
+    def test_kill_demo_exits_zero(self, capsys):
+        rc = main(["recover", *ARGS])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "recovered OK" in out
+        assert "failed ranks      : [1]" in out
+
+    def test_corrupt_demo_exits_zero_and_reports_detection(self, capsys):
+        rc = main(["recover", *ARGS, "--corrupt", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["correct"] is True
+        assert doc["corruptions_detected"] >= 1
+        assert doc["recomputed_flops"] > 0
+        assert doc["failed_ranks"] == []
+
+    def test_combined_kill_and_corrupt_exits_zero(self, capsys):
+        rc = main(["recover", *ARGS, "--kill-rank", "1", "--corrupt",
+                   "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["correct"] is True
+        assert doc["recoveries"] >= 1
+
+    def test_exhausted_budget_exits_nonzero(self, capsys):
+        rc = main(["recover", *ARGS, "--max-recoveries", "0"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "recovery failed" in err
+
+    def test_kill_rank_out_of_range_exits_two(self, capsys):
+        rc = main(["recover", *ARGS, "--kill-rank", "99"])
+        assert rc == 2

@@ -5,6 +5,12 @@ message must leave the run bit-correct with at least one retry counted
 in ``SpmdResult.metrics`` and an ``injected`` segment on the critical
 path; with retries disabled the same plan must abort every rank with a
 typed error instead of hanging.
+
+Also covers unscripted failure injection (a rank function *raising*
+rather than a plan entry): a crash anywhere must abort the world
+cleanly — peers blocked in recv are woken (no hang, no
+deadlock-timeout path) and the original exception surfaces to the
+driver.  One test per collective family plus mid-algorithm crashes.
 """
 
 from __future__ import annotations
@@ -246,3 +252,87 @@ class TestLatencyPerturbation:
         t3 = _run(faults=mk(8)).time
         assert t1 == t2
         assert t1 != t3
+
+
+# --------------------------------------- unscripted crashes must abort -- #
+class Boom(Exception):
+    pass
+
+
+def _crashing(op):
+    """A rank function where rank 1 dies just before the collective."""
+
+    def f(comm):
+        if comm.rank == 1:
+            raise Boom("injected")
+        op(comm)
+
+    return f
+
+
+COLLECTIVES = {
+    "barrier": lambda comm: comm.barrier(),
+    "bcast": lambda comm: comm.bcast(np.zeros(10) if comm.rank == 0 else None, 0),
+    "allreduce": lambda comm: comm.allreduce(np.ones(4)),
+    "reduce": lambda comm: comm.reduce(np.ones(4), root=0),
+    "allgather": lambda comm: comm.allgather(comm.rank),
+    "gather": lambda comm: comm.gather(comm.rank, root=0),
+    "scatter": lambda comm: comm.scatter(
+        list(range(comm.size)) if comm.rank == 0 else None, 0
+    ),
+    "alltoall": lambda comm: comm.alltoall([0] * comm.size),
+    "reduce_scatter": lambda comm: comm.reduce_scatter(
+        [np.ones(2) for _ in range(comm.size)]
+    ),
+}
+
+
+class TestCrashAbort:
+    @pytest.mark.parametrize("name", sorted(COLLECTIVES))
+    def test_crash_before_collective_aborts(self, spmd, name):
+        with pytest.raises(RuntimeError, match="rank 1 failed"):
+            spmd(4, _crashing(COLLECTIVES[name]), deadlock_timeout=10.0)
+
+    def test_crash_mid_algorithm_aborts(self, spmd):
+        """A failure inside CA3DMM's pipeline must not hang the others."""
+
+        def f(comm):
+            a = DistMatrix.random(comm, BlockCol1D((16, 16), comm.size), seed=0)
+            b = DistMatrix.random(comm, BlockCol1D((16, 16), comm.size), seed=1)
+            if comm.rank == 2:
+                raise Boom("mid-algorithm")
+            ca3dmm_matmul(a, b)
+
+        with pytest.raises(RuntimeError, match="rank 2 failed"):
+            spmd(6, f, deadlock_timeout=10.0)
+
+    def test_first_failure_wins(self, spmd):
+        """With several failing ranks, the lowest rank's error is reported."""
+
+        def f(comm):
+            if comm.rank in (1, 3):
+                raise Boom(f"rank {comm.rank}")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="rank (1|3) failed"):
+            spmd(4, f, deadlock_timeout=10.0)
+
+    def test_world_reusable_after_failed_run(self, spmd):
+        """A failed run must not poison subsequent runs (fresh transports)."""
+        with pytest.raises(RuntimeError):
+            spmd(3, _crashing(COLLECTIVES["barrier"]), deadlock_timeout=10.0)
+        res = spmd(3, lambda comm: comm.allreduce(np.array([1.0]))[0])
+        assert res.results == [3.0, 3.0, 3.0]
+
+    def test_crash_after_success_returns_results(self, spmd):
+        """Ranks that finished before a late crash still have their errors
+        surfaced — the job fails as a whole."""
+
+        def f(comm):
+            x = comm.allgather(comm.rank)
+            if comm.rank == 0:
+                raise Boom("late")
+            return x
+
+        with pytest.raises(RuntimeError, match="rank 0 failed"):
+            spmd(3, f, deadlock_timeout=10.0)

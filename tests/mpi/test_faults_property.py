@@ -1,0 +1,100 @@
+"""Property-based tests of the fault-plan wire format (hypothesis).
+
+A :class:`FaultPlan` travels to CI jobs and bug reports as JSON, so the
+round-trip through ``to_json``/``from_json`` must be exact for *every*
+representable plan — including the ``kill`` and ``corrupt_*`` fields
+used by the fault-tolerance layer — not just the handful of plans the
+fixed tests pin down.  Floats are drawn without NaN (a NaN field could
+never compare equal) but otherwise unconstrained.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import FaultPlan, LinkFault, RankFault, RetryPolicy
+from repro.mpi.faults import ANY_RANK, validate_fault_plan
+
+COMMON = dict(max_examples=100, deadline=None)
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+rank_or_any = st.one_of(st.just(ANY_RANK), st.integers(0, 64))
+phase = st.one_of(st.none(), st.sampled_from(["replicate", "cannon", "reduce"]))
+hit_indices = st.lists(st.integers(0, 1000), max_size=4).map(
+    lambda xs: tuple(sorted(set(xs)))
+)
+
+link_faults = st.builds(
+    LinkFault,
+    src=rank_or_any,
+    dst=rank_or_any,
+    phase=phase,
+    latency_factor=finite.map(abs),
+    jitter_s=finite.map(abs),
+    reorder_window=st.integers(0, 16),
+    drop_at=hit_indices,
+    drop_every=st.integers(0, 100),
+    drop_prob=st.floats(0.0, 1.0, allow_nan=False),
+    drop_repeat=st.integers(1, 8),
+    corrupt_at=hit_indices,
+    corrupt_prob=st.floats(0.0, 1.0, allow_nan=False),
+    corrupt_elems=st.integers(1, 8),
+)
+
+
+@st.composite
+def rank_faults(draw):
+    abort, kill = draw(
+        st.sampled_from([(False, False), (True, False), (False, True)])
+    )
+    return RankFault(
+        rank=draw(st.integers(0, 64)),
+        phase=draw(phase),
+        occurrence=draw(st.integers(0, 16)),
+        stall_s=abs(draw(finite)),
+        slowdown=abs(draw(finite)),
+        abort=abort,
+        kill=kill,
+    )
+
+
+retry_policies = st.builds(
+    RetryPolicy,
+    timeout_s=st.floats(1e-9, 10.0, allow_nan=False),
+    max_retries=st.integers(0, 64),
+    backoff=st.floats(1.0, 8.0, allow_nan=False),
+)
+
+fault_plans = st.builds(
+    FaultPlan,
+    seed=st.integers(0, 2 ** 63 - 1),
+    links=st.lists(link_faults, max_size=4).map(tuple),
+    ranks=st.lists(rank_faults(), max_size=4).map(tuple),
+    retry=retry_policies,
+)
+
+
+@settings(**COMMON)
+@given(plan=fault_plans)
+def test_json_round_trip_is_exact(plan):
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+@settings(**COMMON)
+@given(plan=fault_plans)
+def test_dict_round_trip_is_exact(plan):
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+@settings(**COMMON)
+@given(plan=fault_plans)
+def test_serialized_form_validates_against_schema(plan):
+    validate_fault_plan(plan.to_dict())
+
+
+@settings(**COMMON)
+@given(plan=fault_plans)
+def test_round_trip_is_stable(plan):
+    """A second trip through JSON changes nothing (idempotence)."""
+    once = FaultPlan.from_json(plan.to_json())
+    assert once.to_json() == plan.to_json()
