@@ -12,6 +12,7 @@ between calls.
 """
 
 from .block_cholesky import block_cholesky
+from .pipeline import matmul_chain, matmul_chain_reference, matmul_chain_steps
 from .cholesky_qr import cholesky_qr, cholesky_qr2, gram_matrix, shifted_cholesky_qr
 from .polar import polar_decompose
 from .purification import initial_density_guess, mcweeny_purification
@@ -19,6 +20,9 @@ from .subspace import chebyshev_filter, rayleigh_ritz, subspace_iteration
 
 __all__ = [
     "block_cholesky",
+    "matmul_chain",
+    "matmul_chain_reference",
+    "matmul_chain_steps",
     "gram_matrix",
     "cholesky_qr",
     "cholesky_qr2",

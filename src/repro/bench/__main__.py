@@ -18,6 +18,7 @@ import sys
 
 from .harness import (
     baseline_artifact,
+    checkpoint_cost,
     fault_degradation,
     fig2_partitions,
     fig3_scaling,
@@ -75,6 +76,13 @@ def main(argv: list[str] | None = None) -> int:
              "overhead (ULFM-style shrink-replan recovery, see "
              "docs/RECOVERY.md)",
     )
+    ap.add_argument(
+        "--ckpt-every", metavar="N", type=int, default=None,
+        help="also run each figure's stand-in workload as a 4-call matmul "
+             "chain checkpointed every N calls, kill a rank mid-pipeline, "
+             "and print the checkpoint/restart overhead (repro.ckpt, see "
+             "docs/RECOVERY.md)",
+    )
     args = ap.parse_args(argv)
 
     plan = None
@@ -109,6 +117,9 @@ def main(argv: list[str] | None = None) -> int:
             print()
         if args.kill_rank is not None:
             print(recovery_cost(name, args.kill_rank).text)
+            print()
+        if args.ckpt_every is not None:
+            print(checkpoint_cost(name, ckpt_every=args.ckpt_every).text)
             print()
     return rc
 

@@ -201,6 +201,97 @@ def recovery_cost(
     return BenchResult(f"recovery_{name}", text, data)
 
 
+def checkpoint_cost(
+    name: str,
+    ckpt_every: int = 1,
+    kill_rank: int = 1,
+    calls: int = 4,
+    machine: MachineModel | None = None,
+) -> BenchResult:
+    """Checkpoint/restart overhead on a multi-call pipeline.
+
+    Runs the alternating matmul chain (:mod:`repro.apps.pipeline`) on
+    the stand-in workload for ``name`` twice — once clean, once with
+    ``kill_rank`` killed mid-pipeline — both under
+    :mod:`repro.ckpt` checkpointing every ``ckpt_every`` calls, and
+    reports the checkpoint overhead (clean vs an uncheckpointed clean
+    run), the recovery cost, and the reused-vs-recomputed flops split.
+    Used by ``python -m repro.bench --ckpt-every``.
+    """
+    import numpy as np
+
+    from ..apps.pipeline import matmul_chain, matmul_chain_reference
+    from ..ckpt import CheckpointPolicy, MemoryStore
+    from ..mpi import run_spmd
+    from ..mpi.faults import FaultPlan, RankFault
+
+    m, n, k, p = TRACE_WORKLOADS[name]
+    if not 0 <= kill_rank < p:
+        raise ValueError(f"kill_rank {kill_rank} outside world [0, {p})")
+    kill_call = calls // 2
+    fault = FaultPlan(
+        seed=0,
+        ranks=(RankFault(rank=kill_rank, phase="cannon",
+                         occurrence=kill_call + 1, kill=True),),
+    )
+
+    def run(faults, policy):
+        store = MemoryStore() if policy is not None else None
+
+        def f(comm):
+            res = matmul_chain(
+                comm, m, n, k, calls=calls, store=store, policy=policy,
+            )
+            return res.state["X"].to_global()
+
+        return run_spmd(p, f, machine=machine or pace_phoenix_cpu("mpi"),
+                        record_events=True, faults=faults)
+
+    policy = CheckpointPolicy(every_calls=ckpt_every)
+    bare = run(None, None)
+    clean = run(None, policy)
+    faulted = run(fault, policy)
+    got = next(r for r in faulted.results if r is not None)
+    ref = matmul_chain_reference(m, n, k, calls=calls)
+    tol = 1e-8 * max(1.0, float(np.abs(ref).max()))
+    correct = bool(float(np.abs(got - ref).max()) <= tol)
+    fm = faulted.metrics
+    ckpt_overhead = clean.time - bare.time
+    delta = faulted.time - clean.time
+    data = {
+        "calls": calls,
+        "ckpt_every": ckpt_every,
+        "kill_rank": kill_rank,
+        "kill_call": kill_call,
+        "bare_makespan_s": bare.time,
+        "clean_makespan_s": clean.time,
+        "ckpt_overhead_s": ckpt_overhead,
+        "faulted_makespan_s": faulted.time,
+        "delta_s": delta,
+        "recoveries": fm.recoveries,
+        "reused_flops": fm.reused_flops,
+        "recomputed_flops": fm.recomputed_flops,
+        "one_call_flops": 2.0 * m * n * k,
+        "failed_ranks": faulted.failed_ranks,
+        "correct": correct,
+    }
+    text = "\n".join([
+        f"checkpoint cost — {name} ({calls}-call chain, checkpoint every "
+        f"{ckpt_every}, kill rank {kill_rank} in call {kill_call})",
+        f"  bare makespan    : {bare.time * 1e3:.6f} ms (no checkpoints)",
+        f"  clean makespan   : {clean.time * 1e3:.6f} ms "
+        f"(+{ckpt_overhead * 1e3:.6f} ms checkpoint overhead)",
+        f"  faulted makespan : {faulted.time * 1e3:.6f} ms "
+        f"(+{delta * 1e3:.6f} ms recovery)",
+        f"  flops accounting : {fm.reused_flops:.0f} reused, "
+        f"{fm.recomputed_flops:.0f} recomputed "
+        f"(one call = {2.0 * m * n * k:.0f})",
+        f"  recovered X      : "
+        f"{'correct' if correct else 'WRONG'} (tol {tol:.3e})",
+    ])
+    return BenchResult(f"checkpoint_{name}", text, data)
+
+
 def trace_artifact(
     name: str,
     outdir: str | Path,

@@ -1,0 +1,42 @@
+"""Checkpoint/restart for multi-call pipelines (:mod:`repro.ckpt`).
+
+Snapshots a pipeline's carried distributed matrices to a pluggable
+store (in-memory "disk" or a real directory) on a policy cadence, and
+restarts from the newest manifest onto the surviving process count
+after a failure.  Composes with :mod:`repro.ft`: in-call recovery heals
+a single multiplication; this layer keeps the *pipeline's* progress.
+See docs/RECOVERY.md.
+"""
+
+from .manifest import (
+    MANIFEST_JSON_SCHEMA,
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    validate_manifest,
+)
+from .pipeline import (
+    PipelineResult,
+    PipelineStep,
+    restart,
+    run_pipeline,
+    save_checkpoint,
+)
+from .policy import CheckpointPolicy
+from .store import CheckpointError, CheckpointStore, DirStore, MemoryStore
+
+__all__ = [
+    "MANIFEST_JSON_SCHEMA",
+    "MANIFEST_SCHEMA_VERSION",
+    "build_manifest",
+    "validate_manifest",
+    "CheckpointPolicy",
+    "CheckpointError",
+    "CheckpointStore",
+    "DirStore",
+    "MemoryStore",
+    "PipelineResult",
+    "PipelineStep",
+    "restart",
+    "run_pipeline",
+    "save_checkpoint",
+]

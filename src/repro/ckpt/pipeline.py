@@ -1,0 +1,308 @@
+"""Checkpoint/restart for multi-call CA3DMM pipelines.
+
+The ft layer (:mod:`repro.ft`) recovers *one* multiplication: buddy
+backups resurrect the operands, partial-result reuse salvages the
+surviving k-groups.  Real consumers, though, run *pipelines* — SCF
+loops, purification sequences, subspace iterations — where a failure in
+call 7 of 40 must not force recomputing calls 1-6.  This module adds the
+missing layer: snapshot the pipeline's carried state to a
+:class:`~repro.ckpt.store.CheckpointStore` on a
+:class:`~repro.ckpt.policy.CheckpointPolicy` cadence, and on failure
+shrink the world and resume from the newest manifest instead of from
+scratch.
+
+Two failure paths compose with the ft layer:
+
+* **Escaped failure** (non-resilient step, or a resilient step that ran
+  out of in-call recovery budget and re-raised): the error unwinds into
+  :func:`run_pipeline`, which revokes, agrees on the survivors, shrinks,
+  and calls :func:`restart` — the grid is re-planned for the surviving
+  process count and the restored tiles are redistributed through the
+  ``Explicit`` layout machinery on the next engine call.
+* **In-call recovery** (a resilient step healed itself): the step
+  returns its outputs on a *shrunk* communicator.  The pipeline detects
+  the communicator change and rebases the carried state (matrices the
+  step did not return) from the newest checkpoint onto the new
+  communicator, keeping the step's freshly computed outputs.
+
+A checkpoint only exists once its manifest is published, and the
+manifest is written by rank 0 *after* a barrier proves every rank's
+tiles landed — so a kill mid-checkpoint leaves the previous checkpoint
+as the restart point, never a torn one.
+
+Checkpoint ids are minted from the *virtual* clock (allreduce-MAX of
+the member clocks), so identical faulted runs produce byte-identical
+checkpoint histories — the determinism contract of docs/RECOVERY.md
+extends through this layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..ft.errors import UnrecoverableError
+from ..layout.blocks import Rect
+from ..layout.distributions import Explicit
+from ..layout.matrix import DistMatrix
+from ..mpi.comm import Comm
+from ..mpi.errors import CommRevokedError, RankFailedError, RankKilledError
+from .manifest import build_manifest, validate_manifest
+from .policy import CheckpointPolicy
+from .store import CheckpointError, CheckpointStore
+
+#: Pipeline state: named distributed matrices carried between steps.
+State = dict[str, DistMatrix]
+
+
+@dataclass(frozen=True)
+class PipelineStep:
+    """One call of a multi-call pipeline.
+
+    ``fn(comm, state) -> updates`` computes on the current communicator
+    and returns a dict of the matrices it produced *or changed*; the
+    pipeline merges the updates into the carried state.  Steps must
+    return every matrix they modify — the checkpoint layer assumes
+    anything not returned is unchanged since the last checkpoint.
+
+    ``flops`` (the step's useful arithmetic) feeds the
+    ``reused_flops`` accounting: work a restart did *not* redo because a
+    checkpoint preserved it.
+    """
+
+    name: str
+    fn: Callable[[Comm, State], State]
+    flops: float = 0.0
+
+
+@dataclass
+class PipelineResult:
+    """What :func:`run_pipeline` hands back."""
+
+    state: State  #: final carried state (on ``comm``)
+    comm: Comm  #: the communicator the pipeline finished on
+    restarts: int = 0  #: pipeline-level restarts (not in-call recoveries)
+    checkpoints: list[str] = field(default_factory=list)  #: published ckpt ids
+
+
+def save_checkpoint(
+    comm: Comm,
+    store: CheckpointStore,
+    step: int,
+    step_name: str,
+    state: State,
+) -> tuple[str, float]:
+    """Checkpoint ``state`` to ``store``; collective over ``comm``.
+
+    Returns ``(ckpt_id, t_virtual)``.  The id embeds the world's virtual
+    time so the store's key space is replay-deterministic.  The manifest
+    is published by rank 0 only after a barrier proves every rank's
+    tiles landed; a failure before that leaves no trace of this
+    checkpoint.
+    """
+    t = CheckpointPolicy().global_now(comm)
+    ckpt_id = f"step{step:04d}-t{t:.9f}"
+    with comm.span("ckpt_save", cat="ckpt", step=step, ckpt_id=ckpt_id,
+                   matrices=len(state)):
+        for name in sorted(state):
+            mat = state[name]
+            store.put_tiles(
+                ckpt_id, name, comm.rank,
+                list(zip(mat.owned_rects, mat.tiles)),
+            )
+        comm.barrier()  # all tiles durable before the manifest publishes
+        if comm.rank == 0:
+            store.put_manifest(build_manifest(
+                ckpt_id, step, step_name, t, comm.size, state,
+            ))
+        comm.barrier()  # manifest visible before anyone races ahead
+    return ckpt_id, t
+
+
+def restart(
+    comm: Comm,
+    store: CheckpointStore,
+    manifest: dict | None = None,
+) -> tuple[State, int]:
+    """Rebuild pipeline state from a checkpoint onto ``comm``.
+
+    ``comm`` may have a *different* (typically smaller) size than the
+    world that wrote the checkpoint: each old rank ``r``'s tiles are
+    dealt round-robin to new rank ``r % comm.size`` via an ``Explicit``
+    distribution, and the next engine call redistributes them into its
+    planned layout — no resize-aware store format needed.
+
+    Returns ``(state, next_step)`` where ``next_step`` is the index of
+    the first step that still has to run.
+    """
+    man = manifest if manifest is not None else store.latest_manifest()
+    if man is None:
+        raise CheckpointError("restart requested but the store holds no "
+                              "checkpoint manifest")
+    validate_manifest(man)
+    old_n = int(man["nranks"])
+    with comm.span("ckpt_restore", cat="ckpt", ckpt_id=man["ckpt_id"],
+                   old_nranks=old_n, new_nranks=comm.size):
+        state: State = {}
+        for name in sorted(man["matrices"]):
+            info = man["matrices"][name]
+            mapping: dict[int, list[Rect]] = {}
+            for new_rank in range(comm.size):
+                rects: list[Rect] = []
+                for old in range(new_rank, old_n, comm.size):
+                    rects.extend(
+                        Rect(*r) for r in info["rects"].get(str(old), [])
+                    )
+                mapping[new_rank] = rects
+            tiles = []
+            for old in range(comm.rank, old_n, comm.size):
+                tiles.extend(
+                    tile for _rect, tile
+                    in store.get_tiles(man["ckpt_id"], name, old)
+                )
+            dist = Explicit.from_mapping(
+                (int(info["shape"][0]), int(info["shape"][1])),
+                comm.size, mapping,
+            )
+            state[name] = DistMatrix(comm, dist, tiles)
+    return state, int(man["step"]) + 1
+
+
+def _rebase(
+    new_comm: Comm,
+    store: CheckpointStore | None,
+    state: State,
+    updates: State,
+) -> State:
+    """Re-home the carried state after an in-call recovery shrank the comm.
+
+    The step's ``updates`` already live on ``new_comm``; every carried
+    matrix the step did not return is reloaded from the newest
+    checkpoint (its tiles survive in the store even though some of their
+    old owners are dead).
+    """
+    carried = [name for name in state if name not in updates]
+    out: State = {}
+    if carried:
+        if store is None or store.latest_manifest() is None:
+            raise CheckpointError(
+                "a step recovered onto a shrunk communicator but no "
+                "checkpoint holds the carried state "
+                f"{carried}; run the pipeline with a store and a policy "
+                "that checkpoints every call"
+            )
+        restored, _next = restart(new_comm, store)
+        missing = [name for name in carried if name not in restored]
+        if missing:
+            raise CheckpointError(
+                f"carried state {missing} is not in the latest checkpoint"
+            )
+        out = {name: restored[name] for name in carried}
+    out.update(updates)
+    return out
+
+
+def run_pipeline(
+    comm: Comm,
+    steps: list[PipelineStep],
+    init: Callable[[Comm], State],
+    *,
+    store: CheckpointStore | None = None,
+    policy: CheckpointPolicy | None = None,
+    max_restarts: int = 2,
+    resume: bool = False,
+) -> PipelineResult:
+    """Run ``steps`` with checkpoint/restart; collective over ``comm``.
+
+    ``init(comm)`` builds the initial state (step 0's inputs).  With a
+    ``store`` and ``policy``, completed steps are checkpointed on the
+    policy's cadence; a failure that escapes a step shrinks the world
+    and resumes from the newest checkpoint (or from ``init`` if none was
+    published yet).  ``resume=True`` starts from the store's newest
+    checkpoint instead of ``init`` — the cross-run restart path, e.g.
+    with a :class:`~repro.ckpt.store.DirStore` from a previous process.
+
+    Raises :class:`~repro.ft.errors.UnrecoverableError` when the restart
+    budget is exhausted or a failure hits a single-rank communicator.
+    """
+    cur = comm
+    restarts = 0
+    ckpt_ids: list[str] = []
+    t_last = 0.0
+    if resume and store is not None and store.latest_manifest() is not None:
+        state, i = restart(cur, store)
+    else:
+        state, i = init(cur), 0
+    while i < len(steps):
+        step = steps[i]
+        try:
+            with cur.phase("ckpt_step", step=i, step_name=step.name):
+                updates = step.fn(cur, state)
+            # A resilient step may have healed an in-call failure by
+            # shrinking the communicator under us; its outputs then live
+            # on the new comm and the carried state must follow.
+            new_comm = next(
+                (
+                    mat.comm for mat in updates.values()
+                    if getattr(mat, "comm", cur) is not cur
+                ),
+                None,
+            )
+            if new_comm is not None:
+                state = _rebase(new_comm, store, state, updates)
+                cur = new_comm
+            else:
+                state = {**state, **updates}
+            done = i
+            i += 1
+            if (
+                store is not None
+                and policy is not None
+                and policy.due(done, cur, t_last)
+            ):
+                cid, t_last = save_checkpoint(
+                    cur, store, done, step.name, state,
+                )
+                ckpt_ids.append(cid)
+        except UnrecoverableError:
+            raise
+        except RankKilledError:
+            if cur.size == 1:
+                raise UnrecoverableError(
+                    "rank killed on a single-rank communicator: nobody "
+                    "is left to restart the pipeline",
+                    recoveries=restarts,
+                ) from None
+            raise  # this rank is dead; survivors handle the restart
+        except (RankFailedError, CommRevokedError):
+            cur.revoke()
+            _all_ok, survivors = cur.agree(False)
+            restarts += 1
+            if restarts > max_restarts:
+                raise UnrecoverableError(
+                    f"pipeline restart budget exhausted "
+                    f"(max_restarts={max_restarts})",
+                    recoveries=restarts,
+                ) from None
+            with cur.span("ckpt_restart", cat="ckpt", attempt=restarts,
+                          survivors=len(survivors)):
+                new_comm = cur.shrink(survivors)
+                if new_comm.rank == 0:
+                    new_comm.transport.add_ft(
+                        new_comm.world_rank, recoveries=1,
+                    )
+                if store is not None and store.latest_manifest() is not None:
+                    state, i = restart(new_comm, store)
+                    if new_comm.rank == 0:
+                        preserved = sum(s.flops for s in steps[:i])
+                        if preserved:
+                            new_comm.transport.add_ft(
+                                new_comm.world_rank,
+                                reused_flops=preserved,
+                            )
+                else:
+                    state, i = init(new_comm), 0
+                cur = new_comm
+    return PipelineResult(
+        state=state, comm=cur, restarts=restarts, checkpoints=ckpt_ids,
+    )

@@ -14,7 +14,7 @@ same report structure: the partition info block, per-phase timings over
 schema-validated JSON document (``repro.obs.export.RUN_JSON_SCHEMA``)
 for scripting.
 
-Six observability subcommands front the :mod:`repro.obs` subsystem::
+Seven observability subcommands front the :mod:`repro.obs` subsystem::
 
     python -m repro.cli trace 64 64 64 -np 8 -o run.trace.json
     python -m repro.cli stats 64 64 64 -np 8 --json
@@ -22,6 +22,7 @@ Six observability subcommands front the :mod:`repro.obs` subsystem::
     python -m repro.cli perfdiff --baseline-dir benchmarks/baselines
     python -m repro.cli faults 64 64 64 -np 8 --plan drop.json
     python -m repro.cli recover 64 64 64 -np 8 --kill-rank 3 --corrupt
+    python -m repro.cli checkpoint 48 48 48 -np 8 --kill-rank 1
 
 ``trace`` executes one multiplication with event recording and exports a
 Chrome-trace/Perfetto JSON (plus an optional JSONL structured log);
@@ -36,7 +37,11 @@ makespan delta, retry counters, result correctness, and the critical-path
 chain through the injected fault; ``recover`` demonstrates the
 fault-*tolerance* layer (:mod:`repro.ft`, see ``docs/RECOVERY.md``):
 ULFM-style rank-failure recovery and/or ABFT corruption protection,
-exiting nonzero unless the faulted run recovers a correct result.
+exiting nonzero unless the faulted run recovers a correct result;
+``checkpoint`` runs a multi-call pipeline under :mod:`repro.ckpt`
+checkpoint/restart — a rank is killed mid-pipeline, the survivors
+restart from the newest checkpoint, and partial-result reuse keeps the
+recomputed work below one full call.
 
 Run as ``python -m repro.cli ...`` or via the ``ca3dmm-example``
 console script.
@@ -690,6 +695,172 @@ def _recover_main(argv: list[str]) -> int:
     return 0 if ok else 1
 
 
+def _checkpoint_main(argv: list[str]) -> int:
+    from .apps.pipeline import matmul_chain, matmul_chain_reference
+    from .ckpt import CheckpointPolicy, DirStore, MemoryStore
+    from .mpi.faults import FaultPlan, RankFault
+
+    ap = _obs_parser(
+        "checkpoint",
+        "Run a multi-call matmul pipeline (X <- op(A) @ X, alternating op) "
+        "under checkpoint/restart (docs/RECOVERY.md): kill a rank "
+        "mid-pipeline, restart from the newest checkpoint on the surviving "
+        "ranks, and verify the final iterate against numpy.  Exits 0 only "
+        "when the faulted pipeline recovers, matches the serial reference, "
+        "and partial-result reuse saved work (reused_flops > 0, recomputed "
+        "< one full call).",
+    )
+    ap.add_argument("--calls", type=int, default=4,
+                    help="pipeline length (matmul calls)")
+    ap.add_argument("--ckpt-every", type=int, default=1, metavar="N",
+                    help="checkpoint after every N calls")
+    ap.add_argument("--kill-rank", type=int, default=1, metavar="R",
+                    help="rank to kill (permanently) mid-pipeline")
+    ap.add_argument("--kill-call", type=int, default=2, metavar="C",
+                    help="0-based call index whose Cannon stage kills the rank")
+    ap.add_argument("--store", choices=("mem", "dir"), default="mem",
+                    help="checkpoint store backend: in-memory disk or a "
+                         "real directory of .npy tiles")
+    ap.add_argument("--store-dir", default=None, metavar="PATH",
+                    help="directory for --store dir (default: a temp dir)")
+    ap.add_argument("--escaped", action="store_true",
+                    help="use non-resilient steps so the failure escapes to "
+                         "the pipeline restart path instead of being healed "
+                         "in-call (no partial-result reuse)")
+    ap.add_argument("--max-restarts", type=int, default=2,
+                    help="pipeline restarts allowed before giving up")
+    ap.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    args = ap.parse_args(argv)
+    machine, _grid = _obs_common(args)
+    m, n, k, p = args.M, args.N, args.K, args.nprocs
+    if not 0 <= args.kill_rank < p:
+        print(f"--kill-rank must be in [0, {p})", file=sys.stderr)
+        return 2
+    if not 0 <= args.kill_call < args.calls:
+        print(f"--kill-call must be in [0, {args.calls})", file=sys.stderr)
+        return 2
+
+    fault_plan = FaultPlan(ranks=(RankFault(
+        rank=args.kill_rank, phase="cannon",
+        occurrence=args.kill_call + 1, kill=True,
+    ),))
+    policy = CheckpointPolicy(every_calls=args.ckpt_every)
+    resilient = not args.escaped
+
+    import tempfile
+
+    tmp = None
+    if args.store == "dir" and args.store_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
+
+    def make_store():
+        if args.store == "mem":
+            return MemoryStore()
+        root = args.store_dir or tmp.name
+        import os
+        import uuid
+
+        return DirStore(os.path.join(root, uuid.uuid4().hex[:8]))
+
+    def run(faults):
+        store = make_store()
+
+        def f(comm):
+            res = matmul_chain(
+                comm, m, n, k, calls=args.calls,
+                store=store, policy=policy, resilient=resilient,
+                max_restarts=args.max_restarts,
+            )
+            return {
+                "x": res.state["X"].to_global(),
+                "restarts": res.restarts,
+                "checkpoints": res.checkpoints,
+            }
+
+        return run_spmd(p, f, machine=machine, record_events=True,
+                        faults=faults)
+
+    try:
+        clean = run(None)
+        try:
+            faulted = run(fault_plan)
+        except RuntimeError as exc:
+            print(f"checkpoint/restart failed: {exc.__cause__ or exc}",
+                  file=sys.stderr)
+            return 1
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    got = next((r for r in faulted.results if r is not None), None)
+    if got is None:
+        print("checkpoint/restart failed: no surviving rank returned",
+              file=sys.stderr)
+        return 1
+    ref = matmul_chain_reference(m, n, k, calls=args.calls)
+    scale = max(1.0, float(np.abs(ref).max()))
+    max_err = float(np.abs(got["x"] - ref).max())
+    numeric_ok = max_err <= 1e-8 * scale
+
+    fm = faulted.metrics
+    one_call = 2.0 * m * n * k
+    recovered = got["restarts"] >= 1 or fm.recoveries >= 1
+    reuse_ok = fm.reused_flops > 0 and fm.recomputed_flops < one_call
+    ok = (
+        numeric_ok and recovered and bool(faulted.failed_ranks)
+        and (reuse_ok or args.escaped)
+    )
+    if args.escaped:
+        # No in-call healing: the pipeline restart preserves checkpointed
+        # calls instead (counted in the same reused_flops metric).
+        ok = ok and fm.reused_flops > 0
+
+    if args.json:
+        doc = {
+            "schema_version": 1,
+            "problem": {"m": m, "n": n, "k": k, "nprocs": p},
+            "calls": args.calls,
+            "ckpt_every": args.ckpt_every,
+            "store": args.store,
+            "resilient_steps": resilient,
+            "plan": fault_plan.to_dict(),
+            "clean_makespan_s": clean.time,
+            "faulted_makespan_s": faulted.time,
+            "failed_ranks": faulted.failed_ranks,
+            "checkpoints": got["checkpoints"],
+            "pipeline_restarts": got["restarts"],
+            "recoveries": fm.recoveries,
+            "reused_flops": fm.reused_flops,
+            "recomputed_flops": fm.recomputed_flops,
+            "one_call_flops": one_call,
+            "max_abs_error": max_err,
+            "tolerance": 1e-8 * scale,
+            "correct": ok,
+        }
+        print(json.dumps(doc, indent=2))
+        return 0 if ok else 1
+
+    mode = "escaped (pipeline restart)" if args.escaped else "in-call (partial reuse)"
+    print(f"pipeline          : {args.calls} calls of {m}x{n}x{k} on {p} ranks, "
+          f"checkpoint every {args.ckpt_every}")
+    print(f"fault             : kill rank {args.kill_rank} in call "
+          f"{args.kill_call}'s cannon stage; recovery mode: {mode}")
+    print(f"clean makespan    : {clean.time * 1e3:.6f} ms")
+    print(f"faulted makespan  : {faulted.time * 1e3:.6f} ms "
+          f"(+{(faulted.time - clean.time) * 1e3:.6f} ms)")
+    print(f"failed ranks      : {faulted.failed_ranks or 'none'}")
+    print(f"checkpoints       : {len(got['checkpoints'])} "
+          f"({', '.join(got['checkpoints'][:3])}"
+          f"{', ...' if len(got['checkpoints']) > 3 else ''})")
+    print(f"restarts/recoveries: {got['restarts']}/{fm.recoveries}")
+    print(f"flops accounting  : {fm.reused_flops:.0f} reused, "
+          f"{fm.recomputed_flops:.0f} recomputed "
+          f"(one full call = {one_call:.0f})")
+    print(f"max |X - ref|     : {max_err:.3e} (tol {1e-8 * scale:.3e})")
+    print(f"result            : {'recovered OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
 def _stats_main(argv: list[str]) -> int:
     ap = _obs_parser(
         "stats", "Execute one CA3DMM multiplication and print its metrics"
@@ -718,6 +889,7 @@ _SUBCOMMANDS = {
     "perfdiff": _perfdiff_main,
     "faults": _faults_main,
     "recover": _recover_main,
+    "checkpoint": _checkpoint_main,
 }
 
 

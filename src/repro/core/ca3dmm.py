@@ -115,6 +115,7 @@ class Ca3dmm:
         alpha: float = 1.0,
         beta: float = 0.0,
         c_in: DistMatrix | None = None,
+        on_partial=None,
     ) -> DistMatrix:
         """Compute ``C = alpha * op(A) x op(B) + beta * C_in`` (full GEMM).
 
@@ -132,6 +133,14 @@ class Ca3dmm:
         in after the reduce-scatter — the trailing-matrix-update pattern
         behind the paper's "flat" problem class (``C -= A x B`` in LU /
         Cholesky / QR panel factorizations).
+
+        ``on_partial`` (``(role, c_loc) -> None``), when given, is
+        called on every active rank with its verified partial C block —
+        after the ABFT guard has stripped/validated it, before the
+        k-group reduce-scatter consumes it.  The fault-tolerance layer
+        uses this retention hook to keep surviving k-group partials
+        across a failure (partial-result reuse, docs/RECOVERY.md); the
+        block is *unscaled* (``alpha`` is applied after the reduce).
         """
         plan, comm = self.plan, self.comm
         m, n, k = plan.m, plan.n, plan.k
@@ -225,10 +234,15 @@ class Ca3dmm:
                 )
 
             # Step 7: reduce-scatter partial C blocks across k-groups.
+            # Verification runs first so the retention hook only ever
+            # sees a partial the ABFT guard has already vouched for.
             with comm.phase("reduce", pk=plan.pk):
+                if guard is not None:
+                    c_loc = guard.verified(c_loc)
+                if on_partial is not None:
+                    on_partial(role, c_loc)
                 by_cols = plan.c_split_cols(role.i, role.j)
-                strip = reduce_partial_c(self.kred_comm, c_loc, by_cols,
-                                         abft=guard)
+                strip = reduce_partial_c(self.kred_comm, c_loc, by_cols)
 
             rect = plan.c_owned(comm.rank)
             if rect is None or rect.is_empty():

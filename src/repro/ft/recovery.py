@@ -11,10 +11,12 @@ pattern that never takes out a rank and its buddy together.  Then:
    to touch it gets :class:`~repro.mpi.errors.RankFailedError`
    (``MPI_ERR_PROC_FAILED``).
 2. **revoke** — the detector revokes the world
-   (:meth:`~repro.mpi.comm.Comm.revoke`): every rank blocked in — or
-   about to enter — a communication call unblocks with
-   :class:`~repro.mpi.errors.CommRevokedError` (``MPI_ERR_REVOKED``),
-   so nobody is left stranded in a half-finished collective.
+   (:meth:`~repro.mpi.comm.Comm.revoke`).  Revocation is
+   quiescence-gated (see :meth:`~repro.mpi.transport.Transport.revoke`):
+   survivors keep draining deliverable messages and are unwound with
+   :class:`~repro.mpi.errors.CommRevokedError` (``MPI_ERR_REVOKED``)
+   only once nothing can make progress, so the virtual clock at which
+   each survivor observes the failure is replay-deterministic.
 3. **agree** — all survivors join :meth:`~repro.mpi.comm.Comm.agree`
    (``MPIX_Comm_agree``) and learn a consistent verdict plus survivor
    snapshot.  Success returns the result; failure proceeds to:
@@ -27,6 +29,20 @@ pattern that never takes out a rank and its buddy together.  Then:
    as an :class:`~repro.layout.distributions.Explicit` layout over the
    survivors.  The next attempt's engine redistributes them to its new
    native layout through the ordinary machinery.
+
+**Partial-result reuse.**  A failed attempt is not a total loss: every
+surviving active rank whose Cannon stage completed retains its verified
+partial C block (the engine's ``on_partial`` hook fires after the ABFT
+guard, before the k-group reduce-scatter).  After the shrink, the
+survivors agree — one allgather — on which k-task groups are *complete*
+(all ``pm x pn`` blocks of that k-slice retained by survivors).  The
+next attempt then multiplies only the missing k-slices (the inputs are
+compacted along k through the ``Explicit`` machinery) and the retained
+group contributions are redistributed and summed into the result,
+charging a ``reused_flops``-vs-``recomputed_flops`` metrics pair.  If
+the reuse attempt itself fails, the retained partials are dropped and
+recovery falls back to a full recompute — reuse is a one-shot
+optimization, never a correctness dependency.
 
 The loop is bounded by ``max_recoveries``; exhausting it — or losing a
 rank together with its buddy — raises a typed
@@ -41,17 +57,21 @@ re-runs the identical schedule, is bit-identical; see
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from ..core.ca3dmm import Ca3dmm, _norm_op
+from ..core.plan import Ca3dmmPlan
 from ..grid.optimizer import DEFAULT_L, GridSpec
+from ..layout.blocks import Rect
 from ..layout.distributions import Distribution, Explicit
 from ..layout.matrix import DistMatrix
+from ..layout.redistribute import redistribute
 from ..mpi.comm import Comm
 from ..mpi.datatypes import INTERNAL_TAG_BASE
-from ..mpi.errors import CommRevokedError, RankFailedError
+from ..mpi.errors import CommRevokedError, RankFailedError, RankKilledError
 from .abft import AbftPolicy
 from .errors import FtError, UnrecoverableError
 
@@ -128,12 +148,24 @@ def _recover_matrix(
         if buddy_of[d] != me:
             continue
         # d is my left neighbour on the old ring; the backup I hold is
-        # exactly its (rect, tile) list, already in rect order.
-        n_rects = len(old_mat.dist.owned_rects(old_group.index(d)))
-        if backup is None or len(backup) != n_rects:
+        # exactly its (rect, tile) list, already in rect order.  The
+        # rects must match the dead rank's slots in the *current*
+        # layout identically — a stale backup from an earlier attempt
+        # with a different layout would pass a bare length check and
+        # silently corrupt the restored matrix.
+        expected = old_mat.dist.owned_rects(old_group.index(d))
+        if backup is None or len(backup) != len(expected):
             raise UnrecoverableError(
                 f"backup for failed rank {d} is missing or incomplete "
                 f"(rank died before the backup exchange finished)",
+                recoveries=recoveries,
+            )
+        got_rects = [rect for rect, _tile in backup]
+        if got_rects != expected:
+            raise UnrecoverableError(
+                f"backup for failed rank {d} is stale: it covers rects "
+                f"{got_rects} but the current layout assigns {expected} "
+                f"(backup from a prior attempt with a different layout)",
                 recoveries=recoveries,
             )
         tiles.extend(tile for _rect, tile in backup)
@@ -152,6 +184,194 @@ def _resolve_c_dist(c_dist, comm: Comm):
             f"Distribution) so the output layout can follow recovery"
         )
     return c_dist
+
+
+# ------------------------------------------------------ partial reuse -- #
+@dataclass
+class _ReusePlan:
+    """Everything the reuse attempt needs, derived identically everywhere.
+
+    ``plan`` is the *failed* attempt's plan (its k-ranges and C blocks
+    name what was retained); ``coords`` maps each new local rank to the
+    ``(ik, i, j)`` coordinates of the partial it retained; ``mine`` is
+    this rank's retained (verified, unscaled) partial body, if any.
+    """
+
+    plan: Ca3dmmPlan
+    coords: dict[int, tuple[int, int, int]]
+    mine: np.ndarray | None
+    reusable: frozenset[int]
+
+    @property
+    def k_reused(self) -> int:
+        return sum(
+            self.plan.k_range(ik)[1] - self.plan.k_range(ik)[0]
+            for ik in self.reusable
+        )
+
+    @property
+    def k_missing(self) -> int:
+        return self.plan.k - self.k_reused
+
+
+def _gather_reuse(
+    new_comm: Comm, old_plan: Ca3dmmPlan, mine
+) -> _ReusePlan | None:
+    """Agree (one allgather) on which k-groups survived completely.
+
+    ``mine`` is this rank's retained ``(ik, i, j, body)`` from the
+    failed attempt, or None.  A k-group's contribution is reusable only
+    when *all* ``pm x pn`` of its blocks were retained by survivors.
+    Returns None when no group survived whole (full recompute).
+    """
+    payload = None if mine is None else (mine[0], mine[1], mine[2])
+    coords_list = new_comm.allgather(payload)
+    coords = {r: c for r, c in enumerate(coords_list) if c is not None}
+    needed = {(i, j) for i in range(old_plan.pm) for j in range(old_plan.pn)}
+    reusable = frozenset(
+        ik
+        for ik in range(old_plan.pk)
+        if {(i, j) for rik, i, j in coords.values() if rik == ik} == needed
+    )
+    if not reusable:
+        return None
+    return _ReusePlan(
+        plan=old_plan,
+        coords=coords,
+        mine=None if mine is None else mine[3],
+        reusable=reusable,
+    )
+
+
+def _compact_k(mat: DistMatrix, k_ranges, axis: int) -> DistMatrix:
+    """Slice a DistMatrix to the concatenation of ``k_ranges`` along
+    ``axis`` (0 = rows, 1 = cols), renumbering coordinates monotonically.
+
+    Every rank derives the same :class:`Explicit` layout (the remap is a
+    pure function of the old layout), so the compacted matrix can feed
+    the engine's ordinary redistribution directly.
+    """
+    offsets = []
+    total = 0
+    for k0, k1 in k_ranges:
+        offsets.append((k0, k1, total))
+        total += k1 - k0
+    mapping: dict[int, list[Rect]] = {}
+    my_tiles: list[np.ndarray] = []
+    me = mat.comm.rank
+    for rank in range(mat.dist.nranks):
+        rects = mat.dist.owned_rects(rank)
+        out_rects: list[Rect] = []
+        for ri, rect in enumerate(rects):
+            lo, hi = (rect.r0, rect.r1) if axis == 0 else (rect.c0, rect.c1)
+            for k0, k1, off in offsets:
+                s0, s1 = max(lo, k0), min(hi, k1)
+                if s0 >= s1:
+                    continue
+                n0, n1 = s0 - k0 + off, s1 - k0 + off
+                if axis == 0:
+                    out_rects.append(Rect(n0, n1, rect.c0, rect.c1))
+                else:
+                    out_rects.append(Rect(rect.r0, rect.r1, n0, n1))
+                if rank == me:
+                    tile = mat.tiles[ri]
+                    piece = (
+                        tile[s0 - lo:s1 - lo, :]
+                        if axis == 0
+                        else tile[:, s0 - lo:s1 - lo]
+                    )
+                    my_tiles.append(np.ascontiguousarray(piece))
+        mapping[rank] = out_rects
+    shape = (
+        (total, mat.shape[1]) if axis == 0 else (mat.shape[0], total)
+    )
+    dist = Explicit.from_mapping(shape, mat.dist.nranks, mapping)
+    return DistMatrix(mat.comm, dist, my_tiles)
+
+
+def _reuse_multiply(
+    cur_comm: Comm,
+    cur_a: DistMatrix,
+    cur_b: DistMatrix,
+    reuse: _ReusePlan,
+    *,
+    c_dist,
+    transa,
+    transb,
+    ta: bool,
+    tb: bool,
+    alpha: float,
+    l: float,
+    shifts_per_gemm: int,
+    abft_policy: AbftPolicy | None,
+) -> DistMatrix:
+    """Recompute only the missing k-slices; fold in retained partials.
+
+    The missing slices are multiplied as one compacted sub-problem
+    (``m x n x k_miss``) on the shrunk grid; each complete retained
+    k-group is then expressed as an :class:`Explicit` block layout over
+    its holders, redistributed to the output layout, and summed in
+    (scaled by ``alpha`` — retained bodies are unscaled).
+    """
+    plan_old = reuse.plan
+    m, n = plan_old.m, plan_old.n
+    missing = sorted(ik for ik in range(plan_old.pk) if ik not in reuse.reusable)
+    k_ranges = [plan_old.k_range(ik) for ik in missing]
+    k_miss = sum(k1 - k0 for k0, k1 in k_ranges)
+    with cur_comm.span(
+        "ft_reuse", cat="ft",
+        reused_groups=len(reuse.reusable), k_reused=reuse.k_reused,
+        k_recomputed=k_miss,
+    ):
+        if k_miss:
+            a_sub = _compact_k(cur_a, k_ranges, axis=0 if ta else 1)
+            b_sub = _compact_k(cur_b, k_ranges, axis=1 if tb else 0)
+            engine = Ca3dmm(
+                cur_comm, m, n, k_miss,
+                grid=None, l=l, shifts_per_gemm=shifts_per_gemm,
+                abft=abft_policy,
+            )
+            final_dist = _resolve_c_dist(c_dist, cur_comm)
+            if final_dist is None:
+                final_dist = engine.plan.c_dist
+            c = engine.multiply(
+                a_sub, b_sub, c_dist=final_dist,
+                transa=transa, transb=transb, alpha=alpha,
+            )
+        else:
+            # Everything survived: nothing to multiply, only to combine.
+            final_dist = _resolve_c_dist(c_dist, cur_comm)
+            if final_dist is None:
+                final_dist = Ca3dmmPlan(
+                    m, n, plan_old.k, cur_comm.size, l=l
+                ).c_dist
+            c = DistMatrix.zeros(
+                cur_comm, final_dist,
+                dtype=np.promote_types(cur_a.dtype, cur_b.dtype),
+            )
+        for ik in sorted(reuse.reusable):
+            mapping = {
+                r: [plan_old.c_block(i, j)]
+                for r, (rik, i, j) in reuse.coords.items()
+                if rik == ik
+            }
+            dist_ik = Explicit.from_mapping((m, n), cur_comm.size, mapping)
+            my = reuse.coords.get(cur_comm.rank)
+            tiles = (
+                [np.ascontiguousarray(reuse.mine)]
+                if reuse.mine is not None and my is not None and my[0] == ik
+                else []
+            )
+            part = DistMatrix(cur_comm, dist_ik, tiles)
+            got = redistribute(part, final_dist, phase="redist")
+            c = DistMatrix(
+                cur_comm, final_dist,
+                [
+                    t + alpha * g.astype(t.dtype, copy=False)
+                    for t, g in zip(c.tiles, got.tiles)
+                ],
+            )
+    return c
 
 
 def resilient_multiply(
@@ -181,16 +401,24 @@ def resilient_multiply(
       ``result.comm`` is the shrunk comm after any recovery, and killed
       ranks never return at all.
 
+    A recovery round reuses surviving k-group partials when it can (see
+    the module docstring): `reused_flops` counts the work saved and
+    `recomputed_flops` the work redone (global flops, charged once per
+    round by the lowest surviving rank).
+
     ``max_recoveries`` bounds the shrink-replan-redistribute rounds;
     one more failure raises :class:`UnrecoverableError` on every
-    survivor (aborting the world, as an unhandled error does).
+    survivor (aborting the world, as an unhandled error does).  A kill
+    on a single-rank communicator is *immediately* unrecoverable — no
+    survivor holds a backup and nobody is left to agree — and raises
+    the same typed error instead of an untyped abort.
     """
-    transa, _ = _norm_op(transa)
-    transb, _ = _norm_op(transb)
+    ta, _ = _norm_op(transa)
+    tb, _ = _norm_op(transb)
     am, an = a.shape
     bm, bn = b.shape
-    m, k = (an, am) if transa else (am, an)
-    k2, n = (bn, bm) if transb else (bm, bn)
+    m, k = (an, am) if ta else (am, an)
+    k2, n = (bn, bm) if tb else (bm, bn)
     if k != k2:
         raise ValueError(
             f"inner dimensions differ: op(A) is {m}x{k}, op(B) is {k2}x{n}"
@@ -206,10 +434,13 @@ def resilient_multiply(
     cur_comm, cur_a, cur_b = comm, a, b
     cur_grid = grid
     recoveries = 0
+    reuse: _ReusePlan | None = None
     while True:
         backups = None
         c: DistMatrix | None = None
         ok = True
+        attempt_plan: Ca3dmmPlan | None = None
+        retained: list = [None]  # this attempt's (ik, i, j, body), if any
         try:
             # The ``ft_attempt`` phase is entered as the attempt's very
             # first action — nothing before it can raise — so its entry
@@ -218,17 +449,47 @@ def resilient_multiply(
             # backup exchange, i.e. with its current tiles unprotected).
             with cur_comm.phase("ft_attempt", attempt=recoveries + 1):
                 backups = _exchange_backups(cur_comm, (cur_a, cur_b))
-                engine = Ca3dmm(
-                    cur_comm, m, n, k,
-                    grid=cur_grid, l=l,
-                    shifts_per_gemm=shifts_per_gemm,
-                    abft=abft_policy,
-                )
-                c = engine.multiply(
-                    cur_a, cur_b,
-                    c_dist=_resolve_c_dist(c_dist, cur_comm),
-                    transa=transa, transb=transb, alpha=alpha,
-                )
+                if reuse is not None:
+                    c = _reuse_multiply(
+                        cur_comm, cur_a, cur_b, reuse,
+                        c_dist=c_dist, transa=transa, transb=transb,
+                        ta=ta, tb=tb, alpha=alpha, l=l,
+                        shifts_per_gemm=shifts_per_gemm,
+                        abft_policy=abft_policy,
+                    )
+                else:
+                    # The plan is a pure local computation, identical on
+                    # every rank, so each survivor can later name what
+                    # the failed attempt retained.
+                    attempt_plan = Ca3dmmPlan(
+                        m, n, k, cur_comm.size, grid=cur_grid, l=l
+                    )
+
+                    def _keep(role, body, _plan=attempt_plan, _cell=retained):
+                        blk = _plan.c_block(role.i, role.j)
+                        if body.shape == blk.shape:
+                            _cell[0] = (role.ik, role.i, role.j, body.copy())
+
+                    engine = Ca3dmm(
+                        cur_comm, m, n, k,
+                        grid=cur_grid, l=l,
+                        shifts_per_gemm=shifts_per_gemm,
+                        abft=abft_policy,
+                    )
+                    c = engine.multiply(
+                        cur_a, cur_b,
+                        c_dist=_resolve_c_dist(c_dist, cur_comm),
+                        transa=transa, transb=transb, alpha=alpha,
+                        on_partial=_keep,
+                    )
+        except RankKilledError:
+            if cur_comm.size == 1:
+                raise UnrecoverableError(
+                    "rank killed on a single-rank communicator: no "
+                    "survivor holds a backup and nobody is left to agree",
+                    recoveries=recoveries,
+                ) from None
+            raise  # multi-rank: the thread ends silently, world continues
         except (RankFailedError, CommRevokedError):
             cur_comm.revoke()
             ok = False
@@ -256,5 +517,25 @@ def resilient_multiply(
                 new_comm, cur_b, backups[1] if backups else None,
                 old_group, survivors, recoveries,
             )
+            if reuse is None and attempt_plan is not None:
+                reuse = _gather_reuse(new_comm, attempt_plan, retained[0])
+            else:
+                # The reuse attempt itself failed: drop the retained
+                # partials and fall back to a full recompute.
+                reuse = None
+            # Charge the round's reuse/recompute balance (global flops,
+            # once per round, on the lowest surviving rank).
+            if new_comm.rank == 0:
+                if reuse is not None:
+                    new_comm.transport.add_ft(
+                        new_comm.world_rank,
+                        recomputed_flops=2.0 * m * n * reuse.k_missing,
+                        reused_flops=2.0 * m * n * reuse.k_reused,
+                    )
+                else:
+                    new_comm.transport.add_ft(
+                        new_comm.world_rank,
+                        recomputed_flops=2.0 * m * n * k,
+                    )
             cur_comm = new_comm
             cur_grid = None  # re-run the grid optimizer for P' ranks

@@ -144,6 +144,9 @@ def run_spmd(
                 errors.append((rank, exc, traceback.format_exc()))
             transport.abort(AbortError(rank, exc))
         finally:
+            # Tell the transport this rank can never post again, so the
+            # revocation quiescence check stops waiting on it.
+            transport.mark_finished(rank)
             with err_lock:
                 finished[0] += 1
                 if finished[0] == nprocs:

@@ -100,7 +100,12 @@ class RankState:
     corruptions_injected: int = 0  #: corrupt-rule firings on messages this rank sent
     corruptions_detected: int = 0  #: ABFT checksum mismatches this rank caught
     recomputed_flops: float = 0.0  #: flops re-executed for ABFT correction
+    reused_flops: float = 0.0  #: flops avoided by reusing retained partials
     recoveries: int = 0  #: shrink-replan recovery rounds this rank survived
+    #: structured wait state, consulted by the revocation quiescence
+    #: check: ``(ctx, src, tag)`` while blocked in :meth:`Transport.match_recv`.
+    recv_wait: tuple[int, int, int] | None = None
+    agree_wait: bool = False  #: blocked in an agree rendezvous
 
     @property
     def phase(self) -> str:
@@ -188,6 +193,7 @@ class RankTrace:
     corruptions_injected: int = 0  #: corrupt-rule firings on this rank's sends
     corruptions_detected: int = 0  #: ABFT checksum mismatches this rank caught
     recomputed_flops: float = 0.0  #: flops re-executed for ABFT correction
+    reused_flops: float = 0.0  #: flops avoided by reusing retained partials
     recoveries: int = 0  #: shrink-replan recovery rounds this rank survived
 
 
@@ -241,6 +247,8 @@ class Transport:
         self.aborted: AbortError | None = None
         #: world ranks permanently failed by ``RankFault(kill=True)``.
         self.dead: set[int] = set()
+        #: world ranks whose program has returned (see :meth:`mark_finished`).
+        self.finished: set[int] = set()
         #: ULFM-style revocation flag: set by :meth:`revoke` after a
         #: failure is detected, cleared when an :meth:`agree` completes.
         self.revoked = False
@@ -283,13 +291,33 @@ class Transport:
     def revoke(self) -> None:
         """Revoke communication world-wide (ULFM ``MPI_Comm_revoke`` analog).
 
-        Every rank blocked in — or subsequently entering — a p2p call is
-        woken/refused with :class:`~repro.mpi.errors.CommRevokedError`,
-        funnelling all survivors into the recovery protocol.  The flag is
-        cleared when a subsequent :meth:`agree` completes.
+        Revocation is *quiescence-gated* so that faulted runs stay
+        replay-deterministic: receivers keep delivering messages that
+        are already (or still about to be) produced, and a blocked
+        receiver is unwound with
+        :class:`~repro.mpi.errors.CommRevokedError` only once every
+        live, unfinished rank is parked in a transport wait with
+        nothing deliverable (see :meth:`_quiescent_locked`).  That
+        stable cut of the computation is a property of the program, not
+        of thread scheduling, so the virtual timestamp at which each
+        survivor observes the revocation is the same on every replay.
+        The flag is cleared when a subsequent :meth:`agree` completes.
         """
         with self._cond:
             self.revoked = True
+            self.progress += 1
+            self._cond.notify_all()
+
+    def mark_finished(self, world_rank: int) -> None:
+        """Record that a rank's program has returned (or died).
+
+        Finished ranks can never post another message, so the
+        revocation quiescence check skips them; without this, a world
+        where some ranks already returned could never quiesce and a
+        revoked receiver would block forever.
+        """
+        with self._cond:
+            self.finished.add(world_rank)
             self.progress += 1
             self._cond.notify_all()
 
@@ -315,10 +343,14 @@ class Transport:
             self._cond.notify_all()
             me = self.ranks[world_rank]
             me.waiting_on = f"agree(key={key})"
+            me.agree_wait = True
             try:
                 while st["result"] is None:
                     self._check_abort()
-                    alive = [r for r in group if r not in self.dead]
+                    alive = [
+                        r for r in group
+                        if r not in self.dead and r not in self.finished
+                    ]
                     if alive and all(r in st["votes"] for r in alive):
                         ok = len(alive) == len(group) and all(
                             st["votes"][r] for r in alive
@@ -332,6 +364,7 @@ class Transport:
                     self._cond.wait(timeout=0.5)
             finally:
                 me.waiting_on = None
+                me.agree_wait = False
             ok, survivors, t = st["result"]
             self._raise_clock_locked(world_rank, t, event_kind="wait")
             return ok, survivors
@@ -342,6 +375,7 @@ class Transport:
         *,
         detected: int = 0,
         recomputed_flops: float = 0.0,
+        reused_flops: float = 0.0,
         recoveries: int = 0,
     ) -> None:
         """Charge fault-tolerance counters (ABFT detection, recovery rounds)."""
@@ -349,6 +383,7 @@ class Transport:
             st = self.ranks[world_rank]
             st.corruptions_detected += detected
             st.recomputed_flops += recomputed_flops
+            st.reused_flops += reused_flops
             st.recoveries += recoveries
 
     # ------------------------------------------------------------ clocks -- #
@@ -585,10 +620,15 @@ class Transport:
         t_msg = self.machine.msg_time(nbytes, src_world, dst_world)
         with self._cond:
             self._check_abort()
-            if self.revoked:
-                raise CommRevokedError(src_world)
-            if dst_world in self.dead:
-                raise RankFailedError(src_world, dst_world, op="send to")
+            # Sends always succeed locally, even to dead ranks and on a
+            # revoked world (eager-buffered / dead-letter semantics).
+            # Raising here would make the outcome depend on whether this
+            # thread observed the death/revocation flag before or after
+            # the racing detector set it — a wall-clock artifact that
+            # made faulted makespans wobble between replays.  Failure
+            # detection is the receiver's job (recv-from-dead, the
+            # revocation quiescence check) with ``agree`` as the
+            # collective backstop.
             st = self.ranks[src_world]
             drops = 0
             injected = False
@@ -856,11 +896,10 @@ class Transport:
             waitdesc = f"recv(src={src_world}, tag={tag}, ctx={ctx})"
             st = self.ranks[dst_world]
             st.waiting_on = waitdesc
+            st.recv_wait = (ctx, src_world, tag)
             try:
                 while True:
                     self._check_abort()
-                    if self.revoked:
-                        raise CommRevokedError(dst_world)
                     # Non-overtaking: a held dropped message must not be
                     # overtaken by a later message on the same pair, so
                     # mailbox matching is capped at the dropped seq.
@@ -883,6 +922,12 @@ class Transport:
                     if d is not None:
                         self._timeout_retry_locked(ctx, dst_world, d)
                         continue
+                    # Quiescence-gated revocation: a deliverable message
+                    # always wins over the revoked flag, so the program
+                    # point (and virtual clock) at which each survivor
+                    # is unwound is replay-deterministic.
+                    if self.revoked and self._quiescent_locked():
+                        raise CommRevokedError(dst_world)
                     self._cond.wait(timeout=0.5)
                 self.progress += 1
                 if advance_receiver:
@@ -900,6 +945,35 @@ class Transport:
                 return msg, status
             finally:
                 st.waiting_on = None
+                st.recv_wait = None
+
+    def _quiescent_locked(self) -> bool:
+        """True when no live, unfinished rank can make progress.
+
+        The gate for delivering :class:`CommRevokedError` (see
+        :meth:`revoke`): every rank is dead, finished, parked in an
+        agree rendezvous, or blocked in a receive with no matching
+        message in the mailbox and no held drop a retransmit could
+        still release.  Quiescence is a stable property — once reached,
+        only the unwinding of a blocked receiver changes it — so the
+        set of ranks unwound, and the virtual clock each is unwound at,
+        do not depend on thread scheduling.
+        """
+        for r, st in enumerate(self.ranks):
+            if r in self.dead or r in self.finished or st.agree_wait:
+                continue
+            w = st.recv_wait
+            if w is None:
+                return False  # still running between transport calls
+            ctx, src, tag = w
+            if self.faults is not None and self._find_dropped_locked(
+                ctx, r, src, tag
+            ) is not None:
+                return False  # a retransmit can still release it
+            box = self._mail.get((ctx, r))
+            if box and any(self._matches(m, src, tag) for m in box):
+                return False  # deliverable: about to make progress
+        return True
 
     def probe(self, ctx: int, dst_world: int, src_world: int, tag: int) -> Status | None:
         """Nonblocking probe: status of the first matching message, if any.
@@ -909,8 +983,6 @@ class Transport:
         drop should precede is invisible until the retransmit lands.
         """
         with self._lock:
-            if self.revoked:
-                raise CommRevokedError(dst_world)
             d = (
                 self._find_dropped_locked(ctx, dst_world, src_world, tag)
                 if self.faults is not None
@@ -924,6 +996,11 @@ class Transport:
                         continue
                     if self._matches(msg, src_world, tag):
                         return Status(source=msg.src_world, tag=msg.tag, nbytes=msg.nbytes)
+            # A deliverable message wins over the revoked flag (matching
+            # match_recv); with nothing to report, refuse so that a
+            # probe-polling loop cannot spin forever on a revoked world.
+            if self.revoked:
+                raise CommRevokedError(dst_world)
             return None
 
     # ----------------------------------------------------------- tracing -- #
@@ -945,6 +1022,7 @@ class Transport:
                 corruptions_injected=st.corruptions_injected,
                 corruptions_detected=st.corruptions_detected,
                 recomputed_flops=st.recomputed_flops,
+                reused_flops=st.reused_flops,
                 recoveries=st.recoveries,
             )
 

@@ -173,7 +173,8 @@ class RunMetrics:
     recoveries: int = 0  #: shrink-replan-redistribute rounds (max over ranks)
     corruptions_injected: int = 0  #: payload flips injected, across ranks
     corruptions_detected: int = 0  #: ABFT checksum violations, across ranks
-    recomputed_flops: float = 0.0  #: extra flops spent on ABFT recomputes
+    recomputed_flops: float = 0.0  #: extra flops spent on ABFT/recovery recomputes
+    reused_flops: float = 0.0  #: flops avoided by reusing retained partials/checkpoints
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -191,6 +192,7 @@ class RunMetrics:
             "corruptions_injected": self.corruptions_injected,
             "corruptions_detected": self.corruptions_detected,
             "recomputed_flops": self.recomputed_flops,
+            "reused_flops": self.reused_flops,
             "registry": self.registry.to_dict(),
         }
 
@@ -300,6 +302,8 @@ def snapshot_run(
             reg.counter("recomputed_flops", rank=trace.rank).inc(
                 trace.recomputed_flops
             )
+        if trace.reused_flops:
+            reg.counter("reused_flops", rank=trace.rank).inc(trace.reused_flops)
 
     overlap = _overlap_ratio(result)
     imbalance = _k_group_imbalance(result, plan)
@@ -327,6 +331,7 @@ def snapshot_run(
         corruptions_injected=sum(t.corruptions_injected for t in result.traces),
         corruptions_detected=sum(t.corruptions_detected for t in result.traces),
         recomputed_flops=sum(t.recomputed_flops for t in result.traces),
+        reused_flops=sum(t.reused_flops for t in result.traces),
     )
 
 
@@ -357,6 +362,11 @@ def format_metrics(metrics: RunMetrics) -> str:
         )
     if metrics.recoveries:
         lines.append(f"  recoveries          : {metrics.recoveries}")
+    if metrics.reused_flops:
+        lines.append(
+            f"  partial reuse       : {metrics.reused_flops:.0f} flops reused, "
+            f"{metrics.recomputed_flops:.0f} recomputed"
+        )
     if metrics.corruptions_injected or metrics.corruptions_detected:
         lines.append(
             f"  corruption (ABFT)   : {metrics.corruptions_injected} injected, "

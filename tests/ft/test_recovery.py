@@ -54,6 +54,20 @@ def _kill(rank, occurrence=1):
     return RankFault(rank=rank, phase="cannon", occurrence=occurrence, kill=True)
 
 
+def _timeline(res):
+    """The run's virtual-time event timeline, as comparable tuples.
+
+    ``seq`` (and span ctx ids) are allocated in *real-time* arrival
+    order even on clean runs, so the determinism contract covers
+    everything else: per-rank interval kinds, phases, virtual times,
+    sizes, and peers.
+    """
+    return sorted(
+        (e.rank, e.kind, e.phase, e.t0, e.t1, e.nbytes, e.peer, e.injected)
+        for e in res.transport.events
+    )
+
+
 class TestKillRecovery:
     PLAN = FaultPlan(seed=0, ranks=(_kill(3),))
 
@@ -78,16 +92,21 @@ class TestKillRecovery:
         assert float(np.abs(res.results[0] - REF).max()) <= TOL
 
     def test_deterministic_replay(self):
-        """The recovered *data* path is deterministic: same survivors,
-        same re-planned grid, bit-equal C.  (The virtual timestamp at
-        which peers observe a death depends on thread scheduling, so
-        makespans may wobble — see docs/RECOVERY.md.)"""
+        """Replaying a faulted run is deterministic in *time*, not just
+        data: failure detection is pinned to the transport's virtual
+        clock (dead-letter sends, quiescence-gated revocation), so two
+        identical runs produce identical makespans and per-rank event
+        timelines — not only bit-equal C (docs/RECOVERY.md)."""
         runs = [_run(faults=self.PLAN) for _ in range(2)]
         a = next(r for r in runs[0].results if r is not None)
         b = next(r for r in runs[1].results if r is not None)
         assert np.array_equal(a, b)
         assert runs[0].failed_ranks == runs[1].failed_ranks
         assert runs[0].metrics.recoveries == runs[1].metrics.recoveries
+        assert runs[0].time == runs[1].time
+        assert [t.time for t in runs[0].traces] == \
+            [t.time for t in runs[1].traces]
+        assert _timeline(runs[0]) == _timeline(runs[1])
 
     def test_recovery_spans_recorded(self):
         res = _run(faults=self.PLAN)
@@ -154,6 +173,134 @@ class TestUnrecoverable:
 
         with pytest.raises(RuntimeError):
             _run(faults=FaultPlan(seed=0, ranks=(_kill(3),)), fn=f)
+
+
+class TestPartialReuse:
+    """Partial-result reuse: surviving k-group partials are kept at
+    failure time and reduced into the re-planned multiplication, so the
+    recovery recomputes strictly less than one full call."""
+
+    PLAN = FaultPlan(seed=0, ranks=(_kill(3),))
+
+    def test_reuse_metrics_pair(self):
+        res = _run(faults=self.PLAN)
+        fm = res.metrics
+        assert fm.reused_flops > 0
+        assert fm.recomputed_flops < 2.0 * M * N * K
+        # every k-slice is either reused or recomputed, exactly once
+        assert fm.reused_flops + fm.recomputed_flops == \
+            pytest.approx(2.0 * M * N * K)
+        assert "reused_flops" in fm.to_dict()
+
+    def test_reuse_span_recorded(self):
+        res = _run(faults=self.PLAN)
+        spans = [s for s in res.spans if s.name == "ft_reuse"]
+        assert spans
+        assert spans[0].attrs["k_reused"] > 0
+
+    def test_reused_result_still_correct(self):
+        res = _run(faults=self.PLAN)
+        for c in (r for r in res.results if r is not None):
+            assert float(np.abs(c - REF).max()) <= TOL
+
+    def test_pk1_grid_has_nothing_to_reuse(self):
+        """With pk=1 every rank is in the single k-group, so a kill
+        always breaks it: recovery must fall back to a full recompute
+        (reused 0, recomputed one full call) and still be correct."""
+        from repro.grid.optimizer import GridSpec
+
+        def f(comm):
+            a = DistMatrix.from_global(
+                comm, BlockCol1D((M, K), comm.size), dense_random(M, K, seed=7)
+            )
+            b = DistMatrix.from_global(
+                comm, BlockCol1D((K, N), comm.size), dense_random(K, N, seed=8)
+            )
+            c = resilient_multiply(
+                comm, a, b,
+                c_dist=lambda cm: BlockCol1D((M, N), cm.size),
+                grid=GridSpec(pm=4, pn=2, pk=1, nprocs=P),
+                max_recoveries=1,
+            )
+            return c.to_global()
+
+        res = _run(faults=self.PLAN, fn=f)
+        fm = res.metrics
+        assert fm.reused_flops == 0
+        assert fm.recomputed_flops == pytest.approx(2.0 * M * N * K)
+        for c in (r for r in res.results if r is not None):
+            assert float(np.abs(c - REF).max()) <= TOL
+
+    def test_reuse_with_abft_on(self):
+        """Retention must happen after ABFT verification, so reuse and
+        checksum protection compose."""
+        res = _run(faults=self.PLAN, fn=_resilient(abft=True))
+        fm = res.metrics
+        assert fm.reused_flops > 0
+        for c in (r for r in res.results if r is not None):
+            assert float(np.abs(c - REF).max()) <= TOL
+
+
+class TestBackupValidation:
+    def test_stale_backup_rects_are_rejected(self):
+        """_recover_matrix must validate rect *identity*, not just the
+        backup's length: a stale backup from a different layout passes a
+        bare length check and silently corrupts the restored matrix."""
+        from repro.ft.recovery import _recover_matrix
+        from repro.layout.blocks import Rect
+
+        def f(comm):
+            mat = DistMatrix.from_global(
+                comm, BlockCol1D((8, 8), 4), np.arange(64.0).reshape(8, 8)
+            )
+            sub = comm.create_sub([0, 1, 3])
+            if sub is None:
+                return "dead"  # rank 2 plays the casualty
+            # Same rect count as rank 2's real slot, wrong identity.
+            stale = [(Rect(0, 8, 0, 2), np.zeros((8, 2)))]
+            try:
+                _recover_matrix(sub, mat, stale, (0, 1, 2, 3), (0, 1, 3), 1)
+            except UnrecoverableError as exc:
+                return "stale" if "stale" in str(exc) else "typed"
+            return "ok"
+
+        res = run_spmd(4, f, machine=laptop())
+        assert "stale" in res.results  # the buddy holder rejects it
+        assert "typed" not in res.results
+
+    def test_missing_backup_is_rejected(self):
+        from repro.ft.recovery import _recover_matrix
+
+        def f(comm):
+            mat = DistMatrix.from_global(
+                comm, BlockCol1D((8, 8), 4), np.arange(64.0).reshape(8, 8)
+            )
+            sub = comm.create_sub([0, 1, 3])
+            if sub is None:
+                return "dead"
+            try:
+                _recover_matrix(sub, mat, None, (0, 1, 2, 3), (0, 1, 3), 1)
+            except UnrecoverableError as exc:
+                return "missing" if "missing" in str(exc) else "typed"
+            return "ok"
+
+        res = run_spmd(4, f, machine=laptop())
+        assert "missing" in res.results
+
+
+class TestSingleRank:
+    def test_kill_on_single_rank_comm_is_typed(self):
+        """A kill with nobody left must surface a typed
+        UnrecoverableError on the driver — not a hang, not an untyped
+        abort."""
+        plan = FaultPlan(seed=0, ranks=(
+            RankFault(rank=0, phase="cannon", occurrence=1, kill=True),
+        ))
+        with pytest.raises(RuntimeError) as ei:
+            _run(faults=plan, fn=_resilient(max_recoveries=1), nprocs=1)
+        cause = ei.value.__cause__
+        assert isinstance(cause, UnrecoverableError)
+        assert "single-rank" in str(cause)
 
 
 class TestUlfmPrimitives:

@@ -1,0 +1,60 @@
+"""Exit-code contract of ``repro checkpoint`` (the checkpoint-smoke job).
+
+0 means: the mid-pipeline kill was survived, the restarted pipeline's
+final iterate matches the serial reference, and partial-result reuse
+kept the recomputed work under one full call.  Pin both directions.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+ARGS = ["24", "20", "28", "-np", "8"]
+
+
+class TestCheckpointExitCodes:
+    def test_kill_demo_exits_zero(self, capsys):
+        rc = main(["checkpoint", *ARGS])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "recovered OK" in out
+        assert "failed ranks      : [1]" in out
+
+    def test_json_mode_reports_reuse_pair(self, capsys):
+        rc = main(["checkpoint", *ARGS, "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["correct"] is True
+        assert doc["failed_ranks"] == [1]
+        assert len(doc["checkpoints"]) == 4
+        # the acceptance pair: reuse saved work, recompute < one call
+        assert doc["reused_flops"] > 0
+        assert doc["recomputed_flops"] < doc["one_call_flops"]
+        assert doc["recoveries"] >= 1
+
+    def test_escaped_mode_restarts_pipeline(self, capsys):
+        rc = main(["checkpoint", *ARGS, "--escaped", "--kill-rank", "3",
+                   "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["pipeline_restarts"] >= 1
+        assert doc["reused_flops"] > 0  # checkpointed calls not redone
+
+    def test_dir_store_round_trips(self, capsys, tmp_path):
+        rc = main(["checkpoint", *ARGS, "--store", "dir",
+                   "--store-dir", str(tmp_path), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["store"] == "dir"
+
+    def test_bad_kill_rank_exits_two(self, capsys):
+        assert main(["checkpoint", *ARGS, "--kill-rank", "99"]) == 2
+        assert main(["checkpoint", *ARGS, "--kill-call", "9"]) == 2
+
+    def test_unrecoverable_pipeline_exits_one(self, capsys):
+        # killing in every call exhausts the default restart budget
+        rc = main(["checkpoint", "16", "16", "16", "-np", "4", "--escaped",
+                   "--calls", "2", "--kill-call", "0", "--max-restarts", "0"])
+        assert rc == 1
