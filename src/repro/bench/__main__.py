@@ -24,6 +24,7 @@ from .harness import (
     fig3_scaling,
     fig4_hybrid,
     fig5_breakdown,
+    history_artifact,
     l_sweep,
     recovery_cost,
     table1_memory,
@@ -61,6 +62,17 @@ def main(argv: list[str] | None = None) -> int:
         help="also execute each figure's stand-in workload and write "
              "(refresh) its perf baseline (<name>.json) under DIR; "
              "commit the result to update the perf gate",
+    )
+    ap.add_argument(
+        "--history-dir", metavar="DIR", default=None,
+        help="also execute each figure's stand-in workload and write its "
+             "measured-optimality trajectory point (BENCH_<name>.json: "
+             "ledger record + audit report) under DIR",
+    )
+    ap.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="with --history-dir, also append each trajectory point's "
+             "record to this JSONL run ledger",
     )
     ap.add_argument(
         "--fault-plan", metavar="FILE", default=None,
@@ -111,6 +123,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.baseline_dir:
             path = baseline_artifact(name, args.baseline_dir)
             print(f"perf baseline: {path}")
+            print()
+        if args.history_dir:
+            path = history_artifact(name, args.history_dir,
+                                    ledger=args.ledger)
+            print(f"history point: {path}")
             print()
         if plan is not None:
             print(fault_degradation(name, plan).text)

@@ -341,6 +341,47 @@ def baseline_artifact(
     return BaselineStore(outdir).save(name, doc)
 
 
+def history_artifact(
+    name: str,
+    outdir: str | Path,
+    machine: MachineModel | None = None,
+    ledger: str | Path | None = None,
+) -> Path:
+    """Execute the stand-in workload for ``name`` and write its
+    trajectory point to ``outdir/BENCH_<name>.json``.
+
+    The document bundles the run's ledger record (the same deterministic
+    schema the run history accumulates) with the full audit report —
+    one measured-optimality data point per sweep, diffable across
+    commits.  When ``ledger`` is given the record is also appended to
+    that JSONL history.  Returns the written path.  Raises ``KeyError``
+    for unknown names.
+    """
+    import json
+
+    from ..obs.audit import audit_run
+    from ..obs.ledger import Ledger, ledger_record
+
+    mach = machine or pace_phoenix_cpu("mpi")
+    plan, result = executed_workload(name, mach)
+    audit = audit_run(result, plan, machine=mach)
+    record = ledger_record(
+        result, plan, f"bench.{name}", audit_ok=audit.ok
+    )
+    if ledger is not None:
+        Ledger(ledger).append(record)
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    path = outdir / f"BENCH_{name}.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {"schema_version": 1, "record": record, "audit": audit.to_dict()},
+            fh, indent=2, sort_keys=True,
+        )
+        fh.write("\n")
+    return path
+
+
 # ------------------------------------------------------------------ Fig 2 -- #
 def fig2_partitions() -> BenchResult:
     """Fig. 2: the worked partitioning examples, rendered exactly.

@@ -46,6 +46,47 @@ def format_series(
     return format_table(headers, rows, title=title)
 
 
+def format_ledger(
+    records: Sequence[dict],
+    title: str | None = None,
+) -> str:
+    """Render run-ledger records (:mod:`repro.obs.ledger`) as a table.
+
+    One row per record: producer kind, problem/grid shape, measured Q,
+    the two optimality ratios, Cannon overlap, simulated makespan, and
+    the fault counters (retries/recoveries/corruptions-detected).
+    """
+    rows = []
+    for rec in records:
+        prob, grid, opt = rec["problem"], rec["grid"], rec["optimality"]
+        cannon_ov = rec.get("overlap", {}).get("cannon")
+        faults = rec.get("faults", {})
+        rows.append([
+            rec["run_id"][:8],
+            rec["kind"],
+            f"{prob['m']}x{prob['n']}x{prob['k']}",
+            f"{prob['nprocs']}",
+            f"{grid['pm']}x{grid['pn']}x{grid['pk']}",
+            f"{rec['traffic']['q_words']:.0f}",
+            (f"{opt['q_over_eq9']:.3f}"
+             if opt.get("q_over_eq9") is not None else "-"),
+            (f"{opt['q_over_pebbling']:.3f}"
+             if opt.get("q_over_pebbling") is not None else "-"),
+            f"{100 * cannon_ov:.1f}%" if cannon_ov is not None else "-",
+            f"{rec['makespan_s'] * 1e3:.3f}",
+            "/".join(
+                str(faults.get(key, 0))
+                for key in ("retries", "recoveries", "corruptions_detected")
+            ),
+        ])
+    return format_table(
+        ["run", "kind", "mnk", "P", "grid", "Q", "Q/eq9", "Q/pebb",
+         "overlap", "ms", "rt/rec/cd"],
+        rows,
+        title=title,
+    )
+
+
 def _fmt(v: object) -> str:
     if isinstance(v, float):
         if v == 0:

@@ -14,10 +14,12 @@ same report structure: the partition info block, per-phase timings over
 schema-validated JSON document (``repro.obs.export.RUN_JSON_SCHEMA``)
 for scripting.
 
-Seven observability subcommands front the :mod:`repro.obs` subsystem::
+Nine observability subcommands front the :mod:`repro.obs` subsystem::
 
     python -m repro.cli trace 64 64 64 -np 8 -o run.trace.json
     python -m repro.cli stats 64 64 64 -np 8 --json
+    python -m repro.cli audit 64 64 64 -np 64 --strict
+    python -m repro.cli ledger --last 10
     python -m repro.cli critpath 64 64 64 -np 8 --timeline
     python -m repro.cli perfdiff --baseline-dir benchmarks/baselines
     python -m repro.cli faults 64 64 64 -np 8 --plan drop.json
@@ -41,7 +43,14 @@ exiting nonzero unless the faulted run recovers a correct result;
 ``checkpoint`` runs a multi-call pipeline under :mod:`repro.ckpt`
 checkpoint/restart — a rank is killed mid-pipeline, the survivors
 restart from the newest checkpoint, and partial-result reuse keeps the
-recomputed work below one full call.
+recomputed work below one full call; ``audit`` runs the transport-truth
+communication audit (:mod:`repro.obs.audit`): measured bytes-on-the-wire
+vs the eq. (4) schedule, the α-β collective accounting, and the
+red-blue pebbling lower bound, with a committed-baseline gate (the CI
+audit gate); ``ledger`` renders and queries the append-only run history
+(:mod:`repro.obs.ledger`).  Every executing subcommand accepts
+``--ledger [PATH]`` (or the ``REPRO_LEDGER`` environment variable) to
+append its run record to the history.
 
 Run as ``python -m repro.cli ...`` or via the ``ca3dmm-example``
 console script.
@@ -93,6 +102,9 @@ def _parse(argv: list[str] | None) -> argparse.Namespace:
     ap.add_argument("-np", "--nprocs", type=int, default=8, help="number of ranks")
     ap.add_argument("--json", action="store_true",
                     help="emit the report as one JSON document (no text output)")
+    ap.add_argument("--ledger", nargs="?", const="", default=None,
+                    metavar="PATH",
+                    help="append this run's record to the JSONL run ledger")
     ap.add_argument("M", type=int)
     ap.add_argument("N", type=int)
     ap.add_argument("K", type=int)
@@ -207,11 +219,15 @@ def _example_main(argv: list[str] | None) -> int:
         record_events=args.json,
     )
     timings, errors, peak = result.results[0]
+    nruns = max(1, args.ntest)
+    _append_ledger(args, result, plan, "cli.example", nruns=nruns)
 
     def avg(key: str) -> float:
         return 1e3 * sum(t.get(key, 0.0) for t in timings) / len(timings)
 
     if args.json:
+        from .obs.audit import audit_run
+
         phase_names = sorted({name for t in timings for name in t})
         doc = {
             "schema_version": 1,
@@ -229,7 +245,9 @@ def _example_main(argv: list[str] | None) -> int:
             "correctness": {"validated": bool(args.validation), "errors": errors},
             "peak_bytes": int(peak),
             "metrics": snapshot_run(result, plan).to_dict(),
-            "drift": drift_report(result, plan, nruns=max(1, args.ntest)).to_dict(),
+            "drift": drift_report(result, plan, nruns=nruns).to_dict(),
+            "audit": audit_run(result, plan, machine=machine,
+                               nruns=nruns).to_dict(),
         }
         validate_run_json(doc)
         print(json.dumps(doc, indent=2))
@@ -264,7 +282,39 @@ def _obs_parser(name: str, description: str) -> argparse.ArgumentParser:
                     help="force the process grid pm pn pk")
     ap.add_argument("--tol", type=float, default=0.05,
                     help="drift-guard byte tolerance (relative)")
+    ap.add_argument("--ledger", nargs="?", const="", default=None,
+                    metavar="PATH",
+                    help="append this run's record to the JSONL run ledger "
+                         "(default path benchmarks/history/ledger.jsonl; "
+                         "REPRO_LEDGER=<path|1> enables it globally)")
     return ap
+
+
+def _ledger_target(args) -> "object | None":
+    """The ledger path selected by --ledger / REPRO_LEDGER, or None."""
+    from .obs.ledger import DEFAULT_LEDGER_PATH, ledger_path_from_env
+
+    flag = getattr(args, "ledger", None)
+    if flag is not None:
+        return flag or DEFAULT_LEDGER_PATH
+    return ledger_path_from_env()
+
+
+def _append_ledger(args, result, plan, kind: str, nruns: int = 1,
+                   audit_ok: bool | None = None,
+                   extra: dict | None = None) -> None:
+    """Append one run record when the ledger is enabled (else no-op)."""
+    target = _ledger_target(args)
+    if target is None:
+        return
+    from .obs.ledger import Ledger, ledger_record
+
+    rec = ledger_record(result, plan, kind, nruns=nruns,
+                        audit_ok=audit_ok, extra=extra)
+    ledger = Ledger(target)
+    ledger.append(rec)
+    if not getattr(args, "json", False):
+        print(f"ledger: appended {rec['run_id'][:12]} ({kind}) to {ledger.path}")
 
 
 def _run_traced(m: int, n: int, k: int, p: int, machine, grid):
@@ -325,6 +375,7 @@ def _trace_main(argv: list[str]) -> int:
         raise SystemExit(f"cannot write trace: {exc}")
     report = drift_report(result, plan, byte_tol=args.tol, machine=machine)
     print(report.format())
+    _append_ledger(args, result, plan, "cli.trace")
     return 1 if (args.strict and not report.ok) else 0
 
 
@@ -344,6 +395,7 @@ def _critpath_main(argv: list[str]) -> int:
     machine, grid = _obs_common(args)
     _plan, result = _run_traced(args.M, args.N, args.K, args.nprocs, machine, grid)
     report = critpath_report(result)
+    _append_ledger(args, result, _plan, "cli.critpath")
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -503,6 +555,7 @@ def _faults_main(argv: list[str]) -> int:
     )
     correct = np.array_equal(clean.results[0], faulted.results[0])
     report = critpath_report(faulted)
+    _append_ledger(args, faulted, plan, "cli.faults")
     fm = faulted.metrics
     delta = faulted.time - clean.time
     ok = correct and report.path.complete
@@ -622,6 +675,8 @@ def _recover_main(argv: list[str]) -> int:
         print("recovery failed: no surviving rank returned a result",
               file=sys.stderr)
         return 1
+    _append_ledger(args, faulted, Ca3dmmPlan(m, n, k, p, grid=grid),
+                   "cli.recover")
     ref = dense_random(m, k, seed=7) @ dense_random(k, n, seed=8)
     scale = max(1.0, float(np.abs(ref).max()))
     max_err = float(np.abs(got - ref).max())
@@ -797,6 +852,8 @@ def _checkpoint_main(argv: list[str]) -> int:
         print("checkpoint/restart failed: no surviving rank returned",
               file=sys.stderr)
         return 1
+    _append_ledger(args, faulted, Ca3dmmPlan(m, n, k, p),
+                   "cli.checkpoint", nruns=args.calls)
     ref = matmul_chain_reference(m, n, k, calls=args.calls)
     scale = max(1.0, float(np.abs(ref).max()))
     max_err = float(np.abs(got["x"] - ref).max())
@@ -873,18 +930,159 @@ def _stats_main(argv: list[str]) -> int:
     plan, result = _run_traced(args.M, args.N, args.K, args.nprocs, machine, grid)
     metrics = snapshot_run(result, plan)
     report = drift_report(result, plan, byte_tol=args.tol, machine=machine)
+    analytic_q = theoretical_metrics(plan).q_words
+    q_over_analytic = metrics.q_words / analytic_q if analytic_q > 0 else None
+    _append_ledger(args, result, plan, "cli.stats")
     if args.json:
-        print(json.dumps({"metrics": metrics.to_dict(), "drift": report.to_dict()},
-                         indent=2))
+        print(json.dumps({
+            "metrics": metrics.to_dict(),
+            "drift": report.to_dict(),
+            "peak_live_bytes": int(metrics.peak_live_words * 8),
+            "overlap_by_phase": dict(metrics.overlap_by_phase),
+            "q_over_analytic": q_over_analytic,
+        }, indent=2))
     else:
         print(format_metrics(metrics))
+        if q_over_analytic is not None:
+            print(f"  measured/analytic Q : {q_over_analytic:.4f}")
         print(report.format())
     return 1 if (args.strict and not report.ok) else 0
+
+
+def _audit_main(argv: list[str]) -> int:
+    from .obs.audit import audit_run
+
+    ap = _obs_parser(
+        "audit",
+        "Execute one CA3DMM multiplication and audit its measured "
+        "bytes-on-the-wire against the eq. (4) schedule, the α-β "
+        "collective accounting, and the red-blue pebbling lower bound "
+        "(2mnk/(P√M) with measured M)",
+    )
+    ap.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit nonzero when measured traffic leaves the "
+                         "tolerance band")
+    ap.add_argument("--gate", default=None, metavar="FILE",
+                    help="compare measured optimality ratios against this "
+                         "committed baseline JSON and exit nonzero on "
+                         "regression (the CI audit gate)")
+    ap.add_argument("--gate-tol", type=float, default=0.02,
+                    help="allowed relative worsening of the gated ratios")
+    ap.add_argument("--update-gate", default=None, metavar="FILE",
+                    help="write the gate baseline from this run instead of "
+                         "comparing")
+    args = ap.parse_args(argv)
+    machine, grid = _obs_common(args)
+    plan, result = _run_traced(args.M, args.N, args.K, args.nprocs, machine, grid)
+    report = audit_run(result, plan, machine=machine, byte_tol=args.tol)
+    _append_ledger(args, result, plan, "cli.audit", audit_ok=report.ok)
+
+    gate_doc = None
+    if args.update_gate:
+        gate_doc = {
+            "schema_version": 1,
+            "workload": {"m": args.M, "n": args.N, "k": args.K,
+                         "nprocs": args.nprocs},
+            "q_over_eq9": report.q_over_eq9,
+            "q_over_pebbling": report.q_over_pebbling,
+            "max_rel_err": report.max_rel_err,
+        }
+        with open(args.update_gate, "w", encoding="utf-8") as fh:
+            json.dump(gate_doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        if not args.json:
+            print(f"audit gate baseline written: {args.update_gate}")
+
+    gate_ok = True
+    gate_result: dict | None = None
+    if args.gate:
+        try:
+            with open(args.gate, encoding="utf-8") as fh:
+                base = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read audit gate baseline: {exc}")
+        checks = []
+        for key, measured in (
+            ("q_over_eq9", report.q_over_eq9),
+            ("q_over_pebbling", report.q_over_pebbling),
+        ):
+            expected = base.get(key)
+            if expected is None or measured is None:
+                continue
+            ok = measured <= expected * (1.0 + args.gate_tol)
+            checks.append({"ratio": key, "measured": measured,
+                           "baseline": expected, "ok": ok})
+        gate_ok = bool(checks) and all(c["ok"] for c in checks)
+        gate_result = {"baseline": args.gate, "tol": args.gate_tol,
+                       "ok": gate_ok, "checks": checks}
+
+    if args.json:
+        doc = report.to_dict()
+        if gate_result is not None:
+            doc["gate"] = gate_result
+        print(json.dumps(doc, indent=2))
+    else:
+        print(report.format())
+        if gate_result is not None:
+            for c in gate_result["checks"]:
+                print(f"  gate {c['ratio']:<16}: measured {c['measured']:.4f} "
+                      f"vs baseline {c['baseline']:.4f} "
+                      f"(tol {100 * args.gate_tol:.1f}%)  "
+                      + ("ok" if c["ok"] else "REGRESSION"))
+            print("audit gate: " + ("OK" if gate_ok else "FAIL"))
+    if args.gate and not gate_ok:
+        return 1
+    return 1 if (args.strict and not report.ok) else 0
+
+
+def _ledger_main(argv: list[str]) -> int:
+    from .bench.report import format_ledger
+    from .obs.ledger import DEFAULT_LEDGER_PATH, Ledger, ledger_path_from_env
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.cli ledger",
+        description="Render and query the append-only run ledger "
+                    "(see docs/OBSERVABILITY.md)",
+    )
+    ap.add_argument("--path", default=None,
+                    help=f"ledger file (default: $REPRO_LEDGER or "
+                         f"{DEFAULT_LEDGER_PATH})")
+    ap.add_argument("--kind", default=None,
+                    help="only records from this producer (e.g. cli.audit)")
+    ap.add_argument("--shape", type=int, nargs=3, metavar=("M", "N", "K"),
+                    help="only records for this problem shape")
+    ap.add_argument("-np", "--nprocs", type=int, default=None,
+                    help="only records for this world size")
+    ap.add_argument("--last", type=int, default=None, metavar="N",
+                    help="only the newest N matching records")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the matching records as a JSON array")
+    args = ap.parse_args(argv)
+
+    path = args.path or ledger_path_from_env() or DEFAULT_LEDGER_PATH
+    ledger = Ledger(path)
+    shape = args.shape or (None, None, None)
+    records = ledger.query(kind=args.kind, m=shape[0], n=shape[1], k=shape[2],
+                           nprocs=args.nprocs, last=args.last)
+    if args.json:
+        print(json.dumps(records, indent=2))
+        return 0
+    if not records:
+        print(f"no matching records in {ledger.path}")
+        return 0
+    print(format_ledger(
+        records,
+        title=f"run ledger: {ledger.path} ({len(records)} record(s))",
+    ))
+    return 0
 
 
 _SUBCOMMANDS = {
     "trace": _trace_main,
     "stats": _stats_main,
+    "audit": _audit_main,
+    "ledger": _ledger_main,
     "critpath": _critpath_main,
     "perfdiff": _perfdiff_main,
     "faults": _faults_main,

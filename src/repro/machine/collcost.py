@@ -106,3 +106,41 @@ def barrier_cost(machine: MachineModel, p: int) -> CollCost:
 def p2p_cost(machine: MachineModel, nbytes: float) -> CollCost:
     """A single point-to-point message."""
     return CollCost(machine.alpha + machine.beta * nbytes, 1, nbytes)
+
+
+def ca3dmm_phase_costs(plan, machine: MachineModel, item: int = 8) -> dict:
+    """α-β cost of each CA3DMM communication phase for ``plan``.
+
+    Maps the schedule's phases onto the collective formulas above, with
+    the same block extents :func:`repro.obs.drift.expected_phase_traffic`
+    uses (continuous ``m/pm`` etc., exact on divisible grids):
+
+    - ``replicate``: allgather of the replicated operand block over the
+      ``c`` k-groups sharing it,
+    - ``cannon``: ``s`` rounds of two point-to-point shifts (A and B),
+      covering the initial skew plus the ``s-1`` shift rounds,
+    - ``reduce``: pairwise reduce-scatter of the C block over ``pk``.
+
+    Returns ``{phase: CollCost}`` with per-rank critical costs; phases
+    the plan does not schedule are absent.  ``item`` is the element size
+    in bytes.  The audit layer (:mod:`repro.obs.audit`) compares these
+    against the transport's measured per-phase counters.
+    """
+    pm, pn, pk, s, c = plan.pm, plan.pn, plan.pk, plan.s, plan.c
+    mb, nb, kg = plan.m / pm, plan.n / pn, plan.k / pk
+    kb = kg / s
+    blk_a, blk_b = mb * kb, kb * nb
+
+    out: dict[str, CollCost] = {}
+    if c > 1:
+        blk = blk_a if plan.replicates_a else blk_b
+        out["replicate"] = allgather_cost(machine, blk * item, c)
+    if s > 1:
+        per_round = p2p_cost(machine, blk_a * item) + p2p_cost(machine, blk_b * item)
+        cost = ZERO
+        for _ in range(s):
+            cost = cost + per_round
+        out["cannon"] = cost
+    if pk > 1:
+        out["reduce"] = reduce_scatter_cost(machine, mb * nb * item, pk)
+    return out

@@ -47,19 +47,42 @@ from .datatypes import INTERNAL_TAG_BASE, Op, SUM
 
 
 @contextlib.contextmanager
-def _span(comm, name: str) -> Iterator[None]:
-    """Trace one collective call as a span (fast no-op when tracing is off)."""
+def _span(comm, name: str, algo: str | None = None) -> Iterator[None]:
+    """Trace one collective call as a span and attribute its traffic.
+
+    The tracer span is a fast no-op when tracing is off; the algorithm
+    label (``algo``, defaulting to ``name``) is *always* pushed so the
+    transport can attribute every message to its originating collective
+    algorithm (``RankTrace.colls``).  Labels nest outermost-wins: the
+    scatter+allgather inside a long broadcast accounts to the broadcast.
+    """
     transport = comm.transport
-    if not transport.tracer.enabled:
-        yield
-        return
-    sid = transport.begin_span(
-        comm.world_rank, name, cat=CAT_COLLECTIVE, attrs={"comm_size": comm.size}
-    )
+    label = name if algo is None else algo  # algo="" defers to inner _algo
+    if label:
+        transport.push_coll(comm.world_rank, label)
+    sid = None
+    if transport.tracer.enabled:
+        sid = transport.begin_span(
+            comm.world_rank, name, cat=CAT_COLLECTIVE, attrs={"comm_size": comm.size}
+        )
     try:
         yield
     finally:
-        transport.end_span(comm.world_rank, sid)
+        if sid is not None:
+            transport.end_span(comm.world_rank, sid)
+        if label:
+            transport.pop_coll(comm.world_rank)
+
+
+@contextlib.contextmanager
+def _algo(comm, label: str) -> Iterator[None]:
+    """Re-label traffic inside one branch of a collective (no span)."""
+    transport = comm.transport
+    transport.push_coll(comm.world_rank, label)
+    try:
+        yield
+    finally:
+        transport.pop_coll(comm.world_rank)
 
 _TAG_BARRIER = INTERNAL_TAG_BASE + 1
 _TAG_BCAST = INTERNAL_TAG_BASE + 2
@@ -85,7 +108,7 @@ def barrier(comm) -> None:
     size, rank = comm.size, comm.rank
     if size == 1:
         return
-    with _span(comm, "barrier"):
+    with _span(comm, "barrier", algo="barrier.dissemination"):
         step = 1
         while step < size:
             dest = (rank + step) % size
@@ -124,23 +147,25 @@ def bcast(comm, value: Any, root: int = 0) -> Any:
     """
     if comm.size == 1:
         return value
-    with _span(comm, "bcast"):
+    with _span(comm, "bcast", algo=""):
         if comm.rank == root:
             is_long = isinstance(value, np.ndarray) and value.nbytes >= BCAST_LONG_THRESHOLD
             header = (is_long, (value.shape, value.dtype) if is_long else None)
         else:
             header = None
-        is_long, meta = _bcast_binomial(comm, header, root, _TAG_BCAST)
-        if not is_long:
-            return _bcast_binomial(comm, value, root, _TAG_BCAST)
-        shape, dtype = meta
-        if comm.rank == root:
-            chunks = np.array_split(np.ascontiguousarray(value).reshape(-1), comm.size)
-        else:
-            chunks = None
-        mine = scatter(comm, chunks, root)
-        parts = allgather(comm, mine)
-        return np.concatenate(parts).reshape(shape).astype(dtype, copy=False)
+        with _algo(comm, "bcast.binomial"):
+            is_long, meta = _bcast_binomial(comm, header, root, _TAG_BCAST)
+            if not is_long:
+                return _bcast_binomial(comm, value, root, _TAG_BCAST)
+        with _algo(comm, "bcast.scatter_allgather"):
+            shape, dtype = meta
+            if comm.rank == root:
+                chunks = np.array_split(np.ascontiguousarray(value).reshape(-1), comm.size)
+            else:
+                chunks = None
+            mine = scatter(comm, chunks, root)
+            parts = allgather(comm, mine)
+            return np.concatenate(parts).reshape(shape).astype(dtype, copy=False)
 
 
 # ----------------------------------------------------------------- reduce -- #
@@ -153,7 +178,7 @@ def reduce(comm, value: Any, op: Op = SUM, root: int = 0) -> Any:
     size = comm.size
     if size == 1:
         return value
-    with _span(comm, "reduce"):
+    with _span(comm, "reduce", algo="reduce.binomial"):
         vrank = (comm.rank - root) % size
         acc = value
         mask = 1
@@ -176,20 +201,24 @@ def allreduce(comm, value: Any, op: Op = SUM) -> Any:
     size = comm.size
     if size == 1:
         return value
-    with _span(comm, "allreduce"):
+    with _span(comm, "allreduce", algo=""):
         if _is_pow2(size):
-            acc = value
-            mask = 1
-            while mask < size:
-                partner = comm.rank ^ mask
-                other = comm.sendrecv(acc, partner, partner, _TAG_ALLREDUCE, _TAG_ALLREDUCE)
-                # Fixed operand order (lower rank's data first) keeps the
-                # result identical on every rank even for non-commutative ops.
-                acc = op(other, acc) if partner < comm.rank else op(acc, other)
-                mask <<= 1
-            return acc
-        res = reduce(comm, value, op, 0)
-        return bcast(comm, res, 0)
+            with _algo(comm, "allreduce.recursive_doubling"):
+                acc = value
+                mask = 1
+                while mask < size:
+                    partner = comm.rank ^ mask
+                    other = comm.sendrecv(
+                        acc, partner, partner, _TAG_ALLREDUCE, _TAG_ALLREDUCE
+                    )
+                    # Fixed operand order (lower rank's data first) keeps the
+                    # result identical on every rank even for non-commutative ops.
+                    acc = op(other, acc) if partner < comm.rank else op(acc, other)
+                    mask <<= 1
+                return acc
+        with _algo(comm, "allreduce.reduce_bcast"):
+            res = reduce(comm, value, op, 0)
+            return bcast(comm, res, 0)
 
 
 # ---------------------------------------------------------- gather/scatter -- #
@@ -197,7 +226,7 @@ def gather(comm, value: Any, root: int = 0) -> list[Any] | None:
     """Linear gather; root returns the list ordered by rank."""
     if comm.size == 1:
         return [value]
-    with _span(comm, "gather"):
+    with _span(comm, "gather", algo="gather.linear"):
         if comm.rank == root:
             out: list[Any] = [None] * comm.size
             out[root] = value
@@ -211,7 +240,7 @@ def gather(comm, value: Any, root: int = 0) -> list[Any] | None:
 
 def scatter(comm, values: Sequence[Any] | None, root: int = 0) -> Any:
     """Linear scatter; each rank returns its element of root's sequence."""
-    with _span(comm, "scatter"):
+    with _span(comm, "scatter", algo="scatter.linear"):
         if comm.rank == root:
             assert values is not None and len(values) == comm.size, (
                 "scatter needs one value per rank at the root"
@@ -232,7 +261,7 @@ def allgather(comm, value: Any) -> list[Any]:
     size, rank = comm.size, comm.rank
     if size == 1:
         return [value]
-    with _span(comm, "allgather"):
+    with _span(comm, "allgather", algo="allgather.bruck"):
         held: list[Any] = [value]  # blocks of ranks rank, rank+1, ... (mod P)
         h = 1
         while h < size:
@@ -253,7 +282,7 @@ def alltoall(comm, values: Sequence[Any]) -> list[Any]:
     assert len(values) == size, "alltoall needs one value per rank"
     if size == 1:
         return [values[0]]
-    with _span(comm, "alltoall"):
+    with _span(comm, "alltoall", algo="alltoall.pairwise"):
         out: list[Any] = [None] * size
         out[rank] = values[rank]
         for i in range(1, size):
@@ -281,7 +310,7 @@ def reduce_scatter(comm, blocks: Sequence[np.ndarray], op: Op = SUM) -> np.ndarr
     assert len(blocks) == size, "reduce_scatter needs one block per rank"
     if size == 1:
         return np.array(np.asarray(blocks[0]), copy=True)
-    with _span(comm, "reduce_scatter"):
+    with _span(comm, "reduce_scatter", algo="reduce_scatter.pairwise"):
         contributions: list[np.ndarray | None] = [None] * size
         contributions[rank] = np.asarray(blocks[rank])
         for i in range(1, size):

@@ -64,6 +64,15 @@ class SpmdResult:
         return sorted(self.transport.dead_ranks())
 
     @property
+    def live_traces(self) -> list[RankTrace]:
+        """Traces of surviving ranks only (dead ranks' clocks stopped at
+        the kill point and would skew overlap/imbalance gauges)."""
+        dead = self.transport.dead_ranks()
+        if not dead:
+            return self.traces
+        return [t for t in self.traces if t.rank not in dead]
+
+    @property
     def max_bytes_sent(self) -> int:
         """The paper's Q metric (in bytes): max over ranks of bytes sent."""
         return max((t.bytes_sent for t in self.traces), default=0)

@@ -10,7 +10,11 @@ shared object they communicate through.  It provides:
   completes at ``max(receiver_clock, arrival)``),
 * per-rank, per-phase traffic counters (bytes/messages sent and received,
   simulated time) used to reproduce the paper's communication-volume and
-  runtime-breakdown results from *executed* traffic,
+  runtime-breakdown results from *executed* traffic, plus per-phase,
+  per-collective-algorithm counters (``RankTrace.colls``: binomial vs
+  scatter+allgather bcast, Bruck allgather, pairwise reduce-scatter,
+  raw Cannon/redistribution ``p2p``) that the communication audit
+  (:mod:`repro.obs.audit`) reads bytes-on-the-wire from,
 * the progress counter that the runtime watchdog uses for deadlock
   detection, and
 * an optional deterministic fault-injection layer
@@ -55,6 +59,35 @@ from .faults import FaultPlan, _mix
 #: Phase label used when no explicit phase is active.
 DEFAULT_PHASE = "other"
 
+#: Collective label used for raw point-to-point traffic (Cannon skew and
+#: shift rounds, redistribution sends) posted outside any collective call.
+DEFAULT_COLL = "p2p"
+
+
+@dataclass
+class CollStats:
+    """Traffic attributed to one collective algorithm within one phase.
+
+    Unlike :class:`PhaseStats` there is no time here: simulated seconds
+    belong to phases (collectives overlap and nest), while bytes and
+    messages are owned by exactly one collective algorithm — the
+    *outermost* collective call active at post time, so the scatter and
+    allgather inside a long broadcast account to the broadcast.
+    """
+
+    bytes_sent: int = 0
+    bytes_recv: int = 0
+    msgs_sent: int = 0
+    msgs_recv: int = 0
+
+    def merged(self, other: "CollStats") -> "CollStats":
+        return CollStats(
+            bytes_sent=self.bytes_sent + other.bytes_sent,
+            bytes_recv=self.bytes_recv + other.bytes_recv,
+            msgs_sent=self.msgs_sent + other.msgs_sent,
+            msgs_recv=self.msgs_recv + other.msgs_recv,
+        )
+
 
 @dataclass
 class PhaseStats:
@@ -93,6 +126,9 @@ class RankState:
     phase_stack: list[str] = field(default_factory=list)
     phase_span_stack: list[int] = field(default_factory=list)  #: tracer span ids
     phases: dict[str, PhaseStats] = field(default_factory=dict)
+    coll_stack: list[str] = field(default_factory=list)  #: active collective calls
+    #: per-phase, per-collective-algorithm traffic: phase -> label -> stats.
+    colls: dict[str, dict[str, CollStats]] = field(default_factory=dict)
     waiting_on: str | None = None  #: populated while blocked (watchdog info)
     retries: int = 0  #: retransmits requested for dropped messages
     timeouts: int = 0  #: recv timeouts charged (== retries unless fatal)
@@ -111,12 +147,24 @@ class RankState:
     def phase(self) -> str:
         return self.phase_stack[-1] if self.phase_stack else DEFAULT_PHASE
 
+    @property
+    def coll(self) -> str:
+        """The outermost active collective label (nested calls fold in)."""
+        return self.coll_stack[0] if self.coll_stack else DEFAULT_COLL
+
     def phase_stats(self, name: str | None = None) -> PhaseStats:
         key = self.phase if name is None else name
         st = self.phases.get(key)
         if st is None:
             st = self.phases[key] = PhaseStats()
         return st
+
+    def coll_stats(self) -> CollStats:
+        by_coll = self.colls.setdefault(self.phase, {})
+        cs = by_coll.get(self.coll)
+        if cs is None:
+            cs = by_coll[self.coll] = CollStats()
+        return cs
 
 
 @dataclass(frozen=True)
@@ -169,6 +217,7 @@ class MsgRecord:
     ctx: int
     phase: str  #: the sender's active phase at post time
     injected: bool = False  #: flight perturbed (delayed/dropped) by a fault
+    coll: str = DEFAULT_COLL  #: the sender's originating collective algorithm
 
     @property
     def flight(self) -> float:
@@ -187,6 +236,8 @@ class RankTrace:
     msgs_recv: int
     peak_live_bytes: int
     phases: dict[str, PhaseStats]
+    #: per-phase, per-collective-algorithm traffic: phase -> label -> stats.
+    colls: dict[str, dict[str, CollStats]] = field(default_factory=dict)
     retries: int = 0  #: fault-injection retransmits this rank requested
     timeouts: int = 0  #: fault-injection recv timeouts this rank charged
     injected_wait_s: float = 0.0  #: simulated seconds added by injected faults
@@ -532,6 +583,17 @@ class Transport:
                 self._cond.notify_all()
                 raise RankKilledError(world_rank, name, count)
 
+    def push_coll(self, world_rank: int, label: str) -> None:
+        """Enter a collective call: traffic posted while the stack is
+        non-empty is attributed to the *outermost* label (always-on and
+        cheap, unlike tracer spans)."""
+        with self._lock:
+            self.ranks[world_rank].coll_stack.append(label)
+
+    def pop_coll(self, world_rank: int) -> str:
+        with self._lock:
+            return self.ranks[world_rank].coll_stack.pop()
+
     def pop_phase(self, world_rank: int) -> str:
         with self._lock:
             name = self.ranks[world_rank].phase_stack.pop()
@@ -654,6 +716,7 @@ class Transport:
                         ctx=ctx,
                         phase=st.phase,
                         injected=injected,
+                        coll=st.coll,
                     )
                 )
             if advance_sender:
@@ -665,6 +728,9 @@ class Transport:
             ps = st.phase_stats()
             ps.bytes_sent += nbytes
             ps.msgs_sent += 1
+            cs = st.coll_stats()
+            cs.bytes_sent += nbytes
+            cs.msgs_sent += 1
             st.bytes_sent += nbytes
             st.msgs_sent += 1
             msg = Message(
@@ -939,6 +1005,9 @@ class Transport:
                 ps = st.phase_stats()
                 ps.bytes_recv += msg.nbytes
                 ps.msgs_recv += 1
+                cs = st.coll_stats()
+                cs.bytes_recv += msg.nbytes
+                cs.msgs_recv += 1
                 st.bytes_recv += msg.nbytes
                 st.msgs_recv += 1
                 status = Status(source=msg.src_world, tag=msg.tag, nbytes=msg.nbytes)
@@ -1016,6 +1085,10 @@ class Transport:
                 msgs_recv=st.msgs_recv,
                 peak_live_bytes=st.peak_live_bytes,
                 phases={k: v.merged(PhaseStats()) for k, v in st.phases.items()},
+                colls={
+                    phase: {c: v.merged(CollStats()) for c, v in by_coll.items()}
+                    for phase, by_coll in st.colls.items()
+                },
                 retries=st.retries,
                 timeouts=st.timeouts,
                 injected_wait_s=st.injected_wait_s,

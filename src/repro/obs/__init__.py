@@ -11,11 +11,26 @@ checkable on every run:
 * :mod:`~repro.obs.export` — Chrome-trace/Perfetto JSON and JSONL
   structured logs, schema-validated;
 * :mod:`~repro.obs.drift` — measured-vs-analytic per-phase traffic
-  guard (eq. 9 / Section III-D as a runtime assertion).
+  guard (eq. 9 / Section III-D as a runtime assertion);
+* :mod:`~repro.obs.audit` — transport-truth communication audit:
+  per-collective-algorithm attribution, eq. (4)/collcost conformance,
+  and the measured red-blue pebbling optimality ratio;
+* :mod:`~repro.obs.ledger` — append-only, schema-validated JSONL run
+  history (``benchmarks/history/ledger.jsonl``).
 
 See ``docs/OBSERVABILITY.md`` for the span model and exporter formats.
 """
 
+from .audit import (
+    AUDIT_JSON_SCHEMA,
+    AuditError,
+    AuditReport,
+    PhaseAudit,
+    audit_run,
+    check_audit,
+    pebbling_lower_bound,
+    validate_audit_json,
+)
 from .baseline import (
     BASELINE_JSON_SCHEMA,
     BaselineStore,
@@ -61,6 +76,14 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .ledger import (
+    DEFAULT_LEDGER_PATH,
+    LEDGER_RECORD_SCHEMA,
+    Ledger,
+    LedgerError,
+    ledger_record,
+    validate_ledger_record,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -68,11 +91,15 @@ from .metrics import (
     MetricsRegistry,
     RunMetrics,
     format_metrics,
+    overlap_by_phase,
     snapshot_run,
 )
 from .tracer import Span, Tracer
 
 __all__ = [
+    "AUDIT_JSON_SCHEMA",
+    "AuditError",
+    "AuditReport",
     "BASELINE_JSON_SCHEMA",
     "BaselineStore",
     "CHROME_TRACE_SCHEMA",
@@ -80,25 +107,32 @@ __all__ = [
     "Counter",
     "CritPathReport",
     "CriticalPath",
+    "DEFAULT_LEDGER_PATH",
     "DriftError",
     "DriftReport",
     "Gauge",
     "Histogram",
+    "LEDGER_RECORD_SCHEMA",
+    "Ledger",
+    "LedgerError",
     "MetricsRegistry",
     "PathSegment",
     "PerfDelta",
     "PerfDiff",
     "PerfTolerance",
+    "PhaseAudit",
     "PhaseBlame",
     "RUN_JSON_SCHEMA",
     "RankBreakdown",
     "RunMetrics",
     "Span",
     "Straggler",
-    "Tracer",
     "TraceSchemaError",
+    "Tracer",
     "WaitEdge",
+    "audit_run",
     "capture_baseline",
+    "check_audit",
     "check_drift",
     "chrome_trace",
     "compare_baseline",
@@ -108,13 +142,18 @@ __all__ = [
     "expected_phase_traffic",
     "format_metrics",
     "jsonl_records",
+    "ledger_record",
+    "overlap_by_phase",
+    "pebbling_lower_bound",
     "phase_blame",
     "rank_decomposition",
     "snapshot_run",
     "stragglers",
+    "validate_audit_json",
     "validate_baseline_json",
     "validate_chrome_trace",
     "validate_critpath_json",
+    "validate_ledger_record",
     "validate_run_json",
     "waitfor_edges",
     "write_chrome_trace",

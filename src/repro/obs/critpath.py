@@ -546,6 +546,10 @@ CRITPATH_JSON_SCHEMA: dict[str, Any] = {
         },
         "rank_residency": {"type": "object"},
         "stragglers": {"type": "array"},
+        "phase_overlap": {
+            "type": "object",
+            "additionalProperties": {"type": "number"},
+        },
     },
 }
 
@@ -566,6 +570,10 @@ class CritPathReport:
     ranks: dict[int, RankBreakdown]
     stragglers: list[Straggler] = field(default_factory=list)
     nprocs: int = 0
+    #: measured overlap efficiency per phase (volume-weighted over live
+    #: ranks, :func:`repro.obs.metrics.overlap_by_phase`) — how much of
+    #: each phase's traffic hid behind compute, beside the blame table.
+    phase_overlap: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         doc = {
@@ -585,6 +593,7 @@ class CritPathReport:
                 str(r): v for r, v in sorted(self.path.rank_residency().items())
             },
             "stragglers": [s.to_dict() for s in self.stragglers],
+            "phase_overlap": dict(self.phase_overlap),
         }
         validate_critpath_json(doc)
         return doc
@@ -606,13 +615,15 @@ class CritPathReport:
                 f"of makespan; segments marked '!')"
             )
         if self.blame:
-            lines.append("  phase blame (critical | elapsed | share):")
+            lines.append("  phase blame (critical | elapsed | share | overlap):")
             for b in sorted(
                 self.blame.values(), key=lambda b: -b.critical_s
             ):
+                ov = self.phase_overlap.get(b.phase)
                 lines.append(
                     f"    {b.phase:<10} {b.critical_s * 1e3:9.4f} ms | "
                     f"{b.elapsed_s * 1e3:9.4f} ms | {100 * b.critical_share:5.1f}%"
+                    + (f" | {100 * ov:5.1f}%" if ov is not None else "")
                 )
         lines.append("  per-rank decomposition (compute/comm/wait/idle ms):")
         for r in sorted(self.ranks):
@@ -648,6 +659,8 @@ class CritPathReport:
 
 def critpath_report(result: "SpmdResult") -> CritPathReport:
     """Run the full analysis on one executed run."""
+    from .metrics import overlap_by_phase
+
     path = critical_path(result)
     return CritPathReport(
         path=path,
@@ -655,4 +668,5 @@ def critpath_report(result: "SpmdResult") -> CritPathReport:
         ranks=rank_decomposition(result),
         stragglers=stragglers(result, path),
         nprocs=result.transport.nprocs,
+        phase_overlap=overlap_by_phase(result),
     )

@@ -132,6 +132,7 @@ RUN_JSON_SCHEMA: dict[str, Any] = {
         "peak_bytes": {"type": "integer", "minimum": 0},
         "metrics": {"type": "object"},
         "drift": {"type": "object"},
+        "audit": {"type": "object"},
     },
 }
 
@@ -309,6 +310,18 @@ def jsonl_records(result: "SpmdResult") -> Iterator[dict[str, Any]]:
                     "msgs_recv": st.msgs_recv,
                 }
                 for name, st in sorted(trace.phases.items())
+            },
+            "colls": {
+                phase: {
+                    label: {
+                        "bytes_sent": cs.bytes_sent,
+                        "bytes_recv": cs.bytes_recv,
+                        "msgs_sent": cs.msgs_sent,
+                        "msgs_recv": cs.msgs_recv,
+                    }
+                    for label, cs in sorted(by_coll.items())
+                }
+                for phase, by_coll in sorted(trace.colls.items())
             },
         }
 

@@ -82,18 +82,27 @@ class Histogram:
         return max(self.samples) if self.samples else 0.0
 
     def quantile(self, q: float) -> float:
-        """Linear-interpolated quantile, q in [0, 1]."""
+        """Linear-interpolated quantile, q in [0, 1].
+
+        Raises :class:`ValueError` on an empty histogram — a silent 0.0
+        is indistinguishable from a real zero-latency measurement.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         if not self.samples:
-            return 0.0
+            raise ValueError("quantile of an empty histogram")
         xs = sorted(self.samples)
         pos = q * (len(xs) - 1)
         lo = int(pos)
         hi = min(lo + 1, len(xs) - 1)
         return xs[lo] + (xs[hi] - xs[lo]) * (pos - lo)
 
-    def summary(self) -> dict[str, float]:
+    def summary(self) -> dict[str, Any]:
+        """Headline stats; ``{"count": 0.0, "empty": True}`` when no
+        samples were observed, so exports can't mistake absence for
+        measured zeros."""
+        if not self.samples:
+            return {"count": 0.0, "empty": True}
         return {
             "count": float(self.count),
             "sum": self.sum,
@@ -167,6 +176,10 @@ class RunMetrics:
     peak_live_words: float
     cannon_overlap_ratio: float | None  #: None when no cannon phase ran
     k_group_imbalance: float | None  #: None without a plan / single group
+    #: volume-weighted overlap efficiency per phase over live ranks
+    overlap_by_phase: dict[str, float] = field(default_factory=dict)
+    #: historical critical-rank-only cannon overlap (slowest live trace)
+    cannon_overlap_critical_rank: float | None = None
     total_retries: int = 0  #: fault-injection retransmits across ranks
     total_timeouts: int = 0  #: fault-injection recv timeouts across ranks
     injected_wait_s: float = 0.0  #: simulated seconds added by injected faults
@@ -184,6 +197,8 @@ class RunMetrics:
             "max_msgs": self.max_msgs,
             "peak_live_words": self.peak_live_words,
             "cannon_overlap_ratio": self.cannon_overlap_ratio,
+            "cannon_overlap_critical_rank": self.cannon_overlap_critical_rank,
+            "overlap_by_phase": dict(self.overlap_by_phase),
             "k_group_imbalance": self.k_group_imbalance,
             "total_retries": self.total_retries,
             "total_timeouts": self.total_timeouts,
@@ -235,18 +250,57 @@ def _shift_latencies(result: "SpmdResult", reg: MetricsRegistry) -> None:
             hist.observe(e.duration)
 
 
-def _overlap_ratio(result: "SpmdResult") -> float | None:
-    """Fraction of the Cannon stage *not* spent in visible communication.
+def overlap_by_phase(result: "SpmdResult") -> dict[str, float]:
+    """Volume-weighted overlap efficiency per phase, over live ranks.
 
-    The dual-buffer shift overlaps transfers with GEMMs; the transport
-    only charges the non-hidden remainder as comm time, so
-    ``1 - comm/total`` measures how well skew/shift traffic hid.
+    For each rank, ``1 - comm/total`` is the fraction of that phase's
+    wall time whose traffic hid behind computation (the transport only
+    charges the non-hidden remainder as comm time).  Ranks are weighted
+    by the phase's bytes on the wire (sent + received), so ranks that
+    moved no data don't dilute the efficiency of ranks that did; when a
+    phase moved no bytes anywhere, time-weighting is the fallback.
+    Dead ranks are excluded — their clocks stopped at the kill point.
     """
-    crit = max(result.traces, key=lambda t: t.time)
-    st = crit.phases.get("cannon")
-    if st is None or st.time <= 0:
-        return None
-    return max(0.0, min(1.0, 1.0 - st.comm_time / st.time))
+    acc: dict[str, list[float]] = {}  # phase -> [Σr·vol, Σvol, Σr·t, Σt]
+    for trace in result.live_traces:
+        for phase, st in trace.phases.items():
+            if st.time <= 0:
+                continue
+            ratio = max(0.0, min(1.0, 1.0 - st.comm_time / st.time))
+            weight = float(st.bytes_sent + st.bytes_recv)
+            w = acc.setdefault(phase, [0.0, 0.0, 0.0, 0.0])
+            w[0] += ratio * weight
+            w[1] += weight
+            w[2] += ratio * st.time  # time-weighted fallback
+            w[3] += st.time
+    out: dict[str, float] = {}
+    for phase, (rw, w, rt, t) in sorted(acc.items()):
+        if w > 0:
+            out[phase] = rw / w
+        elif t > 0:
+            out[phase] = rt / t
+    return out
+
+
+def _overlap_ratio(
+    result: "SpmdResult", critical_rank: bool = False
+) -> float | None:
+    """Overlap efficiency of the Cannon stage.
+
+    By default this is the volume-weighted aggregate over all live ranks
+    (see :func:`overlap_by_phase`); ``critical_rank=True`` restores the
+    historical reading from the slowest live trace only.
+    """
+    if critical_rank:
+        traces = result.live_traces
+        if not traces:
+            return None
+        crit = max(traces, key=lambda t: t.time)
+        st = crit.phases.get("cannon")
+        if st is None or st.time <= 0:
+            return None
+        return max(0.0, min(1.0, 1.0 - st.comm_time / st.time))
+    return overlap_by_phase(result).get("cannon")
 
 
 def _k_group_imbalance(
@@ -257,7 +311,7 @@ def _k_group_imbalance(
         return None
     group_time: dict[int, float] = {}
     layer = plan.pm * plan.pn
-    for trace in result.traces:
+    for trace in result.live_traces:
         if trace.rank >= plan.active:
             continue
         ik = trace.rank // layer
@@ -305,8 +359,12 @@ def snapshot_run(
         if trace.reused_flops:
             reg.counter("reused_flops", rank=trace.rank).inc(trace.reused_flops)
 
-    overlap = _overlap_ratio(result)
+    phase_overlap = overlap_by_phase(result)
+    overlap = phase_overlap.get("cannon")
+    overlap_crit = _overlap_ratio(result, critical_rank=True)
     imbalance = _k_group_imbalance(result, plan)
+    for phase, ratio in phase_overlap.items():
+        reg.gauge("phase_overlap_ratio", phase=phase).set(ratio)
     if overlap is not None:
         reg.gauge("cannon_overlap_ratio").set(overlap)
     if imbalance is not None:
@@ -321,6 +379,8 @@ def snapshot_run(
         peak_live_words=max((t.peak_live_bytes for t in result.traces), default=0)
         / ITEM,
         cannon_overlap_ratio=overlap,
+        cannon_overlap_critical_rank=overlap_crit,
+        overlap_by_phase=phase_overlap,
         k_group_imbalance=imbalance,
         total_retries=sum(t.retries for t in result.traces),
         total_timeouts=sum(t.timeouts for t in result.traces),
@@ -346,8 +406,11 @@ def format_metrics(metrics: RunMetrics) -> str:
         f"  peak live words     : {metrics.peak_live_words:.0f}",
     ]
     if metrics.cannon_overlap_ratio is not None:
+        crit = metrics.cannon_overlap_critical_rank
+        suffix = f" (critical rank {100 * crit:.1f} %)" if crit is not None else ""
         lines.append(
             f"  cannon overlap      : {100 * metrics.cannon_overlap_ratio:.1f} %"
+            + suffix
         )
     if metrics.k_group_imbalance is not None:
         lines.append(

@@ -1,0 +1,114 @@
+"""CLI `audit` / `ledger` subcommands: the ISSUE's acceptance story.
+
+On a virtual 64-rank world at the Fig. 3 size, `repro audit` must
+report measured bytes within 5% of eq. (4) per phase, print the
+measured/pebbling ratio, gate against a committed baseline, and two
+identical seeded runs must append byte-identical ledger records modulo
+the run-id field.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.obs.audit import validate_audit_json
+from repro.obs.ledger import Ledger, canonical_json
+
+_GATE = Path(__file__).resolve().parents[2] / "benchmarks" / "baselines" / "audit_gate.json"
+_W = ["64", "64", "64", "-np", "64"]
+
+
+class TestAuditSubcommand:
+    def test_fig3_size_on_64_ranks_within_tolerance(self, capsys):
+        rc = main(["audit", *_W, "--strict", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out)
+        validate_audit_json(doc)
+        assert doc["ok"] is True
+        for phase in doc["phases"]:
+            assert phase["rel_err_model"] <= 0.05, phase
+        assert doc["bounds"]["q_over_eq9"] >= 1.0
+        assert doc["bounds"]["q_over_pebbling"] >= 1.0
+
+    def test_text_report_prints_the_ratios(self, capsys):
+        rc = main(["audit", *_W])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Communication audit" in out
+        assert "pebbling bound 2mnk/(P√M)" in out
+        assert "Q/bound" in out
+
+    def test_committed_gate_passes_at_head(self, capsys):
+        rc = main(["audit", *_W, "--strict", "--gate", str(_GATE)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "audit gate: OK" in out
+
+    def test_gate_cycle_update_then_fail_on_regression(self, tmp_path, capsys):
+        gate = tmp_path / "gate.json"
+        assert main(["audit", *_W, "--update-gate", str(gate)]) == 0
+        capsys.readouterr()
+        assert main(["audit", *_W, "--gate", str(gate)]) == 0
+        capsys.readouterr()
+        # tighten the committed ratios below what HEAD measures: must fail
+        doc = json.loads(gate.read_text())
+        doc["q_over_eq9"] *= 0.5
+        doc["q_over_pebbling"] *= 0.5
+        gate.write_text(json.dumps(doc))
+        rc = main(["audit", *_W, "--gate", str(gate)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "audit gate: FAIL" in out
+
+
+class TestLedgerRoundtrip:
+    def test_identical_runs_append_identical_records(self, tmp_path, capsys):
+        led_a = tmp_path / "a.jsonl"
+        led_b = tmp_path / "b.jsonl"
+        assert main(["audit", *_W, "--ledger", str(led_a)]) == 0
+        assert main(["audit", *_W, "--ledger", str(led_b)]) == 0
+        capsys.readouterr()
+
+        def stripped(path):
+            return [
+                canonical_json({**r, "run_id": "0" * 32})
+                for r in Ledger(path).records()
+            ]
+
+        a, b = stripped(led_a), stripped(led_b)
+        assert a and a == b
+        rec = next(Ledger(led_a).records())
+        assert rec["kind"] == "cli.audit"
+        assert rec["audit_ok"] is True
+
+    def test_ledger_subcommand_renders_and_filters(self, tmp_path, capsys):
+        led = tmp_path / "ledger.jsonl"
+        assert main(["audit", *_W, "--ledger", str(led)]) == 0
+        assert main(["stats", "32", "32", "64", "-np", "8",
+                     "--ledger", str(led)]) == 0
+        capsys.readouterr()
+
+        rc = main(["ledger", "--path", str(led)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cli.audit" in out and "cli.stats" in out
+        assert "Q/eq9" in out
+
+        rc = main(["ledger", "--path", str(led), "--kind", "cli.stats",
+                   "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        docs = json.loads(out)
+        assert len(docs) == 1
+        assert docs[0]["kind"] == "cli.stats"
+        assert docs[0]["problem"]["nprocs"] == 8
+
+    def test_env_var_opt_in(self, tmp_path, capsys, monkeypatch):
+        led = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER", str(led))
+        assert main(["stats", "32", "32", "64", "-np", "8"]) == 0
+        capsys.readouterr()
+        assert len(Ledger(led)) == 1

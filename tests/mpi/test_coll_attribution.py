@@ -1,0 +1,130 @@
+"""Per-message collective-algorithm attribution (``RankTrace.colls``).
+
+The transport tags every message with the collective algorithm that
+posted it, outermost-wins: a composite collective (long bcast,
+non-power-of-two allreduce) owns all traffic of its constituent calls.
+Raw point-to-point traffic falls under the ``p2p`` default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ca3dmm_matmul
+from repro.core.plan import Ca3dmmPlan
+from repro.layout import DistMatrix, dense_random
+from repro.machine.model import laptop
+from repro.mpi import run_spmd
+from repro.mpi.collectives import BCAST_LONG_THRESHOLD
+
+
+def _labels(res):
+    out: set[str] = set()
+    for t in res.traces:
+        for by_coll in t.colls.values():
+            out |= set(by_coll)
+    return out
+
+
+class TestAttribution:
+    def test_short_bcast_is_binomial(self):
+        def f(comm):
+            comm.bcast(np.zeros(8) if comm.rank == 0 else None, root=0)
+
+        labels = _labels(run_spmd(4, f, machine=laptop()))
+        assert "bcast.binomial" in labels
+        assert "bcast.scatter_allgather" not in labels
+
+    def test_long_bcast_outermost_wins(self):
+        n = BCAST_LONG_THRESHOLD // 8 + 64
+
+        def f(comm):
+            comm.bcast(np.zeros(n) if comm.rank == 0 else None, root=0)
+
+        labels = _labels(run_spmd(4, f, machine=laptop()))
+        assert "bcast.scatter_allgather" in labels
+        # the constituent scatter/allgather must not claim the traffic
+        assert "scatter.linear" not in labels
+        assert "allgather.bruck" not in labels
+
+    def test_every_collective_carries_its_algorithm(self):
+        def f(comm):
+            comm.barrier()
+            comm.allreduce(1.0)
+            comm.gather(comm.rank)
+            comm.scatter(list(range(comm.size)) if comm.rank == 0 else None)
+            comm.allgather(comm.rank)
+            comm.alltoall([comm.rank] * comm.size)
+            comm.reduce(1.0)
+            comm.reduce_scatter([np.ones(2) for _ in range(comm.size)])
+
+        labels = _labels(run_spmd(4, f, machine=laptop()))
+        assert {
+            "barrier.dissemination",
+            "allreduce.recursive_doubling",
+            "gather.linear",
+            "scatter.linear",
+            "allgather.bruck",
+            "alltoall.pairwise",
+            "reduce.binomial",
+            "reduce_scatter.pairwise",
+        } <= labels
+
+    def test_non_pow2_allreduce_owns_its_reduce_and_bcast(self):
+        def f(comm):
+            comm.allreduce(1.0)
+
+        labels = _labels(run_spmd(3, f, machine=laptop()))
+        assert "allreduce.reduce_bcast" in labels
+        assert "allreduce.recursive_doubling" not in labels
+        assert "reduce.binomial" not in labels
+        assert "bcast.binomial" not in labels
+
+    def test_raw_sends_default_to_p2p(self):
+        def f(comm):
+            if comm.rank == 0:
+                comm.send(b"x", 1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+
+        res = run_spmd(2, f, machine=laptop())
+        assert _labels(res) == {"p2p"}
+
+    def test_attribution_conserves_bytes(self):
+        """Every byte lands under exactly one (phase, label) cell."""
+        m = n = k = 64
+
+        plan = Ca3dmmPlan(m, n, k, 16)
+
+        def f(comm):
+            a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 0))
+            b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 1))
+            ca3dmm_matmul(a, b)
+
+        res = run_spmd(16, f, machine=laptop())
+        for t in res.traces:
+            got = sum(
+                cs.bytes_sent
+                for by_coll in t.colls.values()
+                for cs in by_coll.values()
+            )
+            assert got == t.bytes_sent
+
+    def test_cannon_traffic_is_p2p(self):
+        m = n = k = 64
+
+        plan = Ca3dmmPlan(m, n, k, 16)
+
+        def f(comm):
+            a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 0))
+            b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 1))
+            ca3dmm_matmul(a, b)
+
+        res = run_spmd(16, f, machine=laptop())
+        cannon = {}
+        for t in res.traces:
+            for label, cs in t.colls.get("cannon", {}).items():
+                cannon[label] = cannon.get(label, 0) + cs.bytes_sent
+        assert cannon, "the cannon phase must have attributed traffic"
+        # Cannon's skew + dual-buffered shifts are raw sendrecv
+        assert cannon.get("p2p", 0) == max(cannon.values())

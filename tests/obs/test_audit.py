@@ -1,0 +1,141 @@
+"""Transport-truth communication audit (`repro.obs.audit`)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import ca3dmm_matmul
+from repro.core.plan import Ca3dmmPlan
+from repro.layout import DistMatrix, dense_random
+from repro.machine.model import laptop
+from repro.mpi import run_spmd
+from repro.obs.audit import (
+    AuditError,
+    audit_run,
+    check_audit,
+    pebbling_lower_bound,
+    validate_audit_json,
+)
+from repro.obs.export import TraceSchemaError
+
+
+def _executed(m=64, n=64, k=64, P=16):
+    plan = Ca3dmmPlan(m, n, k, P)
+
+    def f(comm):
+        a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 0))
+        b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 1))
+        ca3dmm_matmul(a, b)
+
+    return plan, run_spmd(P, f, machine=laptop(), record_events=False)
+
+
+class TestPebblingBound:
+    def test_closed_form(self):
+        # 2mnk/(P·√M) with √16 = 4
+        assert pebbling_lower_bound(4, 5, 6, 2, 16.0) == 2.0 * 4 * 5 * 6 / (2 * 4)
+
+    def test_degenerate_memory_is_zero(self):
+        assert pebbling_lower_bound(4, 4, 4, 2, 0.0) == 0.0
+        assert pebbling_lower_bound(4, 4, 4, 2, -1.0) == 0.0
+
+    def test_bad_p_raises(self):
+        with pytest.raises(ValueError):
+            pebbling_lower_bound(4, 4, 4, 0, 16.0)
+
+
+class TestAuditRun:
+    def test_balanced_grid_conforms(self):
+        plan, res = _executed()
+        report = audit_run(res, plan, machine=laptop())
+        assert report.ok
+        for p in report.phases:
+            assert p.ok, p.to_dict()
+            # within 5% or inside the 64-word pickle-framing floor
+            assert p.rel_err_model <= 0.05 or abs(p.excess_words) <= 64.0
+        # the α-β collcost column must agree with eq. (4) on balanced grids
+        for p in report.phases:
+            if p.collcost_words and p.model_words:
+                assert p.collcost_words == pytest.approx(p.model_words)
+
+    def test_bounds_and_ratios(self):
+        plan, res = _executed()
+        report = audit_run(res, plan)
+        assert report.q_words > 0
+        assert report.eq9_words > 0 and report.pebbling_words > 0
+        assert report.q_over_eq9 == pytest.approx(report.q_words / report.eq9_words)
+        assert report.pebbling_words == pytest.approx(
+            pebbling_lower_bound(
+                plan.m, plan.n, plan.k, plan.nprocs, report.peak_live_words
+            )
+        )
+        # measured Q can never beat a lower bound
+        assert report.q_over_eq9 >= 1.0
+        assert report.q_over_pebbling >= 1.0
+
+    def test_coll_breakdown_names_the_algorithms(self):
+        plan, res = _executed()  # c > 1 and pk > 1: all phases run
+        report = audit_run(res, plan)
+        by_phase = {p.phase: p.colls for p in report.phases}
+        assert "allgather.bruck" in by_phase["replicate"]
+        assert "p2p" in by_phase["cannon"]
+        assert "reduce_scatter.pairwise" in by_phase["reduce"]
+        # breakdown words must sum (over labels) to > 0 where the phase ran
+        for p in report.phases:
+            if p.measured_words > 0:
+                assert sum(v["words"] for v in p.colls.values()) > 0
+
+    def test_overlap_rides_along(self):
+        plan, res = _executed()
+        report = audit_run(res, plan)
+        assert "cannon" in report.overlap_by_phase
+        cannon = next(p for p in report.phases if p.phase == "cannon")
+        assert cannon.overlap == pytest.approx(report.overlap_by_phase["cannon"])
+
+    def test_doctored_traffic_trips_the_gate(self):
+        plan, res = _executed()
+        check_audit(res, plan)  # clean run passes
+        res.traces[0].phases["cannon"].bytes_sent += 10**9
+        with pytest.raises(AuditError, match="cannon"):
+            check_audit(res, plan)
+
+    def test_nruns_must_be_positive(self):
+        plan, res = _executed()
+        with pytest.raises(ValueError):
+            audit_run(res, plan, nruns=0)
+
+
+class TestAuditSchema:
+    def test_to_dict_validates(self):
+        import json
+
+        plan, res = _executed()
+        doc = audit_run(res, plan, machine=laptop()).to_dict()
+        validate_audit_json(doc)
+        json.dumps(doc)
+        assert doc["ok"] is True
+        assert doc["bounds"]["q_over_eq9"] > 0
+
+    def test_missing_field_rejected(self):
+        plan, res = _executed()
+        doc = audit_run(res, plan).to_dict()
+        del doc["bounds"]
+        with pytest.raises(TraceSchemaError):
+            validate_audit_json(doc)
+
+    def test_format_renders(self):
+        plan, res = _executed()
+        text = audit_run(res, plan, machine=laptop()).format()
+        assert "Communication audit" in text
+        assert "pebbling" in text
+        assert "allgather.bruck" in text
+
+    def test_unscheduled_phase_with_traffic_is_inf_err(self):
+        plan, res = _executed(m=32, n=32, k=32, P=4)
+        report = audit_run(res, plan)
+        for p in report.phases:
+            if p.model_words == 0 and p.measured_words > 0:
+                assert p.rel_err_model == math.inf
+                assert not p.ok

@@ -15,7 +15,9 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    _overlap_ratio,
     format_metrics,
+    overlap_by_phase,
     snapshot_run,
 )
 
@@ -48,10 +50,11 @@ class TestInstruments:
         with pytest.raises(ValueError):
             h.quantile(1.5)
 
-    def test_empty_histogram_is_safe(self):
+    def test_empty_histogram_is_explicit(self):
         h = Histogram()
-        assert h.quantile(0.5) == 0.0
-        assert h.summary()["count"] == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(0.5)
+        assert h.summary() == {"count": 0.0, "empty": True}
 
 
 class TestRegistry:
@@ -146,6 +149,45 @@ class TestSnapshot:
         assert "per-phase Q" in text
         assert "cannon" in text
 
+    def test_cannon_overlap_is_volume_weighted(self):
+        plan, res = _executed()
+        num = den = 0.0
+        for t in res.traces:
+            st = t.phases.get("cannon")
+            if st is None or st.time <= 0:
+                continue
+            ratio = max(0.0, min(1.0, 1.0 - st.comm_time / st.time))
+            weight = float(st.bytes_sent + st.bytes_recv)
+            num += ratio * weight
+            den += weight
+        assert den > 0
+        expect = num / den
+        assert _overlap_ratio(res) == pytest.approx(expect)
+        assert overlap_by_phase(res)["cannon"] == pytest.approx(expect)
+        assert snapshot_run(res, plan).cannon_overlap_ratio == pytest.approx(expect)
+
+    def test_cannon_overlap_critical_rank_variant(self):
+        plan, res = _executed()
+        crit = max(res.traces, key=lambda t: t.time)
+        st = crit.phases["cannon"]
+        expect = max(0.0, min(1.0, 1.0 - st.comm_time / st.time))
+        assert _overlap_ratio(res, critical_rank=True) == pytest.approx(expect)
+        m = snapshot_run(res, plan)
+        assert m.cannon_overlap_critical_rank == pytest.approx(expect)
+
+    def test_phase_overlap_gauges_match_aggregate(self):
+        plan, res = _executed()
+        m = snapshot_run(res, plan)
+        ov = overlap_by_phase(res)
+        assert ov and all(0.0 <= v <= 1.0 for v in ov.values())
+        gauges = {
+            labels["phase"]: g.value
+            for labels, g in m.registry.find("phase_overlap_ratio")
+        }
+        assert gauges == pytest.approx(ov)
+        assert m.overlap_by_phase == pytest.approx(ov)
+        assert m.to_dict()["overlap_by_phase"] == pytest.approx(ov)
+
     def test_to_dict_is_json_ready(self):
         import json
 
@@ -154,3 +196,62 @@ class TestSnapshot:
         json.dumps(doc)  # must not raise
         assert doc["q_words"] > 0
         assert "registry" in doc
+
+
+class TestShrunkWorld:
+    """Faulted/shrunk worlds: dead ranks must not skew the gauges."""
+
+    def _killed_run(self):
+        from repro.ft import resilient_multiply
+        from repro.layout import BlockCol1D
+        from repro.mpi import FaultPlan, RankFault
+
+        m, n, k, nprocs = 24, 20, 28, 8
+
+        def f(comm):
+            a = DistMatrix.from_global(
+                comm, BlockCol1D((m, k), comm.size), dense_random(m, k, seed=7)
+            )
+            b = DistMatrix.from_global(
+                comm, BlockCol1D((k, n), comm.size), dense_random(k, n, seed=8)
+            )
+            resilient_multiply(
+                comm, a, b,
+                c_dist=lambda cm: BlockCol1D((m, n), cm.size),
+                max_recoveries=1,
+            )
+
+        faults = FaultPlan(seed=0, ranks=(
+            RankFault(rank=3, phase="cannon", occurrence=1, kill=True),
+        ))
+        return run_spmd(
+            nprocs, f, machine=laptop(), record_events=True, faults=faults
+        )
+
+    def test_live_traces_exclude_dead_ranks(self):
+        res = self._killed_run()
+        assert set(res.transport.dead_ranks()) == {3}
+        assert {t.rank for t in res.live_traces} == {0, 1, 2, 4, 5, 6, 7}
+
+    def test_overlap_and_snapshot_ignore_dead_ranks(self):
+        import json
+
+        res = self._killed_run()
+        ov = overlap_by_phase(res)
+        num = den = 0.0
+        for t in res.traces:
+            if t.rank == 3:
+                continue
+            st = t.phases.get("cannon")
+            if st is None or st.time <= 0:
+                continue
+            ratio = max(0.0, min(1.0, 1.0 - st.comm_time / st.time))
+            weight = float(st.bytes_sent + st.bytes_recv)
+            num += ratio * weight
+            den += weight
+        assert den > 0
+        assert ov["cannon"] == pytest.approx(num / den)
+
+        m = snapshot_run(res)
+        assert m.recoveries >= 1
+        json.dumps(m.to_dict())  # gauges stay serializable on shrunk worlds
