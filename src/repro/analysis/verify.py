@@ -90,5 +90,15 @@ def executed_metrics(result: SpmdResult, itemsize: int = ITEM) -> ExecutedMetric
     """
     q = max(t.bytes_sent for t in result.traces) / itemsize
     msgs = max(t.msgs_sent for t in result.traces)
-    s = max(t.peak_live_bytes for t in result.traces) / itemsize
+    # S is the memtrace resident watermark (tagged allocation spans);
+    # runs without memtrace instrumentation (or duck-typed trace
+    # snapshots) fall back to the legacy self-reported / transport
+    # in-flight counter.
+    resident = max(
+        getattr(t, "resident_peak_bytes", 0) for t in result.traces
+    )
+    peak = resident if resident > 0 else max(
+        t.peak_live_bytes for t in result.traces
+    )
+    s = peak / itemsize
     return ExecutedMetrics(q_words=q, msgs=msgs, s_words=s, time=result.time)

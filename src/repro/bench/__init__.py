@@ -8,6 +8,7 @@ from .harness import (
     fig4_hybrid,
     fig5_breakdown,
     l_sweep,
+    table1_measured,
     table1_memory,
     table2_grids,
     table3_gpu,
@@ -30,6 +31,7 @@ __all__ = [
     "fig3_scaling",
     "fig4_hybrid",
     "fig5_breakdown",
+    "table1_measured",
     "table1_memory",
     "table2_grids",
     "table3_gpu",

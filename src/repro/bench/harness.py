@@ -492,6 +492,48 @@ def table1_memory(
     return BenchResult("table1", text, data)
 
 
+def table1_measured(
+    names: tuple[str, ...] = ("fig3", "table1", "table2", "table3"),
+    machine: MachineModel | None = None,
+) -> BenchResult:
+    """Table I companion: measured resident peak vs eq. (11), executed.
+
+    The analytic table prices paper-scale problems; this executes the
+    thread-simulator stand-ins of the same shape classes and puts the
+    memtrace resident watermark (max over ranks, words) next to the
+    eq. (11) prediction for the grid actually planned.  ``ratio`` is
+    measured / analytic — the memory gate bounds it near 1.
+    """
+    from ..obs.metrics import ITEM
+
+    rows, data = [], {}
+    for name in names:
+        m, n, k, p = TRACE_WORKLOADS[name]
+        plan, result = executed_workload(name, machine=machine)
+        eq11 = plan.grid.memory_words(m, n, k)
+        measured = max(
+            (t.resident_peak_bytes for t in result.live_traces), default=0
+        ) / ITEM
+        ratio = measured / eq11 if eq11 > 0 else float("nan")
+        rows.append([
+            name, f"{m}x{n}x{k}", str(p),
+            f"{plan.pm}x{plan.pn}x{plan.pk}",
+            f"{eq11:.0f}", f"{measured:.0f}", f"{ratio:.3f}",
+        ])
+        data[name] = {
+            "eq11_words": eq11,
+            "measured_words": measured,
+            "ratio": ratio,
+        }
+    text = format_table(
+        ["workload", "m x n x k", "P", "grid", "eq11 words",
+         "measured words", "ratio"],
+        rows,
+        title="Table I companion — measured resident peak vs eq. (11) (words)",
+    )
+    return BenchResult("table1_measured", text, data)
+
+
 # -------------------------------------------------------------- Table II -- #
 #: The paper's Table II grid specifications: problem class ->
 #: [(procs, (pm, pn, pk), is_default)] for each library.

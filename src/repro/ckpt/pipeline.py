@@ -104,13 +104,19 @@ def save_checkpoint(
     ckpt_id = f"step{step:04d}-t{t:.9f}"
     with comm.span("ckpt_save", cat="ckpt", step=step, ckpt_id=ckpt_id,
                    matrices=len(state)):
-        for name in sorted(state):
-            mat = state[name]
-            store.put_tiles(
-                ckpt_id, name, comm.rank,
-                list(zip(mat.owned_rects, mat.tiles)),
-            )
-        comm.barrier()  # all tiles durable before the manifest publishes
+        # The store copies every tile on the way in; those staging
+        # copies live until the tiles are durable (the barrier below).
+        staging = sum(
+            t.nbytes for mat in state.values() for t in mat.tiles
+        )
+        with comm.mem("ckpt.staging", staging):
+            for name in sorted(state):
+                mat = state[name]
+                store.put_tiles(
+                    ckpt_id, name, comm.rank,
+                    list(zip(mat.owned_rects, mat.tiles)),
+                )
+            comm.barrier()  # all tiles durable before the manifest publishes
         if comm.rank == 0:
             store.put_manifest(build_manifest(
                 ckpt_id, step, step_name, t, comm.size, state,
@@ -160,11 +166,14 @@ def restart(
                     tile for _rect, tile
                     in store.get_tiles(man["ckpt_id"], name, old)
                 )
-            dist = Explicit.from_mapping(
-                (int(info["shape"][0]), int(info["shape"][1])),
-                comm.size, mapping,
-            )
-            state[name] = DistMatrix(comm, dist, tiles)
+            # Restored tiles are store-made copies; charge the read-back
+            # staging window until the matrix takes ownership.
+            with comm.mem("ckpt.staging", sum(t.nbytes for t in tiles)):
+                dist = Explicit.from_mapping(
+                    (int(info["shape"][0]), int(info["shape"][1])),
+                    comm.size, mapping,
+                )
+                state[name] = DistMatrix(comm, dist, tiles)
     return state, int(man["step"]) + 1
 
 

@@ -14,11 +14,12 @@ same report structure: the partition info block, per-phase timings over
 schema-validated JSON document (``repro.obs.export.RUN_JSON_SCHEMA``)
 for scripting.
 
-Nine observability subcommands front the :mod:`repro.obs` subsystem::
+Ten observability subcommands front the :mod:`repro.obs` subsystem::
 
     python -m repro.cli trace 64 64 64 -np 8 -o run.trace.json
     python -m repro.cli stats 64 64 64 -np 8 --json
     python -m repro.cli audit 64 64 64 -np 64 --strict
+    python -m repro.cli memprof 64 64 64 -np 8 --json
     python -m repro.cli ledger --last 10
     python -m repro.cli critpath 64 64 64 -np 8 --timeline
     python -m repro.cli perfdiff --baseline-dir benchmarks/baselines
@@ -47,7 +48,11 @@ recomputed work below one full call; ``audit`` runs the transport-truth
 communication audit (:mod:`repro.obs.audit`): measured bytes-on-the-wire
 vs the eq. (4) schedule, the α-β collective accounting, and the
 red-blue pebbling lower bound, with a committed-baseline gate (the CI
-audit gate); ``ledger`` renders and queries the append-only run history
+audit gate); ``memprof`` profiles each rank's measured resident memory
+(tagged allocation spans, :mod:`repro.obs.memtrace`) against the paper's
+eq. (11) footprint prediction — per-purpose breakdown, top-offender
+ranks, and a committed-baseline gate (the CI memory gate); ``ledger``
+renders and queries the append-only run history
 (:mod:`repro.obs.ledger`).  Every executing subcommand accepts
 ``--ledger [PATH]`` (or the ``REPRO_LEDGER`` environment variable) to
 append its run record to the history.
@@ -317,12 +322,14 @@ def _append_ledger(args, result, plan, kind: str, nruns: int = 1,
         print(f"ledger: appended {rec['run_id'][:12]} ({kind}) to {ledger.path}")
 
 
-def _run_traced(m: int, n: int, k: int, p: int, machine, grid):
+def _run_traced(m: int, n: int, k: int, p: int, machine, grid,
+                memory_limit_words: float | None = None):
     """One native-layout multiplication with event recording."""
-    plan = Ca3dmmPlan(m, n, k, p, grid=grid)
+    plan = Ca3dmmPlan(m, n, k, p, grid=grid,
+                      memory_limit_words=memory_limit_words)
 
     def f(comm):
-        eng = Ca3dmm(comm, m, n, k, grid=grid)
+        eng = Ca3dmm(comm, m, n, k, grid=grid if grid is not None else plan.grid)
         a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 7))
         b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 8))
         eng.multiply(a, b)
@@ -937,7 +944,12 @@ def _stats_main(argv: list[str]) -> int:
         print(json.dumps({
             "metrics": metrics.to_dict(),
             "drift": report.to_dict(),
+            # legacy name kept for consumers; this counter is transport
+            # in-flight / self-reported peak, NOT the resident footprint
             "peak_live_bytes": int(metrics.peak_live_words * 8),
+            "transport_inflight_peak_bytes": int(metrics.peak_live_words * 8),
+            "resident_peak_bytes": int(metrics.resident_peak_words * 8),
+            "mem_by_purpose_words": dict(metrics.mem_by_purpose),
             "overlap_by_phase": dict(metrics.overlap_by_phase),
             "q_over_analytic": q_over_analytic,
         }, indent=2))
@@ -1036,6 +1048,96 @@ def _audit_main(argv: list[str]) -> int:
     return 1 if (args.strict and not report.ok) else 0
 
 
+def _memprof_main(argv: list[str]) -> int:
+    from .obs.memtrace import memprof_run
+
+    ap = _obs_parser(
+        "memprof",
+        "Execute one CA3DMM multiplication and profile each rank's "
+        "measured resident memory (tagged allocation spans) against the "
+        "eq. (11) footprint prediction and any memory_limit_words cap",
+    )
+    ap.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    ap.add_argument("--mem-tol", type=float, default=0.10,
+                    help="relative headroom allowed over eq. (11) / the cap")
+    ap.add_argument("--top", type=int, default=3,
+                    help="top-offender ranks listed in text mode")
+    ap.add_argument("--memory-limit", type=float, default=None,
+                    metavar="WORDS",
+                    help="plan under a Section V memory cap (words/process)")
+    ap.add_argument("--gate", default=None, metavar="FILE",
+                    help="compare the measured resident peak against this "
+                         "committed baseline JSON and exit nonzero on "
+                         "regression (the CI memory gate)")
+    ap.add_argument("--gate-tol", type=float, default=0.02,
+                    help="allowed relative worsening of the gated quantities")
+    ap.add_argument("--update-gate", default=None, metavar="FILE",
+                    help="write the gate baseline from this run instead of "
+                         "comparing")
+    args = ap.parse_args(argv)
+    machine, grid = _obs_common(args)
+    plan, result = _run_traced(args.M, args.N, args.K, args.nprocs, machine,
+                               grid, memory_limit_words=args.memory_limit)
+    report = memprof_run(result, plan, tol=args.mem_tol)
+    _append_ledger(args, result, plan, "cli.memprof")
+
+    if args.update_gate:
+        gate_doc = {
+            "schema_version": 1,
+            "workload": {"m": args.M, "n": args.N, "k": args.K,
+                         "nprocs": args.nprocs},
+            "eq11_words": report.eq11_words,
+            "resident_peak_words": report.resident_peak_words,
+            "peak_over_eq11": report.peak_over_eq11,
+        }
+        with open(args.update_gate, "w", encoding="utf-8") as fh:
+            json.dump(gate_doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        if not args.json:
+            print(f"memory gate baseline written: {args.update_gate}")
+
+    gate_ok = True
+    gate_result: dict | None = None
+    if args.gate:
+        try:
+            with open(args.gate, encoding="utf-8") as fh:
+                base = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read memory gate baseline: {exc}")
+        checks = []
+        for key, measured in (
+            ("resident_peak_words", report.resident_peak_words),
+            ("peak_over_eq11", report.peak_over_eq11),
+        ):
+            expected = base.get(key)
+            if expected is None or measured is None:
+                continue
+            ok = measured <= expected * (1.0 + args.gate_tol)
+            checks.append({"quantity": key, "measured": measured,
+                           "baseline": expected, "ok": ok})
+        gate_ok = bool(checks) and all(c["ok"] for c in checks)
+        gate_result = {"baseline": args.gate, "tol": args.gate_tol,
+                       "ok": gate_ok, "checks": checks}
+
+    if args.json:
+        doc = report.to_dict()
+        if gate_result is not None:
+            doc["gate"] = gate_result
+        print(json.dumps(doc, indent=2))
+    else:
+        print(report.format(top=args.top))
+        if gate_result is not None:
+            for c in gate_result["checks"]:
+                print(f"  gate {c['quantity']:<20}: measured "
+                      f"{c['measured']:.4f} vs baseline {c['baseline']:.4f} "
+                      f"(tol {100 * args.gate_tol:.1f}%)  "
+                      + ("ok" if c["ok"] else "REGRESSION"))
+            print("memory gate: " + ("OK" if gate_ok else "FAIL"))
+    if args.gate and not gate_ok:
+        return 1
+    return 0 if report.ok else 1
+
+
 def _ledger_main(argv: list[str]) -> int:
     from .bench.report import format_ledger
     from .obs.ledger import DEFAULT_LEDGER_PATH, Ledger, ledger_path_from_env
@@ -1082,6 +1184,7 @@ _SUBCOMMANDS = {
     "trace": _trace_main,
     "stats": _stats_main,
     "audit": _audit_main,
+    "memprof": _memprof_main,
     "ledger": _ledger_main,
     "critpath": _critpath_main,
     "perfdiff": _perfdiff_main,

@@ -20,10 +20,18 @@ collective-friendlier ``pk`` wins, as the paper observed for pk=341).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..analysis.costs import ITEM, CostReport, ca3dmm_cost
-from ..grid.optimizer import DEFAULT_L, GridSpec, ca3dmm_grid, cosma_grid, enumerate_grids
+from ..grid.optimizer import (
+    DEFAULT_L,
+    GridSpec,
+    MemLimitInfeasibleWarning,
+    ca3dmm_grid,
+    cosma_grid,
+    enumerate_grids,
+)
 from ..machine.model import MachineModel
 from .ca3dmm import Ca3dmm
 
@@ -120,7 +128,22 @@ def tune(
 
     if memory_limit_words is not None:
         fitting = [c for c in candidates if c.mem_words <= memory_limit_words]
-        pool = fitting if fitting else [min(candidates, key=lambda c: c.mem_words)]
+        if not fitting:
+            floor = min(candidates, key=lambda c: c.mem_words)
+            warnings.warn(
+                MemLimitInfeasibleWarning(
+                    f"memory_limit_words={memory_limit_words:g} excludes every "
+                    f"tuning candidate for (m={m}, n={n}, k={k}, P={nprocs}); "
+                    f"using the minimum-memory candidate "
+                    f"({floor.inner}, {floor.grid.pm}x{floor.grid.pn}x"
+                    f"{floor.grid.pk}) at {floor.mem_words:.0f} words, "
+                    f"over the cap"
+                ),
+                stacklevel=2,
+            )
+            pool = [floor]
+        else:
+            pool = fitting
     else:
         pool = candidates
     ranked = sorted(pool, key=lambda c: c.time)

@@ -171,88 +171,110 @@ class Ca3dmm:
             a_piece = self._native_tile(a_nat, plan.a_owned(comm.rank))
             b_piece = self._native_tile(b_nat, plan.b_owned(comm.rank))
 
-            # Step 5: replicate the smaller operand across Cannon groups.
-            with comm.phase("replicate", c=plan.c,
-                            operand="A" if plan.replicates_a else "B"):
-                if plan.c > 1:
-                    if plan.replicates_a:
-                        a_piece = replicate_block(self.replica_comm, a_piece, axis=1)
-                    else:
-                        b_piece = replicate_block(self.replica_comm, b_piece, axis=0)
+            # Measured working set: tagged memtrace spans charged as the
+            # engine's buffers come to life, freed together when the
+            # multiply hands its result back.  The resident watermark
+            # this produces is what the eq. (11) audit and the pebbling
+            # bound consume (docs/OBSERVABILITY.md) — the analytic
+            # estimate this replaces is recoverable as
+            # ``plan.grid.memory_words(m, n, k)``.
+            held: list[tuple[str, int]] = []
 
-            a_blk = plan.a_cannon_block(role)
-            b_blk = plan.b_cannon_block(role)
-            if a_piece.shape != a_blk.shape:
-                raise AssertionError(
-                    f"A block shape {a_piece.shape} != planned {a_blk.shape}"
-                )
-            if b_piece.shape != b_blk.shape:
-                raise AssertionError(
-                    f"B block shape {b_piece.shape} != planned {b_blk.shape}"
-                )
+            def _hold(purpose: str, nbytes: int) -> None:
+                comm.mem_alloc(purpose, nbytes)
+                held.append((purpose, int(nbytes)))
 
-            # Peak working set: dual-buffered A and B blocks plus the
-            # partial C block (eq. 11).
-            itemsize = np.dtype(out_dtype).itemsize
-            peak = (
-                2 * (a_piece.nbytes + b_piece.nbytes)
-                + a_blk.rows * b_blk.cols * itemsize
-            )
-            comm.note_live_bytes(peak)
+            try:
+                # Step 5: replicate the smaller operand across Cannon groups.
+                with comm.phase("replicate", c=plan.c,
+                                operand="A" if plan.replicates_a else "B"):
+                    if plan.c > 1:
+                        if plan.replicates_a:
+                            a_piece = replicate_block(self.replica_comm, a_piece, axis=1)
+                        else:
+                            b_piece = replicate_block(self.replica_comm, b_piece, axis=0)
 
-            # Step 6: Cannon's algorithm inside the s x s group.  With
-            # ABFT on, the unskewed blocks get Huang-Abraham checksum
-            # borders first; the kernel itself is unchanged and the
-            # bordered result is verified (and recomputed if corrupted)
-            # before the reduce-scatter strips it.
-            a_run = a_piece.astype(out_dtype, copy=False)
-            b_run = b_piece.astype(out_dtype, copy=False)
-            guard = None
-            with comm.phase("cannon", s=plan.s,
-                            shifts_per_gemm=self.shifts_per_gemm,
-                            abft=self.abft is not None):
-                cart = Cart2D(self.cannon_comm, plan.s, plan.s)
-                if self.abft is not None:
-                    from ..ft.abft import AbftGuard, augment_a, augment_b
-
-                    a_run = augment_a(a_run)
-                    b_run = augment_b(b_run)
-                    k0, k1 = plan.k_range(role.ik)
-                    guard = AbftGuard(
-                        comm=comm,
-                        group_comm=self.cannon_comm,
-                        policy=self.abft,
-                        recompute=lambda: cannon_multiply(
-                            cart, a_run, b_run,
-                            shifts_per_gemm=self.shifts_per_gemm,
-                        ),
-                        flops=2.0 * a_run.shape[0] * b_run.shape[1] * (k1 - k0),
+                a_blk = plan.a_cannon_block(role)
+                b_blk = plan.b_cannon_block(role)
+                if a_piece.shape != a_blk.shape:
+                    raise AssertionError(
+                        f"A block shape {a_piece.shape} != planned {a_blk.shape}"
                     )
-                c_loc = cannon_multiply(
-                    cart, a_run, b_run,
-                    shifts_per_gemm=self.shifts_per_gemm,
-                )
+                if b_piece.shape != b_blk.shape:
+                    raise AssertionError(
+                        f"B block shape {b_piece.shape} != planned {b_blk.shape}"
+                    )
+                _hold("tile.a", a_piece.nbytes)
+                _hold("tile.b", b_piece.nbytes)
 
-            # Step 7: reduce-scatter partial C blocks across k-groups.
-            # Verification runs first so the retention hook only ever
-            # sees a partial the ABFT guard has already vouched for.
-            with comm.phase("reduce", pk=plan.pk):
-                if guard is not None:
-                    c_loc = guard.verified(c_loc)
-                if on_partial is not None:
-                    on_partial(role, c_loc)
-                by_cols = plan.c_split_cols(role.i, role.j)
-                strip = reduce_partial_c(self.kred_comm, c_loc, by_cols)
+                # Step 6: Cannon's algorithm inside the s x s group.  With
+                # ABFT on, the unskewed blocks get Huang-Abraham checksum
+                # borders first; the kernel itself is unchanged and the
+                # bordered result is verified (and recomputed if corrupted)
+                # before the reduce-scatter strips it.
+                a_run = a_piece.astype(out_dtype, copy=False)
+                b_run = b_piece.astype(out_dtype, copy=False)
+                guard = None
+                with comm.phase("cannon", s=plan.s,
+                                shifts_per_gemm=self.shifts_per_gemm,
+                                abft=self.abft is not None):
+                    cart = Cart2D(self.cannon_comm, plan.s, plan.s)
+                    if self.abft is not None:
+                        from ..ft.abft import AbftGuard, augment_a, augment_b
 
-            rect = plan.c_owned(comm.rank)
-            if rect is None or rect.is_empty():
-                tiles = []
-            else:
-                strip = np.ascontiguousarray(strip)
-                if alpha != 1.0:
-                    strip = alpha * strip
-                tiles = [strip]
-            c_nat = DistMatrix(comm, plan.c_dist, tiles)
+                        pre = a_run.nbytes + b_run.nbytes
+                        a_run = augment_a(a_run)
+                        b_run = augment_b(b_run)
+                        _hold("abft.checksum", a_run.nbytes + b_run.nbytes - pre)
+                        k0, k1 = plan.k_range(role.ik)
+                        guard = AbftGuard(
+                            comm=comm,
+                            group_comm=self.cannon_comm,
+                            policy=self.abft,
+                            recompute=lambda: cannon_multiply(
+                                cart, a_run, b_run,
+                                shifts_per_gemm=self.shifts_per_gemm,
+                            ),
+                            flops=2.0 * a_run.shape[0] * b_run.shape[1] * (k1 - k0),
+                        )
+                    c_loc = cannon_multiply(
+                        cart, a_run, b_run,
+                        shifts_per_gemm=self.shifts_per_gemm,
+                    )
+                _hold("tile.c", c_loc.nbytes)
+
+                # Step 7: reduce-scatter partial C blocks across k-groups.
+                # Verification runs first so the retention hook only ever
+                # sees a partial the ABFT guard has already vouched for.
+                with comm.phase("reduce", pk=plan.pk):
+                    if guard is not None:
+                        c_loc = guard.verified(c_loc)
+                    if on_partial is not None:
+                        on_partial(role, c_loc)
+                    # The operand tiles (and checksum borders) die once
+                    # the partial is verified — the ABFT recompute can no
+                    # longer fire — so release them before the
+                    # reduce-scatter stages its scratch strip on top.
+                    dead = [h for h in held
+                            if h[0] in ("tile.a", "tile.b", "abft.checksum")]
+                    for purpose, nbytes in dead:
+                        comm.mem_free(purpose, nbytes)
+                        held.remove((purpose, nbytes))
+                    by_cols = plan.c_split_cols(role.i, role.j)
+                    strip = reduce_partial_c(self.kred_comm, c_loc, by_cols)
+
+                rect = plan.c_owned(comm.rank)
+                if rect is None or rect.is_empty():
+                    tiles = []
+                else:
+                    strip = np.ascontiguousarray(strip)
+                    if alpha != 1.0:
+                        strip = alpha * strip
+                    tiles = [strip]
+                c_nat = DistMatrix(comm, plan.c_dist, tiles)
+            finally:
+                for purpose, nbytes in held:
+                    comm.mem_free(purpose, nbytes)
 
         # Accumulation operand: fold in beta * C_in (in the native layout,
         # where every rank holds exactly its strip).

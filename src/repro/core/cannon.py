@@ -71,49 +71,64 @@ def cannon_multiply(
     comm = cart.comm
     out_dtype = np.promote_types(a_blk.dtype, b_blk.dtype)
     c_loc = np.zeros((a_blk.shape[0], b_blk.shape[1]), dtype=out_dtype)
+    # The partial-C accumulator lives through every shift — eq. (11)'s
+    # ``pk·mn/used`` term.  Charged here, released on return; the caller
+    # re-charges the returned block under the same purpose.
+    comm.mem_alloc("tile.c", c_loc.nbytes)
+    try:
+        if s == 1:
+            if a_blk.shape[1]:
+                comm.gemm_tick(a_blk.shape[0], b_blk.shape[1], a_blk.shape[1])
+                c_loc[:] = a_blk @ b_blk
+            return c_loc
 
-    if s == 1:
-        if a_blk.shape[1]:
-            comm.gemm_tick(a_blk.shape[0], b_blk.shape[1], a_blk.shape[1])
-            c_loc[:] = a_blk @ b_blk
+        a_cur, b_cur = _skew(cart, a_blk, b_blk)
+        if a_cur.shape[0] != a_blk.shape[0] or b_cur.shape[1] != b_blk.shape[1]:
+            raise AssertionError("skew changed the local C-facing extents")
+
+        pending_a: list[np.ndarray] = []
+        pending_b: list[np.ndarray] = []
+
+        def flush() -> None:
+            if not pending_a:
+                return
+            a_cat = pending_a[0] if len(pending_a) == 1 else np.concatenate(pending_a, axis=1)
+            b_cat = pending_b[0] if len(pending_b) == 1 else np.concatenate(pending_b, axis=0)
+            if a_cat.shape[1]:
+                # A zero inner width means no flops AND no operand staging:
+                # ticking here would charge phantom GEMM-call time (GPU mode
+                # stages m*n result bytes even at k == 0).
+                comm.gemm_tick(a_cat.shape[0], b_cat.shape[1], a_cat.shape[1])
+                np.add(c_loc, a_cat @ b_cat, out=c_loc)
+            pending_a.clear()
+            pending_b.clear()
+
+        for t in range(s):
+            last = t == s - 1
+            if not last:
+                req_as = comm.isend(a_cur, cart.left(1), _TAG_SHIFT_A)
+                req_ar = comm.irecv(cart.right(1), _TAG_SHIFT_A)
+                req_bs = comm.isend(b_cur, cart.up(1), _TAG_SHIFT_B)
+                req_br = comm.irecv(cart.down(1), _TAG_SHIFT_B)
+                # The second buffer of the dual-buffer idiom: the
+                # incoming next blocks coexist with the current blocks
+                # until the waits complete.  Charged after the posts so
+                # the transient send-copy spike (transport.inflight) is
+                # absorbed into the same dual-buffer budget rather than
+                # stacking on top of it.
+                dblbuf = a_cur.nbytes + b_cur.nbytes
+                comm.mem_alloc("cannon.dblbuf", dblbuf)
+            pending_a.append(a_cur)
+            pending_b.append(b_cur)
+            if last or len(pending_a) >= shifts_per_gemm:
+                flush()
+            if not last:
+                a_cur = req_ar.wait()
+                b_cur = req_br.wait()
+                req_as.wait()
+                req_bs.wait()
+                comm.mem_free("cannon.dblbuf", dblbuf)
+        flush()
         return c_loc
-
-    a_cur, b_cur = _skew(cart, a_blk, b_blk)
-    if a_cur.shape[0] != a_blk.shape[0] or b_cur.shape[1] != b_blk.shape[1]:
-        raise AssertionError("skew changed the local C-facing extents")
-
-    pending_a: list[np.ndarray] = []
-    pending_b: list[np.ndarray] = []
-
-    def flush() -> None:
-        if not pending_a:
-            return
-        a_cat = pending_a[0] if len(pending_a) == 1 else np.concatenate(pending_a, axis=1)
-        b_cat = pending_b[0] if len(pending_b) == 1 else np.concatenate(pending_b, axis=0)
-        if a_cat.shape[1]:
-            # A zero inner width means no flops AND no operand staging:
-            # ticking here would charge phantom GEMM-call time (GPU mode
-            # stages m*n result bytes even at k == 0).
-            comm.gemm_tick(a_cat.shape[0], b_cat.shape[1], a_cat.shape[1])
-            np.add(c_loc, a_cat @ b_cat, out=c_loc)
-        pending_a.clear()
-        pending_b.clear()
-
-    for t in range(s):
-        last = t == s - 1
-        if not last:
-            req_as = comm.isend(a_cur, cart.left(1), _TAG_SHIFT_A)
-            req_ar = comm.irecv(cart.right(1), _TAG_SHIFT_A)
-            req_bs = comm.isend(b_cur, cart.up(1), _TAG_SHIFT_B)
-            req_br = comm.irecv(cart.down(1), _TAG_SHIFT_B)
-        pending_a.append(a_cur)
-        pending_b.append(b_cur)
-        if last or len(pending_a) >= shifts_per_gemm:
-            flush()
-        if not last:
-            a_cur = req_ar.wait()
-            b_cur = req_br.wait()
-            req_as.wait()
-            req_bs.wait()
-    flush()
-    return c_loc
+    finally:
+        comm.mem_free("tile.c", c_loc.nbytes)

@@ -28,10 +28,16 @@ communication.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import cached_property
 
-from ..grid.optimizer import DEFAULT_L, GridSpec, ca3dmm_grid
+from ..grid.optimizer import (
+    DEFAULT_L,
+    GridSpec,
+    MemLimitInfeasibleWarning,
+    ca3dmm_grid,
+)
 from ..layout.blocks import Rect, block_range
 from ..layout.distributions import Explicit
 
@@ -68,9 +74,24 @@ class Ca3dmmPlan:
             raise ValueError("nprocs must be >= 1")
         self.m, self.n, self.k = m, n, k
         self.nprocs = nprocs
-        self.grid = grid if grid is not None else ca3dmm_grid(
-            m, n, k, nprocs, l, memory_limit_words=memory_limit_words
-        )
+        self.memory_limit_words = memory_limit_words
+        #: True when ``memory_limit_words`` excluded every candidate grid
+        #: and the search fell back to the minimum-memory grid (the cap
+        #: is then NOT honoured); surfaced as the ``mem_limit_infeasible``
+        #: gauge and checked by the memprof gate.
+        self.mem_limit_infeasible = False
+        if grid is not None:
+            self.grid = grid
+        else:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                self.grid = ca3dmm_grid(
+                    m, n, k, nprocs, l, memory_limit_words=memory_limit_words
+                )
+            for w in caught:  # flag the infeasible cap, re-emit everything
+                if issubclass(w.category, MemLimitInfeasibleWarning):
+                    self.mem_limit_infeasible = True
+                warnings.warn_explicit(w.message, w.category, w.filename, w.lineno)
         if self.grid.nprocs != nprocs:
             raise ValueError("grid was built for a different world size")
         if not self.grid.cannon_compatible:

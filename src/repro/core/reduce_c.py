@@ -77,4 +77,7 @@ def reduce_partial_c(
     if kred_comm.size == 1:
         return c_loc
     strips = split_block(c_loc, kred_comm.size, by_cols)
-    return kred_comm.reduce_scatter(strips)
+    # The pairwise exchange accumulates into a private copy of this
+    # rank's strip; charge that accumulator to the reduce.scratch span.
+    with kred_comm.mem("reduce.scratch", strips[kred_comm.rank].nbytes):
+        return kred_comm.reduce_scatter(strips)

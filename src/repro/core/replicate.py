@@ -26,4 +26,7 @@ def replicate_block(replica_comm: Comm, piece: np.ndarray, axis: int) -> np.ndar
     if replica_comm.size == 1:
         return piece
     pieces = replica_comm.allgather(piece)
-    return np.concatenate(pieces, axis=axis)
+    # The gathered pieces are scratch that lives until the concatenated
+    # block replaces them; charge that window to the replicate.buf span.
+    with replica_comm.mem("replicate.buf", sum(p.nbytes for p in pieces)):
+        return np.concatenate(pieces, axis=axis)

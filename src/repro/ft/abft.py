@@ -150,7 +150,11 @@ class AbftGuard:
                 bad_rows=len(bad_rows),
                 bad_cols=len(bad_cols),
             ):
-                c_f = self.recompute()
+                # The recomputed bordered block coexists with the
+                # corrupted one until the rebind below; charge that
+                # second copy to the checksum span.
+                with self.comm.mem("abft.checksum", c_f.nbytes):
+                    c_f = self.recompute()
             self.comm.transport.add_ft(
                 self.comm.world_rank, recomputed_flops=self.flops
             )

@@ -23,12 +23,24 @@ every rank computes the same grid independently.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 
 from .factorize import divisors, perfect_square_part
 
 #: The paper's default utilization lower bound (eq. 5).
 DEFAULT_L = 0.95
+
+
+class MemLimitInfeasibleWarning(UserWarning):
+    """``memory_limit_words`` excluded every candidate grid.
+
+    The search falls back to the minimum-memory grid rather than
+    failing, but the cap is **not** honoured: the returned grid's
+    eq. (11) footprint exceeds the requested limit.  Raise the limit,
+    raise the process count, or switch to the SUMMA kernel (Section V
+    lever 1) to make the cap feasible.
+    """
 
 
 @dataclass(frozen=True, order=True)
@@ -205,10 +217,22 @@ def ca3dmm_grid(
                     c for c in cands if c.memory_words(m, n, k) <= memory_limit_words
                 ]
                 if not fitting:
-                    return min(
+                    fallback = min(
                         cands,
                         key=lambda c: (c.memory_words(m, n, k), _sorted_key(m, n, k)(c)),
                     )
+                    warnings.warn(
+                        MemLimitInfeasibleWarning(
+                            f"memory_limit_words={memory_limit_words:g} excludes "
+                            f"every candidate grid for (m={m}, n={n}, k={k}, "
+                            f"P={nprocs}); using the minimum-memory grid "
+                            f"{fallback} whose eq. (11) footprint "
+                            f"{fallback.memory_words(m, n, k):.0f} words "
+                            f"exceeds the cap"
+                        ),
+                        stacklevel=2,
+                    )
+                    return fallback
                 cands = fitting
             return min(cands, key=_sorted_key(m, n, k))
         bound *= 0.5  # pragma: no cover - 1x1xP always satisfies l <= 1

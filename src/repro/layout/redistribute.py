@@ -112,24 +112,30 @@ def redistribute(
 
         my_rects = dst_dist.owned_rects(comm.rank)
         tiles = [np.zeros(r.shape, dtype=src.dtype) for r in my_rects]
-        filled = [np.zeros(r.shape, dtype=bool) for r in my_rects]
-        for batch in received:
-            for src_rect, data in batch:
-                dst_rect = src_rect.transposed() if transpose else src_rect
-                payload = data.T if transpose else data
-                if conjugate:
-                    payload = np.conj(payload)
-                placed = False
-                for rect, tile, mask in zip(my_rects, tiles, filled):
-                    piece = rect.intersect(dst_rect)
-                    if piece.is_empty():
-                        continue
-                    rs, cs = rect.local_slice(piece)
-                    prs, pcs = dst_rect.local_slice(piece)
-                    tile[rs, cs] = payload[prs, pcs]
-                    mask[rs, cs] = True
-                    placed = True
-                assert placed, "received a piece no local rect wants"
-        for mask in filled:
-            assert mask.all(), "redistribution left holes in a local tile"
+        # Destination tiles coexist with the received pieces until
+        # reassembly finishes; charge that window to redist.tiles.
+        staged = sum(t.nbytes for t in tiles) + sum(
+            data.nbytes for batch in received for _rect, data in batch
+        )
+        with comm.mem("redist.tiles", staged):
+            filled = [np.zeros(r.shape, dtype=bool) for r in my_rects]
+            for batch in received:
+                for src_rect, data in batch:
+                    dst_rect = src_rect.transposed() if transpose else src_rect
+                    payload = data.T if transpose else data
+                    if conjugate:
+                        payload = np.conj(payload)
+                    placed = False
+                    for rect, tile, mask in zip(my_rects, tiles, filled):
+                        piece = rect.intersect(dst_rect)
+                        if piece.is_empty():
+                            continue
+                        rs, cs = rect.local_slice(piece)
+                        prs, pcs = dst_rect.local_slice(piece)
+                        tile[rs, cs] = payload[prs, pcs]
+                        mask[rs, cs] = True
+                        placed = True
+                    assert placed, "received a piece no local rect wants"
+            for mask in filled:
+                assert mask.all(), "redistribution left holes in a local tile"
     return DistMatrix(comm, dst_dist, tiles)

@@ -401,8 +401,45 @@ class Comm:
             self._transport.end_span(self._world_rank, sid)
 
     def note_live_bytes(self, nbytes: int) -> None:
-        """Report current live matrix bytes for peak-memory tracking."""
+        """Report current live matrix bytes for peak-memory tracking.
+
+        Self-reported (analytic) estimate; measured footprint goes
+        through the memtrace API (:meth:`mem` / :meth:`mem_alloc` /
+        :meth:`mem_free`).
+        """
         self._transport.note_live_bytes(self._world_rank, nbytes)
+
+    # ---------------------------------------------------------- memtrace -- #
+    def mem_alloc(self, purpose: str, nbytes: int) -> None:
+        """Charge tracked resident bytes to a tagged allocation span.
+
+        ``purpose`` labels what the bytes are (``tile.a``,
+        ``replicate.buf``, ``cannon.dblbuf``, ``abft.checksum``,
+        ``ckpt.staging``, ...).  Every charge must be matched by a
+        :meth:`mem_free` of the same purpose before the rank exits, or
+        deliberately left live (output tiles) — the balance shows up in
+        the rank trace's ``mem_live``.
+        """
+        self._transport.mem_alloc(self._world_rank, purpose, nbytes)
+
+    def mem_free(self, purpose: str, nbytes: int) -> None:
+        """Release tracked resident bytes charged with :meth:`mem_alloc`."""
+        self._transport.mem_free(self._world_rank, purpose, nbytes)
+
+    @contextlib.contextmanager
+    def mem(self, purpose: str, nbytes: int) -> Iterator[None]:
+        """Tagged allocation span: alloc on entry, free on exit.
+
+        The bracketed bytes count toward this rank's resident watermark
+        and the ``purpose``/phase high-water marks for the duration of
+        the block (use for scratch whose lifetime is the block; use the
+        explicit pair for buffers with non-lexical lifetimes).
+        """
+        self._transport.mem_alloc(self._world_rank, purpose, nbytes)
+        try:
+            yield
+        finally:
+            self._transport.mem_free(self._world_rank, purpose, nbytes)
 
     def now(self) -> float:
         """This rank's simulated clock, in seconds."""

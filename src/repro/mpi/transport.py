@@ -63,6 +63,16 @@ DEFAULT_PHASE = "other"
 #: shift rounds, redistribution sends) posted outside any collective call.
 DEFAULT_COLL = "p2p"
 
+#: Memory-span purpose charged for transport packed-copy buffers: the
+#: private payload copy a send hands the transport.  Charged transiently
+#: sender-side inside ``post_send`` — the owning rank's program order —
+#: so resident watermarks stay replay-deterministic (cross-thread
+#: accounting would make peaks depend on real scheduling).  There is no
+#: receiver-side charge: at receipt the payload becomes engine-owned and
+#: the engine's own spans (``cannon.dblbuf``, ``redist.tiles``, ...)
+#: account for it.
+MEM_INFLIGHT = "transport.inflight"
+
 
 @dataclass
 class CollStats:
@@ -123,6 +133,14 @@ class RankState:
     msgs_sent: int = 0
     msgs_recv: int = 0
     peak_live_bytes: int = 0
+    resident_bytes: int = 0  #: currently resident tracked bytes (memtrace)
+    resident_peak_bytes: int = 0  #: high-water mark of resident_bytes
+    #: live tracked bytes per purpose tag (``tile.a``, ``cannon.dblbuf``, ...)
+    mem_live: dict[str, int] = field(default_factory=dict)
+    #: per-purpose high-water marks of the purpose's own live bytes
+    mem_peak: dict[str, int] = field(default_factory=dict)
+    #: per-phase high-water marks of total resident bytes
+    phase_mem_peak: dict[str, int] = field(default_factory=dict)
     phase_stack: list[str] = field(default_factory=list)
     phase_span_stack: list[int] = field(default_factory=list)  #: tracer span ids
     phases: dict[str, PhaseStats] = field(default_factory=dict)
@@ -224,6 +242,29 @@ class MsgRecord:
         return self.arrival - self.t_post
 
 
+@dataclass(frozen=True)
+class MemEvent:
+    """One tagged allocation or free on a rank's resident-memory timeline.
+
+    ``kind`` is ``"alloc"`` or ``"free"``; ``purpose`` is the span tag
+    (``tile.a``, ``replicate.buf``, ``cannon.dblbuf``, ``abft.checksum``,
+    ``ckpt.staging``, ``transport.inflight``, ...); ``t`` is the rank's
+    simulated clock at the event and ``resident_bytes`` the rank's total
+    tracked resident bytes *after* applying it.  Events are appended in
+    the owning rank's program order, so the per-rank timeline — and every
+    watermark derived from it — replays byte-identically under a seeded
+    :class:`~repro.mpi.faults.FaultPlan`.
+    """
+
+    rank: int
+    kind: str
+    purpose: str
+    phase: str
+    t: float
+    nbytes: int
+    resident_bytes: int
+
+
 @dataclass
 class RankTrace:
     """Immutable snapshot of a rank's counters, returned to the driver."""
@@ -238,6 +279,14 @@ class RankTrace:
     phases: dict[str, PhaseStats]
     #: per-phase, per-collective-algorithm traffic: phase -> label -> stats.
     colls: dict[str, dict[str, CollStats]] = field(default_factory=dict)
+    resident_peak_bytes: int = 0  #: measured resident watermark (memtrace)
+    resident_bytes: int = 0  #: tracked bytes still live at snapshot time
+    #: per-purpose high-water marks of that purpose's live bytes
+    mem_peaks: dict[str, int] = field(default_factory=dict)
+    #: purposes with bytes still live at snapshot time (leak detector)
+    mem_live: dict[str, int] = field(default_factory=dict)
+    #: per-phase high-water marks of total resident bytes
+    phase_mem_peaks: dict[str, int] = field(default_factory=dict)
     retries: int = 0  #: fault-injection retransmits this rank requested
     timeouts: int = 0  #: fault-injection recv timeouts this rank charged
     injected_wait_s: float = 0.0  #: simulated seconds added by injected faults
@@ -277,6 +326,9 @@ class Transport:
         self.events: list[Event] = []
         #: per-message records (by list index == seq - 1) when recording.
         self.msglog: list[MsgRecord] = []
+        #: tagged alloc/free timeline (populated only with record_events;
+        #: the watermark counters themselves are always on).
+        self.memlog: list[MemEvent] = []
         #: structured span tracer (repro.obs); enabled with record_events.
         self.tracer = Tracer(enabled=record_events)
         self._lock = threading.Lock()
@@ -653,11 +705,99 @@ class Transport:
         self.tracer.end(world_rank, sid, t, attrs=deltas)
 
     def note_live_bytes(self, world_rank: int, nbytes: int) -> None:
-        """Record a high-water mark of live matrix bytes on a rank."""
+        """Record a high-water mark of self-reported live bytes on a rank.
+
+        Kept for engines that estimate their footprint analytically
+        (e.g. the COSMA baseline); measured footprint lives in the
+        memtrace counters (:meth:`mem_alloc` / :meth:`mem_free`).
+        """
         with self._lock:
             st = self.ranks[world_rank]
             if nbytes > st.peak_live_bytes:
                 st.peak_live_bytes = nbytes
+
+    # ---------------------------------------------------------- memtrace -- #
+    def mem_alloc(self, world_rank: int, purpose: str, nbytes: int) -> None:
+        """Charge ``nbytes`` of tracked resident memory to ``purpose``.
+
+        Updates the rank's resident total, its watermark, the
+        per-purpose and per-phase high-water marks, and (when recording
+        events) appends a :class:`MemEvent` at the rank's simulated
+        clock.  Must only be called from the owning rank's program order
+        so watermarks stay replay-deterministic.
+        """
+        with self._lock:
+            self._mem_alloc_locked(world_rank, purpose, nbytes)
+
+    def mem_free(self, world_rank: int, purpose: str, nbytes: int) -> None:
+        """Release ``nbytes`` previously charged to ``purpose``.
+
+        Raises :class:`ValueError` when the free exceeds the purpose's
+        live bytes — that is an instrumentation bug, not a runtime
+        condition, and silently clamping would corrupt every watermark
+        downstream of it.
+        """
+        with self._lock:
+            self._mem_free_locked(world_rank, purpose, nbytes)
+
+    def _mem_alloc_locked(self, world_rank: int, purpose: str, nbytes: int) -> None:
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"mem_alloc of negative size {nbytes}")
+        st = self.ranks[world_rank]
+        st.resident_bytes += nbytes
+        if st.resident_bytes > st.resident_peak_bytes:
+            st.resident_peak_bytes = st.resident_bytes
+        live = st.mem_live.get(purpose, 0) + nbytes
+        st.mem_live[purpose] = live
+        if live > st.mem_peak.get(purpose, 0):
+            st.mem_peak[purpose] = live
+        phase = st.phase
+        if st.resident_bytes > st.phase_mem_peak.get(phase, 0):
+            st.phase_mem_peak[phase] = st.resident_bytes
+        if purpose == MEM_INFLIGHT and live > st.peak_live_bytes:
+            # Fold the transport packed-copy category into the legacy
+            # in-flight counter so ``peak_live_bytes`` genuinely tracks
+            # transport buffering (plus any self-reported notes).
+            st.peak_live_bytes = live
+        if self.record_events:
+            self.memlog.append(
+                MemEvent(
+                    rank=world_rank,
+                    kind="alloc",
+                    purpose=purpose,
+                    phase=phase,
+                    t=st.clock,
+                    nbytes=nbytes,
+                    resident_bytes=st.resident_bytes,
+                )
+            )
+
+    def _mem_free_locked(self, world_rank: int, purpose: str, nbytes: int) -> None:
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"mem_free of negative size {nbytes}")
+        st = self.ranks[world_rank]
+        live = st.mem_live.get(purpose, 0)
+        if nbytes > live:
+            raise ValueError(
+                f"mem_free({purpose!r}) of {nbytes} bytes exceeds live "
+                f"{live} on rank {world_rank}"
+            )
+        st.mem_live[purpose] = live - nbytes
+        st.resident_bytes -= nbytes
+        if self.record_events:
+            self.memlog.append(
+                MemEvent(
+                    rank=world_rank,
+                    kind="free",
+                    purpose=purpose,
+                    phase=st.phase,
+                    t=st.clock,
+                    nbytes=nbytes,
+                    resident_bytes=st.resident_bytes,
+                )
+            )
 
     # --------------------------------------------------------------- p2p -- #
     def post_send(
@@ -733,6 +873,10 @@ class Transport:
             cs.msgs_sent += 1
             st.bytes_sent += nbytes
             st.msgs_sent += 1
+            # Sender-side packed copy: charged transiently in the
+            # sender's own program order (deterministic on replay).
+            self._mem_alloc_locked(src_world, MEM_INFLIGHT, nbytes)
+            self._mem_free_locked(src_world, MEM_INFLIGHT, nbytes)
             msg = Message(
                 ctx=ctx,
                 src_world=src_world,
@@ -1010,6 +1154,10 @@ class Transport:
                 cs.msgs_recv += 1
                 st.bytes_recv += msg.nbytes
                 st.msgs_recv += 1
+                # No receiver-side in-flight charge: at receipt the
+                # payload is handed to the engine, whose own spans
+                # (cannon.dblbuf, redist.tiles, ...) account for it —
+                # charging here would double-count every received block.
                 status = Status(source=msg.src_world, tag=msg.tag, nbytes=msg.nbytes)
                 return msg, status
             finally:
@@ -1089,6 +1237,11 @@ class Transport:
                     phase: {c: v.merged(CollStats()) for c, v in by_coll.items()}
                     for phase, by_coll in st.colls.items()
                 },
+                resident_peak_bytes=st.resident_peak_bytes,
+                resident_bytes=st.resident_bytes,
+                mem_peaks=dict(st.mem_peak),
+                mem_live={k: v for k, v in st.mem_live.items() if v},
+                phase_mem_peaks=dict(st.phase_mem_peak),
                 retries=st.retries,
                 timeouts=st.timeouts,
                 injected_wait_s=st.injected_wait_s,

@@ -15,6 +15,9 @@ checkable on every run:
 * :mod:`~repro.obs.audit` — transport-truth communication audit:
   per-collective-algorithm attribution, eq. (4)/collcost conformance,
   and the measured red-blue pebbling optimality ratio;
+* :mod:`~repro.obs.memtrace` — per-rank resident-memory report from the
+  transport's tagged allocation spans, gated against the paper's
+  eq. (11) footprint prediction and any ``memory_limit_words`` cap;
 * :mod:`~repro.obs.ledger` — append-only, schema-validated JSONL run
   history (``benchmarks/history/ledger.jsonl``).
 
@@ -84,6 +87,15 @@ from .ledger import (
     ledger_record,
     validate_ledger_record,
 )
+from .memtrace import (
+    MEMPROF_JSON_SCHEMA,
+    MemAuditError,
+    MemReport,
+    RankMemProfile,
+    check_mem,
+    memprof_run,
+    validate_memprof_json,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -115,6 +127,9 @@ __all__ = [
     "LEDGER_RECORD_SCHEMA",
     "Ledger",
     "LedgerError",
+    "MEMPROF_JSON_SCHEMA",
+    "MemAuditError",
+    "MemReport",
     "MetricsRegistry",
     "PathSegment",
     "PerfDelta",
@@ -124,6 +139,7 @@ __all__ = [
     "PhaseBlame",
     "RUN_JSON_SCHEMA",
     "RankBreakdown",
+    "RankMemProfile",
     "RunMetrics",
     "Span",
     "Straggler",
@@ -134,6 +150,7 @@ __all__ = [
     "capture_baseline",
     "check_audit",
     "check_drift",
+    "check_mem",
     "chrome_trace",
     "compare_baseline",
     "critical_path",
@@ -143,6 +160,7 @@ __all__ = [
     "format_metrics",
     "jsonl_records",
     "ledger_record",
+    "memprof_run",
     "overlap_by_phase",
     "pebbling_lower_bound",
     "phase_blame",
@@ -154,6 +172,7 @@ __all__ = [
     "validate_chrome_trace",
     "validate_critpath_json",
     "validate_ledger_record",
+    "validate_memprof_json",
     "validate_run_json",
     "waitfor_edges",
     "write_chrome_trace",

@@ -80,6 +80,7 @@ AUDIT_JSON_SCHEMA: dict[str, Any] = {
         "q_words": {"type": "number", "minimum": 0},
         "total_words": {"type": "number", "minimum": 0},
         "peak_live_words": {"type": "number", "minimum": 0},
+        "resident_peak_words": {"type": "number", "minimum": 0},
         "bounds": {
             "type": "object",
             "required": ["eq9_words", "pebbling_words", "q_over_eq9"],
@@ -189,11 +190,15 @@ class AuditReport:
     phases: list[PhaseAudit]
     q_words: float  #: measured critical-rank words sent (the paper's Q)
     total_words: float  #: words sent across all ranks
-    peak_live_words: float  #: measured max live words on any rank (M)
+    #: transport in-flight / self-reported peak — NOT resident footprint
+    peak_live_words: float
     eq9_words: float  #: analytic lower bound 3(mnk/P)^(2/3)
     pebbling_words: float  #: I/O lower bound 2mnk/(P·√M), measured M
     overlap_by_phase: dict[str, float] = field(default_factory=dict)
     byte_tol: float = 0.05
+    #: memtrace resident watermark — the M the pebbling bound consumes
+    #: (falls back to ``peak_live_words`` when no memtrace data exists)
+    resident_peak_words: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -239,6 +244,7 @@ class AuditReport:
             "q_words": self.q_words,
             "total_words": self.total_words,
             "peak_live_words": self.peak_live_words,
+            "resident_peak_words": self.resident_peak_words,
             "bounds": {
                 "eq9_words": self.eq9_words,
                 "pebbling_words": self.pebbling_words,
@@ -267,10 +273,13 @@ class AuditReport:
             f"  pebbling bound 2mnk/(P√M): {self.pebbling_words:.0f}"
             + (
                 f"  (Q/bound {self.q_over_pebbling:.3f}, "
-                f"measured M={self.peak_live_words:.0f} words)"
+                f"measured M={self.resident_peak_words:.0f} words "
+                "resident watermark)"
                 if self.q_over_pebbling is not None
                 else ""
             ),
+            f"  transport in-flight peak : {self.peak_live_words:.0f} words "
+            "(not footprint)",
         ]
         for p in self.phases:
             cc = (
@@ -415,6 +424,11 @@ def audit_run(
     q_words = max((t.bytes_sent for t in live), default=0) / ITEM / nruns
     total_words = sum(t.bytes_sent for t in live) / ITEM / nruns
     peak_live = max((t.peak_live_bytes for t in live), default=0) / ITEM
+    # The pebbling M is the memtrace resident watermark — actual tracked
+    # footprint — not the transport in-flight proxy.  Self-reporting
+    # engines (no memtrace spans) fall back to the legacy counter.
+    resident = max((t.resident_peak_bytes for t in live), default=0) / ITEM
+    mem_words = resident if resident > 0 else peak_live
     return AuditReport(
         m=plan.m,
         n=plan.n,
@@ -427,10 +441,11 @@ def audit_run(
         peak_live_words=peak_live,
         eq9_words=eq9_lower_bound(plan.m, plan.n, plan.k, plan.nprocs),
         pebbling_words=pebbling_lower_bound(
-            plan.m, plan.n, plan.k, plan.nprocs, peak_live
+            plan.m, plan.n, plan.k, plan.nprocs, mem_words
         ),
         overlap_by_phase=overlap,
         byte_tol=byte_tol,
+        resident_peak_words=mem_words,
     )
 
 

@@ -10,6 +10,8 @@ and Perfetto load directly:
   ``args``;
 * optionally one fine-grained ``"X"`` event per transport event
   (send/recv/wait/compute slices), category ``transport``;
+* optionally one ``"C"`` (counter) event per memtrace alloc/free —
+  each rank's resident tagged footprint as a step-function track;
 * ``"M"`` metadata events naming the process and one thread per rank.
 
 Timestamps are microseconds of *simulated* time, re-zeroed to the trace
@@ -51,7 +53,7 @@ CHROME_TRACE_SCHEMA: dict[str, Any] = {
                 "type": "object",
                 "required": ["ph", "pid", "tid", "name"],
                 "properties": {
-                    "ph": {"enum": ["X", "M", "i"]},
+                    "ph": {"enum": ["X", "M", "i", "C"]},
                     "pid": {"type": "integer", "minimum": 0},
                     "tid": {"type": "integer", "minimum": 0},
                     "name": {"type": "string"},
@@ -64,7 +66,11 @@ CHROME_TRACE_SCHEMA: dict[str, Any] = {
                     {
                         "if": {"properties": {"ph": {"const": "X"}}},
                         "then": {"required": ["ts", "dur", "cat"]},
-                    }
+                    },
+                    {
+                        "if": {"properties": {"ph": {"const": "C"}}},
+                        "then": {"required": ["ts", "args"]},
+                    },
                 ],
             },
         },
@@ -169,6 +175,8 @@ def _validate_fallback(doc: Any, schema: dict[str, Any]) -> None:
                 raise TraceSchemaError(f"malformed trace event: {ev!r}")
             if ev["ph"] == "X" and ("ts" not in ev or "dur" not in ev):
                 raise TraceSchemaError(f"X event missing ts/dur: {ev!r}")
+            if ev["ph"] == "C" and ("ts" not in ev or "args" not in ev):
+                raise TraceSchemaError(f"C event missing ts/args: {ev!r}")
 
 
 def validate_chrome_trace(doc: Any) -> None:
@@ -216,6 +224,8 @@ def chrome_trace(
     epoch = min(
         transport.tracer.epoch(),
         min((e.t0 for e in transport.events), default=0.0),
+        min((e.t for e in transport.memlog), default=float("inf"))
+        if transport.memlog else 0.0,
     )
     events: list[dict[str, Any]] = [
         {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
@@ -243,6 +253,21 @@ def chrome_trace(
                         "nbytes": e.nbytes,
                         "peer": e.peer,
                     },
+                }
+            )
+        # One "C" sample per memtrace alloc/free: Perfetto draws each
+        # rank's resident footprint as a step-function counter track.
+        # Args stay purely numeric — string args would become series.
+        for me in transport.memlog:
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": 0,
+                    "tid": me.rank,
+                    "name": f"resident_bytes rank {me.rank}",
+                    "cat": "memory",
+                    "ts": max(0.0, (me.t - epoch) * 1e6),
+                    "args": {"resident_bytes": me.resident_bytes},
                 }
             )
     return {
@@ -298,7 +323,11 @@ def jsonl_records(result: "SpmdResult") -> Iterator[dict[str, Any]]:
             "bytes_recv": trace.bytes_recv,
             "msgs_sent": trace.msgs_sent,
             "msgs_recv": trace.msgs_recv,
-            "peak_live_bytes": trace.peak_live_bytes,
+            "peak_live_bytes": trace.peak_live_bytes,  # transport in-flight
+            "resident_peak_bytes": trace.resident_peak_bytes,
+            "resident_bytes": trace.resident_bytes,  # nonzero = leak
+            "mem_peaks": dict(sorted(trace.mem_peaks.items())),
+            "phase_mem_peaks": dict(sorted(trace.phase_mem_peaks.items())),
             "phases": {
                 name: {
                     "time_s": st.time,

@@ -67,7 +67,10 @@ LEDGER_RECORD_SCHEMA: dict[str, Any] = {
         "faults",
     ],
     "properties": {
-        "schema_version": {"const": 1},
+        # v2: memory block gained resident_peak_words / by_purpose_words
+        # (measured memtrace watermarks) beside the legacy transport
+        # in-flight peak_live_words; v1 records remain readable.
+        "schema_version": {"enum": [1, 2]},
         "run_id": {"type": "string", "pattern": "^[0-9a-f]{32}$"},
         "kind": {"type": "string", "minLength": 1},
         "problem": {
@@ -107,7 +110,17 @@ LEDGER_RECORD_SCHEMA: dict[str, Any] = {
         "memory": {
             "type": "object",
             "required": ["peak_live_words"],
-            "properties": {"peak_live_words": {"type": "number", "minimum": 0}},
+            "properties": {
+                # transport in-flight / self-reported peak (legacy name)
+                "peak_live_words": {"type": "number", "minimum": 0},
+                # measured memtrace resident watermark (max over ranks)
+                "resident_peak_words": {"type": "number", "minimum": 0},
+                # per-purpose peaks, max over ranks, words
+                "by_purpose_words": {
+                    "type": "object",
+                    "additionalProperties": {"type": "number", "minimum": 0},
+                },
+            },
         },
         "overlap": {
             "type": "object",
@@ -199,8 +212,20 @@ def ledger_record(
     q_words = max((t.bytes_sent for t in live), default=0) / ITEM / nruns
     total_words = sum(t.bytes_sent for t in live) / ITEM / nruns
     peak_live = max((t.peak_live_bytes for t in live), default=0) / ITEM
+    resident = max((t.resident_peak_bytes for t in live), default=0) / ITEM
+    by_purpose: dict[str, float] = {}
+    for t in live:
+        for purpose, peak in t.mem_peaks.items():
+            words = peak / ITEM
+            if words > by_purpose.get(purpose, 0.0):
+                by_purpose[purpose] = words
     eq9 = eq9_lower_bound(plan.m, plan.n, plan.k, plan.nprocs)
-    pebb = pebbling_lower_bound(plan.m, plan.n, plan.k, plan.nprocs, peak_live)
+    # The pebbling M is the measured resident watermark; runs without
+    # memtrace spans fall back to the legacy in-flight counter.
+    pebb = pebbling_lower_bound(
+        plan.m, plan.n, plan.k, plan.nprocs,
+        resident if resident > 0 else peak_live,
+    )
     overlap = overlap_by_phase(result)
 
     by_phase: dict[str, dict[str, float]] = {}
@@ -212,7 +237,7 @@ def ledger_record(
 
     metrics = result.metrics
     record: dict[str, Any] = {
-        "schema_version": 1,
+        "schema_version": 2,
         "run_id": run_id if run_id is not None else uuid.uuid4().hex,
         "kind": kind,
         "problem": {
@@ -237,7 +262,11 @@ def ledger_record(
             "max_msgs": max((t.msgs_sent for t in live), default=0) // nruns,
             "by_phase": {ph: dict(v) for ph, v in sorted(by_phase.items())},
         },
-        "memory": {"peak_live_words": peak_live},
+        "memory": {
+            "peak_live_words": peak_live,
+            "resident_peak_words": resident,
+            "by_purpose_words": {p: v for p, v in sorted(by_purpose.items())},
+        },
         "overlap": {
             "cannon": overlap.get("cannon"),
             "by_phase": dict(sorted(overlap.items())),

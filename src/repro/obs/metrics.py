@@ -173,6 +173,8 @@ class RunMetrics:
     q_words: float  #: max over ranks of words sent (the paper's Q)
     total_words: float
     max_msgs: int
+    #: transport in-flight / self-reported peak (NOT resident footprint;
+    #: see ``resident_peak_words`` for the measured watermark)
     peak_live_words: float
     cannon_overlap_ratio: float | None  #: None when no cannon phase ran
     k_group_imbalance: float | None  #: None without a plan / single group
@@ -188,6 +190,12 @@ class RunMetrics:
     corruptions_detected: int = 0  #: ABFT checksum violations, across ranks
     recomputed_flops: float = 0.0  #: extra flops spent on ABFT/recovery recomputes
     reused_flops: float = 0.0  #: flops avoided by reusing retained partials/checkpoints
+    #: measured resident watermark (max over ranks of tracked resident words)
+    resident_peak_words: float = 0.0
+    #: max over ranks of each allocation purpose's high-water mark (words)
+    mem_by_purpose: dict[str, float] = field(default_factory=dict)
+    #: the plan's memory_limit_words filtered out every candidate grid
+    mem_limit_infeasible: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -196,6 +204,9 @@ class RunMetrics:
             "total_words": self.total_words,
             "max_msgs": self.max_msgs,
             "peak_live_words": self.peak_live_words,
+            "resident_peak_words": self.resident_peak_words,
+            "mem_by_purpose": dict(sorted(self.mem_by_purpose.items())),
+            "mem_limit_infeasible": self.mem_limit_infeasible,
             "cannon_overlap_ratio": self.cannon_overlap_ratio,
             "cannon_overlap_critical_rank": self.cannon_overlap_critical_rank,
             "overlap_by_phase": dict(self.overlap_by_phase),
@@ -337,6 +348,18 @@ def snapshot_run(
     for trace in result.traces:
         reg.gauge("rank_clock_s", rank=trace.rank).set(trace.time)
         reg.gauge("peak_live_bytes", rank=trace.rank).set(trace.peak_live_bytes)
+        if trace.resident_peak_bytes:
+            reg.gauge("resident_peak_bytes", rank=trace.rank).set(
+                trace.resident_peak_bytes
+            )
+            for purpose, peak in sorted(trace.mem_peaks.items()):
+                reg.gauge(
+                    "mem_purpose_peak_bytes", rank=trace.rank, purpose=purpose
+                ).set(peak)
+            for phase, peak in sorted(trace.phase_mem_peaks.items()):
+                reg.gauge(
+                    "phase_mem_peak_bytes", rank=trace.rank, phase=phase
+                ).set(peak)
         if trace.retries or trace.timeouts or trace.injected_wait_s:
             reg.counter("fault_retries", rank=trace.rank).inc(trace.retries)
             reg.counter("fault_timeouts", rank=trace.rank).inc(trace.timeouts)
@@ -370,6 +393,15 @@ def snapshot_run(
     if imbalance is not None:
         reg.gauge("k_group_imbalance").set(imbalance)
 
+    mem_by_purpose: dict[str, float] = {}
+    for trace in result.traces:
+        for purpose, peak in trace.mem_peaks.items():
+            words = peak / ITEM
+            if words > mem_by_purpose.get(purpose, 0.0):
+                mem_by_purpose[purpose] = words
+    infeasible = bool(getattr(plan, "mem_limit_infeasible", False))
+    reg.gauge("mem_limit_infeasible").set(float(infeasible))
+
     return RunMetrics(
         registry=reg,
         makespan=result.time,
@@ -392,6 +424,12 @@ def snapshot_run(
         corruptions_detected=sum(t.corruptions_detected for t in result.traces),
         recomputed_flops=sum(t.recomputed_flops for t in result.traces),
         reused_flops=sum(t.reused_flops for t in result.traces),
+        resident_peak_words=max(
+            (t.resident_peak_bytes for t in result.traces), default=0
+        )
+        / ITEM,
+        mem_by_purpose=mem_by_purpose,
+        mem_limit_infeasible=infeasible,
     )
 
 
@@ -403,8 +441,15 @@ def format_metrics(metrics: RunMetrics) -> str:
         f"  Q (max words sent)  : {metrics.q_words:.0f}",
         f"  total words sent    : {metrics.total_words:.0f}",
         f"  max messages / rank : {metrics.max_msgs}",
-        f"  peak live words     : {metrics.peak_live_words:.0f}",
+        f"  transport in-flight : {metrics.peak_live_words:.0f} words (peak)",
+        f"  resident watermark  : {metrics.resident_peak_words:.0f} words (measured)",
     ]
+    if metrics.mem_limit_infeasible:
+        lines.append("  memory cap          : INFEASIBLE (min-memory grid used)")
+    if metrics.mem_by_purpose:
+        lines.append("  peak words by purpose:")
+        for purpose, words in sorted(metrics.mem_by_purpose.items()):
+            lines.append(f"    {purpose:<18}: {words:.0f}")
     if metrics.cannon_overlap_ratio is not None:
         crit = metrics.cannon_overlap_critical_rank
         suffix = f" (critical rank {100 * crit:.1f} %)" if crit is not None else ""

@@ -27,6 +27,7 @@ class _TraceDelta:
     bytes_sent: int
     msgs_sent: int
     peak_live_bytes: int
+    resident_peak_bytes: int  #: measured memtrace watermark, not a model
     time: float
 
 
@@ -66,6 +67,7 @@ def _run_native(spmd, m, n, k, P, grid=None):
             bytes_sent=after.bytes_sent - before.bytes_sent,
             msgs_sent=after.msgs_sent - before.msgs_sent,
             peak_live_bytes=after.peak_live_bytes,
+            resident_peak_bytes=after.resident_peak_bytes,
             time=after.time - before.time,
         )
         return np.allclose(c.to_global(), A @ B, atol=1e-9), delta

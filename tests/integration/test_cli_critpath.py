@@ -104,9 +104,10 @@ class TestCommittedBaselines:
         from repro.obs.baseline import BaselineStore
 
         store = BaselineStore(_BASELINE_DIR)
-        # audit_gate.json is the communication-audit baseline, not a
-        # perf baseline (different schema, gated by `repro audit --gate`)
-        names = set(store.names()) - {"audit_gate"}
+        # audit_gate.json / memory_gate.json are the communication- and
+        # memory-audit baselines, not perf baselines (different schemas,
+        # gated by `repro audit --gate` / `repro memprof --gate`)
+        names = set(store.names()) - {"audit_gate", "memory_gate"}
         assert names == set(TRACE_WORKLOADS)
         for name in names:
             doc = store.load(name)

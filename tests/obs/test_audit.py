@@ -66,9 +66,12 @@ class TestAuditRun:
         assert report.q_words > 0
         assert report.eq9_words > 0 and report.pebbling_words > 0
         assert report.q_over_eq9 == pytest.approx(report.q_words / report.eq9_words)
+        # the bound's M is the memtrace resident watermark, not the
+        # (transport in-flight) peak_live counter
+        assert report.resident_peak_words > 0
         assert report.pebbling_words == pytest.approx(
             pebbling_lower_bound(
-                plan.m, plan.n, plan.k, plan.nprocs, report.peak_live_words
+                plan.m, plan.n, plan.k, plan.nprocs, report.resident_peak_words
             )
         )
         # measured Q can never beat a lower bound

@@ -43,7 +43,11 @@ class TestRecord:
         assert rec["problem"] == {"m": 32, "n": 32, "k": 64, "nprocs": 8, "nruns": 1}
         assert rec["grid"]["pm"] == plan.pm and rec["grid"]["active"] == plan.active
         assert rec["traffic"]["q_words"] > 0
+        assert rec["schema_version"] == 2
         assert rec["memory"]["peak_live_words"] > 0
+        # v2: resident watermark from memtrace spans, with breakdown
+        assert rec["memory"]["resident_peak_words"] > 0
+        assert rec["memory"]["by_purpose_words"]["tile.a"] > 0
         assert rec["optimality"]["q_over_eq9"] > 0
         assert rec["faults"]["retries"] == 0
 
