@@ -62,14 +62,17 @@ def executed_workload(
     name: str,
     machine: MachineModel | None = None,
     faults=None,
+    backend: str | None = None,
 ):
     """Execute the stand-in workload for generator ``name``.
 
     Returns ``(plan, result)`` with event recording on — the input both
     the trace artifacts and the perf baselines are derived from.
     ``faults`` (a :class:`~repro.mpi.faults.FaultPlan`) runs the same
-    workload under deterministic fault injection.  Raises ``KeyError``
-    for unknown names.
+    workload under deterministic fault injection.  ``backend`` selects
+    the virtual-MPI execution backend (``"threads"``/``"des"``; the two
+    produce identical traces — the parity suite holds them to that).
+    Raises ``KeyError`` for unknown names.
     """
     from ..core import ca3dmm_matmul
     from ..core.plan import Ca3dmmPlan
@@ -85,7 +88,9 @@ def executed_workload(
         ca3dmm_matmul(a, b)
 
     mach = machine or pace_phoenix_cpu("mpi")
-    result = run_spmd(p, f, machine=mach, record_events=True, faults=faults)
+    result = run_spmd(
+        p, f, machine=mach, record_events=True, faults=faults, backend=backend
+    )
     return plan, result
 
 

@@ -105,6 +105,9 @@ def _parse(argv: list[str] | None) -> argparse.Namespace:
         description="CA3DMM example: C = op(A) x op(B) on the virtual MPI runtime",
     )
     ap.add_argument("-np", "--nprocs", type=int, default=8, help="number of ranks")
+    ap.add_argument("--backend", choices=("threads", "des"), default=None,
+                    help="virtual-MPI execution backend (default: "
+                         "$REPRO_MPI_BACKEND or threads)")
     ap.add_argument("--json", action="store_true",
                     help="emit the report as one JSON document (no text output)")
     ap.add_argument("--ledger", nargs="?", const="", default=None,
@@ -221,7 +224,7 @@ def _example_main(argv: list[str] | None) -> int:
 
     result = run_spmd(
         p, _rank_main, args=(args, grid), machine=machine,
-        record_events=args.json,
+        record_events=args.json, backend=args.backend,
     )
     timings, errors, peak = result.results[0]
     nruns = max(1, args.ntest)
@@ -281,6 +284,9 @@ def _obs_parser(name: str, description: str) -> argparse.ArgumentParser:
     ap.add_argument("N", type=int)
     ap.add_argument("K", type=int)
     ap.add_argument("-np", "--nprocs", type=int, default=8)
+    ap.add_argument("--backend", choices=("threads", "des"), default=None,
+                    help="virtual-MPI execution backend (default: "
+                         "$REPRO_MPI_BACKEND or threads)")
     ap.add_argument("--dtype", type=int, choices=(0, 1), default=0,
                     help="0 = CPU machine model, 1 = GPU machine model")
     ap.add_argument("--grid", type=int, nargs=3, metavar=("MP", "NP", "KP"),
@@ -323,7 +329,8 @@ def _append_ledger(args, result, plan, kind: str, nruns: int = 1,
 
 
 def _run_traced(m: int, n: int, k: int, p: int, machine, grid,
-                memory_limit_words: float | None = None):
+                memory_limit_words: float | None = None,
+                backend: str | None = None):
     """One native-layout multiplication with event recording."""
     plan = Ca3dmmPlan(m, n, k, p, grid=grid,
                       memory_limit_words=memory_limit_words)
@@ -334,7 +341,7 @@ def _run_traced(m: int, n: int, k: int, p: int, machine, grid,
         b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 8))
         eng.multiply(a, b)
 
-    result = run_spmd(p, f, machine=machine, record_events=True)
+    result = run_spmd(p, f, machine=machine, record_events=True, backend=backend)
     return plan, result
 
 
@@ -364,7 +371,8 @@ def _trace_main(argv: list[str]) -> int:
                     help="exit nonzero when the drift guard fails")
     args = ap.parse_args(argv)
     machine, grid = _obs_common(args)
-    plan, result = _run_traced(args.M, args.N, args.K, args.nprocs, machine, grid)
+    plan, result = _run_traced(args.M, args.N, args.K, args.nprocs, machine,
+                               grid, backend=args.backend)
 
     try:
         doc = write_chrome_trace(
@@ -400,7 +408,8 @@ def _critpath_main(argv: list[str]) -> int:
                     help="chain segments shown in text mode")
     args = ap.parse_args(argv)
     machine, grid = _obs_common(args)
-    _plan, result = _run_traced(args.M, args.N, args.K, args.nprocs, machine, grid)
+    _plan, result = _run_traced(args.M, args.N, args.K, args.nprocs, machine,
+                               grid, backend=args.backend)
     report = critpath_report(result)
     _append_ledger(args, result, _plan, "cli.critpath")
     if args.json:
@@ -443,6 +452,9 @@ def _perfdiff_main(argv: list[str]) -> int:
                     help="relative per-phase critical-time tolerance (default 0.10)")
     ap.add_argument("--bytes-tol", type=float, default=None,
                     help="relative traffic tolerance (default 0.02)")
+    ap.add_argument("--backend", choices=("threads", "des"), default=None,
+                    help="virtual-MPI execution backend (default: "
+                         "$REPRO_MPI_BACKEND or threads)")
     ap.add_argument("--inject-latency", type=float, default=1.0, metavar="X",
                     help="scale the machine model's link latency/bandwidth "
                          "costs by X before running (gate self-test; 1.0 = off)")
@@ -475,7 +487,8 @@ def _perfdiff_main(argv: list[str]) -> int:
     diffs, missing = [], []
     for name in names:
         m, n, k, p = TRACE_WORKLOADS[name]
-        _plan, result = executed_workload(name, machine=machine)
+        _plan, result = executed_workload(name, machine=machine,
+                                          backend=args.backend)
         doc = capture_baseline(
             result, name,
             workload={"m": m, "n": n, "k": k, "nprocs": p},
@@ -556,9 +569,11 @@ def _faults_main(argv: list[str]) -> int:
         full = c.to_global()
         return full if comm.rank == 0 else None
 
-    clean = run_spmd(p, f, machine=machine, record_events=True)
+    clean = run_spmd(p, f, machine=machine, record_events=True,
+                     backend=args.backend)
     faulted = run_spmd(
-        p, f, machine=machine, record_events=True, faults=fault_plan
+        p, f, machine=machine, record_events=True, faults=fault_plan,
+        backend=args.backend,
     )
     correct = np.array_equal(clean.results[0], faulted.results[0])
     report = critpath_report(faulted)
@@ -668,10 +683,12 @@ def _recover_main(argv: list[str]) -> int:
         )
         return c.to_global()
 
-    clean = run_spmd(p, f, machine=machine, record_events=True)
+    clean = run_spmd(p, f, machine=machine, record_events=True,
+                     backend=args.backend)
     try:
         faulted = run_spmd(
-            p, f, machine=machine, record_events=True, faults=fault_plan
+            p, f, machine=machine, record_events=True, faults=fault_plan,
+            backend=args.backend,
         )
     except RuntimeError as exc:
         print(f"recovery failed: {exc.__cause__ or exc}", file=sys.stderr)
@@ -840,7 +857,7 @@ def _checkpoint_main(argv: list[str]) -> int:
             }
 
         return run_spmd(p, f, machine=machine, record_events=True,
-                        faults=faults)
+                        faults=faults, backend=args.backend)
 
     try:
         clean = run(None)
@@ -934,7 +951,8 @@ def _stats_main(argv: list[str]) -> int:
                     help="exit nonzero when the drift guard fails")
     args = ap.parse_args(argv)
     machine, grid = _obs_common(args)
-    plan, result = _run_traced(args.M, args.N, args.K, args.nprocs, machine, grid)
+    plan, result = _run_traced(args.M, args.N, args.K, args.nprocs, machine,
+                               grid, backend=args.backend)
     metrics = snapshot_run(result, plan)
     report = drift_report(result, plan, byte_tol=args.tol, machine=machine)
     analytic_q = theoretical_metrics(plan).q_words
@@ -986,7 +1004,8 @@ def _audit_main(argv: list[str]) -> int:
                          "comparing")
     args = ap.parse_args(argv)
     machine, grid = _obs_common(args)
-    plan, result = _run_traced(args.M, args.N, args.K, args.nprocs, machine, grid)
+    plan, result = _run_traced(args.M, args.N, args.K, args.nprocs, machine,
+                               grid, backend=args.backend)
     report = audit_run(result, plan, machine=machine, byte_tol=args.tol)
     _append_ledger(args, result, plan, "cli.audit", audit_ok=report.ok)
 
@@ -1077,7 +1096,8 @@ def _memprof_main(argv: list[str]) -> int:
     args = ap.parse_args(argv)
     machine, grid = _obs_common(args)
     plan, result = _run_traced(args.M, args.N, args.K, args.nprocs, machine,
-                               grid, memory_limit_words=args.memory_limit)
+                               grid, memory_limit_words=args.memory_limit,
+                               backend=args.backend)
     report = memprof_run(result, plan, tol=args.mem_tol)
     _append_ledger(args, result, plan, "cli.memprof")
 

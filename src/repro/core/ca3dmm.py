@@ -33,7 +33,7 @@ from ..mpi.comm import Comm
 from ..mpi.topology import Cart2D
 from ..grid.optimizer import DEFAULT_L, GridSpec
 from .cannon import cannon_multiply
-from .plan import Ca3dmmPlan
+from .plan import shared_plan
 from .reduce_c import reduce_partial_c
 from .replicate import replicate_block
 
@@ -73,7 +73,9 @@ class Ca3dmm:
         abft=None,
     ):
         self.comm = comm
-        self.plan = Ca3dmmPlan(
+        # Shared (memoized) plan: every rank of the run would build the
+        # identical plan, and its distribution tables are O(P) each.
+        self.plan = shared_plan(
             m, n, k, comm.size, grid=grid, l=l,
             memory_limit_words=memory_limit_words,
         )

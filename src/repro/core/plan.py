@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from functools import cached_property
+from functools import cached_property, lru_cache
 
 from ..grid.optimizer import (
     DEFAULT_L,
@@ -322,3 +322,40 @@ class Ca3dmmPlan:
             f"Process utilization       : {100.0 * self.active / self.nprocs:.2f} %",
         ]
         return "\n".join(lines)
+
+
+@lru_cache(maxsize=64)
+def _shared_plan_cached(
+    m: int,
+    n: int,
+    k: int,
+    nprocs: int,
+    grid: "GridSpec | None",
+    l: float,
+    memory_limit_words: float | None,
+) -> Ca3dmmPlan:
+    return Ca3dmmPlan(
+        m, n, k, nprocs, grid=grid, l=l, memory_limit_words=memory_limit_words
+    )
+
+
+def shared_plan(
+    m: int,
+    n: int,
+    k: int,
+    nprocs: int,
+    grid: "GridSpec | None" = None,
+    l: float = DEFAULT_L,
+    memory_limit_words: float | None = None,
+) -> Ca3dmmPlan:
+    """Memoized :class:`Ca3dmmPlan` shared across the ranks of a run.
+
+    Every rank of an SPMD run plans the *identical* multiplication, and
+    a plan is immutable once built, so per-rank construction only
+    multiplies work: the distribution tables (:attr:`Ca3dmmPlan.a_dist`
+    and friends) enumerate all ``P`` ranks, which made building them on
+    each rank an O(P^2) startup cost — the dominant term at the
+    1024-rank scale the DES backend targets.  Sharing one instance per
+    parameter set makes those tables world-level work again.
+    """
+    return _shared_plan_cached(m, n, k, nprocs, grid, l, memory_limit_words)

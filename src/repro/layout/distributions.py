@@ -46,6 +46,37 @@ class Distribution:
     def all_rects(self) -> dict[int, list[Rect]]:
         return {r: self.owned_rects(r) for r in range(self.nranks)}
 
+    def rect_index(self) -> tuple:
+        """Flat arrays over every (rank, rect) pair: ``(ranks, r0, r1, c0, c1)``.
+
+        Built once per descriptor and cached on the instance (safe: the
+        index is derived state, so it never affects the frozen
+        dataclass's equality or hash).  Redistribution planning uses it
+        to bbox-test one rank's holdings against *all* destinations in
+        a single vectorized pass instead of an O(P) Python scan.
+        """
+        cached = self.__dict__.get("_rect_index")
+        if cached is None:
+            import numpy as np
+
+            ranks: list[int] = []
+            bounds: list[tuple[int, int, int, int]] = []
+            for rk in range(self.nranks):
+                for r in self.owned_rects(rk):
+                    ranks.append(rk)
+                    bounds.append((r.r0, r.r1, r.c0, r.c1))
+            arr = (
+                np.array(bounds, dtype=np.int64).reshape(-1, 4)
+                if bounds
+                else np.empty((0, 4), dtype=np.int64)
+            )
+            cached = (
+                np.asarray(ranks, dtype=np.int64),
+                arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3],
+            )
+            self.__dict__["_rect_index"] = cached
+        return cached
+
     def validate(self) -> None:
         """Assert the layout tiles the matrix disjointly and completely."""
         from .blocks import rects_cover_exactly

@@ -37,7 +37,23 @@ def _plan_sends(
     out: list[list[tuple[Rect, np.ndarray]]] = [[] for _ in range(dst_dist.nranks)]
     if not my_rects:
         return out
-    for dst_rank in range(dst_dist.nranks):
+    # Vectorized destination prefilter: a destination is a candidate
+    # only if one of its wanted rects (taken in source coordinates)
+    # meets the bounding box of what this rank holds.  The bbox test
+    # over the flat rect index replaces an O(P) Python scan per source
+    # rank — the difference between minutes and seconds at 1024 ranks.
+    # np.unique keeps destinations ascending, so the send plan (and
+    # every message ordering downstream) is unchanged.
+    br0 = min(r.r0 for r in my_rects)
+    br1 = max(r.r1 for r in my_rects)
+    bc0 = min(r.c0 for r in my_rects)
+    bc1 = max(r.c1 for r in my_rects)
+    ranks, w_r0, w_r1, w_c0, w_c1 = dst_dist.rect_index()
+    if transpose:
+        w_r0, w_r1, w_c0, w_c1 = w_c0, w_c1, w_r0, w_r1
+    hit = (w_r0 < br1) & (w_r1 > br0) & (w_c0 < bc1) & (w_c1 > bc0)
+    for dst_rank in np.unique(ranks[hit]):
+        dst_rank = int(dst_rank)
         for want in dst_dist.owned_rects(dst_rank):
             want_src = want.transposed() if transpose else want
             for mine, tile in zip(my_rects, my_tiles):
@@ -89,16 +105,27 @@ def redistribute(
             for w in dst_dist.owned_rects(comm.rank)
         ]
         recv_sources = []
-        for src_rank in range(comm.size):
-            if src_rank == comm.rank:
-                continue
-            overlap = any(
-                not owned.intersect(need).is_empty()
-                for owned in src.dist.owned_rects(src_rank)
-                for need in my_needs
-            )
-            if overlap:
-                recv_sources.append(src_rank)
+        if my_needs:
+            # Same vectorized bbox prefilter as _plan_sends, applied to
+            # the receive side: only sources whose holdings can touch
+            # this rank's needs get the exact (pairwise) overlap check.
+            nr0 = min(w.r0 for w in my_needs)
+            nr1 = max(w.r1 for w in my_needs)
+            nc0 = min(w.c0 for w in my_needs)
+            nc1 = max(w.c1 for w in my_needs)
+            ranks, o_r0, o_r1, o_c0, o_c1 = src.dist.rect_index()
+            hit = (o_r0 < nr1) & (o_r1 > nr0) & (o_c0 < nc1) & (o_c1 > nc0)
+            for src_rank in np.unique(ranks[hit]):
+                src_rank = int(src_rank)
+                if src_rank == comm.rank:
+                    continue
+                overlap = any(
+                    not owned.intersect(need).is_empty()
+                    for owned in src.dist.owned_rects(src_rank)
+                    for need in my_needs
+                )
+                if overlap:
+                    recv_sources.append(src_rank)
 
         pending = []
         for dst_rank, batch in enumerate(sends):

@@ -33,7 +33,7 @@ from .errors import (
 )
 from .faults import ANY_RANK, FaultPlan, LinkFault, RankFault, RetryPolicy
 from .request import Request, wait_all
-from .runtime import SpmdResult, run_spmd
+from .runtime import BACKEND_ENV, BACKENDS, SpmdResult, run_spmd
 from .topology import Cart2D, Cart3D
 from .transport import PhaseStats, RankTrace, Transport
 
@@ -56,6 +56,8 @@ __all__ = [
     "wait_all",
     "run_spmd",
     "SpmdResult",
+    "BACKENDS",
+    "BACKEND_ENV",
     "VMpiError",
     "RankError",
     "TagError",

@@ -1,0 +1,333 @@
+"""Discrete-event scheduler backend for the virtual MPI.
+
+The default (thread) backend in :mod:`repro.mpi.runtime` runs every rank
+as a free-running Python thread and serialises them with one coarse
+lock + condition.  That is simple and faithful, but ``notify_all`` on
+every send makes a P-rank world cost O(P) wakeups per message, the OS
+scheduler decides who observes shared flags first, and practical world
+sizes top out at a few dozen ranks.
+
+This module keeps the rank *programs* exactly as they are — arbitrary
+Python calling deep into the engines — but takes scheduling away from
+the OS.  Each rank still owns a thread (its stack is where the program's
+state lives), yet **at most one rank thread runs at any instant**: a
+rank runs until it must block inside the transport, parks on its private
+:class:`threading.Event`, and hands the world to the runnable rank with
+the *lowest virtual clock*.  The result is a single-threaded
+discrete-event simulation in all but mechanism:
+
+* event ordering is a pure function of the virtual clocks and each
+  rank's program order — replays are byte-identical by construction,
+  with no quiescence gating or cross-thread ordering hacks;
+* a blocked world is recognised *structurally* (nothing runnable, not
+  everything finished) and reported as
+  :class:`~repro.mpi.errors.DeadlockError` immediately, instead of
+  after a wall-clock no-progress timeout;
+* wakeups are precise — a send readies exactly its receiver — so a
+  1024-rank ``pdgemm`` simulation completes in seconds.
+
+Scheduling state machine (all transitions under the transport lock):
+
+``new → ready → running → {blocked, polling, finished}``; ``blocked``
+ranks are readied by the transport's wake hooks (message posted to
+them, agree vote recorded, world aborted, rank killed), ``polling``
+ranks (a probe that found nothing) sit in a FIFO that is drained only
+when the ready heap is empty, so a spin-probing rank cannot starve
+ranks that have real work.  The ready heap is keyed
+``(virtual clock, push order, rank)`` — the min-clock rank runs next,
+which is exactly the event-heap order of a classical DES.
+
+The driver thread only acts when no rank is runnable: it either
+unsticks a revoked-and-quiescent world (mirroring the thread backend's
+revocation semantics), declares a structural deadlock, or — for pure
+probe-polling livelocks, where ranks stay runnable but the world makes
+no progress — applies the same wall-clock watchdog as the thread
+backend.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from .errors import AbortError, DeadlockError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .transport import Transport
+
+#: Scheduler states a rank strand moves through.
+_NEW, _READY, _RUNNING, _BLOCKED, _POLLING, _FINISHED = (
+    "new", "ready", "running", "blocked", "polling", "finished",
+)
+
+
+class DesScheduler:
+    """Cooperative rank scheduler driving one transport's world.
+
+    All methods ending in ``_locked`` require the transport lock; the
+    transport calls the ``wake_*`` hooks and ``park_locked`` /
+    ``poll_yield_locked`` from inside its own critical sections, so a
+    park-then-wake can never be lost.
+    """
+
+    def __init__(self, transport: "Transport", nprocs: int):
+        self.transport = transport
+        self.nprocs = nprocs
+        self._events = [threading.Event() for _ in range(nprocs)]
+        self._state = [_NEW] * nprocs
+        #: why a blocked rank is parked: ``"recv"`` or ``"agree"``.
+        self._why: list[str | None] = [None] * nprocs
+        #: min-heap of (virtual clock at push, push counter, rank).
+        self._ready: list[tuple[float, int, int]] = []
+        self._push_counter = 0
+        #: probe-miss yields, drained only when the ready heap is empty.
+        self._polling: deque[int] = deque()
+        self._running: int | None = None
+        self._running_from_poll = False
+        self._poll_resumes = 0
+        self._finished_count = 0
+        #: set whenever no rank is runnable — the driver's turn to act.
+        self.driver_evt = threading.Event()
+
+    # ------------------------------------------------------- dispatching -- #
+    def _pop_runnable_locked(self) -> int | None:
+        """Next rank to run: min-clock ready rank, else the oldest poller."""
+        while self._ready:
+            _, _, r = heapq.heappop(self._ready)
+            if self._state[r] == _READY:
+                self._running_from_poll = False
+                return r
+        while self._polling:
+            r = self._polling.popleft()
+            if self._state[r] == _POLLING:
+                self._poll_resumes += 1
+                self._running_from_poll = True
+                return r
+        return None
+
+    def _dispatch_locked(self) -> None:
+        """Hand the world to the next runnable rank (or to the driver)."""
+        r = self._pop_runnable_locked()
+        if r is None:
+            self.driver_evt.set()
+        else:
+            self._running = r
+            self._state[r] = _RUNNING
+            self._events[r].set()
+
+    def dispatch_rank_locked(self, rank: int) -> None:
+        """Driver-side: resume a specific runnable rank."""
+        self._running = rank
+        self._state[rank] = _RUNNING
+        self._events[rank].set()
+
+    def make_ready_locked(self, rank: int) -> None:
+        if self._state[rank] in (_BLOCKED, _NEW):
+            self._state[rank] = _READY
+            self._why[rank] = None
+            heapq.heappush(
+                self._ready,
+                (self.transport.ranks[rank].clock, self._push_counter, rank),
+            )
+            self._push_counter += 1
+
+    # ------------------------------------------------------------ parking -- #
+    def _handoff_locked(self, rank: int) -> None:
+        """Give up the world and sleep until dispatched again.
+
+        The transport lock is released only *after* the next rank (or
+        the driver) has been chosen and signalled, so there is no window
+        in which nobody owns the world.  ``Event`` semantics make the
+        set-before-wait race benign: a rank re-dispatched before it
+        reaches ``wait()`` just sails through.
+        """
+        self._running = None
+        self._dispatch_locked()
+        evt = self._events[rank]
+        lock = self.transport._lock
+        lock.release()
+        try:
+            evt.wait()
+            evt.clear()
+        finally:
+            lock.acquire()
+
+    def park_locked(self, rank: int, why: str) -> None:
+        """Block ``rank`` until a wake hook readies it (recv/agree wait)."""
+        self._state[rank] = _BLOCKED
+        self._why[rank] = why
+        self._handoff_locked(rank)
+
+    def poll_yield_locked(self, rank: int) -> None:
+        """Cooperative yield from a probe miss: stay runnable, go last."""
+        self._state[rank] = _POLLING
+        self._polling.append(rank)
+        self._handoff_locked(rank)
+
+    # --------------------------------------------------------- wake hooks -- #
+    def wake_recv_locked(self, rank: int) -> None:
+        """A message was posted (or dropped-and-held) for ``rank``."""
+        if self._state[rank] == _BLOCKED and self._why[rank] == "recv":
+            self.make_ready_locked(rank)
+
+    def wake_agree_locked(self) -> None:
+        """An agree vote/result or a finish changed the rendezvous state."""
+        for r in range(self.nprocs):
+            if self._state[r] == _BLOCKED and self._why[r] == "agree":
+                self.make_ready_locked(r)
+
+    def wake_all_locked(self) -> None:
+        """World-changing event (abort, kill): every blocked rank re-checks."""
+        for r in range(self.nprocs):
+            if self._state[r] == _BLOCKED:
+                self.make_ready_locked(r)
+
+    # ------------------------------------------------------------ strands -- #
+    def strand_main(self, rank: int, body: Callable[[int], None]) -> None:
+        """Thread target for one rank strand."""
+        evt = self._events[rank]
+        evt.wait()
+        evt.clear()
+        try:
+            body(rank)
+        finally:
+            with self.transport._lock:
+                self._state[rank] = _FINISHED
+                self._why[rank] = None
+                self._finished_count += 1
+                self._running = None
+                self._dispatch_locked()
+
+
+def run_des(
+    transport: "Transport",
+    nprocs: int,
+    rank_body: Callable[[int], None],
+    deadlock_timeout: float = 30.0,
+) -> None:
+    """Drive ``rank_body`` on every rank under the DES scheduler.
+
+    Returns when every rank strand has finished; raises
+    :class:`DeadlockError` (after aborting and draining the world) when
+    the world blocks structurally or spins in a pure probe-poll loop
+    with no virtual progress for ``deadlock_timeout`` wall seconds.
+    """
+    sched = DesScheduler(transport, nprocs)
+    transport.scheduler = sched
+    threads = [
+        threading.Thread(
+            target=sched.strand_main,
+            args=(r, rank_body),
+            name=f"vmpi-des-{r}",
+            daemon=True,
+        )
+        for r in range(nprocs)
+    ]
+    for t in threads:
+        t.start()
+    with transport._lock:
+        for r in range(nprocs):
+            sched.make_ready_locked(r)
+        sched._dispatch_locked()
+
+    poll = 0.05
+    stall = 0.0
+    last_progress = -1
+    last_spins = -1
+    deadlock: DeadlockError | None = None
+
+    while True:
+        if sched.driver_evt.wait(timeout=poll):
+            sched.driver_evt.clear()
+        pending_blocked: dict[int, str] | None = None
+        with transport._lock:
+            if sched._finished_count == nprocs:
+                break
+            if sched._running is None:
+                r = sched._pop_runnable_locked()
+                if r is not None:
+                    # Benign race: a strand parked between our wait() and
+                    # the lock; just resume the chosen rank.
+                    sched.dispatch_rank_locked(r)
+                    stall = 0.0
+                    continue
+                if (
+                    transport.aborted is None
+                    and transport.revoked
+                    and transport._quiescent_locked()
+                ):
+                    # Revocation unstick: every parked receiver re-checks;
+                    # a deliverable message still wins, the rest unwind
+                    # with CommRevokedError at their park clocks — the
+                    # same stable cut the thread backend converges to.
+                    for rr in range(nprocs):
+                        if sched._state[rr] == _BLOCKED and sched._why[rr] == "recv":
+                            sched.make_ready_locked(rr)
+                    r = sched._pop_runnable_locked()
+                    if r is not None:
+                        sched.dispatch_rank_locked(r)
+                        stall = 0.0
+                        continue
+                if transport.aborted is not None:
+                    # Post-abort the world must drain on its own; nothing
+                    # runnable with unfinished strands is a scheduler bug.
+                    raise RuntimeError(
+                        "DES scheduler wedged after abort: "
+                        f"states={sched._state!r}"
+                    )
+                if deadlock is None:
+                    pending_blocked = {
+                        rr: transport.ranks[rr].waiting_on or "blocked"
+                        for rr in range(nprocs)
+                        if sched._state[rr] == _BLOCKED
+                    }
+            else:
+                # A rank is running: the only pathology reachable from
+                # here is a probe-poll livelock (runnable pollers, no
+                # virtual progress).  Long organic computes are exempt:
+                # they are not poll resumes, so `spins` stays flat and
+                # the stall counter resets.
+                progress = transport.progress
+                spins = sched._poll_resumes
+                pure_polling = (
+                    not sched._ready
+                    and sched._running_from_poll
+                    and all(
+                        sched._state[rr] in (_POLLING, _BLOCKED, _FINISHED)
+                        or rr == sched._running
+                        for rr in range(nprocs)
+                    )
+                )
+                if (
+                    progress != last_progress
+                    or spins == last_spins
+                    or not pure_polling
+                ):
+                    stall = 0.0
+                elif deadlock is None:
+                    stall += poll
+                    if stall >= deadlock_timeout:
+                        pending_blocked = {
+                            rr: (
+                                transport.ranks[rr].waiting_on
+                                or "polling (probe loop)"
+                            )
+                            for rr in range(nprocs)
+                            if sched._state[rr] in (_POLLING, _BLOCKED)
+                            or rr == sched._running
+                        }
+                last_progress = progress
+                last_spins = spins
+        if pending_blocked is not None:
+            deadlock = DeadlockError(pending_blocked)
+            # Abort exactly like the thread watchdog: wake everything,
+            # let the strands unwind with AbortError, then re-raise the
+            # typed deadlock on the driver once the world has drained.
+            transport.abort(AbortError(-1, deadlock))
+
+    for t in threads:
+        t.join(timeout=5.0)
+    if deadlock is not None:
+        raise deadlock

@@ -1,0 +1,186 @@
+"""Differential parity harness: thread backend vs. DES backend.
+
+The DES backend (:mod:`repro.mpi.des`) is deterministic by
+construction; the thread backend is the battle-tested oracle.  This
+module runs the same program on both and asserts that everything
+observable — results, traces, metrics, audit reports, ledger records,
+and the event/message/memory timelines — is identical.
+
+Raw logs cannot be compared byte-for-byte across backends, because a
+few identifiers are allocation-order artifacts with no semantic
+content:
+
+* the global interleaving of per-rank appends in ``transport.events``
+  / ``msglog`` / ``memlog`` (each *rank's* subsequence is its program
+  order — deterministic — but the merge order is wall-clock),
+* transport ``seq`` numbers (global post order),
+* context ids (first-caller-allocates in :meth:`Transport.context_for_key`).
+
+:func:`canonical_timeline` normalises exactly those: logs are grouped
+per rank (messages per sender), ``seq`` is replaced by the message's
+*pair index* (the n-th message on its ``(ctx, src, dst)`` wire, a pure
+program-order quantity), and context ids are replaced by their
+deterministic split keys.  Everything else — virtual clocks, byte
+counts, phases, fault annotations — is compared exactly.
+
+Known caveat: programs receiving with ``ANY_SOURCE`` can legitimately
+observe different message *payloads* per backend when two candidates
+arrive at the exact same virtual time and tie-break differently than
+wall-clock delivery would; the transport's virtual-time tie-break (see
+``Transport._select_locked``) makes each backend individually
+replay-deterministic, and none of the library's engines use
+``ANY_SOURCE``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..machine.model import MachineModel
+from .faults import FaultPlan
+from .runtime import SpmdResult, run_spmd
+from .transport import Transport
+
+
+# ------------------------------------------------------- canonical logs -- #
+def _ctx_names(transport: Transport) -> dict[int, Any]:
+    """Map context ids back to their deterministic split keys."""
+    names: dict[int, Any] = {0: "world"}
+    for key, ctx in transport._context_keys.items():
+        names[ctx] = repr(key)
+    return names
+
+
+def canonical_timeline(transport: Transport) -> dict[str, Any]:
+    """Backend-invariant rendering of a transport's recorded logs.
+
+    Requires the run to have used ``record_events=True``; with event
+    recording off the logs are empty and the timeline is trivially
+    equal for any two runs.
+    """
+    ctx_names = _ctx_names(transport)
+    # Message identity: the n-th message posted on its (ctx, src, dst)
+    # wire.  Per-pair mailbox order is sender program order on every
+    # backend, so the pair index is backend-invariant while the global
+    # seq is not.
+    pair_counts: dict[tuple[int, int, int], int] = {}
+    msg_id: dict[int, tuple[Any, int, int, int]] = {}
+    msgs_by_src: dict[int, list[dict[str, Any]]] = {}
+    for rec in transport.msglog:
+        wire = (rec.ctx, rec.src, rec.dst)
+        idx = pair_counts.get(wire, 0)
+        pair_counts[wire] = idx + 1
+        msg_id[rec.seq] = (ctx_names[rec.ctx], rec.src, rec.dst, idx)
+        d = dataclasses.asdict(rec)
+        d.pop("seq")
+        d["ctx"] = ctx_names[rec.ctx]
+        d["pair_idx"] = idx
+        msgs_by_src.setdefault(rec.src, []).append(d)
+
+    events_by_rank: dict[int, list[dict[str, Any]]] = {}
+    for ev in transport.events:
+        d = dataclasses.asdict(ev)
+        d["msg"] = msg_id.get(ev.seq)
+        d.pop("seq")
+        events_by_rank.setdefault(ev.rank, []).append(d)
+
+    mem_by_rank: dict[int, list[dict[str, Any]]] = {}
+    for me in transport.memlog:
+        mem_by_rank.setdefault(me.rank, []).append(dataclasses.asdict(me))
+
+    return {
+        "events": {r: events_by_rank.get(r, []) for r in range(transport.nprocs)},
+        "messages": {r: msgs_by_src.get(r, []) for r in range(transport.nprocs)},
+        "memory": {r: mem_by_rank.get(r, []) for r in range(transport.nprocs)},
+    }
+
+
+# ------------------------------------------------------------ comparing -- #
+def _diff(a: Any, b: Any, path: str, out: list[str], limit: int = 20) -> None:
+    if len(out) >= limit:
+        return
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.shape == b.shape
+            and np.array_equal(a, b)
+        ):
+            out.append(f"{path}: arrays differ")
+        return
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b), key=repr):
+            if key not in a or key not in b:
+                out.append(f"{path}.{key}: only on one side")
+                continue
+            _diff(a[key], b[key], f"{path}.{key}", out, limit)
+        return
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            out.append(f"{path}: length {len(a)} != {len(b)}")
+            return
+        for i, (x, y) in enumerate(zip(a, b)):
+            _diff(x, y, f"{path}[{i}]", out, limit)
+        return
+    if a != b:
+        out.append(f"{path}: {a!r} != {b!r}")
+
+
+def assert_equal(a: Any, b: Any, what: str) -> None:
+    """Deep equality with a readable diff (numpy-aware)."""
+    found: list[str] = []
+    _diff(a, b, what, found)
+    if found:
+        raise AssertionError(
+            f"{what}: backends diverge:\n  " + "\n  ".join(found)
+        )
+
+
+def assert_parity(
+    threads: SpmdResult, des: SpmdResult, check_timeline: bool = True
+) -> None:
+    """Assert two runs of the same program are observably identical."""
+    assert_equal(threads.results, des.results, "results")
+    assert_equal(
+        [dataclasses.asdict(t) for t in threads.traces],
+        [dataclasses.asdict(t) for t in des.traces],
+        "traces",
+    )
+    assert_equal(threads.metrics.to_dict(), des.metrics.to_dict(), "metrics")
+    if check_timeline:
+        assert_equal(
+            canonical_timeline(threads.transport),
+            canonical_timeline(des.transport),
+            "timeline",
+        )
+
+
+def run_both(
+    nprocs: int,
+    fn: Callable[..., Any],
+    args: Sequence[Any] = (),
+    machine: MachineModel | None = None,
+    deadlock_timeout: float = 30.0,
+    record_events: bool = True,
+    faults: FaultPlan | None = None,
+) -> tuple[SpmdResult, SpmdResult]:
+    """Run ``fn`` under both backends and assert full parity.
+
+    Returns ``(threads_result, des_result)`` after the assertion, so
+    callers can layer further backend-specific checks (ledger bytes,
+    audit reports) on top.
+    """
+    kw = dict(
+        args=args,
+        machine=machine,
+        deadlock_timeout=deadlock_timeout,
+        record_events=record_events,
+        faults=faults,
+    )
+    threads = run_spmd(nprocs, fn, backend="threads", **kw)
+    des = run_spmd(nprocs, fn, backend="des", **kw)
+    assert_parity(threads, des, check_timeline=record_events)
+    return threads, des

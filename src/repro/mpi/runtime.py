@@ -1,20 +1,33 @@
 """SPMD launcher for the virtual MPI world.
 
-:func:`run_spmd` plays the role of ``mpiexec``: it spawns one Python
-thread per rank, hands each a world :class:`~repro.mpi.comm.Comm`, runs
-the user's rank function, and collects per-rank return values plus the
-transport's traffic traces.
+:func:`run_spmd` plays the role of ``mpiexec``: it hands every rank a
+world :class:`~repro.mpi.comm.Comm`, runs the user's rank function, and
+collects per-rank return values plus the transport's traffic traces.
 
-Failure handling mirrors a batch MPI job: the first rank to raise
-aborts the world (all blocked ranks are woken with
+Two interchangeable backends execute the ranks:
+
+``"threads"`` (default)
+    One free-running OS thread per rank, serialised by the transport's
+    coarse lock.  A watchdog samples the transport's progress counter
+    and raises :class:`~repro.mpi.errors.DeadlockError` when every live
+    rank has been blocked with no progress for the timeout.
+
+``"des"``
+    The discrete-event scheduler (:mod:`repro.mpi.des`): at most one
+    rank runs at a time, chosen by virtual clock, with deadlocks
+    detected structurally.  Scales to thousands of ranks and is
+    replay-deterministic by construction.  Also selectable with the
+    ``REPRO_MPI_BACKEND`` environment variable.
+
+Failure handling mirrors a batch MPI job on both backends: the first
+rank to raise aborts the world (all blocked ranks are woken with
 :class:`~repro.mpi.errors.AbortError`) and the original exception is
-re-raised on the driver thread.  A watchdog samples the transport's
-progress counter and raises :class:`~repro.mpi.errors.DeadlockError`
-when every live rank has been blocked with no progress for the timeout.
+re-raised on the driver thread.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import traceback
 from dataclasses import dataclass
@@ -22,12 +35,20 @@ from typing import Any, Callable, Sequence
 
 from ..machine.model import MachineModel
 from .comm import Comm
+from .des import run_des
 from .errors import AbortError, DeadlockError, RankKilledError
 from .faults import FaultPlan
 from .transport import RankTrace, Transport
 
 #: Context id of the world communicator.
 WORLD_CTX = 0
+
+#: Recognised values for ``run_spmd(backend=...)``.
+BACKENDS = ("threads", "des")
+
+#: Environment variable overriding the default backend (CI runs the
+#: whole suite under ``REPRO_MPI_BACKEND=des``).
+BACKEND_ENV = "REPRO_MPI_BACKEND"
 
 
 @dataclass
@@ -95,13 +116,18 @@ def run_spmd(
     deadlock_timeout: float = 30.0,
     record_events: bool = False,
     faults: FaultPlan | None = None,
+    backend: str | None = None,
 ) -> SpmdResult:
-    """Run ``fn(comm, *args)`` on ``nprocs`` threaded ranks.
+    """Run ``fn(comm, *args)`` on ``nprocs`` virtual ranks.
 
     Parameters
     ----------
     nprocs:
         World size.
+    backend:
+        ``"threads"`` (default) or ``"des"`` — see the module docstring.
+        ``None`` consults the ``REPRO_MPI_BACKEND`` environment variable
+        and falls back to ``"threads"``.
     fn:
         The per-rank entry point; called as ``fn(comm, *args)`` on every
         rank.  Its return value is collected into ``results[rank]``.
@@ -133,30 +159,69 @@ def run_spmd(
         recovery driver (:func:`repro.ft.resilient_multiply`) — aborts
         the world like any other rank error.
     """
+    backend = backend or os.environ.get(BACKEND_ENV) or "threads"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
     transport = Transport(nprocs, machine, record_events=record_events, faults=faults)
     results: list[Any] = [None] * nprocs
     errors: list[tuple[int, BaseException, str]] = []
     err_lock = threading.Lock()
-    done = threading.Event()
-    finished = [0]
 
-    def rank_main(rank: int) -> None:
+    def rank_body(rank: int) -> None:
         comm = Comm(transport, WORLD_CTX, range(nprocs), rank)
         try:
             results[rank] = fn(comm, *args)
         except AbortError:
-            pass  # secondary casualty of another rank's failure
+            # Secondary casualty of another rank's failure: its spans
+            # died with it, so reclaim them from the leak table.
+            transport.release_rank_memory(rank)
         except RankKilledError:
-            pass  # injected permanent death: thread ends, world keeps going
-        except BaseException as exc:  # noqa: BLE001 - must not kill the thread silently
+            # Injected permanent death: the rank ends, the world keeps
+            # going, and whatever it held allocated is gone with it.
+            transport.release_rank_memory(rank)
+        except BaseException as exc:  # noqa: BLE001 - must not die silently
             with err_lock:
                 errors.append((rank, exc, traceback.format_exc()))
+            transport.release_rank_memory(rank)
             transport.abort(AbortError(rank, exc))
         finally:
             # Tell the transport this rank can never post again, so the
             # revocation quiescence check stops waiting on it.
             transport.mark_finished(rank)
-            with err_lock:
+
+    if backend == "des":
+        run_des(transport, nprocs, rank_body, deadlock_timeout=deadlock_timeout)
+    else:
+        _run_threaded(transport, nprocs, rank_body, deadlock_timeout)
+
+    if errors:
+        errors.sort(key=lambda e: e[0])
+        rank, exc, tb = errors[0]
+        raise RuntimeError(
+            f"rank {rank} failed in SPMD run:\n{tb}"
+        ) from exc
+
+    return SpmdResult(results=results, traces=transport.traces(), transport=transport)
+
+
+def _run_threaded(
+    transport: Transport,
+    nprocs: int,
+    rank_body: Callable[[int], None],
+    deadlock_timeout: float,
+) -> None:
+    """Thread backend: free-running rank threads + a watchdog driver."""
+    done = threading.Event()
+    count_lock = threading.Lock()
+    finished = [0]
+
+    def rank_main(rank: int) -> None:
+        try:
+            rank_body(rank)
+        finally:
+            with count_lock:
                 finished[0] += 1
                 if finished[0] == nprocs:
                     done.set()
@@ -175,7 +240,7 @@ def run_spmd(
     while not done.wait(timeout=poll):
         progress = transport.progress
         blocked = transport.blocked_ranks()
-        with err_lock:
+        with count_lock:
             n_done = finished[0]
         if progress == last_progress and len(blocked) + n_done == nprocs and blocked:
             stall += poll
@@ -190,12 +255,3 @@ def run_spmd(
 
     for t in threads:
         t.join(timeout=5.0)
-
-    if errors:
-        errors.sort(key=lambda e: e[0])
-        rank, exc, tb = errors[0]
-        raise RuntimeError(
-            f"rank {rank} failed in SPMD run:\n{tb}"
-        ) from exc
-
-    return SpmdResult(results=results, traces=transport.traces(), transport=transport)

@@ -31,6 +31,13 @@ shared object they communicate through.  It provides:
 
 A single coarse lock protects all state; with the GIL and the heavy
 lifting done inside numpy, finer locking buys nothing.
+
+The transport itself is backend-neutral: under the default thread
+backend ranks block on the shared condition variable, while under the
+discrete-event backend (:mod:`repro.mpi.des`) the attached scheduler is
+asked to park the calling rank and precise wake hooks ready exactly the
+ranks an operation could unblock.  All matching, clock, counter, fault
+and trace logic is shared, so both backends emit identical records.
 """
 
 from __future__ import annotations
@@ -304,6 +311,7 @@ class _Dropped:
     msg: Message
     flight: float  #: perturbed one-transmission flight time
     drops: int  #: transmissions that must be lost before one succeeds
+    t_post: float  #: sender's clock at the original post (causality floor)
     attempts: int = 0  #: retransmit requests made by the receiver so far
 
 
@@ -357,6 +365,9 @@ class Transport:
         self.revoked = False
         # agreement rendezvous state, keyed by the comm's (ctx, seq) key
         self._agrees: dict[Any, dict[str, Any]] = {}
+        #: attached DES scheduler (:class:`repro.mpi.des.DesScheduler`)
+        #: when running under ``backend="des"``; ``None`` = thread backend.
+        self.scheduler = None
 
     # ----------------------------------------------------- context ids -- #
     def context_for_key(self, key: Any) -> int:
@@ -373,6 +384,21 @@ class Transport:
                 self._context_keys[key] = ctx
             return ctx
 
+    # ---------------------------------------------------------- blocking -- #
+    def _wait_locked(self, world_rank: int, why: str) -> None:
+        """Block ``world_rank`` until the world may have changed.
+
+        Thread backend: a timed wait on the shared condition (the
+        timeout keeps the loop checking abort/revocation flags even if
+        a wakeup is missed).  DES backend: park the rank's strand and
+        hand the world to the next runnable rank; the matching wake
+        hook (``why`` = ``"recv"`` or ``"agree"``) readies it again.
+        """
+        if self.scheduler is not None:
+            self.scheduler.park_locked(world_rank, why)
+        else:
+            self._cond.wait(timeout=0.5)
+
     # --------------------------------------------------------- aborting -- #
     def abort(self, err: AbortError) -> None:
         """Record a fatal error and wake all blocked ranks."""
@@ -380,6 +406,8 @@ class Transport:
             if self.aborted is None:
                 self.aborted = err
             self._cond.notify_all()
+            if self.scheduler is not None:
+                self.scheduler.wake_all_locked()
 
     def _check_abort(self) -> None:
         if self.aborted is not None:
@@ -423,6 +451,10 @@ class Transport:
             self.finished.add(world_rank)
             self.progress += 1
             self._cond.notify_all()
+            if self.scheduler is not None:
+                # A finish can complete an agree rendezvous (the voter
+                # set shrinks to the ranks already voted).
+                self.scheduler.wake_agree_locked()
 
     def agree(
         self, key: Any, group: Sequence[int], world_rank: int, flag: bool
@@ -444,6 +476,8 @@ class Transport:
             st["votes"][world_rank] = bool(flag)
             self.progress += 1
             self._cond.notify_all()
+            if self.scheduler is not None:
+                self.scheduler.wake_agree_locked()
             me = self.ranks[world_rank]
             me.waiting_on = f"agree(key={key})"
             me.agree_wait = True
@@ -463,8 +497,10 @@ class Transport:
                         self.revoked = False
                         self.progress += 1
                         self._cond.notify_all()
+                        if self.scheduler is not None:
+                            self.scheduler.wake_agree_locked()
                         break
-                    self._cond.wait(timeout=0.5)
+                    self._wait_locked(world_rank, "agree")
             finally:
                 me.waiting_on = None
                 me.agree_wait = False
@@ -633,6 +669,8 @@ class Transport:
                 self.dead.add(world_rank)
                 self.progress += 1
                 self._cond.notify_all()
+                if self.scheduler is not None:
+                    self.scheduler.wake_all_locked()
                 raise RankKilledError(world_rank, name, count)
 
     def push_coll(self, world_rank: int, label: str) -> None:
@@ -773,6 +811,28 @@ class Transport:
                 )
             )
 
+    def release_rank_memory(self, world_rank: int) -> None:
+        """Free every span still open on a rank whose program unwound.
+
+        Dead-letter reclamation for the leak table: a rank killed
+        (``RankFault(kill=True)``) or aborted mid-phase never reaches
+        its ``mem_free`` calls, so its open spans (``tile.a``,
+        ``cannon.dblbuf``, ``transport.inflight``, ...) would sit in
+        :attr:`RankTrace.mem_live` forever and every leak audit
+        downstream would report false positives for memory that died
+        with the rank.  The runtime calls this after the rank's program
+        has fully unwound — every organic free has already run, so
+        nothing here can double-free — and the frees are emitted in
+        sorted purpose order at the rank's final clock, keeping the
+        per-rank memory timeline replay-deterministic.
+        """
+        with self._lock:
+            st = self.ranks[world_rank]
+            for purpose in sorted(st.mem_live):
+                live = st.mem_live[purpose]
+                if live > 0:
+                    self._mem_free_locked(world_rank, purpose, live)
+
     def _mem_free_locked(self, world_rank: int, purpose: str, nbytes: int) -> None:
         nbytes = int(nbytes)
         if nbytes < 0:
@@ -893,12 +953,17 @@ class Transport:
                 # requests retransmits (see match_recv).  The sender is
                 # oblivious — its clock and counters were charged as usual.
                 self._dropped[(ctx, dst_world)].append(
-                    _Dropped(msg=msg, flight=t_msg, drops=drops)
+                    _Dropped(msg=msg, flight=t_msg, drops=drops, t_post=t_post)
                 )
             else:
                 self._mail[(ctx, dst_world)].append(msg)
             self.progress += 1
             self._cond.notify_all()
+            if self.scheduler is not None:
+                # Precise wakeup: only the receiver can be unblocked by
+                # this post.  A *dropped* message readies it too — the
+                # receiver must start charging its timeout/retry clock.
+                self.scheduler.wake_recv_locked(dst_world)
         return arrival, seq
 
     def _perturb_flight_locked(
@@ -991,45 +1056,111 @@ class Transport:
             return False
         return True
 
+    def _select_locked(
+        self,
+        ctx: int,
+        dst_world: int,
+        src_world: int,
+        tag: int,
+        caps: dict[int, int] | None = None,
+    ) -> int | None:
+        """Index of the deliverable mailbox message this receive takes.
+
+        Per sender, only that pair's oldest matching message is a
+        candidate (mailboxes hold each pair's messages in seq order, so
+        the first hit per sender preserves MPI non-overtaking).  ``caps``
+        maps a sender's world rank to the seq of its lowest *held
+        dropped* message matching this receive: candidates at or past
+        the cap are invisible until the retransmit lands.  Among
+        candidates the smallest ``(arrival, src)`` wins — a virtual-time
+        tie-break, so an ``ANY_SOURCE`` receive resolves identically on
+        every backend and replay instead of inheriting the wall-clock
+        order in which sender threads reached the mailbox.
+        """
+        box = self._mail.get((ctx, dst_world))
+        if not box:
+            return None
+        best_i = -1
+        best_key: tuple[float, int] | None = None
+        seen: set[int] = set()
+        for i, msg in enumerate(box):
+            if not self._matches(msg, src_world, tag):
+                continue
+            s = msg.src_world
+            if s in seen:
+                continue
+            seen.add(s)
+            if caps is not None and s in caps and msg.seq >= caps[s]:
+                continue
+            key = (msg.arrival, s)
+            if best_key is None or key < best_key:
+                best_i, best_key = i, key
+            if src_world != ANY_SOURCE:
+                break  # single pair: its oldest candidate is the answer
+        if best_key is None:
+            return None
+        return best_i
+
     def _find_locked(
         self,
         ctx: int,
         dst_world: int,
         src_world: int,
         tag: int,
-        before_seq: int | None = None,
+        caps: dict[int, int] | None = None,
     ) -> Message | None:
-        """Pop the first matching mailbox message.
-
-        ``before_seq`` caps matching at messages posted before that
-        transport seq — used under fault injection so a held dropped
-        message is never overtaken by a later one it should precede.
-        """
-        box = self._mail.get((ctx, dst_world))
-        if not box:
+        """Pop the matching mailbox message :meth:`_select_locked` chose."""
+        i = self._select_locked(ctx, dst_world, src_world, tag, caps)
+        if i is None:
             return None
-        for i, msg in enumerate(box):
-            if before_seq is not None and msg.seq >= before_seq:
-                continue
-            if self._matches(msg, src_world, tag):
-                box.pop(i)
-                return msg
-        return None
+        return self._mail[(ctx, dst_world)].pop(i)
+
+    def _drop_caps_locked(
+        self, ctx: int, dst_world: int, src_world: int, tag: int
+    ) -> dict[int, int] | None:
+        """Per-sender seq caps from held dropped messages this receive matches.
+
+        Non-overtaking is a *per-pair* property: a drop from sender A
+        must not be overtaken by A's later messages, but says nothing
+        about sender B.  (The old global ``before_seq`` cap compared
+        seqs across pairs — a wall-clock artifact under ``ANY_SOURCE``.)
+        """
+        held = self._dropped.get((ctx, dst_world))
+        if not held:
+            return None
+        caps: dict[int, int] = {}
+        for d in held:
+            if self._matches(d.msg, src_world, tag):
+                s = d.msg.src_world
+                if s not in caps or d.msg.seq < caps[s]:
+                    caps[s] = d.msg.seq
+        return caps or None
 
     def _find_dropped_locked(
         self, ctx: int, dst_world: int, src_world: int, tag: int
     ) -> _Dropped | None:
-        """The lowest-seq held dropped message this receive would match."""
+        """The held dropped message this receive times out against.
+
+        Per sender the lowest-seq matching drop is the candidate (its
+        retransmit must land first); across senders the one whose
+        original arrival would have been earliest wins, with the sender
+        rank as tie-break — again virtual-time ordering, never the
+        wall-clock order the drops were registered in.
+        """
         held = self._dropped.get((ctx, dst_world))
         if not held:
             return None
-        best: _Dropped | None = None
+        per_src: dict[int, _Dropped] = {}
         for d in held:
-            if self._matches(d.msg, src_world, tag) and (
-                best is None or d.msg.seq < best.msg.seq
-            ):
-                best = d
-        return best
+            if self._matches(d.msg, src_world, tag):
+                cur = per_src.get(d.msg.src_world)
+                if cur is None or d.msg.seq < cur.msg.seq:
+                    per_src[d.msg.src_world] = d
+        if not per_src:
+            return None
+        return min(
+            per_src.values(), key=lambda d: (d.msg.arrival, d.msg.src_world)
+        )
 
     def _timeout_retry_locked(self, ctx: int, dst_world: int, d: _Dropped) -> None:
         """Charge one recv timeout against the held dropped message ``d``
@@ -1065,7 +1196,13 @@ class Transport:
             # walk sees the true arrival.
             self._dropped[(ctx, dst_world)].remove(d)
             msg = d.msg
-            msg.arrival = st.clock + d.flight
+            # The resend leaves no earlier than the receiver's request
+            # *and* no earlier than the original post: a receiver whose
+            # timeouts all fired before the sender even posted (e.g. the
+            # sender straggling under a slowdown fault) must not receive
+            # a message from the future.  Deadlines are virtual-clock
+            # quantities, never real thread-wait time.
+            msg.arrival = max(st.clock, d.t_post) + d.flight
             # Re-insert in seq order: later same-(src, tag) messages may
             # already sit in the mailbox, and matching pops in list order,
             # so an append here would let them overtake the retransmit.
@@ -1112,15 +1249,14 @@ class Transport:
                     self._check_abort()
                     # Non-overtaking: a held dropped message must not be
                     # overtaken by a later message on the same pair, so
-                    # mailbox matching is capped at the dropped seq.
-                    d = (
-                        self._find_dropped_locked(ctx, dst_world, src_world, tag)
+                    # mailbox matching is capped at the dropped seqs.
+                    caps = (
+                        self._drop_caps_locked(ctx, dst_world, src_world, tag)
                         if self.faults is not None
                         else None
                     )
                     msg = self._find_locked(
-                        ctx, dst_world, src_world, tag,
-                        before_seq=d.msg.seq if d is not None else None,
+                        ctx, dst_world, src_world, tag, caps=caps
                     )
                     if msg is not None:
                         break
@@ -1129,16 +1265,20 @@ class Transport:
                     # in flight, waiting on a dead rank is hopeless.
                     if src_world != ANY_SOURCE and src_world in self.dead:
                         raise RankFailedError(dst_world, src_world, op="recv from")
-                    if d is not None:
-                        self._timeout_retry_locked(ctx, dst_world, d)
-                        continue
+                    if caps is not None:
+                        d = self._find_dropped_locked(
+                            ctx, dst_world, src_world, tag
+                        )
+                        if d is not None:
+                            self._timeout_retry_locked(ctx, dst_world, d)
+                            continue
                     # Quiescence-gated revocation: a deliverable message
                     # always wins over the revoked flag, so the program
                     # point (and virtual clock) at which each survivor
                     # is unwound is replay-deterministic.
                     if self.revoked and self._quiescent_locked():
                         raise CommRevokedError(dst_world)
-                    self._cond.wait(timeout=0.5)
+                    self._wait_locked(dst_world, "recv")
                 self.progress += 1
                 if advance_receiver:
                     self._raise_clock_locked(
@@ -1193,31 +1333,35 @@ class Transport:
         return True
 
     def probe(self, ctx: int, dst_world: int, src_world: int, tag: int) -> Status | None:
-        """Nonblocking probe: status of the first matching message, if any.
+        """Nonblocking probe: status of the message a receive would take.
 
-        A held dropped message (fault injection) caps what the probe may
-        report, mirroring :meth:`match_recv`: a later message that the
-        drop should precede is invisible until the retransmit lands.
+        Candidate selection is shared with :meth:`match_recv`
+        (:meth:`_select_locked`), so a probe-then-recv pair always
+        agrees on the message — including under fault injection, where
+        held dropped messages cap what the probe may report: a later
+        message that a drop should precede is invisible until the
+        retransmit lands.
         """
         with self._lock:
-            d = (
-                self._find_dropped_locked(ctx, dst_world, src_world, tag)
+            self._check_abort()
+            caps = (
+                self._drop_caps_locked(ctx, dst_world, src_world, tag)
                 if self.faults is not None
                 else None
             )
-            before_seq = d.msg.seq if d is not None else None
-            box = self._mail.get((ctx, dst_world))
-            if box:
-                for msg in box:
-                    if before_seq is not None and msg.seq >= before_seq:
-                        continue
-                    if self._matches(msg, src_world, tag):
-                        return Status(source=msg.src_world, tag=msg.tag, nbytes=msg.nbytes)
+            i = self._select_locked(ctx, dst_world, src_world, tag, caps)
+            if i is not None:
+                msg = self._mail[(ctx, dst_world)][i]
+                return Status(source=msg.src_world, tag=msg.tag, nbytes=msg.nbytes)
             # A deliverable message wins over the revoked flag (matching
             # match_recv); with nothing to report, refuse so that a
             # probe-polling loop cannot spin forever on a revoked world.
             if self.revoked:
                 raise CommRevokedError(dst_world)
+            if self.scheduler is not None:
+                # Cooperative yield: a probe miss must not monopolise the
+                # DES world — let every rank with real work run first.
+                self.scheduler.poll_yield_locked(dst_world)
             return None
 
     # ----------------------------------------------------------- tracing -- #

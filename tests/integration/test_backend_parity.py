@@ -1,0 +1,126 @@
+"""Thread-vs-DES differential parity (the ISSUE 8 acceptance criterion).
+
+Every workload in the trace matrix must produce a byte-identical
+ledger record (modulo ``run_id``) and audit report on both backends,
+and the hypothesis sweep extends that to random shapes, world sizes,
+and fault plans.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.harness import TRACE_WORKLOADS, executed_workload
+from repro.machine.model import laptop, pace_phoenix_cpu
+from repro.mpi.faults import FaultPlan, LinkFault, RankFault
+from repro.mpi.parity import assert_equal, assert_parity, run_both
+from repro.obs.audit import audit_run
+from repro.obs.ledger import canonical_json, ledger_record
+
+
+def _canonical_record(result, plan, kind: str) -> str:
+    """The run's ledger bytes with the only nondeterministic field pinned."""
+    rec = ledger_record(result, plan, kind, run_id="0" * 32)
+    return canonical_json(rec)
+
+
+@pytest.mark.parametrize("name", sorted(TRACE_WORKLOADS))
+def test_trace_workload_ledger_and_audit_parity(name):
+    """Byte-identical ledger + audit on all eight trace workloads."""
+    mach = pace_phoenix_cpu("mpi")
+    plan_t, res_t = executed_workload(name, machine=mach, backend="threads")
+    plan_d, res_d = executed_workload(name, machine=mach, backend="des")
+
+    assert_parity(res_t, res_d)
+    assert _canonical_record(res_t, plan_t, f"parity.{name}") == \
+        _canonical_record(res_d, plan_d, f"parity.{name}")
+    assert_equal(
+        audit_run(res_t, plan_t, machine=mach).to_dict(),
+        audit_run(res_d, plan_d, machine=mach).to_dict(),
+        f"audit[{name}]",
+    )
+
+
+_FAULT_PLANS = (
+    None,
+    FaultPlan(seed=11, links=(LinkFault(drop_at=(0,)),)),
+    FaultPlan(seed=12, links=(LinkFault(jitter_s=1e-6),)),
+    FaultPlan(seed=13, ranks=(RankFault(rank=0, occurrence=0,
+                                        slowdown=7.0),)),
+    FaultPlan(seed=14, ranks=(RankFault(rank=1, phase="cannon",
+                                        occurrence=1, stall_s=1e-4),)),
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    m=st.integers(min_value=4, max_value=24),
+    n=st.integers(min_value=4, max_value=24),
+    k=st.integers(min_value=4, max_value=24),
+    P=st.sampled_from([2, 3, 4, 6, 8]),
+    fault_idx=st.integers(min_value=0, max_value=len(_FAULT_PLANS) - 1),
+)
+def test_random_matmul_parity(m, n, k, P, fault_idx):
+    """Random (shape, world, fault plan): results, traces, metrics,
+    timelines, ledger, and audit identical across backends."""
+    from repro.core.plan import shared_plan
+    from repro.core import ca3dmm_matmul
+    from repro.layout import DistMatrix, dense_random
+
+    faults = _FAULT_PLANS[fault_idx]
+    plan = shared_plan(m, n, k, P)
+
+    def f(comm):
+        a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 0))
+        b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 1))
+        c = ca3dmm_matmul(a, b)
+        return c.to_global()
+
+    res_t, res_d = run_both(P, f, machine=laptop(), faults=faults)
+    assert _canonical_record(res_t, plan, "parity.prop") == \
+        _canonical_record(res_d, plan, "parity.prop")
+    assert_equal(
+        audit_run(res_t, plan).to_dict(),
+        audit_run(res_d, plan).to_dict(),
+        "audit[prop]",
+    )
+
+
+def test_kill_recovery_parity():
+    """A permanent rank kill plus shrink-replan recovery replays
+    identically on both backends, down to the canonical timeline."""
+    from repro.ft import resilient_multiply
+    from repro.layout import BlockCol1D, DistMatrix, dense_random
+
+    m, n, k, P = 24, 20, 28, 6
+    plan = FaultPlan(ranks=(
+        RankFault(rank=2, phase="cannon", occurrence=1, kill=True),
+    ))
+
+    def f(comm):
+        a = DistMatrix.from_global(
+            comm, BlockCol1D((m, k), comm.size), dense_random(m, k, 7))
+        b = DistMatrix.from_global(
+            comm, BlockCol1D((k, n), comm.size), dense_random(k, n, 8))
+        c = resilient_multiply(comm, a, b, max_recoveries=2)
+        return c.to_global()
+
+    res_t, res_d = run_both(P, f, machine=laptop(), faults=plan)
+    assert res_t.failed_ranks == res_d.failed_ranks == [2]
+    assert res_t.metrics.recoveries == res_d.metrics.recoveries >= 1
+
+
+def test_traces_dataclass_fields_identical():
+    """Belt-and-braces: the full RankTrace dataclasses (clocks, counters,
+    per-phase stats) match field for field on a clean workload."""
+    mach = pace_phoenix_cpu("mpi")
+    _p, res_t = executed_workload("fig5", machine=mach, backend="threads")
+    _p, res_d = executed_workload("fig5", machine=mach, backend="des")
+    assert_equal(
+        [dataclasses.asdict(t) for t in res_t.traces],
+        [dataclasses.asdict(t) for t in res_d.traces],
+        "traces[fig5]",
+    )

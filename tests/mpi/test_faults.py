@@ -144,6 +144,33 @@ class TestDropRetryAcceptance:
         assert cause.attempts == 1
         assert cause.waited_s > 0.0
 
+    def test_timeout_budget_is_virtual_time_under_slowdown(self):
+        """Deadlines are virtual-clock quantities: a 1000x rank slowdown
+        must not change how many timeouts fire, how long the modelled
+        wait is, or the typed error — on either backend."""
+        plan = FaultPlan(
+            seed=0,
+            links=(LinkFault(src=1, dst=0, drop_at=(0,), drop_repeat=9),),
+            ranks=(RankFault(rank=0, occurrence=0, slowdown=1000.0),),
+            retry=RetryPolicy(timeout_s=1e-4, max_retries=2, backoff=2.0),
+        )
+
+        def f(comm):
+            if comm.rank == 1:
+                comm.send(b"x" * 64, 0, tag=5)
+            elif comm.rank == 0:
+                comm.compute(1e6)  # dilated x1000: receiver lags the post
+                comm.recv(source=1, tag=5)
+
+        expected_wait = 1e-4 * (1 + 2 + 4)  # three timeouts, backoff 2.0
+        for backend in ("threads", "des"):
+            with pytest.raises(RuntimeError) as ei:
+                run_spmd(2, f, machine=laptop(), faults=plan, backend=backend)
+            cause = ei.value.__cause__
+            assert isinstance(cause, RecvTimeoutError), backend
+            assert cause.attempts == 3, backend
+            assert cause.waited_s == pytest.approx(expected_wait), backend
+
     def test_deterministic_replay(self):
         runs = [_run(faults=self.PLAN) for _ in range(2)]
         assert np.array_equal(runs[0].results[0], runs[1].results[0])

@@ -90,6 +90,36 @@ class TestEventBalance:
             )
             assert not t.mem_live
 
+    def test_killed_rank_spans_released(self):
+        """Dead-letter reclamation: a rank killed mid-algorithm cannot
+        reach its own frees, so the runtime must release its open spans
+        — the leak table stays clean on both backends."""
+        from repro.ft import resilient_multiply
+        from repro.layout import BlockCol1D
+        from repro.mpi import RankFault
+
+        m, n, k, P = 24, 20, 28, 6
+        plan = FaultPlan(ranks=(
+            RankFault(rank=1, phase="cannon", occurrence=1, kill=True),
+        ))
+
+        def f(comm):
+            a = DistMatrix.from_global(
+                comm, BlockCol1D((m, k), comm.size), dense_random(m, k, 7))
+            b = DistMatrix.from_global(
+                comm, BlockCol1D((k, n), comm.size), dense_random(k, n, 8))
+            resilient_multiply(comm, a, b, max_recoveries=2)
+
+        for backend in ("threads", "des"):
+            res = run_spmd(P, f, machine=laptop(), record_events=True,
+                           faults=plan, backend=backend)
+            assert res.failed_ranks == [1]
+            for t in res.traces:
+                assert not t.mem_live, (
+                    f"{backend}: rank {t.rank} leaks {t.mem_live}"
+                )
+                assert t.resident_bytes == 0
+
     def test_memlog_allocs_and_frees_balance(self):
         plan, res = _executed(record_events=True)
         per_rank: dict[int, dict[str, int]] = {}
