@@ -221,7 +221,10 @@ def checkpoint_cost(
     :mod:`repro.ckpt` checkpointing every ``ckpt_every`` calls, and
     reports the checkpoint overhead (clean vs an uncheckpointed clean
     run), the recovery cost, and the reused-vs-recomputed flops split.
-    Used by ``python -m repro.bench --ckpt-every``.
+    A third clean run under a forced full-snapshot policy
+    (``full_interval=1``) measures how many store bytes the default
+    incremental (delta) checkpoints save.  Used by
+    ``python -m repro.bench --ckpt-every``.
     """
     import numpy as np
 
@@ -249,13 +252,17 @@ def checkpoint_cost(
             )
             return res.state["X"].to_global()
 
-        return run_spmd(p, f, machine=machine or pace_phoenix_cpu("mpi"),
-                        record_events=True, faults=faults)
+        result = run_spmd(p, f, machine=machine or pace_phoenix_cpu("mpi"),
+                          record_events=True, faults=faults)
+        return result, store
 
     policy = CheckpointPolicy(every_calls=ckpt_every)
-    bare = run(None, None)
-    clean = run(None, policy)
-    faulted = run(fault, policy)
+    bare, _ = run(None, None)
+    clean, delta_store = run(None, policy)
+    _full_run, full_store = run(
+        None, CheckpointPolicy(every_calls=ckpt_every, full_interval=1),
+    )
+    faulted, _ = run(fault, policy)
     got = next(r for r in faulted.results if r is not None)
     ref = matmul_chain_reference(m, n, k, calls=calls)
     tol = 1e-8 * max(1.0, float(np.abs(ref).max()))
@@ -278,8 +285,14 @@ def checkpoint_cost(
         "recomputed_flops": fm.recomputed_flops,
         "one_call_flops": 2.0 * m * n * k,
         "failed_ranks": faulted.failed_ranks,
+        "delta_bytes_written": delta_store.bytes_written,
+        "full_bytes_written": full_store.bytes_written,
         "correct": correct,
     }
+    saved = (
+        100.0 * (1.0 - delta_store.bytes_written / full_store.bytes_written)
+        if full_store.bytes_written else 0.0
+    )
     text = "\n".join([
         f"checkpoint cost — {name} ({calls}-call chain, checkpoint every "
         f"{ckpt_every}, kill rank {kill_rank} in call {kill_call})",
@@ -291,6 +304,8 @@ def checkpoint_cost(
         f"  flops accounting : {fm.reused_flops:.0f} reused, "
         f"{fm.recomputed_flops:.0f} recomputed "
         f"(one call = {2.0 * m * n * k:.0f})",
+        f"  store bytes      : {delta_store.bytes_written} delta vs "
+        f"{full_store.bytes_written} full-snapshot ({saved:.1f}% saved)",
         f"  recovered X      : "
         f"{'correct' if correct else 'WRONG'} (tol {tol:.3e})",
     ])

@@ -19,8 +19,12 @@ import numpy as np
 
 from ..layout.matrix import DistMatrix
 
-#: Version stamp for the manifest format.
-MANIFEST_SCHEMA_VERSION = 1
+#: Version stamp for the manifest format.  v2 adds incremental
+#: checkpoints: an optional ``kind`` ("full" | "delta") and, per matrix,
+#: an optional ``stored_in`` naming the earlier checkpoint whose tile
+#: payloads still back the matrix (absent = this checkpoint's own id).
+#: v1 manifests remain valid — a v1 document is simply a full snapshot.
+MANIFEST_SCHEMA_VERSION = 2
 
 #: JSON Schema (draft-07) for a checkpoint manifest.
 MANIFEST_JSON_SCHEMA = {
@@ -32,8 +36,9 @@ MANIFEST_JSON_SCHEMA = {
         "t_virtual_s", "nranks", "matrices",
     ],
     "properties": {
-        "schema_version": {"const": MANIFEST_SCHEMA_VERSION},
+        "schema_version": {"enum": [1, MANIFEST_SCHEMA_VERSION]},
         "ckpt_id": {"type": "string", "minLength": 1},
+        "kind": {"enum": ["full", "delta"]},
         "step": {"type": "integer", "minimum": 0},
         "step_name": {"type": "string"},
         "t_virtual_s": {"type": "number", "minimum": 0},
@@ -51,6 +56,7 @@ MANIFEST_JSON_SCHEMA = {
                         "maxItems": 2,
                     },
                     "dtype": {"type": "string"},
+                    "stored_in": {"type": "string", "minLength": 1},
                     "rects": {
                         "type": "object",
                         "additionalProperties": {
@@ -88,12 +94,24 @@ def build_manifest(
     t_virtual_s: float,
     nranks: int,
     state: dict[str, DistMatrix],
+    kind: str = "full",
+    stored_in: dict[str, str] | None = None,
 ) -> dict:
     """Assemble the manifest for one checkpoint of ``state``.
 
     Pure bookkeeping — callable on any rank, but only rank 0 should
     publish the result (every rank sees the same distributions, so the
     manifests would agree anyway).
+
+    A ``"delta"`` manifest still describes *every* carried matrix — its
+    shapes and rect lists are always current — but ``stored_in`` maps
+    the matrices whose tile payloads were *not* rewritten to the earlier
+    checkpoint id that still holds them.  Restart never has to walk the
+    manifest chain: each manifest is self-contained, only the payload
+    lookup is indirected.  Delta manifests are only ever published on
+    the same communicator size as their payload checkpoints (a
+    communicator change forces a full snapshot), so the per-old-rank
+    rect lists and tile files always agree.
     """
     matrices = {}
     for name in sorted(state):
@@ -111,9 +129,13 @@ def build_manifest(
             "dtype": str(np.dtype(mat.dtype)),
             "rects": rects,
         }
+        home = (stored_in or {}).get(name, ckpt_id)
+        if home != ckpt_id:
+            matrices[name]["stored_in"] = home
     return {
         "schema_version": MANIFEST_SCHEMA_VERSION,
         "ckpt_id": ckpt_id,
+        "kind": kind,
         "step": int(step),
         "step_name": step_name,
         "t_virtual_s": float(t_virtual_s),

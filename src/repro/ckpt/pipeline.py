@@ -30,6 +30,21 @@ manifest is written by rank 0 *after* a barrier proves every rank's
 tiles landed — so a kill mid-checkpoint leaves the previous checkpoint
 as the restart point, never a torn one.
 
+Checkpoints are *incremental*: the pipeline tracks which matrices each
+step touched and, once a full snapshot anchors the chain, later
+checkpoints store only the dirty matrices.  Dirty tiles are snapshotted
+into a write-behind buffer the moment the step that produced them
+completes — on the virtual clock, charged to the ``ckpt.writebehind``
+memtrace purpose so the eq. (11) footprint gate stays exact — and the
+barrier+manifest protocol is retained only as the cheap commit point
+that drains the buffer.  A delta manifest still describes every carried
+matrix; per-matrix ``stored_in`` pointers name the checkpoint whose
+payloads back the unchanged ones, so restart replays from any mix of
+full and delta manifests without walking the chain.  A communicator
+change (restart or in-call recovery) always forces the next checkpoint
+full: stored payloads and manifest rect lists therefore always agree on
+the rank count.
+
 Checkpoint ids are minted from the *virtual* clock (allreduce-MAX of
 the member clocks), so identical faulted runs produce byte-identical
 checkpoint histories — the determinism contract of docs/RECOVERY.md
@@ -40,6 +55,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable
+
+import numpy as np
 
 from ..ft.errors import UnrecoverableError
 from ..layout.blocks import Rect
@@ -85,12 +102,66 @@ class PipelineResult:
     checkpoints: list[str] = field(default_factory=list)  #: published ckpt ids
 
 
+class _WriteBehind:
+    """Per-rank write-behind buffer for incremental checkpoints.
+
+    ``stage`` snapshots a dirty matrix's tiles the moment the step that
+    produced them completes — on the virtual clock, not at commit time —
+    and charges the copies to the ``ckpt.writebehind`` memtrace purpose
+    so the eq. (11) footprint gate sees them for exactly as long as they
+    are resident.  :func:`save_checkpoint` later flushes the snapshots
+    to the store and ``drain``s the buffer once the commit barrier
+    proves them durable.  ``forget`` abandons the buffer *without*
+    releasing the charge — the transport already auto-freed this rank's
+    open spans when it was killed, so freeing again would double-count.
+    """
+
+    def __init__(self) -> None:
+        self._staged: dict[str, tuple[int, list[tuple[Rect, np.ndarray]]]] = {}
+
+    def stage(self, comm: Comm, name: str, mat: DistMatrix) -> None:
+        self.discard(comm, name)
+        copied = [
+            (rect, np.array(tile, copy=True))
+            for rect, tile in zip(mat.owned_rects, mat.tiles)
+        ]
+        nbytes = sum(t.nbytes for _r, t in copied)
+        comm.mem_alloc("ckpt.writebehind", nbytes)
+        self._staged[name] = (nbytes, copied)
+
+    def has(self, name: str) -> bool:
+        return name in self._staged
+
+    def tiles(self, name: str, mat: DistMatrix) -> list[tuple[Rect, np.ndarray]]:
+        """The snapshot to persist for ``name`` (live tiles if unstaged)."""
+        if name in self._staged:
+            return self._staged[name][1]
+        return list(zip(mat.owned_rects, mat.tiles))
+
+    def discard(self, comm: Comm, name: str) -> None:
+        entry = self._staged.pop(name, None)
+        if entry is not None:
+            comm.mem_free("ckpt.writebehind", entry[0])
+
+    def drain(self, comm: Comm) -> None:
+        for name in list(self._staged):
+            self.discard(comm, name)
+
+    def forget(self) -> None:
+        self._staged.clear()
+
+
 def save_checkpoint(
     comm: Comm,
     store: CheckpointStore,
     step: int,
     step_name: str,
     state: State,
+    *,
+    kind: str = "full",
+    dirty: set[str] | None = None,
+    homes: dict[str, str] | None = None,
+    writebehind: _WriteBehind | None = None,
 ) -> tuple[str, float]:
     """Checkpoint ``state`` to ``store``; collective over ``comm``.
 
@@ -99,27 +170,54 @@ def save_checkpoint(
     is published by rank 0 only after a barrier proves every rank's
     tiles landed; a failure before that leaves no trace of this
     checkpoint.
+
+    ``kind="delta"`` persists only the matrices in ``dirty``; the rest
+    are manifested with ``stored_in`` pointers into ``homes`` (the map
+    from matrix name to the checkpoint id whose payloads still back
+    it).  Dirty tiles come from the ``writebehind`` buffer when one is
+    supplied — the snapshots taken when the producing step finished —
+    and the buffer is drained only after the durability barrier, so the
+    ``ckpt.writebehind`` charge covers the bytes' whole residency.
     """
     t = CheckpointPolicy().global_now(comm)
     ckpt_id = f"step{step:04d}-t{t:.9f}"
+    written = sorted(state) if kind == "full" else sorted(dirty or ())
     with comm.span("ckpt_save", cat="ckpt", step=step, ckpt_id=ckpt_id,
-                   matrices=len(state)):
-        # The store copies every tile on the way in; those staging
+                   kind=kind, matrices=len(written)):
+        if kind == "full" and writebehind is not None:
+            # A full snapshot rewrites everything synchronously; any
+            # staged deltas are superseded before they ever flush.
+            writebehind.drain(comm)
+        staged_names = [
+            n for n in written
+            if writebehind is not None and writebehind.has(n)
+        ]
+        # The store copies every tile on the way in; synchronous staging
         # copies live until the tiles are durable (the barrier below).
+        # Write-behind snapshots are already charged (ckpt.writebehind).
         staging = sum(
-            t.nbytes for mat in state.values() for t in mat.tiles
+            t.nbytes for name in written if name not in staged_names
+            for t in state[name].tiles
         )
         with comm.mem("ckpt.staging", staging):
-            for name in sorted(state):
+            for name in written:
                 mat = state[name]
-                store.put_tiles(
-                    ckpt_id, name, comm.rank,
-                    list(zip(mat.owned_rects, mat.tiles)),
+                tiles = (
+                    writebehind.tiles(name, mat) if writebehind is not None
+                    else list(zip(mat.owned_rects, mat.tiles))
                 )
+                store.put_tiles(ckpt_id, name, comm.rank, tiles)
             comm.barrier()  # all tiles durable before the manifest publishes
+        if writebehind is not None:
+            writebehind.drain(comm)  # durable: release the staged snapshots
         if comm.rank == 0:
             store.put_manifest(build_manifest(
                 ckpt_id, step, step_name, t, comm.size, state,
+                kind=kind,
+                stored_in={
+                    name: (homes or {}).get(name, ckpt_id)
+                    for name in state if name not in written
+                },
             ))
         comm.barrier()  # manifest visible before anyone races ahead
     return ckpt_id, t
@@ -137,6 +235,10 @@ def restart(
     dealt round-robin to new rank ``r % comm.size`` via an ``Explicit``
     distribution, and the next engine call redistributes them into its
     planned layout — no resize-aware store format needed.
+
+    Delta manifests restore transparently: each matrix's payload is
+    fetched from its ``stored_in`` checkpoint (its own id when absent),
+    so a full+delta chain replays from the newest manifest alone.
 
     Returns ``(state, next_step)`` where ``next_step`` is the index of
     the first step that still has to run.
@@ -160,11 +262,12 @@ def restart(
                         Rect(*r) for r in info["rects"].get(str(old), [])
                     )
                 mapping[new_rank] = rects
+            home = info.get("stored_in", man["ckpt_id"])
             tiles = []
             for old in range(comm.rank, old_n, comm.size):
                 tiles.extend(
                     tile for _rect, tile
-                    in store.get_tiles(man["ckpt_id"], name, old)
+                    in store.get_tiles(home, name, old)
                 )
             # Restored tiles are store-made copies; charge the read-back
             # staging window until the matrix takes ownership.
@@ -231,6 +334,12 @@ def run_pipeline(
     checkpoint instead of ``init`` — the cross-run restart path, e.g.
     with a :class:`~repro.ckpt.store.DirStore` from a previous process.
 
+    The first checkpoint of a chain — and the first after any
+    communicator change — is a full snapshot; later ones are deltas
+    holding only the matrices the intervening steps returned, staged
+    through the write-behind buffer (module docstring).  The policy's
+    ``full_interval`` can force periodic re-anchoring.
+
     Raises :class:`~repro.ft.errors.UnrecoverableError` when the restart
     budget is exhausted or a failure hits a single-rank communicator.
     """
@@ -238,6 +347,11 @@ def run_pipeline(
     restarts = 0
     ckpt_ids: list[str] = []
     t_last = 0.0
+    wb = _WriteBehind()
+    dirty: set[str] = set()  # matrices touched since the last checkpoint
+    homes: dict[str, str] = {}  # matrix -> ckpt id backing its payload
+    force_full = True
+    since_full = 0
     if resume and store is not None and store.latest_manifest() is not None:
         state, i = restart(cur, store)
     else:
@@ -258,10 +372,20 @@ def run_pipeline(
                 None,
             )
             if new_comm is not None:
+                # Staged snapshots belong to the old world; the next
+                # checkpoint is a full snapshot on the new one.
+                wb.drain(cur)
                 state = _rebase(new_comm, store, state, updates)
                 cur = new_comm
+                dirty.clear()
+                homes.clear()
+                force_full = True
             else:
                 state = {**state, **updates}
+                if store is not None and policy is not None:
+                    for name in sorted(updates):
+                        wb.stage(cur, name, state[name])
+                    dirty |= set(updates)
             done = i
             i += 1
             if (
@@ -269,13 +393,33 @@ def run_pipeline(
                 and policy is not None
                 and policy.due(done, cur, t_last)
             ):
+                full = (
+                    force_full
+                    or dirty >= set(state)
+                    or (
+                        policy.full_interval > 0
+                        and since_full + 1 >= policy.full_interval
+                    )
+                )
                 cid, t_last = save_checkpoint(
                     cur, store, done, step.name, state,
+                    kind="full" if full else "delta",
+                    dirty=dirty, homes=homes, writebehind=wb,
                 )
+                for name in state if full else dirty:
+                    homes[name] = cid
+                dirty.clear()
+                force_full = False
+                since_full = 0 if full else since_full + 1
                 ckpt_ids.append(cid)
         except UnrecoverableError:
             raise
         except RankKilledError:
+            # The transport auto-freed this rank's open memtrace spans
+            # (ckpt.writebehind included) at the kill; freeing again
+            # would double-count, so the buffer is abandoned, not
+            # drained.
+            wb.forget()
             if cur.size == 1:
                 raise UnrecoverableError(
                     "rank killed on a single-rank communicator: nobody "
@@ -284,6 +428,7 @@ def run_pipeline(
                 ) from None
             raise  # this rank is dead; survivors handle the restart
         except (RankFailedError, CommRevokedError):
+            wb.drain(cur)  # survivors release their staged snapshots
             cur.revoke()
             _all_ok, survivors = cur.agree(False)
             restarts += 1
@@ -312,6 +457,11 @@ def run_pipeline(
                 else:
                     state, i = init(new_comm), 0
                 cur = new_comm
+                dirty.clear()
+                homes.clear()
+                force_full = True
+                since_full = 0
+    wb.drain(cur)  # a trailing un-checkpointed step leaves staged bytes
     return PipelineResult(
         state=state, comm=cur, restarts=restarts, checkpoints=ckpt_ids,
     )

@@ -34,10 +34,18 @@ class CheckpointPolicy:
         Checkpoint when at least this much *simulated* time has passed
         since the last checkpoint.  ``None`` disables the time trigger.
         This is a collective trigger (one small allreduce per step).
+    full_interval:
+        Force every Nth published checkpoint to be a full snapshot
+        instead of a dirty-matrix delta.  ``0`` (the default) writes a
+        full snapshot only where correctness demands one: the first
+        checkpoint of a chain and the first after a communicator
+        change — every other checkpoint stores just the matrices the
+        intervening steps touched.
     """
 
     every_calls: int | None = 1
     every_virtual_s: float | None = None
+    full_interval: int = 0
 
     def global_now(self, comm: Comm) -> float:
         """The world's virtual time: max of the members' clocks."""

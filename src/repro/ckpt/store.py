@@ -15,6 +15,7 @@ store's key space replay-deterministic.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from abc import ABC, abstractmethod
 from pathlib import Path
@@ -30,7 +31,15 @@ class CheckpointError(VMpiError):
 
 
 class CheckpointStore(ABC):
-    """Where checkpoints live.  All methods are callable from any rank."""
+    """Where checkpoints live.  All methods are callable from any rank.
+
+    ``bytes_written`` accumulates the tile payload bytes accepted by
+    :meth:`put_tiles` over the store's lifetime — the observable that
+    makes incremental (delta) checkpointing measurable: a dirty-only
+    checkpoint grows the counter by strictly less than a full snapshot.
+    """
+
+    bytes_written: int = 0
 
     @abstractmethod
     def put_tiles(
@@ -65,11 +74,13 @@ class MemoryStore(CheckpointStore):
         self._lock = threading.Lock()
         self._tiles: dict[tuple[str, str, int], list[tuple[Rect, np.ndarray]]] = {}
         self._manifests: list[dict] = []
+        self.bytes_written = 0
 
     def put_tiles(self, ckpt_id, matrix, rank, rects_tiles):
         copied = [(rect, np.array(tile, copy=True)) for rect, tile in rects_tiles]
         with self._lock:
             self._tiles[(ckpt_id, matrix, rank)] = copied
+            self.bytes_written += sum(t.nbytes for _r, t in copied)
 
     def get_tiles(self, ckpt_id, matrix, rank):
         with self._lock:
@@ -104,12 +115,21 @@ class DirStore(CheckpointStore):
     Because manifests are appended only after every rank's tiles landed
     (the pipeline barriers in between), a crash mid-checkpoint leaves
     orphan tile files but never a readable half-checkpoint.
+
+    Every file lands via write-to-temp-name + ``os.replace``: a rank
+    killed mid-write can strand a ``*.tmp`` orphan but never a
+    truncated ``.npy`` or rect-list JSON under the final name, so a
+    later ``resume=True`` run can never load half a tile.  A torn
+    trailing line in ``manifests.jsonl`` (appends are not atomic) is
+    tolerated by the reader: an unparsable line is an unpublished
+    checkpoint, not an error.
     """
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
+        self.bytes_written = 0
 
     def _rank_base(self, ckpt_id: str, matrix: str, rank: int) -> Path:
         d = self.root / ckpt_id
@@ -119,11 +139,20 @@ class DirStore(CheckpointStore):
     def put_tiles(self, ckpt_id, matrix, rank, rects_tiles):
         base = self._rank_base(ckpt_id, matrix, rank)
         for i, (_rect, tile) in enumerate(rects_tiles):
-            np.save(f"{base}.{i}.npy", np.ascontiguousarray(tile))
+            # The temp name keeps the rank suffix, so concurrent ranks
+            # never collide, and keeps the .npy extension so np.save
+            # does not append a second one.
+            tmp = f"{base}.{i}.tmp.npy"
+            np.save(tmp, np.ascontiguousarray(tile))
+            os.replace(tmp, f"{base}.{i}.npy")
         meta = {"rects": [[r.r0, r.r1, r.c0, r.c1] for r, _t in rects_tiles]}
         # NB: not Path.with_suffix — it would strip the ".r<rank>" part
         # and collide every rank onto one file.
-        base.parent.joinpath(base.name + ".json").write_text(json.dumps(meta))
+        meta_tmp = base.parent / (base.name + ".json.tmp")
+        meta_tmp.write_text(json.dumps(meta))
+        os.replace(meta_tmp, base.parent / (base.name + ".json"))
+        with self._lock:
+            self.bytes_written += sum(t.nbytes for _r, t in rects_tiles)
 
     def get_tiles(self, ckpt_id, matrix, rank):
         base = self.root / ckpt_id / f"{matrix}.r{rank}"
@@ -151,4 +180,14 @@ class DirStore(CheckpointStore):
             return []
         with self._lock:
             text = path.read_text()
-        return [json.loads(line) for line in text.splitlines() if line.strip()]
+        out = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError:
+                # A rank killed mid-append tears the trailing line; the
+                # checkpoint it described was never published.
+                continue
+        return out

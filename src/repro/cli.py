@@ -638,6 +638,17 @@ def _recover_main(argv: list[str]) -> int:
     ap.add_argument("--corrupt", action="store_true",
                     help="corrupt the first Cannon-phase message on every "
                          "link (caught by ABFT)")
+    ap.add_argument("--corrupt-phase", default=None,
+                    choices=("replicate", "cannon", "reduce", "redist"),
+                    help="corrupt the first message of this algorithm phase "
+                         "on every link instead (end-to-end ABFT/CRC "
+                         "coverage; pick shapes whose plan has replicate "
+                         "traffic (c>1) or reduce traffic (pk>1) when "
+                         "targeting those phases, e.g. 64 64 64 -np 16)")
+    ap.add_argument("--salvage-report", action="store_true",
+                    help="print the per-(i,j) salvage table of the recovery "
+                         "round: which C cells were reused from retained "
+                         "ABFT-verified partials and which were recomputed")
     ap.add_argument("--seed", type=int, default=0,
                     help="seed for the demo plan (ignored with --plan)")
     ap.add_argument("--max-recoveries", type=int, default=2,
@@ -653,7 +664,7 @@ def _recover_main(argv: list[str]) -> int:
         fault_plan = FaultPlan.load(args.plan)
     else:
         kill = args.kill_rank
-        if kill is None and not args.corrupt:
+        if kill is None and not args.corrupt and args.corrupt_phase is None:
             kill = 1 if p > 1 else None
         ranks = ()
         if kill is not None:
@@ -662,12 +673,20 @@ def _recover_main(argv: list[str]) -> int:
                 return 2
             ranks = (RankFault(rank=kill, phase="cannon", occurrence=1,
                                kill=True),)
-        links = (LinkFault(phase="cannon", corrupt_at=(0,)),) if args.corrupt else ()
+        if args.corrupt_phase is not None:
+            links = (LinkFault(corrupt_phase=args.corrupt_phase,
+                               corrupt_at=(0,)),)
+        elif args.corrupt:
+            links = (LinkFault(phase="cannon", corrupt_at=(0,)),)
+        else:
+            links = ()
         fault_plan = FaultPlan(seed=args.seed, ranks=ranks, links=links)
 
     kills = any(r.kill for r in fault_plan.ranks)
     corrupts = any(r.corrupt_at or r.corrupt_prob for r in fault_plan.links)
     abft = corrupts  # checksum protection on whenever corruption is scripted
+
+    want_salvage = args.salvage_report
 
     def f(comm):
         a = DistMatrix.from_global(
@@ -676,12 +695,14 @@ def _recover_main(argv: list[str]) -> int:
         b = DistMatrix.from_global(
             comm, BlockCol1D((k, n), comm.size), dense_random(k, n, seed=8)
         )
+        salvage = [] if want_salvage else None
         c = resilient_multiply(
             comm, a, b,
             c_dist=lambda cm: BlockCol1D((m, n), cm.size),
             grid=grid, abft=abft, max_recoveries=args.max_recoveries,
+            salvage_report=salvage,
         )
-        return c.to_global()
+        return {"c": c.to_global(), "salvage": salvage}
 
     clean = run_spmd(p, f, machine=machine, record_events=True,
                      backend=args.backend)
@@ -699,6 +720,8 @@ def _recover_main(argv: list[str]) -> int:
         print("recovery failed: no surviving rank returned a result",
               file=sys.stderr)
         return 1
+    salvage = got["salvage"]
+    got = got["c"]
     _append_ledger(args, faulted, Ca3dmmPlan(m, n, k, p, grid=grid),
                    "cli.recover")
     ref = dense_random(m, k, seed=7) @ dense_random(k, n, seed=8)
@@ -712,7 +735,7 @@ def _recover_main(argv: list[str]) -> int:
     bit_identical = None
     if corrupts and not kills:
         bit_identical = all(
-            np.array_equal(x, y)
+            np.array_equal(x["c"], y["c"])
             for x, y in zip(faulted.results, clean.results)
         )
     fm = faulted.metrics
@@ -740,12 +763,23 @@ def _recover_main(argv: list[str]) -> int:
             "recoveries": fm.recoveries,
             "corruptions_injected": fm.corruptions_injected,
             "corruptions_detected": fm.corruptions_detected,
+            "corruptions_injected_by_phase": dict(
+                sorted(fm.corruptions_injected_by_phase.items())
+            ),
+            "corruptions_detected_by_phase": dict(
+                sorted(fm.corruptions_detected_by_phase.items())
+            ),
             "recomputed_flops": fm.recomputed_flops,
+            "reused_flops": fm.reused_flops,
             "max_abs_error": max_err,
             "tolerance": 1e-9 * scale,
             "bit_identical_to_clean": bit_identical,
             "correct": ok,
         }
+        if salvage is not None:
+            doc["salvage"] = [
+                {**row, "rect": list(row["rect"])} for row in salvage
+            ]
         print(json.dumps(doc, indent=2))
         return 0 if ok else 1
 
@@ -761,10 +795,33 @@ def _recover_main(argv: list[str]) -> int:
     print(f"corruption (ABFT) : {fm.corruptions_injected} injected, "
           f"{fm.corruptions_detected} detected, "
           f"{fm.recomputed_flops:.0f} flops recomputed")
+    for ph in sorted(set(fm.corruptions_injected_by_phase)
+                     | set(fm.corruptions_detected_by_phase)):
+        print(f"    {ph:<14}: "
+              f"{fm.corruptions_injected_by_phase.get(ph, 0)} injected, "
+              f"{fm.corruptions_detected_by_phase.get(ph, 0)} detected")
     print(f"max |C - ref|     : {max_err:.3e} (tol {1e-9 * scale:.3e})")
     if bit_identical is not None:
         print(f"vs clean run      : "
               f"{'bit-identical' if bit_identical else 'MISMATCH'}")
+    if salvage is not None:
+        if not salvage:
+            print("salvage           : none "
+                  "(no recovery round reused partial results)")
+        else:
+            reused = [r for r in salvage if r["status"] == "reused"]
+            redone = [r for r in salvage if r["status"] == "recomputed"]
+            print(f"salvage           : {len(reused)}/{len(salvage)} "
+                  f"(i,j,k)-cells reused "
+                  f"({sum(r['flops'] for r in reused):.0f} flops), "
+                  f"{len(redone)} recomputed "
+                  f"({sum(r['flops'] for r in redone):.0f} flops)")
+            print("    ik   i   j  rect (r0,r1,c0,c1)      flops  status")
+            for row in salvage:
+                r0, r1, c0, c1 = row["rect"]
+                print(f"    {row['ik']:>2} {row['i']:>3} {row['j']:>3}  "
+                      f"({r0:>4},{r1:>4},{c0:>4},{c1:>4}) "
+                      f"{row['flops']:>10.0f}  {row['status']}")
     print(f"result            : {'recovered OK' if ok else 'FAILED'}")
     if args.timeline:
         from .analysis.timeline import render_timeline
@@ -856,17 +913,21 @@ def _checkpoint_main(argv: list[str]) -> int:
                 "checkpoints": res.checkpoints,
             }
 
-        return run_spmd(p, f, machine=machine, record_events=True,
-                        faults=faults, backend=args.backend)
+        result = run_spmd(p, f, machine=machine, record_events=True,
+                          faults=faults, backend=args.backend)
+        return result, store
 
     try:
-        clean = run(None)
+        clean, clean_store = run(None)
         try:
-            faulted = run(fault_plan)
+            faulted, faulted_store = run(fault_plan)
         except RuntimeError as exc:
             print(f"checkpoint/restart failed: {exc.__cause__ or exc}",
                   file=sys.stderr)
             return 1
+        ckpt_kinds = [man.get("kind", "full")
+                      for man in faulted_store.manifests()]
+        bytes_written = faulted_store.bytes_written
     finally:
         if tmp is not None:
             tmp.cleanup()
@@ -909,6 +970,8 @@ def _checkpoint_main(argv: list[str]) -> int:
             "faulted_makespan_s": faulted.time,
             "failed_ranks": faulted.failed_ranks,
             "checkpoints": got["checkpoints"],
+            "checkpoint_kinds": ckpt_kinds,
+            "store_bytes_written": bytes_written,
             "pipeline_restarts": got["restarts"],
             "recoveries": fm.recoveries,
             "reused_flops": fm.reused_flops,
@@ -933,6 +996,10 @@ def _checkpoint_main(argv: list[str]) -> int:
     print(f"checkpoints       : {len(got['checkpoints'])} "
           f"({', '.join(got['checkpoints'][:3])}"
           f"{', ...' if len(got['checkpoints']) > 3 else ''})")
+    print(f"checkpoint kinds  : "
+          f"{ckpt_kinds.count('full')} full + "
+          f"{ckpt_kinds.count('delta')} delta, "
+          f"{bytes_written} store bytes written")
     print(f"restarts/recoveries: {got['restarts']}/{fm.recoveries}")
     print(f"flops accounting  : {fm.reused_flops:.0f} reused, "
           f"{fm.recomputed_flops:.0f} recomputed "

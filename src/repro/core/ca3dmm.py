@@ -30,6 +30,7 @@ from ..layout.distributions import Distribution
 from ..layout.matrix import DistMatrix
 from ..layout.redistribute import redistribute
 from ..mpi.comm import Comm
+from ..mpi.datatypes import MAX
 from ..mpi.topology import Cart2D
 from ..grid.optimizer import DEFAULT_L, GridSpec
 from .cannon import cannon_multiply
@@ -106,6 +107,45 @@ class Ca3dmm:
             return mat.tiles[0]
         return np.zeros(rect.shape, dtype=mat.dtype)
 
+    def _replicate_verified(
+        self, piece: np.ndarray, axis: int, row_checksum: bool
+    ) -> np.ndarray:
+        """Replicate an *augmented* operand piece and verify its border.
+
+        The piece arrives carrying its own Huang-Abraham checksum (the
+        border commutes bit-identically with the allgather
+        concatenation), so a flipped element anywhere in the replicate
+        wire traffic shows up as a border mismatch on some replica.  A
+        detection vote over ``replica_comm`` sends the whole group back
+        into the allgather from their retained local pieces — the
+        one-shot corruption is consumed, the re-run is clean — bounded
+        by ``AbftPolicy.max_recomputes``.
+        """
+        from ..ft.abft import operand_checksum_errors
+        from ..ft.errors import CorruptionError
+
+        comm = self.comm
+        rounds = 0
+        while True:
+            full = replicate_block(self.replica_comm, piece, axis=axis)
+            bad = operand_checksum_errors(full, row_checksum, self.abft.rel_tol)
+            if bad:
+                comm.transport.add_ft(
+                    comm.world_rank, detected=1, phase="replicate"
+                )
+            any_bad = self.replica_comm.allreduce(int(bool(bad)), op=MAX)
+            if not any_bad:
+                return full
+            rounds += 1
+            if rounds > self.abft.max_recomputes:
+                raise CorruptionError(
+                    comm.world_rank,
+                    rounds - 1,
+                    () if row_checksum else bad,
+                    bad if row_checksum else (),
+                    phase="replicate",
+                )
+
     # ------------------------------------------------------------ multiply -- #
     def multiply(
         self,
@@ -160,8 +200,13 @@ class Ca3dmm:
             raise ValueError(f"C_in has shape {c_in.shape}, expected {(m, n)}")
 
         # Steps 4: user layout -> native layout (transposes folded in).
-        a_nat = redistribute(a, plan.a_dist, transpose=transa, phase="redist", conjugate=conja)
-        b_nat = redistribute(b, plan.b_dist, transpose=transb, phase="redist", conjugate=conjb)
+        # With ABFT on, redistribution traffic travels under a per-tile
+        # CRC envelope (corrupted transfers are re-requested).
+        verify = self.abft is not None
+        a_nat = redistribute(a, plan.a_dist, transpose=transa, phase="redist",
+                             conjugate=conja, verify=verify)
+        b_nat = redistribute(b, plan.b_dist, transpose=transb, phase="redist",
+                             conjugate=conjb, verify=verify)
 
         out_dtype = np.promote_types(a.dtype, b.dtype)
         if self.role is None:
@@ -187,47 +232,87 @@ class Ca3dmm:
                 held.append((purpose, int(nbytes)))
 
             try:
+                abft_on = self.abft is not None
+                if abft_on:
+                    from ..ft.abft import AbftGuard, augment_a, augment_b
+
+                a_run, b_run = a_piece, b_piece
+                # With ABFT and replication, augment *before* step 5: the
+                # checksum border commutes bit-identically with the
+                # allgather concatenation, so the replicated operand
+                # arrives carrying its own checksums and the replicate
+                # wire traffic itself is covered.
+                early_aug = abft_on and plan.c > 1
+                if early_aug:
+                    a_run = a_run.astype(out_dtype, copy=False)
+                    b_run = b_run.astype(out_dtype, copy=False)
+                    pre = a_run.nbytes + b_run.nbytes
+                    a_run = augment_a(a_run)
+                    b_run = augment_b(b_run)
+                    _hold("abft.checksum", a_run.nbytes + b_run.nbytes - pre)
+
                 # Step 5: replicate the smaller operand across Cannon groups.
                 with comm.phase("replicate", c=plan.c,
                                 operand="A" if plan.replicates_a else "B"):
                     if plan.c > 1:
                         if plan.replicates_a:
-                            a_piece = replicate_block(self.replica_comm, a_piece, axis=1)
+                            if early_aug:
+                                a_run = self._replicate_verified(
+                                    a_run, axis=1, row_checksum=True
+                                )
+                            else:
+                                a_run = replicate_block(
+                                    self.replica_comm, a_run, axis=1
+                                )
                         else:
-                            b_piece = replicate_block(self.replica_comm, b_piece, axis=0)
+                            if early_aug:
+                                b_run = self._replicate_verified(
+                                    b_run, axis=0, row_checksum=False
+                                )
+                            else:
+                                b_run = replicate_block(
+                                    self.replica_comm, b_run, axis=0
+                                )
 
                 a_blk = plan.a_cannon_block(role)
                 b_blk = plan.b_cannon_block(role)
-                if a_piece.shape != a_blk.shape:
+                border = 1 if early_aug else 0
+                a_body_shape = (a_run.shape[0] - border, a_run.shape[1])
+                b_body_shape = (b_run.shape[0], b_run.shape[1] - border)
+                if a_body_shape != a_blk.shape:
                     raise AssertionError(
-                        f"A block shape {a_piece.shape} != planned {a_blk.shape}"
+                        f"A block shape {a_body_shape} != planned {a_blk.shape}"
                     )
-                if b_piece.shape != b_blk.shape:
+                if b_body_shape != b_blk.shape:
                     raise AssertionError(
-                        f"B block shape {b_piece.shape} != planned {b_blk.shape}"
+                        f"B block shape {b_body_shape} != planned {b_blk.shape}"
                     )
-                _hold("tile.a", a_piece.nbytes)
-                _hold("tile.b", b_piece.nbytes)
+                a_border_nbytes = border * a_run.shape[1] * a_run.itemsize
+                b_border_nbytes = border * b_run.shape[0] * b_run.itemsize
+                _hold("tile.a", a_run.nbytes - a_border_nbytes)
+                _hold("tile.b", b_run.nbytes - b_border_nbytes)
 
                 # Step 6: Cannon's algorithm inside the s x s group.  With
                 # ABFT on, the unskewed blocks get Huang-Abraham checksum
-                # borders first; the kernel itself is unchanged and the
-                # bordered result is verified (and recomputed if corrupted)
-                # before the reduce-scatter strips it.
-                a_run = a_piece.astype(out_dtype, copy=False)
-                b_run = b_piece.astype(out_dtype, copy=False)
+                # borders first (already present when replication added
+                # them early); the kernel itself is unchanged and the
+                # bordered result is verified (and recomputed if
+                # corrupted) before the reduce-scatter strips it.
+                if not early_aug:
+                    a_run = a_run.astype(out_dtype, copy=False)
+                    b_run = b_run.astype(out_dtype, copy=False)
                 guard = None
                 with comm.phase("cannon", s=plan.s,
                                 shifts_per_gemm=self.shifts_per_gemm,
-                                abft=self.abft is not None):
+                                abft=abft_on):
                     cart = Cart2D(self.cannon_comm, plan.s, plan.s)
-                    if self.abft is not None:
-                        from ..ft.abft import AbftGuard, augment_a, augment_b
-
-                        pre = a_run.nbytes + b_run.nbytes
-                        a_run = augment_a(a_run)
-                        b_run = augment_b(b_run)
-                        _hold("abft.checksum", a_run.nbytes + b_run.nbytes - pre)
+                    if abft_on:
+                        if not early_aug:
+                            pre = a_run.nbytes + b_run.nbytes
+                            a_run = augment_a(a_run)
+                            b_run = augment_b(b_run)
+                            _hold("abft.checksum",
+                                  a_run.nbytes + b_run.nbytes - pre)
                         k0, k1 = plan.k_range(role.ik)
                         guard = AbftGuard(
                             comm=comm,
@@ -247,11 +332,17 @@ class Ca3dmm:
 
                 # Step 7: reduce-scatter partial C blocks across k-groups.
                 # Verification runs first so the retention hook only ever
-                # sees a partial the ABFT guard has already vouched for.
+                # sees a partial the ABFT guard has already vouched for;
+                # the checksum border then rides *through* the reduction
+                # and each reduced strip is re-verified on arrival.
                 with comm.phase("reduce", pk=plan.pk):
                     if guard is not None:
-                        c_loc = guard.verified(c_loc)
-                    if on_partial is not None:
+                        c_loc = guard.verified_bordered(c_loc)
+                        if on_partial is not None:
+                            on_partial(
+                                role, np.ascontiguousarray(c_loc[:-1, :-1])
+                            )
+                    elif on_partial is not None:
                         on_partial(role, c_loc)
                     # The operand tiles (and checksum borders) die once
                     # the partial is verified — the ABFT recompute can no
@@ -263,7 +354,10 @@ class Ca3dmm:
                         comm.mem_free(purpose, nbytes)
                         held.remove((purpose, nbytes))
                     by_cols = plan.c_split_cols(role.i, role.j)
-                    strip = reduce_partial_c(self.kred_comm, c_loc, by_cols)
+                    strip = reduce_partial_c(
+                        self.kred_comm, c_loc, by_cols,
+                        abft=guard, pre_verified=True,
+                    )
 
                 rect = plan.c_owned(comm.rank)
                 if rect is None or rect.is_empty():
@@ -281,7 +375,8 @@ class Ca3dmm:
         # Accumulation operand: fold in beta * C_in (in the native layout,
         # where every rank holds exactly its strip).
         if beta != 0.0 and c_in is not None:
-            c_prev = redistribute(c_in, plan.c_dist, phase="redist")
+            c_prev = redistribute(c_in, plan.c_dist, phase="redist",
+                                  verify=verify)
             tiles = [
                 t + beta * p.astype(t.dtype, copy=False)
                 for t, p in zip(c_nat.tiles, c_prev.tiles)
@@ -291,7 +386,7 @@ class Ca3dmm:
         # Step 8: native layout -> user layout.
         if c_dist is None:
             return c_nat
-        return redistribute(c_nat, c_dist, phase="redist")
+        return redistribute(c_nat, c_dist, phase="redist", verify=verify)
 
 
 def ca3dmm_matmul(

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..layout.blocks import block_range
 from ..mpi.comm import Comm
+from ..mpi.datatypes import MAX
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..ft.abft import AbftGuard
@@ -60,6 +61,8 @@ def reduce_partial_c(
     c_loc: np.ndarray,
     by_cols: bool,
     abft: "AbftGuard | None" = None,
+    *,
+    pre_verified: bool = False,
 ) -> np.ndarray:
     """Reduce-scatter this rank's partial C block; return its final strip.
 
@@ -69,15 +72,58 @@ def reduce_partial_c(
 
     With an :class:`~repro.ft.abft.AbftGuard`, ``c_loc`` is the
     checksum-bordered Cannon result: it is verified — and the Cannon
-    stage recomputed if corrupted — before the borders are stripped, so
-    only clean partial blocks ever enter the reduce-scatter.
+    stage recomputed if corrupted — and then *one* checksum border is
+    carried through the reduce-scatter (the checksum row when splitting
+    by columns, the checksum column when splitting by rows; the other
+    border would land on a single member and is dropped).  Because the
+    reduction is linear, a clean reduced strip's border still matches
+    its body, so each rank re-verifies its strip after the exchange —
+    catching corruption injected into the reduce-scatter wire traffic
+    itself — and a detection vote over ``kred_comm`` sends the whole
+    group back into the exchange from their retained clean strips,
+    bounded by ``AbftPolicy.max_recomputes``.
     """
-    if abft is not None:
-        c_loc = abft.verified(c_loc)
+    if abft is None:
+        if kred_comm.size == 1:
+            return c_loc
+        strips = split_block(c_loc, kred_comm.size, by_cols)
+        # The pairwise exchange accumulates into a private copy of this
+        # rank's strip; charge that accumulator to the reduce.scratch
+        # span.
+        with kred_comm.mem("reduce.scratch", strips[kred_comm.rank].nbytes):
+            return kred_comm.reduce_scatter(strips)
+
+    from ..ft.abft import strip_checksum_errors
+    from ..ft.errors import CorruptionError
+
+    # ``pre_verified`` lets the engine verify the Cannon result itself
+    # (it hands the clean body to the partial-retention hook first)
+    # without a second, redundant group vote here.
+    c_f = c_loc if pre_verified else abft.verified_bordered(c_loc)
     if kred_comm.size == 1:
-        return c_loc
-    strips = split_block(c_loc, kred_comm.size, by_cols)
-    # The pairwise exchange accumulates into a private copy of this
-    # rank's strip; charge that accumulator to the reduce.scratch span.
+        return np.ascontiguousarray(c_f[:-1, :-1])
+    work = c_f[:, :-1] if by_cols else c_f[:-1, :]
+    strips = split_block(work, kred_comm.size, by_cols)
+    rel_tol = abft.policy.rel_tol
+    rounds = 0
     with kred_comm.mem("reduce.scratch", strips[kred_comm.rank].nbytes):
-        return kred_comm.reduce_scatter(strips)
+        while True:
+            strip = kred_comm.reduce_scatter(strips)
+            bad = strip_checksum_errors(strip, by_cols, rel_tol)
+            if bad:
+                kred_comm.transport.add_ft(
+                    kred_comm.world_rank, detected=1, phase="reduce"
+                )
+            any_bad = kred_comm.allreduce(int(bool(bad)), op=MAX)
+            if not any_bad:
+                body = strip[:-1, :] if by_cols else strip[:, :-1]
+                return np.ascontiguousarray(body)
+            rounds += 1
+            if rounds > abft.policy.max_recomputes:
+                raise CorruptionError(
+                    kred_comm.world_rank,
+                    rounds - 1,
+                    () if by_cols else bad,
+                    bad if by_cols else (),
+                    phase="reduce",
+                )

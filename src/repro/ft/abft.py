@@ -1,9 +1,17 @@
-"""Huang-Abraham checksums for the Cannon stage (ABFT).
+"""Huang-Abraham checksums for the CA3DMM pipeline (ABFT).
 
 Algorithm-based fault tolerance protects the numerically dominant step
 of CA3DMM — Cannon's algorithm — against silent payload corruption
 (the ``corrupt`` link rules of :mod:`repro.mpi.faults`, or a flaky
-interconnect in the real world).  Each rank augments its unskewed
+interconnect in the real world), and the same checksums now travel
+through the surrounding stages: operands are augmented *before*
+replication (so the replicate allgather is covered by the operand's
+own border, :func:`operand_checksum_errors`), the bordered C block is
+carried *through* the k-reduction (a sum of checksummed partials is
+itself checksummed; strips are verified per rank after the
+reduce-scatter, :func:`strip_checksum_errors`), and the closing
+redistribution gets a CRC envelope in
+:mod:`repro.layout.redistribute`.  Each rank augments its unskewed
 operand blocks before the skew:
 
 * A gets a *checksum row* appended: ``[A; 1ᵀA]`` — shape ``(r+1, k)``,
@@ -29,9 +37,11 @@ by :class:`AbftPolicy.max_recomputes`.  One-shot ``corrupt_at`` hits
 are consumed by the first (corrupted) pass, so the re-run is clean and
 the final C is bit-identical to an unfaulted run.
 
-The detection vote is an ``allreduce(MAX)`` of a Python int — a pickled
-payload the corruption machinery never touches (it flips elements of
-*array* payloads only), so the agreement itself is trustworthy.
+The detection vote is an ``allreduce(MAX)`` of a Python int — a payload
+containing no float arrays, so the corruption machinery (which flips
+elements of inexact-dtype arrays, whether sent raw or inside pickled
+containers) has nothing to flip: the agreement is incorruptible by
+construction, not by exemption.
 """
 
 from __future__ import annotations
@@ -95,6 +105,45 @@ def block_checksum_errors(
     return tuple(int(i) for i in bad_rows), tuple(int(i) for i in bad_cols)
 
 
+def operand_checksum_errors(
+    op_f: np.ndarray, row_checksum: bool, rel_tol: float
+) -> tuple[int, ...]:
+    """Indices along the checksummed axis where an operand border disagrees.
+
+    ``op_f`` is an augmented operand: ``[A; 1ᵀA]`` when ``row_checksum``
+    (the appended *row* holds per-column sums), ``[B, B·1]`` otherwise
+    (the appended *column* holds per-row sums).  Verifying the border
+    against the body detects corruption of the operand itself — e.g. a
+    flipped element in a replicate allgather round — before it is
+    multiplied into C.
+    """
+    scale = float(np.abs(op_f).max()) if op_f.size else 0.0
+    tol = rel_tol * max(1.0, scale)
+    if row_checksum:
+        body = op_f[:-1, :]
+        bad = np.flatnonzero(np.abs(body.sum(axis=0) - op_f[-1, :]) > tol)
+    else:
+        body = op_f[:, :-1]
+        bad = np.flatnonzero(np.abs(body.sum(axis=1) - op_f[:, -1]) > tol)
+    return tuple(int(i) for i in bad)
+
+
+def strip_checksum_errors(
+    strip: np.ndarray, by_cols: bool, rel_tol: float
+) -> tuple[int, ...]:
+    """Indices where a reduced strip's carried checksum disagrees.
+
+    After the bordered k-reduction, each rank owns a strip of the
+    summed C block that still carries one checksum border: the checksum
+    *row* (per-column sums) when the block was split ``by_cols``, the
+    checksum *column* (per-row sums) otherwise.  Linearity of the
+    reduction means a clean strip's border still matches its body; a
+    mismatch pinpoints corruption injected by the reduce-scatter wire
+    traffic itself.
+    """
+    return operand_checksum_errors(strip, by_cols, rel_tol)
+
+
 class AbftGuard:
     """Verification/recompute driver for one rank's bordered C block.
 
@@ -119,29 +168,41 @@ class AbftGuard:
         self.flops = flops  #: local flops charged per recompute
 
     def verified(self, c_f: np.ndarray) -> np.ndarray:
-        """Verify checksums; recompute until clean; return the stripped body.
+        """Verify checksums; recompute until clean; return the stripped body."""
+        return np.ascontiguousarray(self.verified_bordered(c_f)[:-1, :-1])
+
+    def verified_bordered(self, c_f: np.ndarray) -> np.ndarray:
+        """Verify checksums; recompute until clean; return the bordered block.
 
         Collective over the Cannon group: detection anywhere forces the
         whole group back into the (communicating) Cannon stage, so the
         re-run's shifts stay matched.  Raises :class:`CorruptionError`
-        when ``max_recomputes`` is exhausted.
+        when ``max_recomputes`` is exhausted.  The bordered return keeps
+        the checksum row/column alive so downstream stages (the
+        k-reduction) can re-verify after further linear combination.
         """
         rounds = 0
         while True:
             bad_rows, bad_cols = block_checksum_errors(c_f, self.policy.rel_tol)
             bad = bool(bad_rows or bad_cols)
             if bad:
-                self.comm.transport.add_ft(self.comm.world_rank, detected=1)
+                self.comm.transport.add_ft(
+                    self.comm.world_rank, detected=1, phase="cannon"
+                )
             if self.group_comm is not None and self.group_comm.size > 1:
                 any_bad = self.group_comm.allreduce(int(bad), op=MAX)
             else:
                 any_bad = int(bad)
             if not any_bad:
-                return np.ascontiguousarray(c_f[:-1, :-1])
+                return c_f
             rounds += 1
             if rounds > self.policy.max_recomputes:
                 raise CorruptionError(
-                    self.comm.world_rank, rounds - 1, bad_rows, bad_cols
+                    self.comm.world_rank,
+                    rounds - 1,
+                    bad_rows,
+                    bad_cols,
+                    phase="cannon",
                 )
             with self.comm.span(
                 "abft_recompute",

@@ -30,19 +30,33 @@ class UnrecoverableError(FtError):
 
 
 class CorruptionError(FtError):
-    """ABFT detected corruption that recomputation could not clear.
+    """A checksum guard detected corruption that correction could not clear.
 
-    Raised on the detecting rank when checksum verification still fails
-    after ``AbftPolicy.max_recomputes`` recomputations of the Cannon
-    stage (e.g. a ``corrupt_prob`` rule that keeps hitting).
+    Raised on the detecting rank when verification still fails after the
+    correction budget for the guarded stage — ``AbftPolicy.max_recomputes``
+    recomputations of the Cannon stage, re-replication of an operand,
+    re-reduction of the checksummed strips, or redistribution resend
+    rounds (e.g. a ``corrupt_prob`` rule that keeps hitting).  ``phase``
+    names the pipeline stage whose guard gave up (``replicate`` /
+    ``cannon`` / ``reduce`` / ``redist``).
     """
 
-    def __init__(self, rank: int, recomputes: int, bad_rows=(), bad_cols=()):
+    def __init__(
+        self,
+        rank: int,
+        recomputes: int,
+        bad_rows=(),
+        bad_cols=(),
+        phase: str | None = None,
+    ):
         self.rank = rank
         self.recomputes = recomputes
         self.bad_rows = tuple(int(i) for i in bad_rows)
         self.bad_cols = tuple(int(i) for i in bad_cols)
+        self.phase = phase
+        where = f" in phase {phase!r}" if phase else ""
         super().__init__(
-            f"rank {rank}: checksum mismatch persists after {recomputes} "
-            f"recompute(s) (bad rows {self.bad_rows}, bad cols {self.bad_cols})"
+            f"rank {rank}: checksum mismatch{where} persists after "
+            f"{recomputes} correction attempt(s) "
+            f"(bad rows {self.bad_rows}, bad cols {self.bad_cols})"
         )

@@ -34,15 +34,21 @@ pattern that never takes out a rank and its buddy together.  Then:
 surviving active rank whose Cannon stage completed retains its verified
 partial C block (the engine's ``on_partial`` hook fires after the ABFT
 guard, before the k-group reduce-scatter).  After the shrink, the
-survivors agree — one allgather — on which k-task groups are *complete*
-(all ``pm x pn`` blocks of that k-slice retained by survivors).  The
-next attempt then multiplies only the missing k-slices (the inputs are
-compacted along k through the ``Explicit`` machinery) and the retained
-group contributions are redistributed and summed into the result,
-charging a ``reused_flops``-vs-``recomputed_flops`` metrics pair.  If
-the reuse attempt itself fails, the retained partials are dropped and
-recovery falls back to a full recompute — reuse is a one-shot
-optimization, never a correctness dependency.
+survivors agree — one allgather — on exactly which ``(ik, i, j)`` cells
+were retained.  K-task groups that survived *complete* (all ``pm x pn``
+blocks of that k-slice) are reused wholesale: the missing k-slices are
+multiplied as one compacted sub-problem and the retained group
+contributions are redistributed and summed in.  Groups that survived
+only *partially* are salvaged per cell: each truly missing
+``(i, j, k)`` cell is recomputed as its own compacted sub-multiply
+(rows ``i``, columns ``j``, k-slice ``ik`` of the inputs), and the
+retained cells of the group ride along unrecomputed — so a multi-kill
+round redoes only the work that actually died.  The round charges an
+exact ``reused_flops``-vs-``recomputed_flops`` metrics pair (they sum
+to ``2mnk`` by construction).  If the reuse attempt itself fails, the
+retained partials are dropped and recovery falls back to a full
+recompute — reuse is a one-shot optimization, never a correctness
+dependency.
 
 The loop is bounded by ``max_recoveries``; exhausting it — or losing a
 rank together with its buddy — raises a typed
@@ -195,12 +201,16 @@ class _ReusePlan:
     name what was retained); ``coords`` maps each new local rank to the
     ``(ik, i, j)`` coordinates of the partial it retained; ``mine`` is
     this rank's retained (verified, unscaled) partial body, if any.
+    ``reusable`` lists k-groups retained *complete*; ``partial`` maps
+    each incompletely-retained k-group to the frozen set of ``(i, j)``
+    cells that survived (per-cell salvage).
     """
 
     plan: Ca3dmmPlan
     coords: dict[int, tuple[int, int, int]]
     mine: np.ndarray | None
     reusable: frozenset[int]
+    partial: dict[int, frozenset[tuple[int, int]]]
 
     @property
     def k_reused(self) -> int:
@@ -213,33 +223,54 @@ class _ReusePlan:
     def k_missing(self) -> int:
         return self.plan.k - self.k_reused
 
+    def reused_flops(self) -> float:
+        """Exact flops the retained cells save (2·|cell|·k per cell)."""
+        plan = self.plan
+        f = 2.0 * plan.m * plan.n * self.k_reused
+        for ik, cells in self.partial.items():
+            k0, k1 = plan.k_range(ik)
+            for i, j in cells:
+                blk = plan.c_block(i, j)
+                f += 2.0 * (blk.r1 - blk.r0) * (blk.c1 - blk.c0) * (k1 - k0)
+        return f
+
+    def recomputed_flops(self) -> float:
+        """Exact flops the reuse round redoes; sums with reused to 2mnk."""
+        plan = self.plan
+        return 2.0 * plan.m * plan.n * plan.k - self.reused_flops()
+
 
 def _gather_reuse(
     new_comm: Comm, old_plan: Ca3dmmPlan, mine
 ) -> _ReusePlan | None:
-    """Agree (one allgather) on which k-groups survived completely.
+    """Agree (one allgather) on exactly which ``(ik, i, j)`` cells survived.
 
     ``mine`` is this rank's retained ``(ik, i, j, body)`` from the
-    failed attempt, or None.  A k-group's contribution is reusable only
-    when *all* ``pm x pn`` of its blocks were retained by survivors.
-    Returns None when no group survived whole (full recompute).
+    failed attempt, or None.  K-groups with *all* ``pm x pn`` blocks
+    retained are reused wholesale; groups with some blocks retained are
+    salvaged per cell.  Returns None only when nothing at all was
+    retained (full recompute).
     """
     payload = None if mine is None else (mine[0], mine[1], mine[2])
     coords_list = new_comm.allgather(payload)
     coords = {r: c for r, c in enumerate(coords_list) if c is not None}
     needed = {(i, j) for i in range(old_plan.pm) for j in range(old_plan.pn)}
-    reusable = frozenset(
-        ik
-        for ik in range(old_plan.pk)
-        if {(i, j) for rik, i, j in coords.values() if rik == ik} == needed
-    )
-    if not reusable:
+    reusable = set()
+    partial: dict[int, frozenset[tuple[int, int]]] = {}
+    for ik in range(old_plan.pk):
+        got = {(i, j) for rik, i, j in coords.values() if rik == ik}
+        if got == needed:
+            reusable.add(ik)
+        elif got:
+            partial[ik] = frozenset(got)
+    if not reusable and not partial:
         return None
     return _ReusePlan(
         plan=old_plan,
         coords=coords,
         mine=None if mine is None else mine[3],
-        reusable=reusable,
+        reusable=frozenset(reusable),
+        partial=partial,
     )
 
 
@@ -305,22 +336,36 @@ def _reuse_multiply(
     shifts_per_gemm: int,
     abft_policy: AbftPolicy | None,
 ) -> DistMatrix:
-    """Recompute only the missing k-slices; fold in retained partials.
+    """Recompute only the truly missing ``(i, j, k)`` cells; fold in the rest.
 
-    The missing slices are multiplied as one compacted sub-problem
-    (``m x n x k_miss``) on the shrunk grid; each complete retained
-    k-group is then expressed as an :class:`Explicit` block layout over
-    its holders, redistributed to the output layout, and summed in
-    (scaled by ``alpha`` — retained bodies are unscaled).
+    K-slices with *nothing* retained are multiplied together as one
+    compacted sub-problem (``m x n x k_miss``) on the shrunk grid.  Each
+    complete retained k-group is expressed as an :class:`Explicit` block
+    layout over its holders, redistributed to the output layout, and
+    summed in.  Each *partially* retained k-group is salvaged per cell:
+    every missing ``(i, j)`` block becomes its own compacted
+    sub-multiply (``mb x nb x kb`` — rows ``i``, columns ``j``, k-slice
+    ``ik`` of the inputs), and the computed cells plus the retained
+    cells tile the group's full ``(m, n)`` contribution, which is
+    redistributed and summed in like a complete group.  Retained bodies
+    and per-cell products are unscaled; ``alpha`` is applied at the
+    final accumulation.
     """
     plan_old = reuse.plan
     m, n = plan_old.m, plan_old.n
-    missing = sorted(ik for ik in range(plan_old.pk) if ik not in reuse.reusable)
+    verify = abft_policy is not None
+    missing = sorted(
+        ik for ik in range(plan_old.pk)
+        if ik not in reuse.reusable and ik not in reuse.partial
+    )
     k_ranges = [plan_old.k_range(ik) for ik in missing]
     k_miss = sum(k1 - k0 for k0, k1 in k_ranges)
+    needed = {(i, j) for i in range(plan_old.pm) for j in range(plan_old.pn)}
     with cur_comm.span(
         "ft_reuse", cat="ft",
-        reused_groups=len(reuse.reusable), k_reused=reuse.k_reused,
+        reused_groups=len(reuse.reusable),
+        partial_groups=len(reuse.partial),
+        k_reused=reuse.k_reused,
         k_recomputed=k_miss,
     ):
         if k_miss:
@@ -339,7 +384,8 @@ def _reuse_multiply(
                 transa=transa, transb=transb, alpha=alpha,
             )
         else:
-            # Everything survived: nothing to multiply, only to combine.
+            # Everything survived (whole or per-cell): nothing to batch,
+            # only to combine.
             final_dist = _resolve_c_dist(c_dist, cur_comm)
             if final_dist is None:
                 final_dist = Ca3dmmPlan(
@@ -349,6 +395,18 @@ def _reuse_multiply(
                 cur_comm, final_dist,
                 dtype=np.promote_types(cur_a.dtype, cur_b.dtype),
             )
+
+        def _accumulate(part: DistMatrix) -> DistMatrix:
+            got = redistribute(part, final_dist, phase="redist",
+                               verify=verify)
+            return DistMatrix(
+                cur_comm, final_dist,
+                [
+                    t + alpha * g.astype(t.dtype, copy=False)
+                    for t, g in zip(c.tiles, got.tiles)
+                ],
+            )
+
         for ik in sorted(reuse.reusable):
             mapping = {
                 r: [plan_old.c_block(i, j)]
@@ -362,16 +420,85 @@ def _reuse_multiply(
                 if reuse.mine is not None and my is not None and my[0] == ik
                 else []
             )
-            part = DistMatrix(cur_comm, dist_ik, tiles)
-            got = redistribute(part, final_dist, phase="redist")
-            c = DistMatrix(
-                cur_comm, final_dist,
-                [
-                    t + alpha * g.astype(t.dtype, copy=False)
-                    for t, g in zip(c.tiles, got.tiles)
-                ],
-            )
+            c = _accumulate(DistMatrix(cur_comm, dist_ik, tiles))
+
+        for ik in sorted(reuse.partial):
+            k0, k1 = plan_old.k_range(ik)
+            cells = reuse.partial[ik]
+            mapping = {r: [] for r in range(cur_comm.size)}
+            my_tiles: list[np.ndarray] = []
+            for r, (rik, i, j) in sorted(reuse.coords.items()):
+                if rik != ik:
+                    continue
+                mapping[r].append(plan_old.c_block(i, j))
+                if r == cur_comm.rank and reuse.mine is not None:
+                    my_tiles.append(np.ascontiguousarray(reuse.mine))
+            for i, j in sorted(needed - cells):
+                blk = plan_old.c_block(i, j)
+                # Compact the inputs to this cell's (rows, cols, k-slice):
+                # first along k, then along the block's own dimension.
+                a_cell = _compact_k(
+                    _compact_k(cur_a, [(k0, k1)], axis=0 if ta else 1),
+                    [(blk.r0, blk.r1)], axis=1 if ta else 0,
+                )
+                b_cell = _compact_k(
+                    _compact_k(cur_b, [(k0, k1)], axis=1 if tb else 0),
+                    [(blk.c0, blk.c1)], axis=0 if tb else 1,
+                )
+                cell_engine = Ca3dmm(
+                    cur_comm, blk.r1 - blk.r0, blk.c1 - blk.c0, k1 - k0,
+                    grid=None, l=l, shifts_per_gemm=shifts_per_gemm,
+                    abft=abft_policy,
+                )
+                c_cell = cell_engine.multiply(
+                    a_cell, b_cell, transa=transa, transb=transb, alpha=1.0,
+                )
+                # Shift the cell-local result into (m, n) coordinates and
+                # graft its rects into the group's layout.
+                for r in range(cur_comm.size):
+                    for rect in c_cell.dist.owned_rects(r):
+                        if rect.is_empty():
+                            continue
+                        mapping[r].append(Rect(
+                            rect.r0 + blk.r0, rect.r1 + blk.r0,
+                            rect.c0 + blk.c0, rect.c1 + blk.c0,
+                        ))
+                for rect, tile in zip(c_cell.owned_rects, c_cell.tiles):
+                    if rect.is_empty():
+                        continue
+                    my_tiles.append(tile)
+            dist_ik = Explicit.from_mapping((m, n), cur_comm.size, mapping)
+            c = _accumulate(DistMatrix(cur_comm, dist_ik, my_tiles))
     return c
+
+
+def _fill_salvage_report(
+    report: list, plan: Ca3dmmPlan, reuse: _ReusePlan | None
+) -> None:
+    """Per-(ik, i, j) cell table of what a recovery round reused vs redid.
+
+    Derived from the agreed reuse plan, so every rank fills an identical
+    table.  ``reuse=None`` means a full recompute.
+    """
+    report.clear()
+    for ik in range(plan.pk):
+        k0, k1 = plan.k_range(ik)
+        for j in range(plan.pn):
+            for i in range(plan.pm):
+                blk = plan.c_block(i, j)
+                reused = reuse is not None and (
+                    ik in reuse.reusable
+                    or (i, j) in reuse.partial.get(ik, frozenset())
+                )
+                report.append({
+                    "ik": ik,
+                    "i": i,
+                    "j": j,
+                    "rect": (blk.r0, blk.r1, blk.c0, blk.c1),
+                    "flops": 2.0 * (blk.r1 - blk.r0) * (blk.c1 - blk.c0)
+                    * (k1 - k0),
+                    "status": "reused" if reused else "recomputed",
+                })
 
 
 def resilient_multiply(
@@ -387,6 +514,7 @@ def resilient_multiply(
     shifts_per_gemm: int = 1,
     abft: bool | AbftPolicy = False,
     max_recoveries: int = 1,
+    salvage_report: list | None = None,
 ) -> DistMatrix:
     """``C = alpha * op(A) x op(B)``, surviving rank deaths and corruption.
 
@@ -401,10 +529,16 @@ def resilient_multiply(
       ``result.comm`` is the shrunk comm after any recovery, and killed
       ranks never return at all.
 
-    A recovery round reuses surviving k-group partials when it can (see
-    the module docstring): `reused_flops` counts the work saved and
-    `recomputed_flops` the work redone (global flops, charged once per
-    round by the lowest surviving rank).
+    A recovery round reuses surviving per-``(i, j)`` partials when it
+    can (see the module docstring): `reused_flops` counts the work
+    saved and `recomputed_flops` the work redone (global flops, charged
+    once per round by the lowest surviving rank; the pair sums to
+    ``2mnk`` exactly for a single-round recovery).  ``salvage_report``,
+    when given a list, is cleared and filled — identically on every
+    surviving rank — with one row per ``(ik, i, j)`` cell of the failed
+    plan (``{"ik", "i", "j", "rect", "flops", "status"}``, status
+    ``reused`` or ``recomputed``) describing what the recovery round
+    salvaged; it stays empty when no recovery happens.
 
     ``max_recoveries`` bounds the shrink-replan-redistribute rounds;
     one more failure raises :class:`UnrecoverableError` on every
@@ -519,18 +653,22 @@ def resilient_multiply(
             )
             if reuse is None and attempt_plan is not None:
                 reuse = _gather_reuse(new_comm, attempt_plan, retained[0])
+                if salvage_report is not None:
+                    _fill_salvage_report(salvage_report, attempt_plan, reuse)
             else:
                 # The reuse attempt itself failed: drop the retained
                 # partials and fall back to a full recompute.
                 reuse = None
+                if salvage_report is not None and attempt_plan is not None:
+                    _fill_salvage_report(salvage_report, attempt_plan, None)
             # Charge the round's reuse/recompute balance (global flops,
             # once per round, on the lowest surviving rank).
             if new_comm.rank == 0:
                 if reuse is not None:
                     new_comm.transport.add_ft(
                         new_comm.world_rank,
-                        recomputed_flops=2.0 * m * n * reuse.k_missing,
-                        reused_flops=2.0 * m * n * reuse.k_reused,
+                        recomputed_flops=reuse.recomputed_flops(),
+                        reused_flops=reuse.reused_flops(),
                     )
                 else:
                     new_comm.transport.add_ft(

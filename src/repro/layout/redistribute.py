@@ -12,19 +12,48 @@ when ``transpose=True`` the destination distribution describes
 ``src.T``, pieces travel untransposed, and each piece is transposed
 during reassembly — matching the paper's note that CA3DMM "utilizes the
 redistribution steps of A and B" to implement the ``op()`` modes.
+
+With ``verify=True`` every cross-rank batch travels inside a CRC
+envelope: the sender CRCs each piece's bytes (``zlib.crc32`` — exact,
+magnitude-independent, and an *integer* payload the corruption walker
+cannot flip), the receiver re-CRCs on arrival, and a detection vote
+lets receivers nack corrupted batches back to their sources for a
+bit-identical resend.  A bounded number of resend rounds separates a
+transient wire fault from a persistent one
+(:class:`~repro.ft.errors.CorruptionError`).
 """
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from ..mpi.comm import Comm
-from ..mpi.datatypes import INTERNAL_TAG_BASE
+from ..mpi.datatypes import INTERNAL_TAG_BASE, MAX
 from .blocks import Rect
 from .distributions import Distribution
 from .matrix import DistMatrix
 
 _TAG_REDIST = INTERNAL_TAG_BASE + 401
+_TAG_REDIST_NACK = INTERNAL_TAG_BASE + 402
+_TAG_REDIST_RESEND = INTERNAL_TAG_BASE + 403
+
+#: Resend rounds allowed before a persistent corruption becomes typed.
+MAX_RESEND_ROUNDS = 2
+
+
+def _batch_crcs(batch: list[tuple[Rect, np.ndarray]]) -> list[int]:
+    return [zlib.crc32(data.tobytes()) for _rect, data in batch]
+
+
+def _batch_bad(envelope: list[int], batch: list[tuple[Rect, np.ndarray]]) -> bool:
+    if len(envelope) != len(batch):
+        return True
+    return any(
+        zlib.crc32(np.ascontiguousarray(data).tobytes()) != crc
+        for crc, (_rect, data) in zip(envelope, batch)
+    )
 
 
 def _plan_sends(
@@ -65,20 +94,85 @@ def _plan_sends(
     return out
 
 
+def _verify_batches(
+    comm: Comm,
+    phase: str,
+    sends: list[list[tuple[Rect, np.ndarray]]],
+    send_dsts: list[int],
+    recv_sources: list[int],
+    got: dict[int, tuple[list[int], list]],
+) -> None:
+    """CRC-verify received batches; nack and re-request corrupted ones.
+
+    Collective over ``comm``.  Each round: receivers check every
+    batch's envelope, a MAX vote establishes whether anyone saw
+    corruption, then receivers isend a nack bool to each of their
+    sources, sources answer nacks with a bit-identical resend (from
+    the retained ``sends`` batch), and the replacements are
+    re-verified next round.  All isends are posted before any blocking
+    recv, so the exchange cannot deadlock.  Nack payloads carry no
+    float arrays, hence are incorruptible by construction.  After
+    ``MAX_RESEND_ROUNDS`` unsuccessful rounds the persistent fault
+    surfaces as a typed :class:`~repro.ft.errors.CorruptionError`.
+    """
+    from ..ft.errors import CorruptionError
+
+    rounds = 0
+    while True:
+        bad = {s for s in recv_sources if _batch_bad(*got[s])}
+        if bad:
+            comm.transport.add_ft(
+                comm.world_rank, detected=len(bad), phase=phase
+            )
+        any_bad = comm.allreduce(int(bool(bad)), op=MAX)
+        if not any_bad:
+            return
+        rounds += 1
+        if rounds > MAX_RESEND_ROUNDS:
+            raise CorruptionError(
+                comm.world_rank, rounds - 1, phase=phase
+            )
+        nack_pending = [
+            comm.isend(s in bad, s, _TAG_REDIST_NACK) for s in recv_sources
+        ]
+        resend_pending = []
+        for dst_rank in send_dsts:
+            if comm.recv(source=dst_rank, tag=_TAG_REDIST_NACK):
+                batch = sends[dst_rank]
+                resend_pending.append(
+                    comm.isend(
+                        (_batch_crcs(batch), batch),
+                        dst_rank,
+                        _TAG_REDIST_RESEND,
+                    )
+                )
+        for src_rank in recv_sources:
+            if src_rank in bad:
+                got[src_rank] = comm.recv(
+                    source=src_rank, tag=_TAG_REDIST_RESEND
+                )
+        for req in nack_pending + resend_pending:
+            req.wait()
+
+
 def redistribute(
     src: DistMatrix,
     dst_dist: Distribution,
     transpose: bool = False,
     phase: str = "redist",
     conjugate: bool = False,
+    verify: bool = False,
 ) -> DistMatrix:
     """Convert ``src`` to ``dst_dist`` (optionally (conjugate-)transposing).
 
     Collective over ``src.comm``; both distributions must span the same
     communicator size.  ``conjugate`` applies elementwise conjugation
     during reassembly (combined with ``transpose`` this implements the
-    BLAS 'C' op; alone it is the rarely-used 'R').  Returns the
-    converted :class:`DistMatrix`.
+    BLAS 'C' op; alone it is the rarely-used 'R').  ``verify`` wraps
+    every cross-rank batch in a CRC envelope with nack/resend
+    correction (see the module docstring); the ``verify=False`` wire
+    format is byte-for-byte what it always was.  Returns the converted
+    :class:`DistMatrix`.
     """
     comm: Comm = src.comm
     if dst_dist.nranks != comm.size:
@@ -127,15 +221,29 @@ def redistribute(
                 if overlap:
                     recv_sources.append(src_rank)
 
+        send_dsts = [
+            d for d, batch in enumerate(sends) if d != comm.rank and batch
+        ]
         pending = []
-        for dst_rank, batch in enumerate(sends):
-            if dst_rank != comm.rank and batch:
-                pending.append(comm.isend(batch, dst_rank, _TAG_REDIST))
-        received = [sends[comm.rank]]
-        for src_rank in recv_sources:
-            received.append(comm.recv(source=src_rank, tag=_TAG_REDIST))
-        for req in pending:
-            req.wait()
+        for dst_rank in send_dsts:
+            batch = sends[dst_rank]
+            payload = (_batch_crcs(batch), batch) if verify else batch
+            pending.append(comm.isend(payload, dst_rank, _TAG_REDIST))
+        if not verify:
+            received = [sends[comm.rank]]
+            for src_rank in recv_sources:
+                received.append(comm.recv(source=src_rank, tag=_TAG_REDIST))
+            for req in pending:
+                req.wait()
+        else:
+            got: dict[int, tuple[list[int], list]] = {}
+            for src_rank in recv_sources:
+                got[src_rank] = comm.recv(source=src_rank, tag=_TAG_REDIST)
+            for req in pending:
+                req.wait()
+            _verify_batches(comm, phase, sends, send_dsts, recv_sources, got)
+            received = [sends[comm.rank]]
+            received.extend(got[s][1] for s in recv_sources)
 
         my_rects = dst_dist.owned_rects(comm.rank)
         tiles = [np.zeros(r.shape, dtype=src.dtype) for r in my_rects]

@@ -108,6 +108,14 @@ class LinkFault:
     inside that phase.  Drop selectors index the rule's *matched*
     messages per link, 0-based, in post order (deterministic: one
     sender thread per link).
+
+    ``corrupt_phase`` restricts *corruption only* to messages posted
+    inside that phase: latency/jitter/drop effects keep following
+    ``phase``, while the corrupt selectors are evaluated against a
+    separate per-link hit counter that counts only ``corrupt_phase``
+    messages.  That makes ``corrupt_at=(0,)`` mean "the first message
+    this link sends in that stage", regardless of how much earlier
+    traffic the link carried.
     """
 
     src: int = ANY_RANK
@@ -123,6 +131,7 @@ class LinkFault:
     corrupt_at: tuple[int, ...] = ()
     corrupt_prob: float = 0.0
     corrupt_elems: int = 1
+    corrupt_phase: str | None = None
 
     def __post_init__(self) -> None:
         if self.latency_factor < 0:
@@ -143,6 +152,15 @@ class LinkFault:
             raise ValueError("corrupt_prob must be in [0, 1]")
         if self.corrupt_elems < 1:
             raise ValueError("corrupt_elems must be >= 1")
+        if (
+            self.corrupt_phase is not None
+            and self.phase is not None
+            and self.phase != self.corrupt_phase
+        ):
+            raise ValueError(
+                "corrupt_phase must equal phase (or leave phase unset): "
+                f"phase={self.phase!r} corrupt_phase={self.corrupt_phase!r}"
+            )
         object.__setattr__(self, "drop_at", tuple(self.drop_at))
         object.__setattr__(self, "corrupt_at", tuple(self.corrupt_at))
 
@@ -172,15 +190,28 @@ class LinkFault:
             dropped = hit % self.drop_every == self.drop_every - 1
         if not dropped and self.drop_prob > 0.0:
             dropped = _mix(seed, salt, 3, src, dst, hit) < self.drop_prob
-        corrupted = hit in self.corrupt_at
-        if not corrupted and self.corrupt_prob > 0.0:
-            corrupted = _mix(seed, salt, 4, src, dst, hit) < self.corrupt_prob
+        if self.corrupt_phase is not None:
+            # Phase-targeted corruption runs off its own hit counter:
+            # the transport calls :meth:`corrupt_elems_for` with hits
+            # counted only inside ``corrupt_phase``.
+            elems = 0
+        else:
+            elems = self.corrupt_elems_for(seed, salt, src, dst, hit)
         return LinkDecision(
             extra_s=extra,
             latency_factor=self.latency_factor,
             drops=self.drop_repeat if dropped else 0,
-            corrupt_elems=self.corrupt_elems if corrupted else 0,
+            corrupt_elems=elems,
         )
+
+    def corrupt_elems_for(
+        self, seed: int, salt: int, src: int, dst: int, hit: int
+    ) -> int:
+        """Elements to flip for the ``hit``-th corruption-eligible message."""
+        corrupted = hit in self.corrupt_at
+        if not corrupted and self.corrupt_prob > 0.0:
+            corrupted = _mix(seed, salt, 4, src, dst, hit) < self.corrupt_prob
+        return self.corrupt_elems if corrupted else 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -197,6 +228,7 @@ class LinkFault:
             "corrupt_at": list(self.corrupt_at),
             "corrupt_prob": self.corrupt_prob,
             "corrupt_elems": self.corrupt_elems,
+            "corrupt_phase": self.corrupt_phase,
         }
 
     @classmethod
@@ -215,6 +247,7 @@ class LinkFault:
             corrupt_at=tuple(int(i) for i in doc.get("corrupt_at", ())),
             corrupt_prob=float(doc.get("corrupt_prob", 0.0)),
             corrupt_elems=int(doc.get("corrupt_elems", 1)),
+            corrupt_phase=doc.get("corrupt_phase"),
         )
 
 
@@ -426,6 +459,7 @@ FAULTPLAN_JSON_SCHEMA: dict[str, Any] = {
                     },
                     "corrupt_prob": {"type": "number", "minimum": 0, "maximum": 1},
                     "corrupt_elems": {"type": "integer", "minimum": 1},
+                    "corrupt_phase": {"type": ["string", "null"]},
                 },
             },
         },

@@ -43,6 +43,7 @@ and trace logic is shared, so both backends emit identical records.
 from __future__ import annotations
 
 import dataclasses
+import pickle
 import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
@@ -160,6 +161,10 @@ class RankState:
     injected_wait_s: float = 0.0  #: simulated time added by injected faults
     corruptions_injected: int = 0  #: corrupt-rule firings on messages this rank sent
     corruptions_detected: int = 0  #: ABFT checksum mismatches this rank caught
+    #: per-phase breakdown of ``corruptions_injected`` (sender's phase at post)
+    corruptions_injected_by_phase: dict[str, int] = field(default_factory=dict)
+    #: per-phase breakdown of ``corruptions_detected`` (detection site)
+    corruptions_detected_by_phase: dict[str, int] = field(default_factory=dict)
     recomputed_flops: float = 0.0  #: flops re-executed for ABFT correction
     reused_flops: float = 0.0  #: flops avoided by reusing retained partials
     recoveries: int = 0  #: shrink-replan recovery rounds this rank survived
@@ -299,6 +304,10 @@ class RankTrace:
     injected_wait_s: float = 0.0  #: simulated seconds added by injected faults
     corruptions_injected: int = 0  #: corrupt-rule firings on this rank's sends
     corruptions_detected: int = 0  #: ABFT checksum mismatches this rank caught
+    #: per-phase breakdown of ``corruptions_injected`` (sender's phase at post)
+    corruptions_injected_by_phase: dict[str, int] = field(default_factory=dict)
+    #: per-phase breakdown of ``corruptions_detected`` (detection site)
+    corruptions_detected_by_phase: dict[str, int] = field(default_factory=dict)
     recomputed_flops: float = 0.0  #: flops re-executed for ABFT correction
     reused_flops: float = 0.0  #: flops avoided by reusing retained partials
     recoveries: int = 0  #: shrink-replan recovery rounds this rank survived
@@ -516,11 +525,21 @@ class Transport:
         recomputed_flops: float = 0.0,
         reused_flops: float = 0.0,
         recoveries: int = 0,
+        phase: str | None = None,
     ) -> None:
-        """Charge fault-tolerance counters (ABFT detection, recovery rounds)."""
+        """Charge fault-tolerance counters (ABFT detection, recovery rounds).
+
+        ``phase`` attributes detections to the pipeline stage whose guard
+        caught them (``replicate`` / ``cannon`` / ``reduce`` / ``redist``),
+        feeding the ``corruptions_detected_by_phase`` breakdown.
+        """
         with self._lock:
             st = self.ranks[world_rank]
             st.corruptions_detected += detected
+            if detected and phase is not None:
+                st.corruptions_detected_by_phase[phase] = (
+                    st.corruptions_detected_by_phase.get(phase, 0) + detected
+                )
             st.recomputed_flops += recomputed_flops
             st.reused_flops += reused_flops
             st.recoveries += recoveries
@@ -895,7 +914,7 @@ class Transport:
             drops = 0
             injected = False
             if self.faults is not None:
-                t_msg, drops, injected = self._perturb_flight_locked(
+                t_msg, drops, injected, stored = self._perturb_flight_locked(
                     src_world, dst_world, st.phase, t_msg,
                     stored=stored, is_array=is_array,
                 )
@@ -974,17 +993,22 @@ class Transport:
         t_msg: float,
         stored: Any = None,
         is_array: bool = False,
-    ) -> tuple[float, int, bool]:
+    ) -> tuple[float, int, bool, Any]:
         """Apply matching link-fault rules to one posted message.
 
-        Returns ``(perturbed_flight, drops, injected)``.  Factors from
+        Returns ``(perturbed_flight, drops, injected, stored)`` — the
+        returned payload replaces the caller's, because corrupting a
+        pickled container produces a *new* blob.  Factors from
         multiple matching rules multiply, extra delays add, and drop
         counts take the max.  Per-(rule, link) hit counters make every
         decision reproducible (one sender thread per link).  Corrupt
-        rules flip seeded elements of ``stored`` in place (array
-        payloads only — ``payload_pack`` hands the transport a private
-        copy, so the sender's buffer is untouched and the receiver sees
-        the corrupted bits, exactly like a wire-level flip).
+        rules flip seeded elements of ``stored`` (``payload_pack``
+        hands the transport a private copy, so the sender's buffer is
+        untouched and the receiver sees the corrupted bits, exactly
+        like a wire-level flip).  Rules with ``corrupt_phase`` draw
+        their corruption decisions from a separate per-link hit
+        counter, so adding phase-targeted corruption to a plan never
+        shifts the seeded decisions of existing rules.
         """
         extra = 0.0
         factor = 1.0
@@ -1002,29 +1026,54 @@ class Transport:
             drops = max(drops, dec.drops)
             if dec.corrupt_elems > 0:
                 corrupt.append((idx, hit, dec.corrupt_elems))
+            if rule.corrupt_phase is not None and phase == rule.corrupt_phase:
+                ckey = (idx, src_world, dst_world, "corrupt")
+                chit = self._fault_hits.get(ckey, 0)
+                self._fault_hits[ckey] = chit + 1
+                elems = rule.corrupt_elems_for(
+                    self.faults.seed, idx, src_world, dst_world, chit
+                )
+                if elems > 0:
+                    corrupt.append((idx, chit, elems))
         corrupted = False
-        if corrupt and is_array:
-            corrupted = self._corrupt_payload_locked(
-                src_world, dst_world, stored, corrupt
-            )
+        if corrupt:
+            if is_array:
+                corrupted = self._corrupt_payload_locked(
+                    src_world, dst_world, phase, stored, corrupt
+                )
+            else:
+                blob = self._corrupt_container_locked(
+                    src_world, dst_world, phase, stored, corrupt
+                )
+                if blob is not None:
+                    stored = blob
+                    corrupted = True
         injected = extra > 0.0 or factor != 1.0 or drops > 0 or corrupted
-        return t_msg * factor + extra, drops, injected
+        return t_msg * factor + extra, drops, injected, stored
+
+    def _record_injection_locked(self, src_world: int, phase: str) -> None:
+        st = self.ranks[src_world]
+        st.corruptions_injected += 1
+        st.corruptions_injected_by_phase[phase] = (
+            st.corruptions_injected_by_phase.get(phase, 0) + 1
+        )
 
     def _corrupt_payload_locked(
         self,
         src_world: int,
         dst_world: int,
+        phase: str,
         arr: Any,
         requests: list[tuple[int, int, int]],
     ) -> bool:
         """Flip seeded elements of an in-flight array payload (in place).
 
-        Only inexact (float/complex) arrays are corruptible — control
-        traffic (pickled objects, integer arrays) is off limits, so the
-        ABFT agreement collective itself can never be corrupted.  Each
-        flip adds ``1 + |v|`` to the chosen element: large relative to
-        both the value and float64 roundoff, hence always detectable by
-        a checksum with a sane tolerance.
+        Only inexact (float/complex) arrays are corruptible — integer
+        arrays carry control decisions (ABFT votes), and flipping them
+        would corrupt the corrector rather than the data it guards.
+        Each flip adds ``1 + |v|`` to the chosen element: large
+        relative to both the value and float64 roundoff, hence always
+        detectable by a checksum with a sane tolerance.
         """
         if not isinstance(arr, np.ndarray) or arr.size == 0:
             return False
@@ -1038,8 +1087,66 @@ class Transport:
                 ) % arr.size
                 val = arr.flat[pos]
                 arr.flat[pos] = val + (1.0 + abs(val))
-            self.ranks[src_world].corruptions_injected += 1
+            self._record_injection_locked(src_world, phase)
         return True
+
+    def _corrupt_container_locked(
+        self,
+        src_world: int,
+        dst_world: int,
+        phase: str,
+        blob: Any,
+        requests: list[tuple[int, int, int]],
+    ) -> bytes | None:
+        """Flip seeded elements inside a pickled container payload.
+
+        Redistribution batches and allgather rounds travel as pickled
+        containers of arrays, not raw ndarrays.  Wire corruption
+        reaches them by unpickling the blob, walking it
+        deterministically for inexact arrays, flipping a seeded
+        element of the virtual concatenation of those arrays (same
+        formula as the raw-array path), and re-pickling.  Returns the
+        replacement blob, or ``None`` when there is nothing to flip —
+        payloads without float arrays (ABFT vote ints, resend nack
+        bools) are incorruptible by construction.
+        """
+        if not isinstance(blob, (bytes, bytearray)):
+            return None
+        try:
+            obj = pickle.loads(bytes(blob))
+        except Exception:
+            return None
+        arrays: list[np.ndarray] = []
+
+        def walk(x: Any) -> None:
+            if isinstance(x, np.ndarray):
+                if x.size and np.issubdtype(x.dtype, np.inexact):
+                    arrays.append(x)
+            elif isinstance(x, (list, tuple)):
+                for y in x:
+                    walk(y)
+            elif isinstance(x, dict):
+                for k in x:
+                    walk(x[k])
+
+        walk(obj)
+        total = sum(a.size for a in arrays)
+        if total == 0:
+            return None
+        seed = self.faults.seed
+        for idx, hit, elems in requests:
+            for e in range(elems):
+                pos = int(
+                    _mix(seed, idx, 5, src_world, dst_world, hit, e) * total
+                ) % total
+                for a in arrays:
+                    if pos < a.size:
+                        val = a.flat[pos]
+                        a.flat[pos] = val + (1.0 + abs(val))
+                        break
+                    pos -= a.size
+            self._record_injection_locked(src_world, phase)
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
 
     def msg_record(self, seq: int) -> MsgRecord | None:
         """The :class:`MsgRecord` for a message seq (None when unknown)."""
@@ -1391,6 +1498,12 @@ class Transport:
                 injected_wait_s=st.injected_wait_s,
                 corruptions_injected=st.corruptions_injected,
                 corruptions_detected=st.corruptions_detected,
+                corruptions_injected_by_phase=dict(
+                    st.corruptions_injected_by_phase
+                ),
+                corruptions_detected_by_phase=dict(
+                    st.corruptions_detected_by_phase
+                ),
                 recomputed_flops=st.recomputed_flops,
                 reused_flops=st.reused_flops,
                 recoveries=st.recoveries,

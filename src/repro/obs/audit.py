@@ -25,7 +25,12 @@ matches the paper's closed forms, the audit goes further and answers
 
 :func:`audit_run` builds the :class:`AuditReport`;
 :meth:`AuditReport.check` is the drift-style gate raising a typed
-:class:`AuditError` when measured bytes leave the tolerance band.
+:class:`AuditError` when measured bytes leave the tolerance band.  The
+predictions model the fault-free, unguarded schedule: ABFT-verified
+runs move slightly more (checksum borders ride the replicate / Cannon /
+reduce traffic, CRC envelopes and detection votes ride the
+redistributions), and corrupted runs add resend rounds on top — gate on
+clean, unguarded configurations and read guarded runs diagnostically.
 Attribution counters are always on (they are plain integers bumped
 under the transport lock), so the audit needs no event recording.
 """

@@ -148,6 +148,14 @@ LEDGER_RECORD_SCHEMA: dict[str, Any] = {
                 "failed_ranks": {"type": "array", "items": {"type": "integer"}},
                 "corruptions_injected": {"type": "integer", "minimum": 0},
                 "corruptions_detected": {"type": "integer", "minimum": 0},
+                "corruptions_injected_by_phase": {
+                    "type": "object",
+                    "additionalProperties": {"type": "integer", "minimum": 0},
+                },
+                "corruptions_detected_by_phase": {
+                    "type": "object",
+                    "additionalProperties": {"type": "integer", "minimum": 0},
+                },
                 "recomputed_flops": {"type": "number", "minimum": 0},
                 "reused_flops": {"type": "number", "minimum": 0},
             },
@@ -284,6 +292,12 @@ def ledger_record(
             "failed_ranks": result.failed_ranks,
             "corruptions_injected": metrics.corruptions_injected,
             "corruptions_detected": metrics.corruptions_detected,
+            "corruptions_injected_by_phase": dict(
+                sorted(metrics.corruptions_injected_by_phase.items())
+            ),
+            "corruptions_detected_by_phase": dict(
+                sorted(metrics.corruptions_detected_by_phase.items())
+            ),
             "recomputed_flops": metrics.recomputed_flops,
             "reused_flops": metrics.reused_flops,
         },

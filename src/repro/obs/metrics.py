@@ -188,6 +188,10 @@ class RunMetrics:
     recoveries: int = 0  #: shrink-replan-redistribute rounds (max over ranks)
     corruptions_injected: int = 0  #: payload flips injected, across ranks
     corruptions_detected: int = 0  #: ABFT checksum violations, across ranks
+    #: injected payload flips per algorithm phase, summed across ranks
+    corruptions_injected_by_phase: dict[str, int] = field(default_factory=dict)
+    #: checksum/CRC detections per algorithm phase, summed across ranks
+    corruptions_detected_by_phase: dict[str, int] = field(default_factory=dict)
     recomputed_flops: float = 0.0  #: extra flops spent on ABFT/recovery recomputes
     reused_flops: float = 0.0  #: flops avoided by reusing retained partials/checkpoints
     #: measured resident watermark (max over ranks of tracked resident words)
@@ -217,6 +221,12 @@ class RunMetrics:
             "recoveries": self.recoveries,
             "corruptions_injected": self.corruptions_injected,
             "corruptions_detected": self.corruptions_detected,
+            "corruptions_injected_by_phase": dict(
+                sorted(self.corruptions_injected_by_phase.items())
+            ),
+            "corruptions_detected_by_phase": dict(
+                sorted(self.corruptions_detected_by_phase.items())
+            ),
             "recomputed_flops": self.recomputed_flops,
             "reused_flops": self.reused_flops,
             "registry": self.registry.to_dict(),
@@ -379,6 +389,14 @@ def snapshot_run(
             reg.counter("recomputed_flops", rank=trace.rank).inc(
                 trace.recomputed_flops
             )
+            for ph, n in sorted(trace.corruptions_injected_by_phase.items()):
+                reg.counter(
+                    "corruptions_injected", rank=trace.rank, phase=ph
+                ).inc(n)
+            for ph, n in sorted(trace.corruptions_detected_by_phase.items()):
+                reg.counter(
+                    "corruptions_detected", rank=trace.rank, phase=ph
+                ).inc(n)
         if trace.reused_flops:
             reg.counter("reused_flops", rank=trace.rank).inc(trace.reused_flops)
 
@@ -392,6 +410,14 @@ def snapshot_run(
         reg.gauge("cannon_overlap_ratio").set(overlap)
     if imbalance is not None:
         reg.gauge("k_group_imbalance").set(imbalance)
+
+    injected_by_phase: dict[str, int] = {}
+    detected_by_phase: dict[str, int] = {}
+    for trace in result.traces:
+        for ph, n in trace.corruptions_injected_by_phase.items():
+            injected_by_phase[ph] = injected_by_phase.get(ph, 0) + n
+        for ph, n in trace.corruptions_detected_by_phase.items():
+            detected_by_phase[ph] = detected_by_phase.get(ph, 0) + n
 
     mem_by_purpose: dict[str, float] = {}
     for trace in result.traces:
@@ -422,6 +448,8 @@ def snapshot_run(
         recoveries=max((t.recoveries for t in result.traces), default=0),
         corruptions_injected=sum(t.corruptions_injected for t in result.traces),
         corruptions_detected=sum(t.corruptions_detected for t in result.traces),
+        corruptions_injected_by_phase=injected_by_phase,
+        corruptions_detected_by_phase=detected_by_phase,
         recomputed_flops=sum(t.recomputed_flops for t in result.traces),
         reused_flops=sum(t.reused_flops for t in result.traces),
         resident_peak_words=max(
@@ -481,6 +509,16 @@ def format_metrics(metrics: RunMetrics) -> str:
             f"{metrics.corruptions_detected} detected, "
             f"{metrics.recomputed_flops:.0f} flops recomputed"
         )
+        phases = sorted(
+            set(metrics.corruptions_injected_by_phase)
+            | set(metrics.corruptions_detected_by_phase)
+        )
+        for ph in phases:
+            lines.append(
+                f"    {ph:<18}: "
+                f"{metrics.corruptions_injected_by_phase.get(ph, 0)} injected, "
+                f"{metrics.corruptions_detected_by_phase.get(ph, 0)} detected"
+            )
     shift = metrics.registry.histogram("cannon_shift_seconds")
     if shift.count:
         lines.append(

@@ -206,6 +206,85 @@ class TestCrossRunResume:
         )
 
 
+class TestIncrementalCheckpoints:
+    def test_kinds_and_stored_in_pointers(self, spmd):
+        # The chain's steps only ever return X, so checkpoint 0 is the
+        # anchoring full snapshot and every later one is a delta whose
+        # clean carried A points back at the anchor.
+        store = MemoryStore()
+        spmd(P, _chain(store))
+        mans = store.manifests()
+        assert [m["kind"] for m in mans] == ["full"] + ["delta"] * 3
+        anchor = mans[0]["ckpt_id"]
+        for man in mans:
+            validate_manifest(man)
+        for man in mans[1:]:
+            assert man["matrices"]["A"]["stored_in"] == anchor
+            assert "stored_in" not in man["matrices"]["X"]
+
+    def test_delta_writes_strictly_fewer_bytes(self, spmd):
+        # Same chain, same cadence: dirty-only checkpoints must beat the
+        # full-snapshot baseline (forced via full_interval=1) on total
+        # bytes accepted by the store.
+        delta_store, full_store = MemoryStore(), MemoryStore()
+        spmd(P, _chain(delta_store))
+        spmd(P, _chain(full_store,
+                       policy=CheckpointPolicy(every_calls=1, full_interval=1)))
+        assert [m["kind"] for m in full_store.manifests()] == ["full"] * 4
+        assert 0 < delta_store.bytes_written < full_store.bytes_written
+
+    def test_full_interval_reanchors(self, spmd):
+        store = MemoryStore()
+        spmd(P, _chain(
+            store, policy=CheckpointPolicy(every_calls=1, full_interval=2),
+        ))
+        assert [m["kind"] for m in store.manifests()] == \
+            ["full", "delta", "full", "delta"]
+
+    def test_restart_replays_full_plus_delta_chain(self, spmd, tmp_path):
+        # Resume a two-call job whose newest manifest is a delta: X comes
+        # from the delta, A from the anchoring full snapshot, on a
+        # smaller world.
+        store = DirStore(tmp_path / "ckpts")
+
+        def first(comm):
+            matmul_chain(comm, M, N, K, calls=2, store=store,
+                         policy=CheckpointPolicy(1))
+
+        spmd(P, first)
+        assert [m["kind"] for m in store.manifests()] == ["full", "delta"]
+
+        r = spmd(5, _chain(store, resume=True))
+        np.testing.assert_allclose(
+            _survivor(r)["x"], matmul_chain_reference(M, N, K, calls=4),
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_comm_change_forces_reanchoring_full(self, spmd):
+        # After the in-call recovery at call 2 shrinks the world, the
+        # next checkpoint must re-anchor: a delta would point at payloads
+        # recorded for the old rank count.
+        store = MemoryStore()
+        run_spmd(P, _chain(store), faults=_kill(1, call=2))
+        kinds = [m["kind"] for m in store.manifests()]
+        nranks = [m["nranks"] for m in store.manifests()]
+        shrink = nranks.index(P - 1)
+        assert kinds[shrink] == "full"
+        assert kinds[:2] == ["full", "delta"]
+
+    def test_writebehind_charge_is_balanced(self, spmd):
+        # Delta staging must show up in the memtrace (the eq. (11) gate
+        # sees it) and every charge must be released by pipeline end (an
+        # unbalanced span reads as a leak in the audit).
+        store = MemoryStore()
+        r = run_spmd(P, _chain(store), record_events=True)
+        peak = 0
+        for t in r.live_traces:
+            peak = max(peak, t.mem_peaks.get("ckpt.writebehind", 0))
+            assert t.mem_live.get("ckpt.writebehind", 0) == 0
+        assert peak > 0
+
+
 class TestPipelineContract:
     def test_steps_see_merged_state(self, spmd):
         seen = []

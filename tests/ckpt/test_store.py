@@ -86,6 +86,56 @@ class TestStores:
         assert store.get_tiles("c1", "X", 3) == []
 
 
+class TestStoreAccounting:
+    def test_bytes_written_accumulates_payload_bytes(self, store):
+        assert store.bytes_written == 0
+        store.put_tiles("c1", "X", 0, _tiles())
+        expect = sum(t.nbytes for _r, t in _tiles())
+        assert store.bytes_written == expect
+        store.put_tiles("c1", "X", 1, _tiles())
+        assert store.bytes_written == 2 * expect
+
+
+class TestDirStoreCrashConsistency:
+    def test_no_temp_files_survive_a_put(self, tmp_path):
+        store = DirStore(tmp_path / "ckpts")
+        store.put_tiles("c1", "X", 0, _tiles())
+        leftovers = [p for p in store.root.rglob("*.tmp*")]
+        assert leftovers == []
+
+    def test_torn_trailing_manifest_line_is_unpublished(self, tmp_path):
+        # A rank killed mid-append leaves a truncated trailing line;
+        # the reader must treat it as "never published", not crash.
+        store = DirStore(tmp_path / "ckpts")
+        store.put_manifest(_manifest("a"))
+        with open(store.root / "manifests.jsonl", "a") as fh:
+            fh.write('{"schema_version": 2, "ckpt_id": "tor')
+        assert [m["ckpt_id"] for m in store.manifests()] == ["a"]
+        assert store.latest_manifest()["ckpt_id"] == "a"
+
+    def test_torn_tile_never_lands_under_final_name(self, tmp_path, monkeypatch):
+        # Simulate a kill mid-np.save: the interrupted write must leave
+        # the previous tile contents readable under the final name.
+        store = DirStore(tmp_path / "ckpts")
+        rect = Rect(0, 2, 0, 2)
+        store.put_tiles("c1", "X", 0, [(rect, np.ones((2, 2)))])
+
+        real_save = np.save
+
+        def dying_save(path, arr):
+            with open(path, "wb") as fh:
+                fh.write(b"\x93NUMPY")  # truncated header, then "killed"
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(np, "save", dying_save)
+        with pytest.raises(KeyboardInterrupt):
+            store.put_tiles("c1", "X", 0, [(rect, np.full((2, 2), 9.0))])
+        monkeypatch.setattr(np, "save", real_save)
+
+        (_, got), = store.get_tiles("c1", "X", 0)
+        np.testing.assert_array_equal(got, np.ones((2, 2)))
+
+
 class TestManifestSchema:
     def test_valid_manifest_passes(self):
         validate_manifest(_manifest())

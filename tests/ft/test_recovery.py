@@ -203,11 +203,15 @@ class TestPartialReuse:
         for c in (r for r in res.results if r is not None):
             assert float(np.abs(c - REF).max()) <= TOL
 
-    def test_pk1_grid_has_nothing_to_reuse(self):
+    def test_pk1_grid_salvages_surviving_cells(self):
         """With pk=1 every rank is in the single k-group, so a kill
-        always breaks it: recovery must fall back to a full recompute
-        (reused 0, recomputed one full call) and still be correct."""
+        always breaks the *group* — but per-(i,j) salvage keeps the
+        surviving Cannon cells anyway: reuse is strictly positive (the
+        old per-k-group baseline was 0 here), the reused/recomputed
+        pair still sums to one full call, and the result is correct."""
         from repro.grid.optimizer import GridSpec
+
+        report: list = []
 
         def f(comm):
             a = DistMatrix.from_global(
@@ -221,13 +225,71 @@ class TestPartialReuse:
                 c_dist=lambda cm: BlockCol1D((M, N), cm.size),
                 grid=GridSpec(pm=4, pn=2, pk=1, nprocs=P),
                 max_recoveries=1,
+                salvage_report=report,
             )
             return c.to_global()
 
         res = _run(faults=self.PLAN, fn=f)
         fm = res.metrics
-        assert fm.reused_flops == 0
-        assert fm.recomputed_flops == pytest.approx(2.0 * M * N * K)
+        assert fm.reused_flops > 0
+        assert fm.recomputed_flops > 0
+        assert fm.reused_flops + fm.recomputed_flops == \
+            pytest.approx(2.0 * M * N * K)
+        # the per-cell table agrees with the charged flops pair
+        assert len(report) == 4 * 2  # pm x pn cells, pk = 1
+        reused = sum(r["flops"] for r in report if r["status"] == "reused")
+        redone = sum(r["flops"] for r in report if r["status"] == "recomputed")
+        assert reused == pytest.approx(fm.reused_flops)
+        assert redone == pytest.approx(fm.recomputed_flops)
+        for c in (r for r in res.results if r is not None):
+            assert float(np.abs(c - REF).max()) <= TOL
+
+    def test_two_kills_in_different_k_groups_salvage_cells(self):
+        """The pinned multi-kill scenario: at P=16 on a 4x2x2 grid a
+        kill lands in *each* k-group (column-major ik = rank // 8, so
+        ranks 0 and 8 sit in ik=0 and ik=1; their buddies 1 and 9
+        survive).  The old per-k-group retention would reuse **zero**
+        flops here — both groups are broken — but per-(i,j) salvage
+        keeps every ABFT-verifiable surviving cell: reuse is strictly
+        positive, the reused/recomputed pair still partitions one full
+        call, a single recovery round suffices, and both k-groups
+        contribute reused cells to the report."""
+        from repro.grid.optimizer import GridSpec
+
+        P16 = 16
+        report: list = []
+
+        def f(comm):
+            a = DistMatrix.from_global(
+                comm, BlockCol1D((M, K), comm.size), dense_random(M, K, seed=7)
+            )
+            b = DistMatrix.from_global(
+                comm, BlockCol1D((K, N), comm.size), dense_random(K, N, seed=8)
+            )
+            c = resilient_multiply(
+                comm, a, b,
+                c_dist=lambda cm: BlockCol1D((M, N), cm.size),
+                grid=GridSpec(pm=4, pn=2, pk=2, nprocs=P16),
+                max_recoveries=2,
+                salvage_report=report,
+            )
+            return c.to_global()
+
+        plan = FaultPlan(seed=0, ranks=(_kill(0), _kill(8)))
+        res = _run(faults=plan, fn=f, nprocs=P16)
+        assert res.failed_ranks == [0, 8]
+        fm = res.metrics
+        assert fm.recoveries == 1
+        assert fm.reused_flops > 0  # per-k-group baseline: 0 (both broken)
+        assert fm.reused_flops + fm.recomputed_flops == \
+            pytest.approx(2.0 * M * N * K)
+        by_ik: dict = {}
+        for row in report:
+            by_ik.setdefault(row["ik"], []).append(row["status"])
+        assert set(by_ik) == {0, 1}
+        for statuses in by_ik.values():
+            assert "reused" in statuses
+            assert "recomputed" in statuses
         for c in (r for r in res.results if r is not None):
             assert float(np.abs(c - REF).max()) <= TOL
 

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.cli import main
 from repro.mpi import FaultPlan, LinkFault
 
@@ -66,6 +68,49 @@ class TestRecoverExitCodes:
         assert rc == 0
         assert doc["correct"] is True
         assert doc["recoveries"] >= 1
+
+    def test_corrupt_phase_exits_zero_and_attributes(self, capsys):
+        """Each `--corrupt-phase` choice must inject into exactly that
+        stage, detect it there, and end bit-identical.  64^3 at P=16 is
+        the smallest shape whose plan has traffic in all four phases."""
+        for phase in ("replicate", "cannon", "reduce", "redist"):
+            rc = main(["recover", "64", "64", "64", "-np", "16",
+                       "--corrupt-phase", phase, "--json"])
+            doc = json.loads(capsys.readouterr().out)
+            assert rc == 0, phase
+            assert doc["correct"] is True
+            assert doc["bit_identical_to_clean"] is True
+            assert doc["corruptions_injected_by_phase"] != {}
+            assert set(doc["corruptions_injected_by_phase"]) == {phase}
+            assert doc["corruptions_detected_by_phase"][phase] >= 1
+            assert doc["failed_ranks"] == []
+
+    def test_corrupt_phase_text_mode_reports_per_phase(self, capsys):
+        rc = main(["recover", "64", "64", "64", "-np", "16",
+                   "--corrupt-phase", "reduce"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "reduce" in out
+        assert "bit-identical" in out
+
+    def test_salvage_report_lists_every_cell(self, capsys):
+        rc = main(["recover", *ARGS, "--salvage-report", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        rows = doc["salvage"]
+        assert rows  # one row per surviving-attempt (i,j,k) cell
+        assert {row["status"] for row in rows} <= {"reused", "recomputed"}
+        reused = sum(r["flops"] for r in rows if r["status"] == "reused")
+        redone = sum(r["flops"] for r in rows if r["status"] == "recomputed")
+        assert reused == pytest.approx(doc["reused_flops"])
+        assert redone == pytest.approx(doc["recomputed_flops"])
+
+    def test_salvage_report_text_table(self, capsys):
+        rc = main(["recover", *ARGS, "--salvage-report"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "salvage" in out
+        assert "reused" in out and "recomputed" in out
 
     def test_exhausted_budget_exits_nonzero(self, capsys):
         rc = main(["recover", *ARGS, "--max-recoveries", "0"])

@@ -102,6 +102,25 @@ class TestFaultPlanSerialization:
         assert pol.nth_timeout_s(1) == pytest.approx(1e-3)
         assert pol.nth_timeout_s(3) == pytest.approx(4e-3)
 
+    def test_corrupt_phase_round_trips(self):
+        plan = FaultPlan(
+            seed=7,
+            links=(LinkFault(corrupt_phase="reduce", corrupt_at=(0, 2)),),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        validate_fault_plan(plan.to_dict())
+
+    def test_corrupt_phase_may_not_contradict_phase(self):
+        """``corrupt_phase`` narrows *corruption only*; combining it
+        with a different whole-rule ``phase`` filter would silently
+        disable the rule, so construction must reject it."""
+        with pytest.raises(ValueError, match="corrupt_phase"):
+            LinkFault(phase="cannon", corrupt_phase="reduce", corrupt_at=(0,))
+        # equal or unset phase is fine
+        LinkFault(phase="reduce", corrupt_phase="reduce", corrupt_at=(0,))
+        LinkFault(corrupt_phase="redist", corrupt_at=(0,))
+
 
 # ---------------------------------------------------- drop/retry story -- #
 class TestDropRetryAcceptance:
