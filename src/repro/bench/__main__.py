@@ -17,6 +17,7 @@ import argparse
 import sys
 
 from .harness import (
+    TRACE_WORKLOADS,
     baseline_artifact,
     checkpoint_cost,
     fault_degradation,
@@ -26,6 +27,7 @@ from .harness import (
     fig5_breakdown,
     history_artifact,
     l_sweep,
+    overlap_comparison,
     recovery_cost,
     table1_memory,
     table2_grids,
@@ -42,6 +44,7 @@ GENERATORS = {
     "table2": table2_grids,
     "table3": table3_gpu,
     "l_sweep": l_sweep,
+    "overlap": overlap_comparison,
 }
 
 
@@ -50,8 +53,14 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures",
     )
-    ap.add_argument("names", nargs="*", help="fig2 fig3 fig4 fig5 table1 table2 table3 l_sweep, or 'all'")
+    ap.add_argument("names", nargs="*", help="fig2 fig3 fig4 fig5 table1 table2 table3 l_sweep overlap, or 'all'")
     ap.add_argument("--list", action="store_true", help="list available generators")
+    ap.add_argument(
+        "--backend", choices=("threads", "des"), default="des",
+        help="virtual-MPI backend for executed stand-ins and artifacts "
+             "(default: des — structural deadlock detection, no scheduler "
+             "noise; both backends produce byte-identical artifacts)",
+    )
     ap.add_argument(
         "--trace-dir", metavar="DIR", default=None,
         help="also execute a small stand-in of each figure's workload and "
@@ -114,19 +123,27 @@ def main(argv: list[str] | None = None) -> int:
             print(f"unknown generator {name!r}; use --list", file=sys.stderr)
             rc = 2
             continue
-        print(gen().text)
+        if name == "overlap":
+            print(overlap_comparison(backend=args.backend).text)
+        else:
+            print(gen().text)
         print()
+        if name not in TRACE_WORKLOADS:
+            continue  # no executed stand-in (e.g. "overlap" runs its own)
         if args.trace_dir:
-            path = trace_artifact(name, args.trace_dir)
+            path = trace_artifact(name, args.trace_dir,
+                                  backend=args.backend)
             print(f"trace artifact: {path}")
             print()
         if args.baseline_dir:
-            path = baseline_artifact(name, args.baseline_dir)
+            path = baseline_artifact(name, args.baseline_dir,
+                                     backend=args.backend)
             print(f"perf baseline: {path}")
             print()
         if args.history_dir:
             path = history_artifact(name, args.history_dir,
-                                    ledger=args.ledger)
+                                    ledger=args.ledger,
+                                    backend=args.backend)
             print(f"history point: {path}")
             print()
         if plan is not None:

@@ -94,6 +94,96 @@ def executed_workload(
     return plan, result
 
 
+#: The overlap-comparison workload: big enough that a 4x2 SUMMA grid
+#: broadcasts panels worth hiding and the CA3DMM plan (2x4x1) runs a
+#: multi-shift Cannon stage — both phases clear 0.5 overlap efficiency
+#: with the engine on (the ISSUE acceptance bar).
+OVERLAP_WORKLOAD: tuple[int, int, int, int] = (384, 384, 128, 8)
+OVERLAP_SUMMA_GRID: tuple[int, int] = (4, 2)
+OVERLAP_SUMMA_PANEL: int = 64
+
+
+def overlap_comparison(
+    machine: MachineModel | None = None,
+    backend: str | None = "des",
+) -> BenchResult:
+    """Async-engine payoff: pipelined vs synchronous SUMMA, plus Cannon.
+
+    Runs the :data:`OVERLAP_WORKLOAD` twice per algorithm — once with
+    the machine's async comm engine off (``overlap="none"``, the
+    historical serialized schedule) and once with it on — and reports
+    makespans, per-phase overlap efficiency, and the comm seconds the
+    engine covered.  ``machine`` defaults to
+    ``laptop().with_overlap("full")``; the "off" run is the same
+    machine with ``with_overlap("none")`` so the only variable is the
+    engine.  Used by the CI ``overlap-smoke`` job, which asserts the
+    pipelined SUMMA makespan beats the synchronous one.
+    """
+    from ..baselines.summa import summa_matmul
+    from ..core import ca3dmm_matmul
+    from ..core.plan import Ca3dmmPlan
+    from ..layout import DistMatrix, dense_random
+    from ..layout.distributions import Block2D
+    from ..machine.model import laptop
+    from ..mpi import run_spmd
+    from ..obs.metrics import overlap_by_phase
+
+    m, n, k, p = OVERLAP_WORKLOAD
+    pr, pc = OVERLAP_SUMMA_GRID
+    mach_on = machine or laptop().with_overlap("full")
+    mach_off = mach_on.with_overlap("none")
+    plan = Ca3dmmPlan(m, n, k, p)
+
+    def summa_body(comm):
+        a = DistMatrix.from_global(
+            comm, Block2D((m, k), p, pr, pc), dense_random(m, k, 0)
+        )
+        b = DistMatrix.from_global(
+            comm, Block2D((k, n), p, pr, pc), dense_random(k, n, 1)
+        )
+        summa_matmul(a, b, grid=(pr, pc), panel=OVERLAP_SUMMA_PANEL)
+
+    def ca3dmm_body(comm):
+        a = DistMatrix.from_global(comm, plan.a_dist, dense_random(m, k, 0))
+        b = DistMatrix.from_global(comm, plan.b_dist, dense_random(k, n, 1))
+        ca3dmm_matmul(a, b)
+
+    data: dict = {"workload": {"m": m, "n": n, "k": k, "nprocs": p},
+                  "overlap_mode": mach_on.overlap}
+    lines = [
+        f"overlap comparison — {m}x{n}x{k} P={p} "
+        f"(engine {mach_on.overlap!r} vs 'none')",
+    ]
+    for label, body, phase in (
+        ("summa", summa_body, "summa"),
+        ("ca3dmm", ca3dmm_body, "cannon"),
+    ):
+        off = run_spmd(p, body, machine=mach_off, record_events=True,
+                       backend=backend)
+        on = run_spmd(p, body, machine=mach_on, record_events=True,
+                      backend=backend)
+        ov = overlap_by_phase(on)
+        covered = {}
+        for t in on.live_traces:
+            for ph, st in t.phases.items():
+                if st.comm_covered_time > 0:
+                    covered[ph] = covered.get(ph, 0.0) + st.comm_covered_time
+        data[label] = {
+            "sync_makespan_s": off.time,
+            "engine_makespan_s": on.time,
+            "speedup": off.time / on.time if on.time else float("inf"),
+            "phase_overlap": {phase: ov.get(phase, 0.0)},
+            "covered_by_phase": covered,
+        }
+        lines.append(
+            f"  {label:<7} sync {off.time * 1e3:.6f} ms -> engine "
+            f"{on.time * 1e3:.6f} ms ({data[label]['speedup']:.3f}x)  "
+            f"{phase} overlap {100 * ov.get(phase, 0.0):.1f}%  "
+            f"hidden {sum(covered.values()) * 1e3:.4f} ms"
+        )
+    return BenchResult("overlap", "\n".join(lines), data)
+
+
 def fault_degradation(
     name: str,
     faults,
@@ -316,16 +406,19 @@ def trace_artifact(
     name: str,
     outdir: str | Path,
     machine: MachineModel | None = None,
+    backend: str | None = "des",
 ) -> Path:
     """Execute the stand-in workload for generator ``name`` and write a
     schema-validated Chrome trace to ``outdir/<name>.trace.json``.
 
-    Returns the written path.  Raises ``KeyError`` for unknown names.
+    Runs on the DES backend by default (structural deadlock detection,
+    no scheduler noise; traces are backend-identical anyway).  Returns
+    the written path.  Raises ``KeyError`` for unknown names.
     """
     from ..obs.export import write_chrome_trace
 
     m, n, k, p = TRACE_WORKLOADS[name]
-    _plan, result = executed_workload(name, machine)
+    _plan, result = executed_workload(name, machine, backend=backend)
     outdir = Path(outdir)
     outdir.mkdir(parents=True, exist_ok=True)
     path = outdir / f"{name}.trace.json"
@@ -339,6 +432,7 @@ def baseline_artifact(
     name: str,
     outdir: str | Path,
     machine: MachineModel | None = None,
+    backend: str | None = "des",
 ) -> Path:
     """Execute the stand-in workload for ``name`` and write (or refresh)
     its perf baseline under ``outdir/<name>.json``.
@@ -351,7 +445,7 @@ def baseline_artifact(
     from ..obs.baseline import BaselineStore, capture_baseline
 
     m, n, k, p = TRACE_WORKLOADS[name]
-    _plan, result = executed_workload(name, machine)
+    _plan, result = executed_workload(name, machine, backend=backend)
     doc = capture_baseline(
         result,
         name,
@@ -366,6 +460,7 @@ def history_artifact(
     outdir: str | Path,
     machine: MachineModel | None = None,
     ledger: str | Path | None = None,
+    backend: str | None = "des",
 ) -> Path:
     """Execute the stand-in workload for ``name`` and write its
     trajectory point to ``outdir/BENCH_<name>.json``.
@@ -383,7 +478,7 @@ def history_artifact(
     from ..obs.ledger import Ledger, ledger_record
 
     mach = machine or pace_phoenix_cpu("mpi")
-    plan, result = executed_workload(name, mach)
+    plan, result = executed_workload(name, mach, backend=backend)
     audit = audit_run(result, plan, machine=mach)
     record = ledger_record(
         result, plan, f"bench.{name}", audit_ok=audit.ok

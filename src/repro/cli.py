@@ -289,6 +289,11 @@ def _obs_parser(name: str, description: str) -> argparse.ArgumentParser:
                          "$REPRO_MPI_BACKEND or threads)")
     ap.add_argument("--dtype", type=int, choices=(0, 1), default=0,
                     help="0 = CPU machine model, 1 = GPU machine model")
+    ap.add_argument("--overlap", choices=("none", "partial", "full"),
+                    default=None,
+                    help="async comm engine capability of the machine "
+                         "model (default: the model's own, i.e. 'none'; "
+                         "see docs/VIRTUAL_MPI.md)")
     ap.add_argument("--grid", type=int, nargs=3, metavar=("MP", "NP", "KP"),
                     help="force the process grid pm pn pk")
     ap.add_argument("--tol", type=float, default=0.05,
@@ -347,6 +352,8 @@ def _run_traced(m: int, n: int, k: int, p: int, machine, grid,
 
 def _obs_common(args):
     machine = pace_phoenix_gpu() if args.dtype else pace_phoenix_cpu("mpi")
+    if getattr(args, "overlap", None):
+        machine = machine.with_overlap(args.overlap)
     grid = None
     if args.grid:
         mp, np_, kp = args.grid

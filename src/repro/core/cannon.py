@@ -12,9 +12,17 @@ and must produce ``C_{u, v} = Σ_t A_{u,t} B_{t,v}``.
   overlapped with the local GEMM through the dual-buffer idiom: the
   sends/receives for the next blocks are posted (``isend``/``irecv``)
   before computing with the current blocks, exactly the optimization the
-  paper's implementation section describes.  On the simulated clock this
-  yields genuine overlap: the step completes at
-  ``max(compute_end, transfer_end)``.
+  paper's implementation section describes.  How much the simulated
+  clock actually hides depends on the machine's overlap capability
+  (``MachineModel.overlap``): with ``"none"`` or ``"full"`` each posted
+  transfer progresses as its own stream and the step completes at
+  ``max(gemm, flight)``; with ``"partial"`` the rank's single NIC
+  stream serializes the inter-node A and B sends, so the step completes
+  at ``max(gemm, flight_a + flight_b)``.  (An earlier revision claimed
+  unconditional ``max(gemm, comm)``; ``tests/core/test_cannon.py``
+  pins the per-capability arithmetic.)  The shift waits drain in
+  arrival order (:func:`repro.mpi.wait_all`), so an early block is
+  never billed a late block's wait.
 * **Multi-shift aggregation** — when Cannon blocks have a small
   k-extent, ``shifts_per_gemm > 1`` gathers several A/B block pairs and
   multiplies them as one concatenated local GEMM, the paper's "multiple
@@ -31,6 +39,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mpi.datatypes import INTERNAL_TAG_BASE
+from ..mpi.request import wait_all
 from ..mpi.topology import Cart2D
 
 _TAG_SKEW_A = INTERNAL_TAG_BASE + 101
@@ -123,10 +132,12 @@ def cannon_multiply(
             if last or len(pending_a) >= shifts_per_gemm:
                 flush()
             if not last:
-                a_cur = req_ar.wait()
-                b_cur = req_br.wait()
-                req_as.wait()
-                req_bs.wait()
+                # Arrival-ordered drain: whichever transfer lands first
+                # is charged first, so the A wait never absorbs B's
+                # flight (or vice versa).
+                vals = wait_all([req_ar, req_br, req_as, req_bs])
+                a_cur = vals[0]
+                b_cur = vals[1]
                 comm.mem_free("cannon.dblbuf", dblbuf)
         flush()
         return c_loc

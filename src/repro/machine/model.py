@@ -64,6 +64,17 @@ class MachineModel:
         Reduce-scatter pieces larger than the threshold (bytes) have
         their bandwidth term multiplied by the factor (MVAPICH2
         behaviour reported in the paper's GPU experiments).
+    overlap:
+        Compute/communication overlap capability of the async comm
+        engine: ``"none"`` (default — every transfer is charged to the
+        rank clock exactly as before the engine existed), ``"full"``
+        (posted transfers and nonblocking collectives progress on a
+        per-rank comm timeline with unlimited concurrency; waits charge
+        only the uncovered remainder), or ``"partial"`` (same engine,
+        but inter-node transfers of one rank serialize on its shared
+        NIC).  When the engine is on, the ``nic_share`` stream bonus is
+        capped at 1 — concurrency is then modeled, not fudged — see
+        :attr:`beta`.
     """
 
     alpha: float = 1.8e-6
@@ -79,12 +90,38 @@ class MachineModel:
     gpu_stage_beta: float = 0.0
     rs_degrade_threshold: float = float("inf")
     rs_degrade_factor: float = 1.0
+    overlap: str = "none"
+
+    #: Recognised ``overlap`` capabilities.
+    OVERLAP_MODES = ("none", "full", "partial")
+
+    def __post_init__(self) -> None:
+        if self.overlap not in self.OVERLAP_MODES:
+            raise ValueError(
+                f"unknown overlap mode {self.overlap!r}; "
+                f"expected one of {self.OVERLAP_MODES}"
+            )
 
     # ------------------------------------------------------------------ #
     @property
+    def overlap_enabled(self) -> bool:
+        """True when the async comm engine models overlap explicitly."""
+        return self.overlap != "none"
+
+    @property
     def beta(self) -> float:
-        """Effective per-rank inter-node inverse bandwidth (s/byte)."""
-        return self.nic_beta * max(1, self.ranks_per_node) / self.nic_share
+        """Effective per-rank inter-node inverse bandwidth (s/byte).
+
+        With the async comm engine on (``overlap != "none"``) the
+        ``nic_share`` multiplier is capped at 1: values > 1 are a
+        stand-in for concurrent-stream overlap, and the engine now
+        models that concurrency explicitly — letting the bonus stack on
+        top would double-count the same effect.
+        """
+        share = self.nic_share
+        if self.overlap_enabled:
+            share = min(share, 1.0)
+        return self.nic_beta * max(1, self.ranks_per_node) / share
 
     @property
     def peak_rate(self) -> float:
@@ -145,6 +182,17 @@ class MachineModel:
                 nic_share=0.6,
             )
         raise ValueError(f"unknown mode {mode!r}")
+
+    def with_overlap(self, mode: str) -> "MachineModel":
+        """Return a copy with the async comm engine set to ``mode``.
+
+        ``"none"`` restores the legacy fully-serialized charging;
+        ``"full"``/``"partial"`` enable the engine (see the class
+        docstring).  GPU PCIe staging (``gemm_time(stage_bytes=...)``)
+        is unchanged by the engine: staging is compute-side bus time and
+        is charged exactly once in every mode.
+        """
+        return replace(self, overlap=mode)
 
 
 def pace_phoenix_cpu(mode: str = "mpi") -> MachineModel:

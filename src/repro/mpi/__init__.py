@@ -32,7 +32,7 @@ from .errors import (
     VMpiError,
 )
 from .faults import ANY_RANK, FaultPlan, LinkFault, RankFault, RetryPolicy
-from .request import Request, wait_all
+from .request import CollRequest, Request, wait_all, wait_any
 from .runtime import BACKEND_ENV, BACKENDS, SpmdResult, run_spmd
 from .topology import Cart2D, Cart3D
 from .transport import PhaseStats, RankTrace, Transport
@@ -52,8 +52,10 @@ __all__ = [
     "Transport",
     "PhaseStats",
     "RankTrace",
+    "CollRequest",
     "Request",
     "wait_all",
+    "wait_any",
     "run_spmd",
     "SpmdResult",
     "BACKENDS",

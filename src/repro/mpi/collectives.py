@@ -44,6 +44,7 @@ import numpy as np
 
 from ..obs.tracer import CAT_COLLECTIVE
 from .datatypes import INTERNAL_TAG_BASE, Op, SUM
+from .request import CollRequest
 
 
 @contextlib.contextmanager
@@ -290,6 +291,49 @@ def alltoall(comm, values: Sequence[Any]) -> list[Any]:
             src = (rank - i) % size
             out[src] = comm.sendrecv(values[dest], dest, src, _TAG_ALLTOALL, _TAG_ALLTOALL)
         return out
+
+
+# ------------------------------------------------ nonblocking collectives -- #
+def _icoll(comm, fn, *args) -> CollRequest:
+    """Run a blocking collective on the async comm engine; a request.
+
+    With ``overlap="none"`` the collective runs exactly as its blocking
+    form (same clock charges, same events) and the returned request is
+    pre-completed — waiting on it charges nothing, keeping legacy runs
+    bit-for-bit identical.  Otherwise the whole algorithm is drained
+    eagerly on the rank's comm timeline (``begin_async``/``end_async``):
+    its transfers progress concurrently with whatever compute follows
+    the post, and the request's ``wait`` charges only the uncovered
+    remainder.  Calls are collective and must stay SPMD-ordered exactly
+    like their blocking forms (posting *is* the data movement).
+    """
+    transport = comm.transport
+    rank = comm.world_rank
+    if not transport.machine.overlap_enabled:
+        value = fn(comm, *args)
+        t = transport.now(rank)
+        return CollRequest(transport, rank, t, t, value)
+    t_start = transport.begin_async(rank)
+    try:
+        value = fn(comm, *args)
+    finally:
+        t_complete = transport.end_async(rank)
+    return CollRequest(transport, rank, t_start, t_complete, value)
+
+
+def ibcast(comm, value: Any, root: int = 0) -> CollRequest:
+    """Nonblocking :func:`bcast`; completes on the async comm engine."""
+    return _icoll(comm, bcast, value, root)
+
+
+def iallgather(comm, value: Any) -> CollRequest:
+    """Nonblocking :func:`allgather`; completes on the async comm engine."""
+    return _icoll(comm, allgather, value)
+
+
+def ireduce_scatter(comm, blocks: Sequence[np.ndarray], op: Op = SUM) -> CollRequest:
+    """Nonblocking :func:`reduce_scatter`; completes on the async engine."""
+    return _icoll(comm, reduce_scatter, blocks, op)
 
 
 # ---------------------------------------------------------- reduce_scatter -- #

@@ -260,6 +260,25 @@ class Comm:
     def reduce_scatter(self, blocks: Sequence[np.ndarray], op: Op = SUM) -> np.ndarray:
         return _coll.reduce_scatter(self, blocks, op)
 
+    # ------------------------------------------- nonblocking collectives -- #
+    def ibcast(self, value: Any, root: int = 0) -> Request:
+        """Nonblocking broadcast; ``wait()`` returns the value.
+
+        Progresses on the rank's async comm engine: with
+        ``machine.overlap != "none"`` the transfer time can hide under
+        compute issued between post and wait; with ``"none"`` it behaves
+        exactly like :meth:`bcast` followed by a free wait.
+        """
+        return _coll.ibcast(self, value, root)
+
+    def iallgather(self, value: Any) -> Request:
+        """Nonblocking allgather; ``wait()`` returns the gathered list."""
+        return _coll.iallgather(self, value)
+
+    def ireduce_scatter(self, blocks: Sequence[np.ndarray], op: Op = SUM) -> Request:
+        """Nonblocking reduce-scatter; ``wait()`` returns this rank's block."""
+        return _coll.ireduce_scatter(self, blocks, op)
+
     # --------------------------------------------- communicator management -- #
     def split(self, color: int | None, key: int = 0) -> "Comm | None":
         """Partition the communicator by color; order members by key.

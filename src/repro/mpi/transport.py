@@ -109,11 +109,21 @@ class CollStats:
 
 @dataclass
 class PhaseStats:
-    """Traffic and simulated time attributed to one phase on one rank."""
+    """Traffic and simulated time attributed to one phase on one rank.
+
+    ``comm_time`` is *exposed* communication: simulated seconds the rank
+    clock actually spent blocked on transfers.  ``comm_covered_time`` is
+    communication the async comm engine hid under concurrent compute —
+    it is **not** part of ``time`` (the wall-clock identity
+    ``time ≈ comm_time + compute_time`` still holds); it measures how
+    much transfer time was paid on the comm timeline but never surfaced
+    on the rank clock.  It stays exactly 0.0 under ``overlap="none"``.
+    """
 
     time: float = 0.0
     comm_time: float = 0.0
     compute_time: float = 0.0
+    comm_covered_time: float = 0.0
     bytes_sent: int = 0
     bytes_recv: int = 0
     msgs_sent: int = 0
@@ -124,6 +134,7 @@ class PhaseStats:
             time=self.time + other.time,
             comm_time=self.comm_time + other.comm_time,
             compute_time=self.compute_time + other.compute_time,
+            comm_covered_time=self.comm_covered_time + other.comm_covered_time,
             bytes_sent=self.bytes_sent + other.bytes_sent,
             bytes_recv=self.bytes_recv + other.bytes_recv,
             msgs_sent=self.msgs_sent + other.msgs_sent,
@@ -172,6 +183,11 @@ class RankState:
     #: check: ``(ctx, src, tag)`` while blocked in :meth:`Transport.match_recv`.
     recv_wait: tuple[int, int, int] | None = None
     agree_wait: bool = False  #: blocked in an agree rendezvous
+    # -- async comm engine (overlap != "none") ------------------------- #
+    async_depth: int = 0  #: nesting depth of open begin_async regions
+    comm_clock: float = 0.0  #: comm-timeline clock while inside a region
+    comm_engine_free: float = 0.0  #: when the engine last drained (partial)
+    nic_free: float = 0.0  #: when this rank's NIC stream frees (partial)
 
     @property
     def phase(self) -> str:
@@ -579,6 +595,13 @@ class Transport:
                 st.injected_wait_s += slowed - dt
                 dt = slowed
                 injected = True
+        if kind == "comm" and st.async_depth > 0:
+            # Inside an async region the transfer progresses on the
+            # rank's comm timeline, not its clock.  Time is attributed
+            # (exposed vs covered) when the matching wait settles the
+            # region; no phase charge and no event here.
+            st.comm_clock += dt
+            return
         t0 = st.clock
         st.clock += dt
         ps = st.phase_stats()
@@ -627,6 +650,12 @@ class Transport:
     ) -> None:
         """Move a rank's clock up to ``t`` (waiting time counts as comm)."""
         st = self.ranks[world_rank]
+        if st.async_depth > 0:
+            # In-region completions (e.g. a blocking recv matched on the
+            # comm timeline) advance the comm clock, never the rank clock.
+            if t > st.comm_clock:
+                st.comm_clock = t
+            return
         if t > st.clock:
             dt = t - st.clock
             t0 = st.clock
@@ -648,6 +677,68 @@ class Transport:
                         injected=injected,
                     )
                 )
+
+    # ------------------------------------------------- async comm engine -- #
+    def begin_async(self, world_rank: int) -> float:
+        """Open an async region on a rank; returns the region's start time.
+
+        While the region is open, every comm-side charge against this
+        rank (``_advance_locked(kind="comm")``, ``_raise_clock_locked``)
+        is redirected to the rank's *comm timeline* instead of its
+        clock, and no events are recorded — the region's entire cost is
+        settled later by :meth:`async_wait`.  Regions nest; only the
+        outermost open/close interacts with the engine-availability
+        point (``overlap="partial"`` serializes consecutive regions of
+        one rank on its single comm engine).
+        """
+        with self._lock:
+            st = self.ranks[world_rank]
+            st.async_depth += 1
+            if st.async_depth == 1:
+                if self.machine.overlap == "partial":
+                    st.comm_clock = max(st.clock, st.comm_engine_free)
+                else:
+                    st.comm_clock = st.clock
+            return st.comm_clock
+
+    def end_async(self, world_rank: int) -> float:
+        """Close an async region; returns its completion time.
+
+        The returned time is where the rank's comm timeline stands after
+        the region's transfers drained.  Under ``overlap="partial"`` the
+        outermost close also publishes it as the engine-free point so
+        the next region queues behind this one.
+        """
+        with self._lock:
+            st = self.ranks[world_rank]
+            if st.async_depth <= 0:
+                raise RuntimeError("end_async without begin_async")
+            t = st.comm_clock
+            st.async_depth -= 1
+            if st.async_depth == 0 and self.machine.overlap == "partial":
+                st.comm_engine_free = t
+            return t
+
+    def async_wait(self, world_rank: int, t_start: float, t_complete: float) -> None:
+        """Settle an async region's cost at wait time.
+
+        Charges the *uncovered* remainder ``max(0, t_complete - clock)``
+        to the rank clock (a ``wait`` event, comm time) and books the
+        rest of the region's span as hidden communication
+        (``PhaseStats.comm_covered_time``).  With ``overlap="none"``
+        regions are pre-completed at post time (``t_start ==
+        t_complete == clock``), so this charges nothing and the
+        covered-time counter is never touched — bit-exact legacy
+        behaviour.
+        """
+        with self._lock:
+            st = self.ranks[world_rank]
+            exposed = max(0.0, t_complete - st.clock)
+            covered = max(0.0, (t_complete - t_start) - exposed)
+            if exposed > 0.0:
+                self._raise_clock_locked(world_rank, t_complete, event_kind="wait")
+            if covered > 0.0:
+                st.phase_stats().comm_covered_time += covered
 
     # ------------------------------------------------------------ phases -- #
     def push_phase(self, world_rank: int, name: str, attrs: dict | None = None) -> None:
@@ -918,8 +1009,24 @@ class Transport:
                     src_world, dst_world, st.phase, t_msg,
                     stored=stored, is_array=is_array,
                 )
-            t_post = st.clock
+            in_region = st.async_depth > 0
+            base = st.comm_clock if in_region else st.clock
+            nic_serialized = (
+                self.machine.overlap == "partial"
+                and not self.machine.same_node(src_world, dst_world)
+                and (in_region or not advance_sender)
+            )
+            if nic_serialized:
+                # One NIC stream per rank in partial mode: an in-flight
+                # nonblocking transfer delays the next one's start.
+                # Blocking sends are untouched (their wait drags the
+                # clock past nic_free anyway, keeping sync paths
+                # bit-exact under every overlap mode).
+                base = max(base, st.nic_free)
+            t_post = base
             arrival = t_post + t_msg
+            if nic_serialized:
+                st.nic_free = arrival
             self._seq += 1
             seq = self._seq
             if self.record_events:
@@ -938,12 +1045,28 @@ class Transport:
                         coll=st.coll,
                     )
                 )
-            if advance_sender:
-                self._advance_locked(
-                    src_world, t_msg, "comm",
-                    event_kind="send", nbytes=nbytes, peer=dst_world, seq=seq,
-                    injected=injected,
-                )
+            if in_region:
+                # The transfer rides the comm timeline; its cost is
+                # settled by async_wait when the region's request is
+                # waited on (no event, no phase charge here).
+                st.comm_clock = arrival
+            elif advance_sender:
+                if t_post > st.clock:
+                    # NIC-delayed start (partial mode): charge straight
+                    # to the arrival so the queueing delay is visible as
+                    # send time.  (a+b)-a != b in floating point, so the
+                    # undelayed path below must stay the legacy advance.
+                    self._raise_clock_locked(
+                        src_world, arrival,
+                        event_kind="send", nbytes=nbytes, peer=dst_world,
+                        seq=seq, injected=injected,
+                    )
+                else:
+                    self._advance_locked(
+                        src_world, t_msg, "comm",
+                        event_kind="send", nbytes=nbytes, peer=dst_world, seq=seq,
+                        injected=injected,
+                    )
             ps = st.phase_stats()
             ps.bytes_sent += nbytes
             ps.msgs_sent += 1

@@ -118,6 +118,7 @@ AUDIT_JSON_SCHEMA: dict[str, Any] = {
                     "rel_err_collcost": {"type": ["number", "null"]},
                     "excess_words": {"type": "number"},
                     "overlap": {"type": ["number", "null"]},
+                    "covered_s": {"type": "number", "minimum": 0},
                     "colls": {"type": "object"},
                     "ok": {"type": "boolean"},
                 },
@@ -161,13 +162,17 @@ class PhaseAudit:
     rel_err_collcost: float | None
     excess_words: float  #: measured - model (signed)
     overlap: float | None  #: volume-weighted overlap efficiency
+    #: comm seconds the async engine hid under compute (0 when off) —
+    #: hidden *time*, never hidden *traffic*: the word columns above are
+    #: unaffected, which is exactly what the gate verifies.
+    covered_s: float = 0.0
     #: per-collective-algorithm attribution of this phase's traffic,
     #: summed over live ranks: label -> {"words": ..., "msgs": ...}.
     colls: dict[str, dict[str, float]] = field(default_factory=dict)
     ok: bool = True
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "phase": self.phase,
             "measured_words": self.measured_words,
             "model_words": self.model_words,
@@ -181,6 +186,12 @@ class PhaseAudit:
             "colls": {c: dict(v) for c, v in sorted(self.colls.items())},
             "ok": self.ok,
         }
+        # Schema-optional: absent when the engine hid nothing, so audit
+        # documents from overlap="none" runs are byte-identical to the
+        # pre-engine format.
+        if self.covered_s > 0:
+            doc["covered_s"] = self.covered_s
+        return doc
 
 
 @dataclass
@@ -293,11 +304,13 @@ class AuditReport:
                 else " " * 11 + "-"
             )
             ov = f"{100 * p.overlap:5.1f}%" if p.overlap is not None else "    - "
+            hid = f"  hidden {p.covered_s:.3e}s" if p.covered_s > 0 else ""
             lines.append(
                 f"  {p.phase:<10} measured {p.measured_words:>12.0f} "
                 f"model {p.model_words:>12.0f} collcost {cc} "
                 f"({100 * p.rel_err_model:6.2f}%)  overlap {ov}  "
                 + ("ok" if p.ok else "EXCESS")
+                + hid
             )
             for label, stats in sorted(p.colls.items()):
                 lines.append(
@@ -377,6 +390,11 @@ def audit_run(
     measured = _measured_phases(result, nruns)
     colls = _coll_breakdown(result, nruns)
     overlap = overlap_by_phase(result)
+    covered: dict[str, float] = {}
+    for t in result.live_traces:
+        for ph, st in t.phases.items():
+            if st.comm_covered_time > 0:
+                covered[ph] = covered.get(ph, 0.0) + st.comm_covered_time / nruns
 
     phases: list[PhaseAudit] = []
     for name in GUARDED_PHASES:
@@ -398,6 +416,7 @@ def audit_run(
                     rel_err_collcost=None,
                     excess_words=meas_words,
                     overlap=overlap.get(name),
+                    covered_s=covered.get(name, 0.0),
                     colls=colls.get(name, {}),
                     ok=ok,
                 )
@@ -420,6 +439,7 @@ def audit_run(
                 rel_err_collcost=rel_cc,
                 excess_words=meas_words - exp.words,
                 overlap=overlap.get(name),
+                covered_s=covered.get(name, 0.0),
                 colls=colls.get(name, {}),
                 ok=rel <= byte_tol or err <= abs_tol_words,
             )

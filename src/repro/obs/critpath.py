@@ -550,6 +550,10 @@ CRITPATH_JSON_SCHEMA: dict[str, Any] = {
             "type": "object",
             "additionalProperties": {"type": "number"},
         },
+        "phase_covered_s": {
+            "type": "object",
+            "additionalProperties": {"type": "number", "minimum": 0},
+        },
     },
 }
 
@@ -574,6 +578,10 @@ class CritPathReport:
     #: ranks, :func:`repro.obs.metrics.overlap_by_phase`) — how much of
     #: each phase's traffic hid behind compute, beside the blame table.
     phase_overlap: dict[str, float] = field(default_factory=dict)
+    #: comm seconds the async engine covered per phase (summed over live
+    #: ranks) — the *covered* half of the exposed-vs-covered taxonomy;
+    #: what remains in the blame table's recv/wait segments is exposed.
+    phase_covered_s: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         doc = {
@@ -595,6 +603,10 @@ class CritPathReport:
             "stragglers": [s.to_dict() for s in self.stragglers],
             "phase_overlap": dict(self.phase_overlap),
         }
+        # Schema-optional: only present when the engine hid anything, so
+        # overlap="none" documents stay byte-identical to the old format.
+        if self.phase_covered_s:
+            doc["phase_covered_s"] = dict(sorted(self.phase_covered_s.items()))
         validate_critpath_json(doc)
         return doc
 
@@ -620,10 +632,12 @@ class CritPathReport:
                 self.blame.values(), key=lambda b: -b.critical_s
             ):
                 ov = self.phase_overlap.get(b.phase)
+                cov = self.phase_covered_s.get(b.phase, 0.0)
                 lines.append(
                     f"    {b.phase:<10} {b.critical_s * 1e3:9.4f} ms | "
                     f"{b.elapsed_s * 1e3:9.4f} ms | {100 * b.critical_share:5.1f}%"
                     + (f" | {100 * ov:5.1f}%" if ov is not None else "")
+                    + (f" | hidden {cov * 1e3:.4f} ms" if cov > 0 else "")
                 )
         lines.append("  per-rank decomposition (compute/comm/wait/idle ms):")
         for r in sorted(self.ranks):
@@ -662,6 +676,11 @@ def critpath_report(result: "SpmdResult") -> CritPathReport:
     from .metrics import overlap_by_phase
 
     path = critical_path(result)
+    covered: dict[str, float] = {}
+    for t in result.live_traces:
+        for phase, st in t.phases.items():
+            if st.comm_covered_time > 0:
+                covered[phase] = covered.get(phase, 0.0) + st.comm_covered_time
     return CritPathReport(
         path=path,
         blame=phase_blame(result, path),
@@ -669,4 +688,5 @@ def critpath_report(result: "SpmdResult") -> CritPathReport:
         stragglers=stragglers(result, path),
         nprocs=result.transport.nprocs,
         phase_overlap=overlap_by_phase(result),
+        phase_covered_s=covered,
     )

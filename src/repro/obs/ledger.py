@@ -70,7 +70,10 @@ LEDGER_RECORD_SCHEMA: dict[str, Any] = {
         # v2: memory block gained resident_peak_words / by_purpose_words
         # (measured memtrace watermarks) beside the legacy transport
         # in-flight peak_live_words; v1 records remain readable.
-        "schema_version": {"enum": [1, 2]},
+        # v3: overlap block gained covered_by_phase (simulated seconds
+        # of communication the async comm engine hid under compute,
+        # summed over live ranks); v1/v2 records remain readable.
+        "schema_version": {"enum": [1, 2, 3]},
         "run_id": {"type": "string", "pattern": "^[0-9a-f]{32}$"},
         "kind": {"type": "string", "minLength": 1},
         "problem": {
@@ -127,6 +130,11 @@ LEDGER_RECORD_SCHEMA: dict[str, Any] = {
             "properties": {
                 "cannon": {"type": ["number", "null"]},
                 "by_phase": {"type": "object"},
+                # seconds of comm the async engine hid, per phase (v3)
+                "covered_by_phase": {
+                    "type": "object",
+                    "additionalProperties": {"type": "number", "minimum": 0},
+                },
             },
         },
         "optimality": {
@@ -243,9 +251,17 @@ def ledger_record(
             slot["words"] += st.bytes_sent / ITEM / nruns
             slot["msgs"] += st.msgs_sent / nruns
 
+    covered: dict[str, float] = {}
+    for t in live:
+        for phase, st in t.phases.items():
+            if st.comm_covered_time > 0:
+                covered[phase] = (
+                    covered.get(phase, 0.0) + st.comm_covered_time / nruns
+                )
+
     metrics = result.metrics
     record: dict[str, Any] = {
-        "schema_version": 2,
+        "schema_version": 3,
         "run_id": run_id if run_id is not None else uuid.uuid4().hex,
         "kind": kind,
         "problem": {
@@ -278,6 +294,7 @@ def ledger_record(
         "overlap": {
             "cannon": overlap.get("cannon"),
             "by_phase": dict(sorted(overlap.items())),
+            "covered_by_phase": dict(sorted(covered.items())),
         },
         "optimality": {
             "eq9_words": eq9,

@@ -180,6 +180,10 @@ class RunMetrics:
     k_group_imbalance: float | None  #: None without a plan / single group
     #: volume-weighted overlap efficiency per phase over live ranks
     overlap_by_phase: dict[str, float] = field(default_factory=dict)
+    #: simulated seconds of communication the async comm engine hid
+    #: under compute, per phase, summed over live ranks (0 with
+    #: ``overlap="none"`` — there is no engine to hide anything)
+    covered_by_phase: dict[str, float] = field(default_factory=dict)
     #: historical critical-rank-only cannon overlap (slowest live trace)
     cannon_overlap_critical_rank: float | None = None
     total_retries: int = 0  #: fault-injection retransmits across ranks
@@ -214,6 +218,7 @@ class RunMetrics:
             "cannon_overlap_ratio": self.cannon_overlap_ratio,
             "cannon_overlap_critical_rank": self.cannon_overlap_critical_rank,
             "overlap_by_phase": dict(self.overlap_by_phase),
+            "covered_by_phase": dict(sorted(self.covered_by_phase.items())),
             "k_group_imbalance": self.k_group_imbalance,
             "total_retries": self.total_retries,
             "total_timeouts": self.total_timeouts,
@@ -245,6 +250,12 @@ def _phase_tables(result: "SpmdResult", reg: MetricsRegistry) -> None:
             reg.gauge("phase_compute_time_s", rank=trace.rank, phase=phase).set(
                 st.compute_time
             )
+            if st.comm_covered_time > 0:
+                # Only engine-on runs carry the gauge, so legacy
+                # snapshots stay identical under overlap="none".
+                reg.gauge(
+                    "phase_comm_covered_time_s", rank=trace.rank, phase=phase
+                ).set(st.comm_covered_time)
 
 
 def _phase_maxima(result: "SpmdResult", reg: MetricsRegistry) -> None:
@@ -276,7 +287,10 @@ def overlap_by_phase(result: "SpmdResult") -> dict[str, float]:
 
     For each rank, ``1 - comm/total`` is the fraction of that phase's
     wall time whose traffic hid behind computation (the transport only
-    charges the non-hidden remainder as comm time).  Ranks are weighted
+    charges the non-hidden remainder as comm time; transfers the async
+    comm engine covered appear in ``PhaseStats.comm_covered_time`` and
+    never inflate ``comm_time``, so engine-hidden communication raises
+    this ratio automatically).  Ranks are weighted
     by the phase's bytes on the wire (sent + received), so ranks that
     moved no data don't dilute the efficiency of ranks that did; when a
     phase moved no bytes anywhere, time-weighting is the fallback.
@@ -406,6 +420,15 @@ def snapshot_run(
     imbalance = _k_group_imbalance(result, plan)
     for phase, ratio in phase_overlap.items():
         reg.gauge("phase_overlap_ratio", phase=phase).set(ratio)
+    covered_by_phase: dict[str, float] = {}
+    for trace in result.live_traces:
+        for ph, st in trace.phases.items():
+            if st.comm_covered_time > 0:
+                covered_by_phase[ph] = (
+                    covered_by_phase.get(ph, 0.0) + st.comm_covered_time
+                )
+    for ph, s in sorted(covered_by_phase.items()):
+        reg.gauge("phase_comm_covered_s", phase=ph).set(s)
     if overlap is not None:
         reg.gauge("cannon_overlap_ratio").set(overlap)
     if imbalance is not None:
@@ -439,6 +462,7 @@ def snapshot_run(
         cannon_overlap_ratio=overlap,
         cannon_overlap_critical_rank=overlap_crit,
         overlap_by_phase=phase_overlap,
+        covered_by_phase=covered_by_phase,
         k_group_imbalance=imbalance,
         total_retries=sum(t.retries for t in result.traces),
         total_timeouts=sum(t.timeouts for t in result.traces),
@@ -485,6 +509,13 @@ def format_metrics(metrics: RunMetrics) -> str:
             f"  cannon overlap      : {100 * metrics.cannon_overlap_ratio:.1f} %"
             + suffix
         )
+    if metrics.covered_by_phase:
+        total_covered = sum(metrics.covered_by_phase.values())
+        lines.append(
+            f"  comm hidden (engine): {total_covered * 1e3:.3f} ms across ranks"
+        )
+        for ph, s in sorted(metrics.covered_by_phase.items()):
+            lines.append(f"    {ph:<18}: {s * 1e3:.3f} ms covered")
     if metrics.k_group_imbalance is not None:
         lines.append(
             f"  k-group imbalance   : {100 * metrics.k_group_imbalance:.1f} %"

@@ -155,3 +155,62 @@ class TestEmptyStripMetrics:
         res = run_spmd(1, f, machine=pace_phoenix_gpu())
         assert res.results == [(4, 3)]
         assert self._compute_time(res) == 0.0
+
+
+class TestShiftStepArithmetic:
+    """Pin the per-capability shift-step clock claimed in the docstring.
+
+    With ``overlap="none"`` or ``"full"`` each posted shift transfer
+    progresses as its own stream: step = max(gemm, flight).  With
+    ``"partial"`` the rank's single NIC stream serializes the inter-node
+    A and B sends: step = max(gemm, flight_a + flight_b).  An earlier
+    docstring revision claimed unconditional ``max(gemm, comm)``.
+    """
+
+    @staticmethod
+    def _makespan(overlap, m=8, n=8, k=8, s=2, ranks_per_node=1,
+                  gamma=1e-11):
+        from repro.machine.model import MachineModel
+
+        # ranks_per_node=1 makes every shift inter-node (NIC-priced);
+        # tiny gamma keeps the GEMM negligible -> comm-bound steps.
+        mach = MachineModel(ranks_per_node=ranks_per_node, gamma=gamma,
+                            overlap=overlap)
+        rng = np.random.default_rng(7)
+        A = rng.standard_normal((m, k))
+        B = rng.standard_normal((k, n))
+
+        def f(comm):
+            cart = Cart2D(comm, s, s)
+            u, v = cart.row, cart.col
+            am = block_range(m, s, u)
+            ak = block_range(k, s, v)
+            bk = block_range(k, s, u)
+            bn = block_range(n, s, v)
+            cannon_multiply(
+                cart,
+                np.ascontiguousarray(A[am[0]:am[1], ak[0]:ak[1]]),
+                np.ascontiguousarray(B[bk[0]:bk[1], bn[0]:bn[1]]),
+            )
+
+        return run_spmd(s * s, f, machine=mach).time
+
+    def test_full_equals_none_bit_for_bit(self):
+        """Dual-stream p2p shifts already hide under "none"; "full" must
+        not perturb a single clock tick."""
+        assert self._makespan("none") == self._makespan("full")
+
+    def test_partial_serializes_comm_bound_shifts(self):
+        """Comm-bound inter-node shifts: the shared NIC stream makes the
+        step flight_a + flight_b, strictly slower than the dual-stream
+        max(flight_a, flight_b)."""
+        assert self._makespan("partial") > self._makespan("none")
+
+    def test_compute_bound_steps_identical_everywhere(self):
+        """When the GEMM dominates, step = gemm in every mode — the NIC
+        serialization is fully hidden."""
+        times = {
+            mode: self._makespan(mode, gamma=1e-3)
+            for mode in ("none", "partial", "full")
+        }
+        assert times["none"] == times["partial"] == times["full"]

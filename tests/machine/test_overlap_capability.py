@@ -1,0 +1,86 @@
+"""The overlap capability must not stack on the legacy overlap fudges.
+
+Two pre-engine mechanisms already credit comm/compute concurrency:
+
+* ``nic_share > 1`` — the "concurrent streams extract more of the NIC"
+  bandwidth bonus of ``with_mode("mpi")``-style presets;
+* GPU-mode ``gemm_time`` PCIe staging — operand traffic priced *inside*
+  the compute tick.
+
+With the async comm engine on, concurrency is modeled, not fudged, so
+the stream bonus is capped and the staging charge must stay exactly
+what it was — otherwise the same seconds would be hidden twice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.model import (
+    MachineModel,
+    laptop,
+    pace_phoenix_cpu,
+    pace_phoenix_gpu,
+)
+
+
+class TestOverlapField:
+    def test_default_is_none(self):
+        assert MachineModel().overlap == "none"
+        assert not MachineModel().overlap_enabled
+
+    def test_with_overlap_round_trip(self):
+        m = laptop()
+        for mode in MachineModel.OVERLAP_MODES:
+            assert m.with_overlap(mode).overlap == mode
+        assert m.with_overlap("full").with_overlap("none").overlap == "none"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MachineModel(overlap="sometimes")
+        with pytest.raises(ValueError):
+            laptop().with_overlap("sometimes")
+
+
+class TestNicShareCap:
+    def test_share_bonus_capped_when_engine_on(self):
+        """A > 1 stream bonus is the fudge the engine replaces: beta
+        must fall back to the single-stream rate with the engine on."""
+        m = MachineModel(ranks_per_node=4, nic_share=2.0)
+        assert m.beta == m.nic_beta * 4 / 2.0
+        for mode in ("partial", "full"):
+            on = m.with_overlap(mode)
+            assert on.beta == on.nic_beta * 4 / 1.0  # capped at 1
+
+    def test_share_below_one_untouched(self):
+        """Sub-1 shares model contention, not overlap — never capped."""
+        m = MachineModel(ranks_per_node=4, nic_share=0.5)
+        assert m.with_overlap("full").beta == m.beta
+
+    def test_mpi_preset_beta_invariant(self):
+        """pace_phoenix_cpu("mpi") uses nic_share=1.0, so its link rates
+        are identical in every overlap mode — committed baselines and
+        engine runs price messages the same."""
+        m = pace_phoenix_cpu("mpi")
+        assert m.nic_share == 1.0
+        for mode in ("partial", "full"):
+            assert m.with_overlap(mode).beta == m.beta
+
+
+class TestGemmStagingInvariant:
+    def test_gpu_staging_identical_across_modes(self):
+        """PCIe staging is part of the compute tick; the engine hides
+        communication, so the tick must cost the same with it on."""
+        g = pace_phoenix_gpu()
+        base = g.gemm_time(64, 64, 64, stage_bytes=3 * 64 * 64 * 8)
+        for mode in ("partial", "full"):
+            on = g.with_overlap(mode)
+            assert on.gemm_time(64, 64, 64, stage_bytes=3 * 64 * 64 * 8) \
+                == base
+        assert base > g.gemm_time(64, 64, 64)  # staging actually charged
+
+    def test_cpu_gemm_identical_across_modes(self):
+        c = pace_phoenix_cpu("mpi")
+        for mode in ("partial", "full"):
+            assert c.with_overlap(mode).gemm_time(48, 48, 48) \
+                == c.gemm_time(48, 48, 48)

@@ -43,7 +43,7 @@ class TestRecord:
         assert rec["problem"] == {"m": 32, "n": 32, "k": 64, "nprocs": 8, "nruns": 1}
         assert rec["grid"]["pm"] == plan.pm and rec["grid"]["active"] == plan.active
         assert rec["traffic"]["q_words"] > 0
-        assert rec["schema_version"] == 2
+        assert rec["schema_version"] == 3
         assert rec["memory"]["peak_live_words"] > 0
         # v2: resident watermark from memtrace spans, with breakdown
         assert rec["memory"]["resident_peak_words"] > 0
